@@ -1,0 +1,34 @@
+//! Criterion end-to-end benchmark: one full campaign (plan + validate +
+//! event-driven execution) per mechanism — the unit of work behind every
+//! figure data point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nbiot_des::SeedSequence;
+use nbiot_grouping::{GroupingInput, GroupingParams, MechanismKind};
+use nbiot_sim::{run_campaign, SimConfig};
+use nbiot_traffic::TrafficMix;
+
+fn bench_campaigns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(20);
+    let n = 200usize;
+    let mut rng = SeedSequence::new(0xCAFE).rng(0);
+    let pop = TrafficMix::ericsson_city()
+        .generate(n, &mut rng)
+        .expect("population");
+    let input = GroupingInput::from_population(&pop, GroupingParams::default()).expect("input");
+    let config = SimConfig::default();
+    for kind in MechanismKind::ALL {
+        group.bench_with_input(BenchmarkId::new("run", kind.to_string()), &kind, |b, &k| {
+            let mut rng = SeedSequence::new(5).rng(0);
+            b.iter(|| {
+                run_campaign(k.instantiate().as_ref(), &input, &config, &mut rng).expect("campaign")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaigns);
+criterion_main!(benches);

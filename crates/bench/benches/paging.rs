@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for the TS 36.304 paging-occasion kernel —
+//! the substrate every mechanism queries millions of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nbiot_time::{
+    DrxCycle, EdrxCycle, PagingConfig, PagingSchedule, SimDuration, SimInstant, TimeWindow, UeId,
+};
+
+fn bench_po_queries(c: &mut Criterion) {
+    let drx = PagingSchedule::new(&PagingConfig::drx(DrxCycle::Rf128), UeId(77)).unwrap();
+    let edrx = PagingSchedule::new(&PagingConfig::edrx(EdrxCycle::Hf256), UeId(77)).unwrap();
+    let t = SimInstant::from_secs(12_345);
+
+    c.bench_function("first_po_at_or_after/drx", |b| {
+        b.iter(|| drx.first_po_at_or_after(std::hint::black_box(t)))
+    });
+    c.bench_function("first_po_at_or_after/edrx", |b| {
+        b.iter(|| edrx.first_po_at_or_after(std::hint::black_box(t)))
+    });
+    c.bench_function("last_po_before/edrx", |b| {
+        b.iter(|| edrx.last_po_before(std::hint::black_box(t)))
+    });
+    c.bench_function("count_pos_between/edrx", |b| {
+        b.iter(|| {
+            edrx.count_pos_between(
+                std::hint::black_box(SimInstant::ZERO),
+                std::hint::black_box(SimInstant::from_secs(21_000)),
+            )
+        })
+    });
+    c.bench_function("pos_in/2maxdrx_horizon/drx", |b| {
+        let w = TimeWindow::starting_at(SimInstant::ZERO, SimDuration::from_secs(2 * 10_486));
+        b.iter(|| drx.pos_in(std::hint::black_box(w)).len())
+    });
+}
+
+criterion_group!(benches, bench_po_queries);
+criterion_main!(benches);

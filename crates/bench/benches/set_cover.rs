@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the DR-SC set-cover kernels
+//! (the algorithmic core behind Fig. 7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nbiot_des::SeedSequence;
+use nbiot_grouping::set_cover::{greedy_set_cover, WindowCover};
+use nbiot_time::{SimDuration, SimInstant};
+use rand::Rng;
+
+/// Synthetic PO timelines: `n` devices, POs every `cycle_s` seconds with a
+/// random phase, over a fixed horizon.
+fn synth_events(n: usize, cycle_s: u64, horizon_s: u64, seed: u64) -> Vec<Vec<SimInstant>> {
+    let mut rng = SeedSequence::new(seed).rng(0);
+    (0..n)
+        .map(|_| {
+            let phase: u64 = rng.gen_range(0..cycle_s * 1000);
+            (0..)
+                .map(|k| SimInstant::from_ms(phase + k * cycle_s * 1000))
+                .take_while(|t| t.as_ms() < horizon_s * 1000)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_window_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_cover");
+    for &n in &[100usize, 500, 1000] {
+        let events = synth_events(n, 2600, 2 * 10_486, 42);
+        let dense = vec![false; n];
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| {
+                WindowCover::new(SimDuration::from_secs(10))
+                    .solve(SimInstant::ZERO, &events, &dense)
+                    .expect("coverable")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_generic_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generic_greedy");
+    for &n in &[50usize, 200] {
+        let mut rng = SeedSequence::new(7).rng(1);
+        let mut sets: Vec<Vec<usize>> = (0..n * 4)
+            .map(|_| {
+                let len = rng.gen_range(1..8);
+                (0..len).map(|_| rng.gen_range(0..n)).collect()
+            })
+            .collect();
+        // Ensure coverability.
+        sets.push((0..n).collect());
+        group.bench_with_input(BenchmarkId::new("chvatal", n), &n, |b, _| {
+            b.iter(|| greedy_set_cover(n, &sets).expect("coverable"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_cover, bench_generic_greedy);
+criterion_main!(benches);

@@ -1,0 +1,356 @@
+//! Beyond-paper sensitivity studies (the "design choices" index of
+//! DESIGN.md):
+//!
+//! 1. **TI sweep** — how the inactivity-timer length moves the DR-SC
+//!    transmission count and the DA-SC/DR-SI waiting overhead,
+//! 2. **DR-SI notification policy** — last-PO-before-window (default) vs
+//!    first-PO-after-start,
+//! 3. **DA-SC adaptation grid** — paper-style anchored grid vs the
+//!    standard TS 36.304 formula,
+//! 4. **RACH contention** — connected-uptime inflation when random access
+//!    collides,
+//! 5. **SC-PTM baseline** — the light-sleep cost of periodic SC-MCCH
+//!    monitoring that motivated the on-demand scheme in the first place,
+//! 6. **paging density `nB`** — coalescing paging frames aligns device POs
+//!    within a frame; a negative result for eDRX-heavy mixes (diversity
+//!    lives in the paging-hyperframe phase),
+//! 7. **channel serialization** — the cost of the single NB-IoT carrier
+//!    when transfers must queue (ideal channel vs serialized).
+//!
+//! ```text
+//! cargo run --release -p nbiot-bench --bin ablations -- --runs 20
+//! ```
+
+use nbiot_bench::{pct, render_table, FigureOpts};
+use nbiot_des::{RunningStats, SeedSequence};
+use nbiot_grouping::{
+    AdaptationGrid, DaSc, DrSi, GroupingInput, GroupingParams, MechanismKind, NotifyPolicy,
+};
+use nbiot_rrc::InactivityTimer;
+use nbiot_sim::{run_campaign, run_comparison, ExperimentConfig, SimConfig};
+use nbiot_time::SimDuration;
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let base = ExperimentConfig {
+        runs: opts.runs,
+        n_devices: opts.devices,
+        master_seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    ti_sweep(&base, &opts);
+    notify_policy(&base, &opts);
+    adaptation_grid(&base, &opts);
+    rach_contention(&base, &opts);
+    scptm_cost(&base, &opts);
+    nb_density(&base, &opts);
+    channel_serialization(&base, &opts);
+}
+
+fn ti_sweep(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("==== Ablation 1: inactivity timer TI (paper range 10-30 s) ====\n");
+    let mut rows = Vec::new();
+    for ti_s in [10u64, 20, 30] {
+        let mut config = base.clone();
+        config.grouping = GroupingParams {
+            ti: InactivityTimer::new(SimDuration::from_secs(ti_s)),
+            ..GroupingParams::default()
+        };
+        let cmp =
+            run_comparison(&config, &MechanismKind::PAPER_MECHANISMS).expect("TI sweep failed");
+        for m in &cmp.mechanisms {
+            rows.push(vec![
+                format!("{ti_s}"),
+                m.mechanism.clone(),
+                format!("{:.1}", m.transmissions.mean),
+                pct(m.rel_connected.mean),
+                pct(m.rel_light_sleep.mean),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "TI (s)",
+                "mechanism",
+                "transmissions",
+                "connected incr",
+                "light-sleep incr"
+            ],
+            &rows
+        )
+    );
+    println!("longer TI: fewer DR-SC transmissions, more waiting for everyone\n");
+    let _ = opts;
+}
+
+fn notify_policy(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("==== Ablation 2: DR-SI notification policy ====\n");
+    let seq = SeedSequence::new(base.master_seed);
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("last-before-window", NotifyPolicy::LastBeforeWindow),
+        ("first-after-start", NotifyPolicy::FirstAfterStart),
+    ] {
+        let mut lead = RunningStats::new();
+        for run in 0..base.runs {
+            let run_seq = seq.child(run as u64);
+            let pop = base
+                .mix
+                .generate(base.n_devices, &mut run_seq.rng(0))
+                .expect("population");
+            let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
+            let mut rng = run_seq.rng(7);
+            let plan = nbiot_grouping::GroupingMechanism::plan(
+                &DrSi::with_policy(policy),
+                &input,
+                &mut rng,
+            )
+            .expect("plan");
+            // Mean notification lead time (time-remaining carried in the
+            // extension) across notified devices.
+            let leads: Vec<f64> = plan
+                .device_plans
+                .iter()
+                .filter_map(|p| p.mltc.map(|m| m.time_remaining.as_secs_f64()))
+                .collect();
+            if !leads.is_empty() {
+                lead.push(leads.iter().sum::<f64>() / leads.len() as f64);
+            }
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", lead.summary().mean),
+            format!("{:.0}", lead.summary().ci95),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["policy", "mean T322 lead time (s)", "±95%CI"], &rows)
+    );
+    println!("earlier notification = longer armed timers (same energy, more state)\n");
+    let _ = opts;
+}
+
+fn adaptation_grid(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("==== Ablation 3: DA-SC adaptation grid ====\n");
+    let seq = SeedSequence::new(base.master_seed);
+    let mut rows = Vec::new();
+    for (name, grid) in [
+        (
+            "anchored (paper Fig. 5)",
+            AdaptationGrid::AnchoredAtAdaptation,
+        ),
+        (
+            "standard TS 36.304 formula",
+            AdaptationGrid::StandardFormula,
+        ),
+    ] {
+        let mut extra_pos = RunningStats::new();
+        for run in 0..base.runs {
+            let run_seq = seq.child(run as u64);
+            let pop = base
+                .mix
+                .generate(base.n_devices, &mut run_seq.rng(0))
+                .expect("population");
+            let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
+            let mut rng = run_seq.rng(8);
+            let plan =
+                nbiot_grouping::GroupingMechanism::plan(&DaSc::with_grid(grid), &input, &mut rng)
+                    .expect("plan");
+            let total: u64 = plan
+                .device_plans
+                .iter()
+                .filter_map(|p| p.adaptation.map(|a| a.monitored_adapted_pos))
+                .sum();
+            extra_pos.push(total as f64 / base.n_devices as f64);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", extra_pos.summary().mean),
+            format!("{:.1}", extra_pos.summary().ci95),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["grid", "extra POs per device", "±95%CI"], &rows)
+    );
+    println!("the grids are near-equivalent: the cycle choice dominates, not the phase\n");
+    let _ = opts;
+}
+
+fn rach_contention(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("==== Ablation 4: RACH contention (DR-SI wake-up draws) ====\n");
+    let seq = SeedSequence::new(base.master_seed);
+    let mut rows = Vec::new();
+    for contenders in [0u32, 10, 50, 200] {
+        let sim = SimConfig {
+            ra_contenders: contenders,
+            ..base.sim
+        };
+        let mut connected = RunningStats::new();
+        let mut failures = RunningStats::new();
+        for run in 0..base.runs {
+            let run_seq = seq.child(run as u64);
+            let pop = base
+                .mix
+                .generate(base.n_devices, &mut run_seq.rng(0))
+                .expect("population");
+            let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
+            let res =
+                run_campaign(&DrSi::new(), &input, &sim, &mut run_seq.rng(9)).expect("campaign");
+            connected.push(res.mean_connected_ms() / 1000.0);
+            failures.push(res.ra_failures as f64);
+        }
+        rows.push(vec![
+            contenders.to_string(),
+            format!("{:.2}", connected.summary().mean),
+            format!("{:.2}", failures.summary().mean),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["contenders", "mean connected (s)", "RA failures/run"],
+            &rows
+        )
+    );
+    println!("the random T322 spread keeps contention tolerable until extreme loads\n");
+    let _ = opts;
+}
+
+fn scptm_cost(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("==== Ablation 5: SC-PTM baseline (why on-demand multicast exists) ====\n");
+    let cmp = run_comparison(
+        base,
+        &[
+            MechanismKind::ScPtm,
+            MechanismKind::DrSi,
+            MechanismKind::DaSc,
+        ],
+    )
+    .expect("scptm comparison failed");
+    let rows: Vec<Vec<String>> = cmp
+        .mechanisms
+        .iter()
+        .map(|m| {
+            vec![
+                m.mechanism.clone(),
+                pct(m.rel_light_sleep.mean),
+                pct(m.rel_connected.mean),
+                format!("{:.1}", m.transmissions.mean),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mechanism",
+                "light-sleep incr",
+                "connected incr",
+                "transmissions"
+            ],
+            &rows
+        )
+    );
+    println!("SC-PTM pays continuous SC-MCCH monitoring; the paper's mechanisms do not");
+    let _ = opts;
+}
+
+fn nb_density(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("\n==== Ablation 6: paging density nB (PO alignment) ====\n");
+    use nbiot_grouping::{DrSc, GroupingMechanism};
+    use nbiot_time::NbParam;
+    let seq = SeedSequence::new(base.master_seed);
+    let mut rows = Vec::new();
+    for (label, nb) in [
+        ("nB = T (default)", NbParam::OneT),
+        ("nB = T/4", NbParam::QuarterT),
+        ("nB = T/32", NbParam::ThirtySecondT),
+    ] {
+        let mut tx = RunningStats::new();
+        for run in 0..base.runs {
+            let run_seq = seq.child(run as u64);
+            let pop = base
+                .mix
+                .generate(base.n_devices, &mut run_seq.rng(0))
+                .expect("population");
+            // Re-point every device at the swept cell-wide nB.
+            let mut devices = pop.devices().to_vec();
+            for d in &mut devices {
+                d.paging.nb = nb;
+            }
+            let input = GroupingInput::from_devices(devices, base.grouping).expect("input");
+            let mut rng = run_seq.rng(11);
+            let plan = DrSc::new().plan(&input, &mut rng).expect("plan");
+            tx.push(plan.transmission_count() as f64);
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", tx.summary().mean),
+            format!("{:.1}", tx.summary().ci95),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["paging density", "DR-SC transmissions", "±95%CI"], &rows)
+    );
+    println!(
+        "negative result: for eDRX-dominated populations PO diversity comes from\n\
+         the paging-hyperframe phase, not the PF offset, so nB barely moves DR-SC"
+    );
+    let _ = opts;
+}
+
+fn channel_serialization(base: &ExperimentConfig, opts: &FigureOpts) {
+    println!("\n==== Ablation 7: single-carrier serialization ====\n");
+    use nbiot_grouping::{DaSc, Unicast};
+    let seq = SeedSequence::new(base.master_seed);
+    let mut rows = Vec::new();
+    for (label, serialize) in [
+        ("ideal channel (paper)", false),
+        ("serialized carrier", true),
+    ] {
+        let sim = SimConfig {
+            serialize_channel: serialize,
+            ..base.sim
+        };
+        let mut uni = RunningStats::new();
+        let mut dasc = RunningStats::new();
+        for run in 0..base.runs {
+            let run_seq = seq.child(run as u64);
+            let pop = base
+                .mix
+                .generate(base.n_devices, &mut run_seq.rng(0))
+                .expect("population");
+            let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
+            let u = run_campaign(&Unicast::new(), &input, &sim, &mut run_seq.rng(12))
+                .expect("campaign");
+            let d =
+                run_campaign(&DaSc::new(), &input, &sim, &mut run_seq.rng(13)).expect("campaign");
+            uni.push(u.mean_connected_ms() / 1000.0);
+            dasc.push(d.mean_connected_ms() / 1000.0);
+        }
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}", uni.summary().mean),
+            format!("{:.1}", dasc.summary().mean),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "channel model",
+                "unicast connected (s)",
+                "DA-SC connected (s)"
+            ],
+            &rows
+        )
+    );
+    println!("queueing on the real single carrier hits unicast hard; one multicast never queues");
+    let _ = opts;
+}

@@ -1,0 +1,114 @@
+//! Regenerates every figure of the paper's evaluation section in one go
+//! (Fig. 6(a), Fig. 6(b), Fig. 7), printing the same tables as the
+//! individual binaries. Used to produce EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p nbiot-bench --bin all_figures -- --runs 100
+//! ```
+
+use nbiot_bench::{pct, render_table, FigureOpts};
+use nbiot_grouping::MechanismKind;
+use nbiot_phy::DataSize;
+use nbiot_sim::{run_comparison, sweep_devices, ExperimentConfig};
+
+fn main() {
+    let opts = FigureOpts::from_args();
+    let base = ExperimentConfig {
+        runs: opts.runs,
+        n_devices: opts.devices,
+        master_seed: opts.seed,
+        ..ExperimentConfig::default()
+    };
+
+    // ---------- Fig. 6(a) ----------
+    let cmp =
+        run_comparison(&base, &MechanismKind::PAPER_MECHANISMS).expect("fig6a comparison failed");
+    println!("==== Fig. 6(a): relative light-sleep uptime increase vs unicast ====");
+    println!(
+        "(mix: ericsson-city, {} devices, {} runs, TI = 10 s)\n",
+        opts.devices, opts.runs
+    );
+    let rows: Vec<Vec<String>> = cmp
+        .mechanisms
+        .iter()
+        .map(|m| {
+            vec![
+                m.mechanism.clone(),
+                pct(m.rel_light_sleep.mean),
+                pct(m.rel_light_sleep.ci95),
+                if m.standards_compliant { "yes" } else { "no" }.into(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["mechanism", "light-sleep increase", "±95%CI", "compliant"],
+            &rows
+        )
+    );
+
+    // ---------- Fig. 6(b) ----------
+    println!("==== Fig. 6(b): relative connected-mode uptime increase vs unicast ====");
+    println!(
+        "(mix: ericsson-city, {} devices, {} runs, TI = 10 s)\n",
+        opts.devices, opts.runs
+    );
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, payload) in [
+        ("100kB", DataSize::from_kb(100)),
+        ("1MB", DataSize::from_mb(1)),
+        ("10MB", DataSize::from_mb(10)),
+    ] {
+        let mut config = base.clone();
+        config.sim = config.sim.with_payload(payload);
+        let cmp = run_comparison(&config, &MechanismKind::PAPER_MECHANISMS)
+            .expect("fig6b comparison failed");
+        for m in &cmp.mechanisms {
+            rows.push(vec![
+                label.to_string(),
+                m.mechanism.clone(),
+                pct(m.rel_connected.mean),
+                pct(m.rel_connected.ci95),
+                format!("{:.1}", m.mean_wait_s.mean),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "payload",
+                "mechanism",
+                "connected increase",
+                "±95%CI",
+                "mean wait (s)"
+            ],
+            &rows
+        )
+    );
+
+    // ---------- Fig. 7 ----------
+    println!("==== Fig. 7: DR-SC multicast transmissions vs group size ====");
+    println!("(mix: ericsson-city, TI = 10 s, {} runs)\n", opts.runs);
+    let sizes: Vec<usize> = (1..=10).map(|k| k * 100).collect();
+    let points = sweep_devices(&base, MechanismKind::DrSc, &sizes).expect("fig7 sweep failed");
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.n_devices.to_string(),
+                format!("{:.1}", p.transmissions.mean),
+                format!("{:.1}", p.transmissions.ci95),
+                format!("{:.1}%", p.ratio_to_devices.mean * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["devices", "transmissions", "±95%CI", "ratio to devices"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,239 @@
+//! Internal calibration tool: sweeps candidate traffic mixes and TI values
+//! to find the combination whose DR-SC transmission curve best matches the
+//! paper's Fig. 7 shape (≈50 % of N at N = 100 falling to ≈40 % at
+//! N = 1000). Not part of the reproduction itself; kept for transparency of
+//! how the default mix was chosen (see EXPERIMENTS.md).
+
+use nbiot_grouping::{GroupingParams, MechanismKind};
+use nbiot_rrc::InactivityTimer;
+use nbiot_sim::{sweep_devices, ExperimentConfig};
+use nbiot_time::{DrxCycle, EdrxCycle, PagingCycle, SimDuration};
+use nbiot_traffic::{ClassSpec, TrafficMix};
+
+fn mix(name: &str, classes: Vec<(&str, f64, PagingCycle)>) -> TrafficMix {
+    TrafficMix::new(
+        name,
+        classes
+            .into_iter()
+            .map(|(n, share, cycle)| ClassSpec::new(n, share, cycle, SimDuration::from_secs(3600)))
+            .collect(),
+    )
+    .expect("valid mix")
+}
+
+fn main() {
+    let e = PagingCycle::edrx;
+    let candidates: Vec<(TrafficMix, u64)> = vec![
+        (
+            mix(
+                "city-v1 (pre-calib)",
+                vec![
+                    ("alarm", 0.05, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.10, e(EdrxCycle::Hf8)),
+                    ("parking", 0.10, e(EdrxCycle::Hf64)),
+                    ("environment", 0.15, e(EdrxCycle::Hf128)),
+                    ("electricity", 0.25, e(EdrxCycle::Hf256)),
+                    ("water", 0.21, e(EdrxCycle::Hf512)),
+                    ("gas", 0.14, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "meters-heavy",
+                vec![
+                    ("environment", 0.10, e(EdrxCycle::Hf128)),
+                    ("electricity", 0.35, e(EdrxCycle::Hf256)),
+                    ("water", 0.35, e(EdrxCycle::Hf512)),
+                    ("gas", 0.20, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "meters-heavy-ti10",
+                vec![
+                    ("environment", 0.10, e(EdrxCycle::Hf128)),
+                    ("electricity", 0.35, e(EdrxCycle::Hf256)),
+                    ("water", 0.35, e(EdrxCycle::Hf512)),
+                    ("gas", 0.20, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            10,
+        ),
+        (
+            mix(
+                "long-tail",
+                vec![
+                    ("electricity", 0.30, e(EdrxCycle::Hf256)),
+                    ("water", 0.40, e(EdrxCycle::Hf512)),
+                    ("gas", 0.30, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "city-v2",
+                vec![
+                    ("alarm", 0.02, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("parking", 0.08, e(EdrxCycle::Hf128)),
+                    ("environment", 0.15, e(EdrxCycle::Hf256)),
+                    ("electricity", 0.30, e(EdrxCycle::Hf512)),
+                    ("water", 0.30, e(EdrxCycle::Hf512)),
+                    ("gas", 0.15, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "city-v3-ti10",
+                vec![
+                    ("alarm", 0.02, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("parking", 0.08, e(EdrxCycle::Hf64)),
+                    ("environment", 0.15, e(EdrxCycle::Hf128)),
+                    ("electricity", 0.25, e(EdrxCycle::Hf256)),
+                    ("water", 0.30, e(EdrxCycle::Hf512)),
+                    ("gas", 0.20, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            10,
+        ),
+        (
+            mix(
+                "city-v4-bimodal",
+                vec![
+                    ("street-light", 0.20, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.07, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.15, e(EdrxCycle::Hf4)),
+                    ("parking", 0.10, e(EdrxCycle::Hf4)),
+                    ("environment", 0.08, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.18, e(EdrxCycle::Hf1024)),
+                    ("water", 0.14, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.08, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "city-v5-bimodal",
+                vec![
+                    ("street-light", 0.22, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.08, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.12, e(EdrxCycle::Hf4)),
+                    ("parking", 0.08, e(EdrxCycle::Hf8)),
+                    ("environment", 0.10, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.20, e(EdrxCycle::Hf1024)),
+                    ("water", 0.12, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.08, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "city-v6",
+                vec![
+                    ("street-light", 0.22, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.08, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.11, e(EdrxCycle::Hf4)),
+                    ("environment", 0.04, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.25, e(EdrxCycle::Hf1024)),
+                    ("water", 0.20, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.10, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            20,
+        ),
+        (
+            mix(
+                "city-v7",
+                vec![
+                    ("street-light", 0.20, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.08, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.10, e(EdrxCycle::Hf4)),
+                    ("environment", 0.06, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.28, e(EdrxCycle::Hf1024)),
+                    ("water", 0.18, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.10, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            10,
+        ),
+        (
+            mix(
+                "city-v8",
+                vec![
+                    ("street-light", 0.25, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.10, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.12, e(EdrxCycle::Hf4)),
+                    ("environment", 0.04, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.26, e(EdrxCycle::Hf1024)),
+                    ("water", 0.15, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.08, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            10,
+        ),
+        (
+            mix(
+                "city-v10",
+                vec![
+                    ("street-light", 0.22, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.09, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.11, e(EdrxCycle::Hf4)),
+                    ("environment", 0.05, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.27, e(EdrxCycle::Hf1024)),
+                    ("water", 0.17, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.09, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            10,
+        ),
+        (
+            mix(
+                "city-v9",
+                vec![
+                    ("street-light", 0.28, e(EdrxCycle::Hf2)),
+                    ("alarm", 0.10, PagingCycle::Drx(DrxCycle::Rf256)),
+                    ("tracker", 0.14, e(EdrxCycle::Hf4)),
+                    ("environment", 0.03, e(EdrxCycle::Hf512)),
+                    ("electricity", 0.25, e(EdrxCycle::Hf1024)),
+                    ("water", 0.13, e(EdrxCycle::Hf1024)),
+                    ("gas", 0.07, e(EdrxCycle::Hf1024)),
+                ],
+            ),
+            10,
+        ),
+    ];
+
+    let mut candidates = candidates;
+    candidates.push((nbiot_traffic::TrafficMix::ericsson_city(), 10));
+
+    for (m, ti_s) in candidates {
+        let config = ExperimentConfig {
+            mix: m.clone(),
+            runs: 10,
+            grouping: GroupingParams {
+                ti: InactivityTimer::new(SimDuration::from_secs(ti_s)),
+                ..GroupingParams::default()
+            },
+            ..ExperimentConfig::default()
+        };
+        let points = sweep_devices(&config, MechanismKind::DrSc, &[100, 300, 500, 1000])
+            .expect("sweep failed");
+        print!("{:<22} TI={ti_s:>2}s  ", m.name);
+        for p in points {
+            print!(
+                "N={:<4} {:>5.1}%  ",
+                p.n_devices,
+                p.ratio_to_devices.mean * 100.0
+            );
+        }
+        println!();
+    }
+}

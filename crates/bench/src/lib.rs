@@ -1,0 +1,171 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary in this crate regenerates one table/figure of the paper's
+//! evaluation section (Sec. IV):
+//!
+//! | Binary        | Paper artifact | Metric |
+//! |---------------|----------------|--------|
+//! | `fig6a`       | Fig. 6(a)      | relative light-sleep uptime increase vs unicast |
+//! | `fig6b`       | Fig. 6(b)      | relative connected-mode uptime increase vs unicast, per payload size |
+//! | `fig7`        | Fig. 7         | mean multicast transmissions vs group size (DR-SC) |
+//! | `all_figures` | all of the above | |
+//! | `ablations`   | beyond-paper sensitivity studies | TI, notify policy, adaptation grid, RACH contention |
+//!
+//! Common flags: `--runs <u32>` (default 100, the paper's repetition
+//! count), `--devices <usize>`, `--seed <u64>`, `--json` (machine-readable
+//! output).
+
+use std::fmt::Write as _;
+
+/// Parsed command-line options shared by the figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigureOpts {
+    /// Number of runs to average over (paper: 100).
+    pub runs: u32,
+    /// Group size for the fixed-size figures (paper: 100–1000; default 500).
+    pub devices: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Emit JSON instead of a text table.
+    pub json: bool,
+}
+
+impl Default for FigureOpts {
+    fn default() -> Self {
+        FigureOpts {
+            runs: 100,
+            devices: 500,
+            seed: 0x4E42_494F_5421,
+            json: false,
+        }
+    }
+}
+
+impl FigureOpts {
+    /// Parses `--runs`, `--devices`, `--seed` and `--json` from the process
+    /// arguments, falling back to defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed values — appropriate for a
+    /// CLI entry point.
+    pub fn from_args() -> FigureOpts {
+        let mut opts = FigureOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--runs" => {
+                    opts.runs = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--runs needs a positive integer");
+                }
+                "--devices" => {
+                    opts.devices = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--devices needs a positive integer");
+                }
+                "--seed" => {
+                    opts.seed = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--json" => opts.json = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--runs N] [--devices N] [--seed N] [--json]\n\
+                         defaults: --runs 100 --devices 500"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        opts
+    }
+}
+
+/// Renders an aligned text table.
+///
+/// # Example
+///
+/// ```
+/// let table = nbiot_bench::render_table(
+///     &["mechanism", "value"],
+///     &[vec!["DR-SC".into(), "0.0".into()]],
+/// );
+/// assert!(table.contains("DR-SC"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    out.push_str(line.trim_end());
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total.saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a signed percentage with sensible precision.
+pub fn pct(x: f64) -> String {
+    if x.abs() < 0.0005 {
+        format!("{:+.4}%", x * 100.0)
+    } else {
+        format!("{:+.2}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "longheader"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a     longheader"));
+    }
+
+    #[test]
+    fn pct_precision() {
+        assert_eq!(pct(0.1234), "+12.34%");
+        assert_eq!(pct(0.0001), "+0.0100%");
+        assert_eq!(pct(-0.05), "-5.00%");
+    }
+
+    #[test]
+    fn default_opts_match_paper() {
+        let o = FigureOpts::default();
+        assert_eq!(o.runs, 100);
+        assert_eq!(o.devices, 500);
+    }
+}

@@ -1,0 +1,260 @@
+//! DR-SC: DRX Respecting, Standards Compliant (paper Sec. III-A).
+
+use rand::RngCore;
+
+use nbiot_time::{SimDuration, TimeWindow};
+
+use crate::set_cover::WindowCover;
+use crate::{
+    DevicePlan, GroupingError, GroupingInput, GroupingMechanism, MulticastPlan, PageDirective,
+    Transmission,
+};
+
+/// The DR-SC mechanism: respect every device's DRX cycle and cover the
+/// group with (usually several) multicast transmissions chosen by greedy
+/// set cover over the paging-occasion timeline.
+///
+/// Devices spend no more energy than under normal operation (aside from
+/// the reception itself); the price is bandwidth — the number of
+/// transmissions reported in the paper's Fig. 7.
+///
+/// The search horizon is `[start, start + 2·maxDRX)`: because every
+/// standard cycle is a power-of-two number of frames with a common origin,
+/// the joint PO pattern repeats with period `maxDRX`, so (per the paper)
+/// nothing new appears after twice the largest cycle.
+///
+/// Each transmission is scheduled `guard` after the *last* covered paging
+/// occasion of its window rather than at the full window end: the window
+/// end is only an upper bound (the first covered device's inactivity
+/// timer), so transmitting as soon as the last covered device has been
+/// paged (plus a guard for its random access) trims needless waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrSc {
+    /// Delay between the last covered PO and the transmission, covering
+    /// the random-access exchange of the last-paged device.
+    pub guard: SimDuration,
+}
+
+impl Default for DrSc {
+    fn default() -> Self {
+        DrSc {
+            guard: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl DrSc {
+    /// Creates the mechanism with the default 1 s guard.
+    pub fn new() -> DrSc {
+        DrSc::default()
+    }
+}
+
+impl GroupingMechanism for DrSc {
+    fn name(&self) -> &'static str {
+        "DR-SC"
+    }
+
+    fn is_standards_compliant(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &self,
+        input: &GroupingInput,
+        _rng: &mut dyn RngCore,
+    ) -> Result<MulticastPlan, GroupingError> {
+        let params = input.params();
+        let ti = params.ti.duration();
+        let horizon = input.search_horizon();
+        // Enumerate PO events only for sparse devices (cycle > TI); devices
+        // with cycle <= TI ("dense") have a PO in every window and ride the
+        // first transmission.
+        let mut events: Vec<Vec<nbiot_time::SimInstant>> = Vec::with_capacity(input.len());
+        let mut dense = Vec::with_capacity(input.len());
+        for (dev, sched) in input.devices().iter().zip(input.schedules()) {
+            let is_dense = dev.paging.cycle.period() <= ti;
+            dense.push(is_dense);
+            if is_dense {
+                events.push(Vec::new());
+            } else {
+                events.push(sched.pos_in(horizon));
+            }
+        }
+        let slots = WindowCover::new(ti)
+            .solve(horizon.start(), &events, &dense)
+            .ok_or_else(|| GroupingError::NoUsablePo {
+                device: input
+                    .devices()
+                    .iter()
+                    .zip(&events)
+                    .zip(&dense)
+                    .find(|((_, e), &d)| e.is_empty() && !d)
+                    .map(|((dev, _), _)| dev.id)
+                    .expect("solver fails only on sparse device without POs"),
+                t: horizon.end(),
+            })?;
+
+        let mut transmissions = Vec::with_capacity(slots.len());
+        let mut device_plans: Vec<Option<DevicePlan>> = vec![None; input.len()];
+        for slot in &slots {
+            let recipients: Vec<_> = slot
+                .covered
+                .iter()
+                .map(|&idx| input.devices()[idx].id)
+                .collect();
+            // Page every covered device at its own first PO inside the
+            // window, then transmit shortly after the last of those pages
+            // (capped at the window end, which preserves the first-paged
+            // device's inactivity timer).
+            let pages: Vec<nbiot_time::SimInstant> = slot
+                .covered
+                .iter()
+                .map(|&idx| input.schedules()[idx].first_po_at_or_after(slot.window_start))
+                .collect();
+            let last_po = pages.iter().copied().max().expect("non-empty slot");
+            let transmit_at = (last_po + self.guard).min(slot.transmit_at);
+            for (&idx, &po) in slot.covered.iter().zip(&pages) {
+                debug_assert!(po < transmit_at);
+                device_plans[idx] = Some(DevicePlan {
+                    device: input.devices()[idx].id,
+                    page: Some(PageDirective { po }),
+                    mltc: None,
+                    adaptation: None,
+                    connect_at: Some(po),
+                    receives_at: transmit_at,
+                });
+            }
+            transmissions.push(Transmission {
+                at: transmit_at,
+                recipients,
+            });
+        }
+        transmissions.sort_by_key(|t| t.at);
+        let device_plans: Vec<DevicePlan> = device_plans
+            .into_iter()
+            .map(|p| p.expect("cover reaches every device"))
+            .collect();
+        let end = transmissions.last().map(|t| t.at).unwrap_or(horizon.end());
+        Ok(MulticastPlan {
+            mechanism: self.name().to_string(),
+            standards_compliant: true,
+            requires_connection: true,
+            transmissions,
+            device_plans,
+            horizon: TimeWindow::new(params.start, end.max(horizon.end())),
+            control_monitoring: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupingParams;
+    use nbiot_time::{DrxCycle, EdrxCycle, PagingCycle, SimDuration};
+    use nbiot_traffic::TrafficMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan_for(mix: TrafficMix, n: usize, seed: u64) -> (GroupingInput, MulticastPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = mix.generate(n, &mut rng).unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let plan = DrSc::new().plan(&input, &mut rng).unwrap();
+        (input, plan)
+    }
+
+    #[test]
+    fn plan_is_valid_for_city_mix() {
+        let (input, plan) = plan_for(TrafficMix::ericsson_city(), 120, 3);
+        plan.validate(&input).unwrap();
+    }
+
+    #[test]
+    fn short_drx_group_needs_one_transmission() {
+        // Every cycle <= TI: a single window covers everyone.
+        let (input, plan) = plan_for(TrafficMix::short_drx(), 60, 4);
+        plan.validate(&input).unwrap();
+        assert_eq!(plan.transmission_count(), 1);
+    }
+
+    #[test]
+    fn long_uniform_cycles_need_many_transmissions() {
+        // 2621 s cycles with TI = 20 s: windows rarely share devices.
+        let (input, plan) = plan_for(
+            TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf256)),
+            30,
+            5,
+        );
+        plan.validate(&input).unwrap();
+        assert!(
+            plan.transmission_count() > 5,
+            "{} transmissions",
+            plan.transmission_count()
+        );
+    }
+
+    #[test]
+    fn transmissions_fall_within_extended_horizon() {
+        let (input, plan) = plan_for(TrafficMix::ericsson_city(), 80, 6);
+        let limit = input.search_horizon().end() + input.params().ti.duration();
+        for tx in &plan.transmissions {
+            assert!(tx.at <= limit);
+        }
+    }
+
+    #[test]
+    fn devices_are_paged_at_own_pos() {
+        let (input, plan) = plan_for(TrafficMix::ericsson_city(), 50, 7);
+        for (dp, sched) in plan.device_plans.iter().zip(input.schedules()) {
+            let po = dp.page.expect("DR-SC pages every device").po;
+            // The PO must be one of the device's actual paging occasions.
+            assert_eq!(sched.first_po_at_or_after(po), po);
+        }
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let (_, a) = plan_for(TrafficMix::ericsson_city(), 70, 8);
+        let (_, b) = plan_for(TrafficMix::ericsson_city(), 70, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fewer_transmissions_than_devices_at_scale() {
+        // The Fig. 7 economy: grouping beats unicast (N transmissions).
+        let (_, plan) = plan_for(TrafficMix::ericsson_city(), 300, 9);
+        assert!(plan.transmission_count() < 300);
+    }
+
+    #[test]
+    fn larger_ti_reduces_transmissions() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let pop = TrafficMix::ericsson_city().generate(150, &mut rng).unwrap();
+        let mut counts = Vec::new();
+        for ti_s in [10u64, 40] {
+            let params = GroupingParams {
+                ti: nbiot_rrc::InactivityTimer::new(SimDuration::from_secs(ti_s)),
+                ..GroupingParams::default()
+            };
+            let input = GroupingInput::from_population(&pop, params).unwrap();
+            let plan = DrSc::new().plan(&input, &mut rng).unwrap();
+            plan.validate(&input).unwrap();
+            counts.push(plan.transmission_count());
+        }
+        assert!(counts[1] <= counts[0], "{counts:?}");
+    }
+
+    #[test]
+    fn single_device_single_transmission() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pop = TrafficMix::uniform(PagingCycle::Drx(DrxCycle::Rf256))
+            .generate(1, &mut rng)
+            .unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let plan = DrSc::new().plan(&input, &mut rng).unwrap();
+        plan.validate(&input).unwrap();
+        assert_eq!(plan.transmission_count(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Grouping problem input.
+
+use nbiot_rrc::InactivityTimer;
+use nbiot_time::{CycleLadder, PagingSchedule, SimDuration, SimInstant};
+use nbiot_traffic::{DeviceProfile, Population};
+
+use crate::GroupingError;
+
+/// Tunable parameters of a grouping problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GroupingParams {
+    /// When the multicast content becomes available at the eNB.
+    pub start: SimInstant,
+    /// The RRC inactivity timer `TI`.
+    pub ti: InactivityTimer,
+    /// Optional override of the single-transmission instant `t` used by
+    /// DA-SC and DR-SI; defaults to `start + 2·maxDRX` (the paper's
+    /// minimum).
+    pub transmission_time: Option<SimInstant>,
+}
+
+impl Default for GroupingParams {
+    fn default() -> Self {
+        GroupingParams {
+            start: SimInstant::ZERO,
+            ti: InactivityTimer::default(),
+            transmission_time: None,
+        }
+    }
+}
+
+/// A fully resolved grouping problem: the device group, their paging
+/// schedules, and the parameters.
+#[derive(Debug, Clone)]
+pub struct GroupingInput {
+    devices: Vec<DeviceProfile>,
+    schedules: Vec<PagingSchedule>,
+    params: GroupingParams,
+    max_cycle: SimDuration,
+}
+
+impl GroupingInput {
+    /// Builds the input from a generated population.
+    ///
+    /// # Errors
+    ///
+    /// * [`GroupingError::EmptyGroup`] for an empty population,
+    /// * [`GroupingError::TiTooShort`] when `TI` is shorter than the
+    ///   shortest standard DRX cycle (DA-SC's feasibility guarantee),
+    /// * [`GroupingError::Schedule`] when a paging schedule cannot be
+    ///   resolved.
+    pub fn from_population(
+        pop: &Population,
+        params: GroupingParams,
+    ) -> Result<GroupingInput, GroupingError> {
+        Self::from_devices(pop.devices().to_vec(), params)
+    }
+
+    /// Builds the input from an explicit device list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GroupingInput::from_population`].
+    pub fn from_devices(
+        devices: Vec<DeviceProfile>,
+        params: GroupingParams,
+    ) -> Result<GroupingInput, GroupingError> {
+        if devices.is_empty() {
+            return Err(GroupingError::EmptyGroup);
+        }
+        let shortest = SimDuration::from_frames(CycleLadder::FRAMES[0]);
+        if params.ti.duration() < shortest {
+            return Err(GroupingError::TiTooShort {
+                ti_ms: params.ti.duration().as_ms(),
+                shortest_cycle_ms: shortest.as_ms(),
+            });
+        }
+        let schedules = devices
+            .iter()
+            .map(|d| d.schedule())
+            .collect::<Result<Vec<_>, _>>()?;
+        let max_cycle = devices
+            .iter()
+            .map(|d| d.paging.cycle.period())
+            .max()
+            .expect("non-empty");
+        Ok(GroupingInput {
+            devices,
+            schedules,
+            params,
+            max_cycle,
+        })
+    }
+
+    /// The device group.
+    pub fn devices(&self) -> &[DeviceProfile] {
+        &self.devices
+    }
+
+    /// Paging schedules, in device order.
+    pub fn schedules(&self) -> &[PagingSchedule] {
+        &self.schedules
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &GroupingParams {
+        &self.params
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when the group is empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The longest paging cycle in the group (`maxDRX`).
+    pub fn max_cycle(&self) -> SimDuration {
+        self.max_cycle
+    }
+
+    /// The default single-transmission instant: `start + 2·maxDRX`, the
+    /// earliest time by which every device is guaranteed at least one PO
+    /// (paper Sec. III-B).
+    pub fn default_transmission_time(&self) -> SimInstant {
+        self.params.start + self.max_cycle * 2
+    }
+
+    /// The effective single-transmission instant `t` for DA-SC/DR-SI.
+    ///
+    /// # Errors
+    ///
+    /// [`GroupingError::TransmissionTooEarly`] when an override precedes
+    /// the feasible minimum.
+    pub fn transmission_time(&self) -> Result<SimInstant, GroupingError> {
+        let minimum = self.default_transmission_time();
+        match self.params.transmission_time {
+            None => Ok(minimum),
+            Some(t) if t >= minimum => Ok(t),
+            Some(t) => Err(GroupingError::TransmissionTooEarly {
+                requested: t,
+                minimum,
+            }),
+        }
+    }
+
+    /// The DR-SC search horizon: `[start, start + 2·maxDRX)` — the PO
+    /// pattern repeats after `maxDRX` (all cycles are powers of two with a
+    /// common origin), so per the paper nothing new appears past twice the
+    /// largest cycle.
+    pub fn search_horizon(&self) -> nbiot_time::TimeWindow {
+        nbiot_time::TimeWindow::new(self.params.start, self.default_transmission_time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_time::{DrxCycle, EdrxCycle, PagingCycle};
+    use nbiot_traffic::TrafficMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn input(n: usize) -> GroupingInput {
+        let pop = TrafficMix::ericsson_city()
+            .generate(n, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        GroupingInput::from_population(&pop, GroupingParams::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let err = GroupingInput::from_devices(vec![], GroupingParams::default()).unwrap_err();
+        assert_eq!(err, GroupingError::EmptyGroup);
+    }
+
+    #[test]
+    fn ti_shorter_than_shortest_cycle_rejected() {
+        let pop = TrafficMix::uniform(PagingCycle::Drx(DrxCycle::Rf32))
+            .generate(3, &mut StdRng::seed_from_u64(0))
+            .unwrap();
+        let params = GroupingParams {
+            ti: InactivityTimer::new(SimDuration::from_ms(100)),
+            ..GroupingParams::default()
+        };
+        let err = GroupingInput::from_population(&pop, params).unwrap_err();
+        assert!(matches!(err, GroupingError::TiTooShort { .. }));
+    }
+
+    #[test]
+    fn default_t_is_twice_max_cycle() {
+        let pop = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf8))
+            .generate(5, &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let inp = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        assert_eq!(
+            inp.default_transmission_time(),
+            SimInstant::ZERO + EdrxCycle::Hf8.duration() * 2
+        );
+        assert_eq!(
+            inp.transmission_time().unwrap(),
+            inp.default_transmission_time()
+        );
+    }
+
+    #[test]
+    fn early_override_rejected_late_accepted() {
+        let inp = input(10);
+        let minimum = inp.default_transmission_time();
+        let late = GroupingParams {
+            transmission_time: Some(minimum + SimDuration::from_secs(60)),
+            ..GroupingParams::default()
+        };
+        let inp2 = GroupingInput::from_devices(inp.devices().to_vec(), late).unwrap();
+        assert_eq!(
+            inp2.transmission_time().unwrap(),
+            minimum + SimDuration::from_secs(60)
+        );
+        let early = GroupingParams {
+            transmission_time: Some(SimInstant::from_ms(1)),
+            ..GroupingParams::default()
+        };
+        let inp3 = GroupingInput::from_devices(inp.devices().to_vec(), early).unwrap();
+        assert!(matches!(
+            inp3.transmission_time(),
+            Err(GroupingError::TransmissionTooEarly { .. })
+        ));
+    }
+
+    #[test]
+    fn schedules_align_with_devices() {
+        let inp = input(40);
+        assert_eq!(inp.devices().len(), inp.schedules().len());
+        assert_eq!(inp.len(), 40);
+        assert!(!inp.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! The grouping-mechanism abstraction.
+
+use core::fmt;
+
+use rand::RngCore;
+
+use crate::{GroupingError, GroupingInput, MulticastPlan};
+
+/// A device grouping/synchronization mechanism for multicast delivery.
+///
+/// Implementations are stateless planners: given the device group, their
+/// paging schedules and the parameters, they emit a [`MulticastPlan`].
+/// Randomness (e.g. DR-SI's T322 draws) comes exclusively from the passed
+/// RNG, keeping plans reproducible.
+pub trait GroupingMechanism {
+    /// Short display name (e.g. `"DR-SC"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether the mechanism uses only 3GPP-standard signalling.
+    fn is_standards_compliant(&self) -> bool;
+
+    /// Computes the multicast plan for `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GroupingError`] when the group cannot be served (see the
+    /// individual mechanisms for their feasibility conditions).
+    fn plan(
+        &self,
+        input: &GroupingInput,
+        rng: &mut dyn RngCore,
+    ) -> Result<MulticastPlan, GroupingError>;
+}
+
+/// Enumeration of the built-in mechanisms, for sweeps and CLI selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum MechanismKind {
+    /// DRX Respecting, Standards Compliant (greedy set cover).
+    DrSc,
+    /// DRX Adjusting, Standards Compliant (DRX adaptation).
+    DaSc,
+    /// DRX Respecting, Standards Incompliant (paging extension + T322).
+    DrSi,
+    /// Per-device unicast baseline.
+    Unicast,
+    /// SC-PTM baseline.
+    ScPtm,
+}
+
+impl MechanismKind {
+    /// The three mechanisms of the paper, in presentation order.
+    pub const PAPER_MECHANISMS: [MechanismKind; 3] = [
+        MechanismKind::DrSc,
+        MechanismKind::DaSc,
+        MechanismKind::DrSi,
+    ];
+
+    /// All built-in mechanisms including baselines.
+    pub const ALL: [MechanismKind; 5] = [
+        MechanismKind::DrSc,
+        MechanismKind::DaSc,
+        MechanismKind::DrSi,
+        MechanismKind::Unicast,
+        MechanismKind::ScPtm,
+    ];
+
+    /// Instantiates the mechanism with default settings.
+    pub fn instantiate(self) -> Box<dyn GroupingMechanism> {
+        match self {
+            MechanismKind::DrSc => Box::new(crate::DrSc::default()),
+            MechanismKind::DaSc => Box::new(crate::DaSc::default()),
+            MechanismKind::DrSi => Box::new(crate::DrSi::default()),
+            MechanismKind::Unicast => Box::new(crate::Unicast),
+            MechanismKind::ScPtm => Box::new(crate::ScPtm::default()),
+        }
+    }
+}
+
+impl fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MechanismKind::DrSc => "DR-SC",
+            MechanismKind::DaSc => "DA-SC",
+            MechanismKind::DrSi => "DR-SI",
+            MechanismKind::Unicast => "Unicast",
+            MechanismKind::ScPtm => "SC-PTM",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_matches_names() {
+        for kind in MechanismKind::ALL {
+            let mech = kind.instantiate();
+            assert_eq!(mech.name(), kind.to_string());
+        }
+    }
+
+    #[test]
+    fn compliance_flags_match_paper() {
+        assert!(MechanismKind::DrSc.instantiate().is_standards_compliant());
+        assert!(MechanismKind::DaSc.instantiate().is_standards_compliant());
+        assert!(!MechanismKind::DrSi.instantiate().is_standards_compliant());
+        assert!(MechanismKind::Unicast
+            .instantiate()
+            .is_standards_compliant());
+        assert!(MechanismKind::ScPtm.instantiate().is_standards_compliant());
+    }
+}

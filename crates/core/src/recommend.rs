@@ -1,0 +1,137 @@
+//! Mechanism selection encoding the paper's conclusions (Sec. VI).
+//!
+//! The paper closes with a clear decision rule:
+//!
+//! * **DR-SC** "is not practical for NB-IoT deployments, where the
+//!   available bandwidth is already limited" — its transmission count is
+//!   the same order as unicast;
+//! * **DR-SI** "has excellent performance both in terms of energy ... and
+//!   bandwidth", *but* "requires protocol changes and may face
+//!   deployment/adoption challenges";
+//! * **DA-SC** "offers the best trade-off among the three mechanisms for
+//!   the target use case of distributing firmware updates" when protocol
+//!   changes are off the table.
+//!
+//! [`recommend`] turns that rule into an API: given the operator's
+//! constraints, it returns the mechanism the paper would pick, with the
+//! reasoning attached.
+
+use core::fmt;
+
+use crate::MechanismKind;
+
+/// Operator constraints driving mechanism selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SelectionPolicy {
+    /// Whether non-3GPP-compliant protocol extensions are deployable
+    /// (both eNB and device firmware under the operator's control).
+    pub allow_protocol_changes: bool,
+    /// Whether downlink bandwidth is effectively unconstrained for this
+    /// campaign (e.g. a dedicated maintenance window on an idle cell).
+    pub bandwidth_unconstrained: bool,
+    /// Whether device sleep-energy is the overriding concern, to the point
+    /// of accepting many transmissions (battery-critical deployments).
+    pub energy_critical: bool,
+}
+
+/// A recommendation with its justification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Recommendation {
+    /// The selected mechanism.
+    pub mechanism: MechanismKind,
+    /// Why, in the paper's terms.
+    pub rationale: &'static str,
+}
+
+impl fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.mechanism, self.rationale)
+    }
+}
+
+/// Selects a grouping mechanism per the paper's Sec. VI decision rule.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_grouping::{recommend, MechanismKind, SelectionPolicy};
+///
+/// // A plain operator: no protocol changes, bandwidth matters.
+/// let rec = recommend(SelectionPolicy::default());
+/// assert_eq!(rec.mechanism, MechanismKind::DaSc); // the paper's pick
+///
+/// // Full-stack control: the DR-SI extension becomes deployable.
+/// let rec = recommend(SelectionPolicy {
+///     allow_protocol_changes: true,
+///     ..SelectionPolicy::default()
+/// });
+/// assert_eq!(rec.mechanism, MechanismKind::DrSi);
+/// ```
+pub fn recommend(policy: SelectionPolicy) -> Recommendation {
+    if policy.allow_protocol_changes {
+        return Recommendation {
+            mechanism: MechanismKind::DrSi,
+            rationale: "excellent energy and bandwidth; acceptable because the \
+                        operator can deploy the mltc-transmission paging extension",
+        };
+    }
+    if policy.energy_critical && policy.bandwidth_unconstrained {
+        return Recommendation {
+            mechanism: MechanismKind::DrSc,
+            rationale: "zero extra sleep energy and standards-compliant; the \
+                        many transmissions are tolerable only because bandwidth \
+                        is unconstrained",
+        };
+    }
+    Recommendation {
+        mechanism: MechanismKind::DaSc,
+        rationale: "single transmission with a small, shrinking-with-payload \
+                    uptime overhead and no protocol changes — the paper's best \
+                    trade-off for firmware distribution",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_picks_da_sc() {
+        let rec = recommend(SelectionPolicy::default());
+        assert_eq!(rec.mechanism, MechanismKind::DaSc);
+        assert!(rec.rationale.contains("best trade-off"));
+    }
+
+    #[test]
+    fn protocol_freedom_picks_dr_si() {
+        let rec = recommend(SelectionPolicy {
+            allow_protocol_changes: true,
+            bandwidth_unconstrained: true,
+            energy_critical: true,
+        });
+        assert_eq!(rec.mechanism, MechanismKind::DrSi);
+    }
+
+    #[test]
+    fn dr_sc_needs_both_energy_priority_and_free_bandwidth() {
+        let energy_only = recommend(SelectionPolicy {
+            energy_critical: true,
+            ..SelectionPolicy::default()
+        });
+        assert_eq!(energy_only.mechanism, MechanismKind::DaSc);
+        let both = recommend(SelectionPolicy {
+            energy_critical: true,
+            bandwidth_unconstrained: true,
+            ..SelectionPolicy::default()
+        });
+        assert_eq!(both.mechanism, MechanismKind::DrSc);
+    }
+
+    #[test]
+    fn display_names_mechanism() {
+        let rec = recommend(SelectionPolicy::default());
+        assert!(rec.to_string().starts_with("DA-SC:"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Unicast baseline: per-device delivery at each device's own PO.
+
+use rand::RngCore;
+
+use nbiot_time::TimeWindow;
+
+use crate::{
+    DevicePlan, GroupingError, GroupingInput, GroupingMechanism, MulticastPlan, PageDirective,
+    Transmission,
+};
+
+/// The unicast baseline of the paper's evaluation (Sec. IV-A): every device
+/// is paged at its *first* natural PO after the content arrives, connects,
+/// and immediately receives its own dedicated copy of the data.
+///
+/// No waiting, no adaptation, no extra signalling — the energy-optimal
+/// reference against which Fig. 6 measures the grouping mechanisms. Its
+/// bandwidth cost is maximal: `N` payload deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Unicast;
+
+impl Unicast {
+    /// Creates the baseline.
+    pub fn new() -> Unicast {
+        Unicast
+    }
+}
+
+impl GroupingMechanism for Unicast {
+    fn name(&self) -> &'static str {
+        "Unicast"
+    }
+
+    fn is_standards_compliant(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &self,
+        input: &GroupingInput,
+        _rng: &mut dyn RngCore,
+    ) -> Result<MulticastPlan, GroupingError> {
+        let params = input.params();
+        let mut device_plans = Vec::with_capacity(input.len());
+        let mut transmissions = Vec::with_capacity(input.len());
+        for (dev, sched) in input.devices().iter().zip(input.schedules()) {
+            let po = sched.first_po_at_or_after(params.start);
+            device_plans.push(DevicePlan {
+                device: dev.id,
+                page: Some(PageDirective { po }),
+                mltc: None,
+                adaptation: None,
+                connect_at: Some(po),
+                receives_at: po,
+            });
+            transmissions.push(Transmission {
+                at: po,
+                recipients: vec![dev.id],
+            });
+        }
+        transmissions.sort_by_key(|t| t.at);
+        let end = transmissions.last().map(|t| t.at).unwrap_or(params.start);
+        Ok(MulticastPlan {
+            mechanism: self.name().to_string(),
+            standards_compliant: true,
+            requires_connection: true,
+            transmissions,
+            device_plans,
+            horizon: TimeWindow::new(params.start, end),
+            control_monitoring: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GroupingParams;
+    use nbiot_time::{SimDuration, SimInstant};
+    use nbiot_traffic::TrafficMix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan_for(n: usize, seed: u64) -> (GroupingInput, MulticastPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = TrafficMix::ericsson_city().generate(n, &mut rng).unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let plan = Unicast::new().plan(&input, &mut rng).unwrap();
+        (input, plan)
+    }
+
+    #[test]
+    fn one_transmission_per_device() {
+        let (input, plan) = plan_for(75, 1);
+        plan.validate(&input).unwrap();
+        assert_eq!(plan.transmission_count(), 75);
+        assert!(plan.transmissions.iter().all(|t| t.recipients.len() == 1));
+    }
+
+    #[test]
+    fn no_waiting_at_all() {
+        let (_, plan) = plan_for(75, 2);
+        assert_eq!(plan.mean_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn devices_served_at_first_po_after_start() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = TrafficMix::ericsson_city().generate(40, &mut rng).unwrap();
+        let start = SimInstant::from_secs(100);
+        let params = GroupingParams {
+            start,
+            ..GroupingParams::default()
+        };
+        let input = GroupingInput::from_population(&pop, params).unwrap();
+        let plan = Unicast::new().plan(&input, &mut rng).unwrap();
+        plan.validate(&input).unwrap();
+        for (dp, sched) in plan.device_plans.iter().zip(input.schedules()) {
+            let po = dp.page.unwrap().po;
+            assert!(po >= start);
+            assert_eq!(sched.first_po_at_or_after(start), po);
+        }
+    }
+
+    #[test]
+    fn all_deliveries_within_one_max_cycle() {
+        let (input, plan) = plan_for(60, 4);
+        let limit = input.params().start + input.max_cycle();
+        for tx in &plan.transmissions {
+            assert!(tx.at <= limit, "{} after {limit}", tx.at);
+        }
+    }
+}

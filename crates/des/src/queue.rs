@@ -1,0 +1,207 @@
+//! Time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use nbiot_time::{SimDuration, SimInstant};
+
+/// An entry in the queue: ordered by time, then insertion sequence.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimInstant,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (lowest time, then lowest sequence number) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO), which keeps simulations reproducible regardless of
+/// hash-map iteration order or other incidental nondeterminism.
+///
+/// Popping an event advances the simulation clock ([`EventQueue::now`]).
+/// Scheduling an event in the past panics: that is always a model bug.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimInstant,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at the epoch.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimInstant::ZERO,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (or the epoch before the first pop).
+    #[inline]
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `at` is before the current simulation time.
+    pub fn schedule(&mut self, at: SimInstant, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled at {at} before current time {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a delay from the current simulation time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimInstant, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimInstant> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Discards all pending events without touching the clock.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_ms(30), 3);
+        q.schedule(SimInstant::from_ms(10), 1);
+        q.schedule(SimInstant::from_ms(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, [1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimInstant::from_ms(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_ms(42), ());
+        assert_eq!(q.now(), SimInstant::ZERO);
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimInstant::from_ms(42));
+        assert_eq!(q.now(), SimInstant::from_ms(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_ms(10), ());
+        q.pop();
+        q.schedule(SimInstant::from_ms(5), ());
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_ms(10), "a");
+        q.pop();
+        q.schedule_after(SimDuration::from_ms(5), "b");
+        assert_eq!(q.peek_time(), Some(SimInstant::from_ms(15)));
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_ms(10), "a");
+        q.pop();
+        q.schedule(SimInstant::from_ms(10), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn clear_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimInstant::from_ms(10), ());
+        q.pop();
+        q.schedule(SimInstant::from_ms(20), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimInstant::from_ms(10));
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-device uptime ledger.
+
+use core::fmt;
+
+use nbiot_time::SimDuration;
+
+use crate::PowerState;
+
+/// Accumulated time per power state for one device, plus event counters.
+///
+/// The simulator writes one ledger per device per campaign; Fig. 6 compares
+/// ledgers of the same device population under different grouping
+/// mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct UptimeLedger {
+    ms: [u64; 4],
+    /// Number of paging occasions monitored.
+    pub pos_monitored: u64,
+    /// Number of paging messages decoded.
+    pub pagings_received: u64,
+    /// Number of random-access procedures performed.
+    pub random_accesses: u64,
+}
+
+impl UptimeLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> UptimeLedger {
+        UptimeLedger::default()
+    }
+
+    /// Adds `d` of time spent in `state`.
+    pub fn accumulate(&mut self, state: PowerState, d: SimDuration) {
+        self.ms[state.slot()] += d.as_ms();
+    }
+
+    /// Time spent in one state.
+    pub fn time_in(&self, state: PowerState) -> SimDuration {
+        SimDuration::from_ms(self.ms[state.slot()])
+    }
+
+    /// Light-sleep uptime: PO monitoring plus paging decoding
+    /// (Fig. 6(a) metric).
+    pub fn light_sleep(&self) -> SimDuration {
+        self.time_in(PowerState::LightSleep)
+    }
+
+    /// Connected-mode uptime: random access + waiting + receiving
+    /// (Fig. 6(b) metric).
+    pub fn connected(&self) -> SimDuration {
+        self.time_in(PowerState::ConnectedWaiting) + self.time_in(PowerState::ConnectedReceiving)
+    }
+
+    /// Total uptime (everything except deep sleep).
+    pub fn total_uptime(&self) -> SimDuration {
+        self.light_sleep() + self.connected()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &UptimeLedger) {
+        for (a, b) in self.ms.iter_mut().zip(other.ms.iter()) {
+            *a += b;
+        }
+        self.pos_monitored += other.pos_monitored;
+        self.pagings_received += other.pagings_received;
+        self.random_accesses += other.random_accesses;
+    }
+}
+
+impl fmt::Display for UptimeLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "light-sleep {}, connected {} (wait {}, rx {}), {} POs, {} pagings, {} RAs",
+            self.light_sleep(),
+            self.connected(),
+            self.time_in(PowerState::ConnectedWaiting),
+            self.time_in(PowerState::ConnectedReceiving),
+            self.pos_monitored,
+            self.pagings_received,
+            self.random_accesses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_by_state() {
+        let mut l = UptimeLedger::new();
+        l.accumulate(PowerState::LightSleep, SimDuration::from_ms(4));
+        l.accumulate(PowerState::LightSleep, SimDuration::from_ms(4));
+        l.accumulate(PowerState::ConnectedWaiting, SimDuration::from_ms(100));
+        l.accumulate(PowerState::ConnectedReceiving, SimDuration::from_ms(300));
+        assert_eq!(l.light_sleep().as_ms(), 8);
+        assert_eq!(l.connected().as_ms(), 400);
+        assert_eq!(l.total_uptime().as_ms(), 408);
+        assert_eq!(l.time_in(PowerState::DeepSleep).as_ms(), 0);
+    }
+
+    #[test]
+    fn deep_sleep_not_in_uptime() {
+        let mut l = UptimeLedger::new();
+        l.accumulate(PowerState::DeepSleep, SimDuration::from_secs(1000));
+        assert_eq!(l.total_uptime(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = UptimeLedger::new();
+        a.accumulate(PowerState::LightSleep, SimDuration::from_ms(1));
+        a.pos_monitored = 3;
+        let mut b = UptimeLedger::new();
+        b.accumulate(PowerState::LightSleep, SimDuration::from_ms(2));
+        b.pos_monitored = 4;
+        b.random_accesses = 1;
+        a.merge(&b);
+        assert_eq!(a.light_sleep().as_ms(), 3);
+        assert_eq!(a.pos_monitored, 7);
+        assert_eq!(a.random_accesses, 1);
+    }
+
+    #[test]
+    fn display_mentions_counters() {
+        let mut l = UptimeLedger::new();
+        l.pagings_received = 2;
+        assert!(l.to_string().contains("2 pagings"));
+    }
+}

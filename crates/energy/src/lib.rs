@@ -1,0 +1,41 @@
+//! Device uptime and energy accounting.
+//!
+//! The paper's energy metric (Sec. IV-A) is *relative uptime increase over
+//! unicast*, split into:
+//!
+//! * **light-sleep uptime** — time spent monitoring paging occasions and
+//!   decoding paging messages, and
+//! * **connected-mode uptime** — random access, waiting for the multicast
+//!   transmission to begin, and receiving data (an order of magnitude more
+//!   power-hungry than light sleep, per the Nokia 3GPP contributions the
+//!   paper cites).
+//!
+//! [`UptimeLedger`] accumulates per-device time in each [`PowerState`];
+//! [`PowerProfile`] optionally converts a ledger into Joules;
+//! [`relative_increase`] computes the Fig. 6 metric.
+//!
+//! # Example
+//!
+//! ```
+//! use nbiot_energy::{PowerState, UptimeLedger};
+//! use nbiot_time::SimDuration;
+//!
+//! let mut ledger = UptimeLedger::new();
+//! ledger.accumulate(PowerState::LightSleep, SimDuration::from_ms(40));
+//! ledger.accumulate(PowerState::ConnectedWaiting, SimDuration::from_secs(10));
+//! ledger.accumulate(PowerState::ConnectedReceiving, SimDuration::from_secs(9));
+//! assert_eq!(ledger.connected().as_secs_f64(), 19.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ledger;
+mod model;
+mod relative;
+mod state;
+
+pub use ledger::UptimeLedger;
+pub use model::PowerProfile;
+pub use relative::{relative_increase, RelativeUptime};
+pub use state::PowerState;

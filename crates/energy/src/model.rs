@@ -1,0 +1,107 @@
+//! Power model: uptime to Joules.
+
+use core::fmt;
+
+use crate::{PowerState, UptimeLedger};
+
+/// Average power draw per state, in milliwatts.
+///
+/// The paper deliberately avoids absolute energy numbers ("specific energy
+/// consumption values are hard to estimate, as they are device specific");
+/// this profile exists for completeness and ablations, with defaults in the
+/// range of published NB-IoT module measurements: µW-scale deep sleep,
+/// mW-scale idle monitoring, and an order of magnitude more when connected
+/// (the ×10 relation the paper cites between light sleep and connected
+/// mode).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerProfile {
+    /// Deep-sleep draw (mW).
+    pub deep_sleep_mw: f64,
+    /// Light-sleep / PO-monitoring draw (mW).
+    pub light_sleep_mw: f64,
+    /// Connected, idle/waiting draw (mW).
+    pub connected_waiting_mw: f64,
+    /// Connected, actively receiving draw (mW).
+    pub connected_receiving_mw: f64,
+}
+
+impl Default for PowerProfile {
+    fn default() -> Self {
+        PowerProfile {
+            deep_sleep_mw: 0.015,
+            light_sleep_mw: 21.0,
+            connected_waiting_mw: 210.0,
+            connected_receiving_mw: 240.0,
+        }
+    }
+}
+
+impl PowerProfile {
+    /// Power draw in `state`, in milliwatts.
+    pub fn draw_mw(&self, state: PowerState) -> f64 {
+        match state {
+            PowerState::DeepSleep => self.deep_sleep_mw,
+            PowerState::LightSleep => self.light_sleep_mw,
+            PowerState::ConnectedWaiting => self.connected_waiting_mw,
+            PowerState::ConnectedReceiving => self.connected_receiving_mw,
+        }
+    }
+
+    /// Energy consumed by a ledger, in millijoules.
+    ///
+    /// Only the states recorded in the ledger contribute; deep-sleep time
+    /// must have been recorded explicitly to be counted.
+    pub fn energy_mj(&self, ledger: &UptimeLedger) -> f64 {
+        PowerState::ALL
+            .iter()
+            .map(|&s| self.draw_mw(s) * ledger.time_in(s).as_secs_f64())
+            .sum()
+    }
+}
+
+impl fmt::Display for PowerProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deep {}mW, light {}mW, wait {}mW, rx {}mW",
+            self.deep_sleep_mw,
+            self.light_sleep_mw,
+            self.connected_waiting_mw,
+            self.connected_receiving_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_time::SimDuration;
+
+    #[test]
+    fn connected_draw_is_order_of_magnitude_above_light_sleep() {
+        // The relation the paper cites from the Nokia 3GPP contributions.
+        let p = PowerProfile::default();
+        assert!(p.connected_waiting_mw >= 9.0 * p.light_sleep_mw);
+    }
+
+    #[test]
+    fn energy_integrates_power_over_time() {
+        let p = PowerProfile {
+            deep_sleep_mw: 0.0,
+            light_sleep_mw: 10.0,
+            connected_waiting_mw: 100.0,
+            connected_receiving_mw: 200.0,
+        };
+        let mut l = UptimeLedger::new();
+        l.accumulate(PowerState::LightSleep, SimDuration::from_secs(2));
+        l.accumulate(PowerState::ConnectedReceiving, SimDuration::from_secs(1));
+        // 10 mW * 2 s + 200 mW * 1 s = 220 mJ.
+        assert!((p.energy_mj(&l) - 220.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_ledger_consumes_nothing() {
+        assert_eq!(PowerProfile::default().energy_mj(&UptimeLedger::new()), 0.0);
+    }
+}

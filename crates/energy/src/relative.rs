@@ -1,0 +1,112 @@
+//! Relative-increase metrics (the Fig. 6 y-axis).
+
+use core::fmt;
+
+use nbiot_time::SimDuration;
+
+use crate::UptimeLedger;
+
+/// Relative increase of `value` over `baseline`, as a fraction
+/// (`0.10` = +10 %).
+///
+/// Returns 0 when the baseline is zero and the value is zero too; when the
+/// baseline is zero but the value is not, returns `f64::INFINITY`.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_energy::relative_increase;
+/// use nbiot_time::SimDuration;
+///
+/// let inc = relative_increase(SimDuration::from_ms(110), SimDuration::from_ms(100));
+/// assert!((inc - 0.10).abs() < 1e-12);
+/// ```
+pub fn relative_increase(value: SimDuration, baseline: SimDuration) -> f64 {
+    if baseline.is_zero() {
+        if value.is_zero() {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (value.as_ms() as f64 - baseline.as_ms() as f64) / baseline.as_ms() as f64
+    }
+}
+
+/// The per-device Fig. 6 metric pair: relative uptime increase over the
+/// unicast baseline, in light-sleep and connected mode.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RelativeUptime {
+    /// Relative light-sleep uptime increase (Fig. 6(a)).
+    pub light_sleep: f64,
+    /// Relative connected-mode uptime increase (Fig. 6(b)).
+    pub connected: f64,
+}
+
+impl RelativeUptime {
+    /// Computes the relative increase of `mechanism` over `baseline`.
+    pub fn between(mechanism: &UptimeLedger, baseline: &UptimeLedger) -> RelativeUptime {
+        RelativeUptime {
+            light_sleep: relative_increase(mechanism.light_sleep(), baseline.light_sleep()),
+            connected: relative_increase(mechanism.connected(), baseline.connected()),
+        }
+    }
+}
+
+impl fmt::Display for RelativeUptime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "light-sleep {:+.2}%, connected {:+.2}%",
+            self.light_sleep * 100.0,
+            self.connected * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerState;
+
+    #[test]
+    fn zero_baseline_cases() {
+        assert_eq!(relative_increase(SimDuration::ZERO, SimDuration::ZERO), 0.0);
+        assert_eq!(
+            relative_increase(SimDuration::from_ms(1), SimDuration::ZERO),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn decrease_is_negative() {
+        let inc = relative_increase(SimDuration::from_ms(80), SimDuration::from_ms(100));
+        assert!((inc + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn between_ledgers() {
+        let mut base = UptimeLedger::new();
+        base.accumulate(PowerState::LightSleep, SimDuration::from_ms(100));
+        base.accumulate(PowerState::ConnectedReceiving, SimDuration::from_ms(1000));
+        let mut mech = UptimeLedger::new();
+        mech.accumulate(PowerState::LightSleep, SimDuration::from_ms(100));
+        mech.accumulate(PowerState::ConnectedReceiving, SimDuration::from_ms(1000));
+        mech.accumulate(PowerState::ConnectedWaiting, SimDuration::from_ms(500));
+        let rel = RelativeUptime::between(&mech, &base);
+        assert_eq!(rel.light_sleep, 0.0); // DR-SC-like: identical light sleep
+        assert!((rel.connected - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let r = RelativeUptime {
+            light_sleep: 0.015,
+            connected: 0.30,
+        };
+        let text = r.to_string();
+        assert!(text.contains("+1.50%"));
+        assert!(text.contains("+30.00%"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Device power states.
+
+use core::fmt;
+
+/// The power state of an NB-IoT device at a point in time.
+///
+/// The split of the connected state into *waiting* and *receiving*
+/// preserves the paper's observation that synchronization overhead
+/// (waiting for the multicast to start, on average `TI/2`) shrinks relative
+/// to reception time as the payload grows (Fig. 6(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum PowerState {
+    /// RF and TX modules off; only the sleep clock runs.
+    DeepSleep,
+    /// Light sleep: RF briefly on to monitor a paging occasion or decode a
+    /// paging message.
+    LightSleep,
+    /// Connected (or performing random access) but not actively receiving
+    /// payload — e.g. waiting for the multicast transmission to begin.
+    ConnectedWaiting,
+    /// Connected and receiving payload data.
+    ConnectedReceiving,
+}
+
+impl PowerState {
+    /// All states, lowest power first.
+    pub const ALL: [PowerState; 4] = [
+        PowerState::DeepSleep,
+        PowerState::LightSleep,
+        PowerState::ConnectedWaiting,
+        PowerState::ConnectedReceiving,
+    ];
+
+    /// Whether the state counts towards connected-mode uptime.
+    #[inline]
+    pub const fn is_connected(self) -> bool {
+        matches!(
+            self,
+            PowerState::ConnectedWaiting | PowerState::ConnectedReceiving
+        )
+    }
+
+    pub(crate) const fn slot(self) -> usize {
+        match self {
+            PowerState::DeepSleep => 0,
+            PowerState::LightSleep => 1,
+            PowerState::ConnectedWaiting => 2,
+            PowerState::ConnectedReceiving => 3,
+        }
+    }
+}
+
+impl fmt::Display for PowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PowerState::DeepSleep => "deep-sleep",
+            PowerState::LightSleep => "light-sleep",
+            PowerState::ConnectedWaiting => "connected-waiting",
+            PowerState::ConnectedReceiving => "connected-receiving",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectedness() {
+        assert!(!PowerState::DeepSleep.is_connected());
+        assert!(!PowerState::LightSleep.is_connected());
+        assert!(PowerState::ConnectedWaiting.is_connected());
+        assert!(PowerState::ConnectedReceiving.is_connected());
+    }
+
+    #[test]
+    fn slots_are_distinct() {
+        let mut seen = [false; 4];
+        for s in PowerState::ALL {
+            assert!(!seen[s.slot()]);
+            seen[s.slot()] = true;
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Cell bandwidth accounting.
+
+use core::fmt;
+
+use nbiot_time::{SimDuration, SimInstant};
+
+/// The category of traffic occupying downlink subframes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum TrafficCategory {
+    /// Paging messages on the paging channel.
+    Paging,
+    /// Random-access exchange (MSG2/MSG4 downlink part).
+    RandomAccess,
+    /// Dedicated RRC signalling (setup, reconfiguration, release).
+    RrcSignalling,
+    /// Multicast payload transmissions.
+    MulticastData,
+    /// Unicast payload transmissions.
+    UnicastData,
+    /// SC-PTM control channel (SC-MCCH) occupancy.
+    ScPtmControl,
+}
+
+impl TrafficCategory {
+    /// All categories, in reporting order.
+    pub const ALL: [TrafficCategory; 6] = [
+        TrafficCategory::Paging,
+        TrafficCategory::RandomAccess,
+        TrafficCategory::RrcSignalling,
+        TrafficCategory::MulticastData,
+        TrafficCategory::UnicastData,
+        TrafficCategory::ScPtmControl,
+    ];
+
+    const fn slot(self) -> usize {
+        match self {
+            TrafficCategory::Paging => 0,
+            TrafficCategory::RandomAccess => 1,
+            TrafficCategory::RrcSignalling => 2,
+            TrafficCategory::MulticastData => 3,
+            TrafficCategory::UnicastData => 4,
+            TrafficCategory::ScPtmControl => 5,
+        }
+    }
+}
+
+impl fmt::Display for TrafficCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            TrafficCategory::Paging => "paging",
+            TrafficCategory::RandomAccess => "random-access",
+            TrafficCategory::RrcSignalling => "rrc-signalling",
+            TrafficCategory::MulticastData => "multicast-data",
+            TrafficCategory::UnicastData => "unicast-data",
+            TrafficCategory::ScPtmControl => "sc-ptm-control",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Downlink subframe bookkeeping for a cell.
+///
+/// NB-IoT has a single 180 kHz carrier: one subframe can carry one thing.
+/// The ledger accumulates subframes per [`TrafficCategory`] so experiments
+/// can report both the paper's transmission-count proxy and actual airtime
+/// utilization.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_phy::{BandwidthLedger, TrafficCategory};
+/// use nbiot_time::SimDuration;
+///
+/// let mut ledger = BandwidthLedger::new();
+/// ledger.record(TrafficCategory::Paging, SimDuration::from_ms(2));
+/// ledger.record(TrafficCategory::MulticastData, SimDuration::from_ms(500));
+/// assert_eq!(ledger.total().as_ms(), 502);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BandwidthLedger {
+    subframes: [u64; 6],
+}
+
+impl BandwidthLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> BandwidthLedger {
+        BandwidthLedger::default()
+    }
+
+    /// Records `airtime` of `category` traffic.
+    pub fn record(&mut self, category: TrafficCategory, airtime: SimDuration) {
+        self.subframes[category.slot()] += airtime.as_ms();
+    }
+
+    /// Airtime accumulated for one category.
+    pub fn airtime(&self, category: TrafficCategory) -> SimDuration {
+        SimDuration::from_ms(self.subframes[category.slot()])
+    }
+
+    /// Total downlink airtime across all categories.
+    pub fn total(&self) -> SimDuration {
+        SimDuration::from_ms(self.subframes.iter().sum())
+    }
+
+    /// Fraction of the downlink occupied over the horizon `[start, end)`.
+    ///
+    /// Returns 0 for an empty horizon.
+    pub fn utilization(&self, start: SimInstant, end: SimInstant) -> f64 {
+        let horizon = end.saturating_duration_since(start);
+        if horizon.is_zero() {
+            0.0
+        } else {
+            self.total().as_ms() as f64 / horizon.as_ms() as f64
+        }
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &BandwidthLedger) {
+        for (a, b) in self.subframes.iter_mut().zip(other.subframes.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for BandwidthLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for cat in TrafficCategory::ALL {
+            let t = self.airtime(cat);
+            if !t.is_zero() {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{cat}: {t}")?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("empty ledger")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_category() {
+        let mut l = BandwidthLedger::new();
+        l.record(TrafficCategory::Paging, SimDuration::from_ms(1));
+        l.record(TrafficCategory::Paging, SimDuration::from_ms(2));
+        l.record(TrafficCategory::UnicastData, SimDuration::from_ms(10));
+        assert_eq!(l.airtime(TrafficCategory::Paging).as_ms(), 3);
+        assert_eq!(l.airtime(TrafficCategory::UnicastData).as_ms(), 10);
+        assert_eq!(l.airtime(TrafficCategory::MulticastData).as_ms(), 0);
+        assert_eq!(l.total().as_ms(), 13);
+    }
+
+    #[test]
+    fn utilization_is_fraction_of_horizon() {
+        let mut l = BandwidthLedger::new();
+        l.record(TrafficCategory::MulticastData, SimDuration::from_ms(250));
+        let u = l.utilization(SimInstant::ZERO, SimInstant::from_ms(1000));
+        assert!((u - 0.25).abs() < 1e-12);
+        assert_eq!(l.utilization(SimInstant::ZERO, SimInstant::ZERO), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_all_categories() {
+        let mut a = BandwidthLedger::new();
+        a.record(TrafficCategory::Paging, SimDuration::from_ms(5));
+        let mut b = BandwidthLedger::new();
+        b.record(TrafficCategory::Paging, SimDuration::from_ms(7));
+        b.record(TrafficCategory::RandomAccess, SimDuration::from_ms(3));
+        a.merge(&b);
+        assert_eq!(a.airtime(TrafficCategory::Paging).as_ms(), 12);
+        assert_eq!(a.airtime(TrafficCategory::RandomAccess).as_ms(), 3);
+    }
+
+    #[test]
+    fn display_mentions_used_categories_only() {
+        let mut l = BandwidthLedger::new();
+        assert_eq!(l.to_string(), "empty ledger");
+        l.record(TrafficCategory::ScPtmControl, SimDuration::from_ms(4));
+        let text = l.to_string();
+        assert!(text.contains("sc-ptm-control"));
+        assert!(!text.contains("paging"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Coverage-enhancement classes.
+
+use core::fmt;
+
+/// NB-IoT coverage-enhancement (CE) level.
+///
+/// Deep-coverage devices (basements, manholes) need every channel repeated;
+/// the repetition factor multiplies all airtime and therefore both the
+/// bandwidth cost and the connected-mode uptime of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CoverageClass {
+    /// CE level 0: normal coverage (MCL ≤ 144 dB), no repetition.
+    #[default]
+    Normal,
+    /// CE level 1: robust coverage (MCL ≤ 154 dB).
+    Robust,
+    /// CE level 2: extreme coverage (MCL ≤ 164 dB).
+    Extreme,
+}
+
+impl CoverageClass {
+    /// All classes, best coverage first.
+    pub const ALL: [CoverageClass; 3] = [
+        CoverageClass::Normal,
+        CoverageClass::Robust,
+        CoverageClass::Extreme,
+    ];
+
+    /// Default NPDSCH repetition factor for this class.
+    #[inline]
+    pub const fn repetitions(self) -> u32 {
+        match self {
+            CoverageClass::Normal => 1,
+            CoverageClass::Robust => 8,
+            CoverageClass::Extreme => 32,
+        }
+    }
+}
+
+impl fmt::Display for CoverageClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            CoverageClass::Normal => "CE0",
+            CoverageClass::Robust => "CE1",
+            CoverageClass::Extreme => "CE2",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repetitions_grow_with_depth() {
+        let reps: Vec<u32> = CoverageClass::ALL.iter().map(|c| c.repetitions()).collect();
+        assert_eq!(reps, vec![1, 8, 32]);
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(CoverageClass::default(), CoverageClass::Normal);
+    }
+}

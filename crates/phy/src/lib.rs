@@ -1,0 +1,52 @@
+//! NB-IoT downlink PHY model.
+//!
+//! The grouping mechanisms of the paper only interact with the physical
+//! layer through two quantities:
+//!
+//! 1. **how long a payload occupies the narrowband downlink** — which sets
+//!    the device's connected-mode (data reception) uptime and the cell's
+//!    bandwidth cost per transmission, and
+//! 2. **how many subframes signalling procedures consume** — paging, random
+//!    access and RRC messages.
+//!
+//! This crate supplies both from first principles:
+//!
+//! * [`TbsTable`] — the Rel-13 NB-IoT downlink transport-block-size table
+//!   (3GPP TS 36.213 Table 16.4.1.5.1-1, `ITBS 0..=13` × `NSF ∈ {1, 2, 3, 4,
+//!   5, 6, 8, 10}`, max 2536 bits),
+//! * [`CoverageClass`] — coverage-enhancement levels mapped to repetition
+//!   factors,
+//! * [`NpdschConfig`] / [`TransferPlan`] — per-transport-block airtime
+//!   accounting (NPDCCH DCI + scheduling gap + NPDSCH subframes ×
+//!   repetitions), turning a [`DataSize`] into a transfer duration,
+//! * [`BandwidthLedger`] — subframe bookkeeping by traffic category, the
+//!   basis of the paper's "number of multicast transmissions" bandwidth
+//!   proxy (Fig. 7) and our additional airtime metrics.
+//!
+//! # Example
+//!
+//! ```
+//! use nbiot_phy::{DataSize, NpdschConfig};
+//!
+//! let cfg = NpdschConfig::default();
+//! let plan = cfg.plan_transfer(DataSize::from_kb(100));
+//! // A 100 kB firmware image takes hundreds of transport blocks and tens
+//! // of seconds on the NB-IoT downlink.
+//! assert!(plan.blocks > 100);
+//! assert!(plan.duration.as_secs_f64() > 5.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bandwidth;
+mod coverage;
+mod size;
+mod tbs;
+mod transfer;
+
+pub use bandwidth::{BandwidthLedger, TrafficCategory};
+pub use coverage::CoverageClass;
+pub use size::DataSize;
+pub use tbs::{Itbs, Nsf, TbsTable};
+pub use transfer::{NpdschConfig, TransferPlan};

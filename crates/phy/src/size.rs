@@ -1,0 +1,79 @@
+//! Payload sizes.
+
+use core::fmt;
+
+/// A payload size in bytes.
+///
+/// The paper evaluates firmware images of 100 kB, 1 MB and 10 MB
+/// (decimal units).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct DataSize(u64);
+
+impl DataSize {
+    /// Zero bytes.
+    pub const ZERO: DataSize = DataSize(0);
+
+    /// Creates a size of `bytes` bytes.
+    #[inline]
+    pub const fn from_bytes(bytes: u64) -> DataSize {
+        DataSize(bytes)
+    }
+
+    /// Creates a size of `kb` decimal kilobytes (1000 bytes each).
+    #[inline]
+    pub const fn from_kb(kb: u64) -> DataSize {
+        DataSize(kb * 1_000)
+    }
+
+    /// Creates a size of `mb` decimal megabytes.
+    #[inline]
+    pub const fn from_mb(mb: u64) -> DataSize {
+        DataSize(mb * 1_000_000)
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size in bits.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0 * 8
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}MB", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{}kB", self.0 / 1_000)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(DataSize::from_kb(100).bytes(), 100_000);
+        assert_eq!(DataSize::from_mb(10).bytes(), 10_000_000);
+        assert_eq!(DataSize::from_bytes(3).bits(), 24);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(DataSize::from_kb(100).to_string(), "100kB");
+        assert_eq!(DataSize::from_mb(1).to_string(), "1MB");
+        assert_eq!(DataSize::from_bytes(42).to_string(), "42B");
+        assert_eq!(DataSize::from_bytes(1500).to_string(), "1500B");
+    }
+}

@@ -1,0 +1,197 @@
+//! NB-IoT downlink transport block sizes.
+
+use core::fmt;
+
+/// Transport-block-size index (`I_TBS`), `0..=13` for Rel-13 NB-IoT
+/// downlink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Itbs(u8);
+
+impl Itbs {
+    /// Highest Rel-13 downlink index.
+    pub const MAX: Itbs = Itbs(13);
+
+    /// Creates an index, returning `None` above 13.
+    pub const fn new(index: u8) -> Option<Itbs> {
+        if index <= 13 {
+            Some(Itbs(index))
+        } else {
+            None
+        }
+    }
+
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Itbs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I_TBS {}", self.0)
+    }
+}
+
+/// Number of NPDSCH subframes per transport block (`N_SF`), one of
+/// {1, 2, 3, 4, 5, 6, 8, 10}.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Nsf(u8);
+
+impl Nsf {
+    /// All valid values, ascending.
+    pub const ALL: [Nsf; 8] = [
+        Nsf(1),
+        Nsf(2),
+        Nsf(3),
+        Nsf(4),
+        Nsf(5),
+        Nsf(6),
+        Nsf(8),
+        Nsf(10),
+    ];
+
+    /// Creates an `N_SF`, returning `None` for non-standard values.
+    pub const fn new(subframes: u8) -> Option<Nsf> {
+        match subframes {
+            1 | 2 | 3 | 4 | 5 | 6 | 8 | 10 => Some(Nsf(subframes)),
+            _ => None,
+        }
+    }
+
+    /// Number of subframes.
+    #[inline]
+    pub const fn subframes(self) -> u8 {
+        self.0
+    }
+
+    /// Column index into the TBS table.
+    const fn column(self) -> usize {
+        match self.0 {
+            1 => 0,
+            2 => 1,
+            3 => 2,
+            4 => 3,
+            5 => 4,
+            6 => 5,
+            8 => 6,
+            10 => 7,
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Display for Nsf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N_SF {}", self.0)
+    }
+}
+
+/// The Rel-13 NB-IoT downlink TBS table
+/// (3GPP TS 36.213 Table 16.4.1.5.1-1), in bits.
+///
+/// Rows are `I_TBS 0..=13`, columns `N_SF ∈ {1, 2, 3, 4, 5, 6, 8, 10}`.
+/// The largest Rel-13 downlink transport block is 2536 bits.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_phy::{Itbs, Nsf, TbsTable};
+///
+/// let bits = TbsTable::tbs_bits(Itbs::new(13).unwrap(), Nsf::new(10).unwrap());
+/// assert_eq!(bits, 2536);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TbsTable;
+
+/// TBS values in bits, `[I_TBS][N_SF column]`.
+const TBS_BITS: [[u64; 8]; 14] = [
+    [16, 32, 56, 88, 120, 152, 208, 256],
+    [24, 56, 88, 144, 176, 208, 256, 344],
+    [32, 72, 144, 176, 208, 256, 328, 424],
+    [40, 104, 176, 208, 256, 328, 440, 568],
+    [56, 120, 208, 256, 328, 408, 552, 680],
+    [72, 144, 224, 328, 424, 504, 680, 872],
+    [88, 176, 256, 392, 504, 600, 808, 1032],
+    [104, 224, 328, 472, 584, 712, 1000, 1224],
+    [120, 256, 392, 536, 680, 808, 1096, 1352],
+    [136, 296, 456, 616, 776, 936, 1256, 1544],
+    [144, 328, 504, 680, 872, 1032, 1384, 1736],
+    [176, 376, 584, 776, 1000, 1192, 1608, 2024],
+    [208, 440, 680, 904, 1128, 1352, 1800, 2280],
+    [224, 488, 744, 1032, 1256, 1544, 2024, 2536],
+];
+
+impl TbsTable {
+    /// The transport block size in bits for the given index and subframe
+    /// count.
+    #[inline]
+    pub fn tbs_bits(itbs: Itbs, nsf: Nsf) -> u64 {
+        TBS_BITS[itbs.index() as usize][nsf.column()]
+    }
+
+    /// The largest transport block (bits) available at the given `I_TBS`.
+    pub fn max_tbs_bits(itbs: Itbs) -> u64 {
+        TBS_BITS[itbs.index() as usize][7]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_enforced() {
+        assert!(Itbs::new(13).is_some());
+        assert!(Itbs::new(14).is_none());
+        assert!(Nsf::new(7).is_none());
+        assert!(Nsf::new(10).is_some());
+    }
+
+    #[test]
+    fn corner_values_match_standard() {
+        let i0 = Itbs::new(0).unwrap();
+        let i13 = Itbs::new(13).unwrap();
+        let n1 = Nsf::new(1).unwrap();
+        let n10 = Nsf::new(10).unwrap();
+        assert_eq!(TbsTable::tbs_bits(i0, n1), 16);
+        assert_eq!(TbsTable::tbs_bits(i0, n10), 256);
+        assert_eq!(TbsTable::tbs_bits(i13, n1), 224);
+        assert_eq!(TbsTable::tbs_bits(i13, n10), 2536);
+    }
+
+    #[test]
+    fn tbs_monotone_in_both_axes() {
+        for i in 0..=13u8 {
+            let itbs = Itbs::new(i).unwrap();
+            let row: Vec<u64> = Nsf::ALL
+                .iter()
+                .map(|&n| TbsTable::tbs_bits(itbs, n))
+                .collect();
+            for w in row.windows(2) {
+                assert!(w[1] > w[0], "row {i} not increasing: {row:?}");
+            }
+        }
+        for n in Nsf::ALL {
+            let col: Vec<u64> = (0..=13u8)
+                .map(|i| TbsTable::tbs_bits(Itbs::new(i).unwrap(), n))
+                .collect();
+            for w in col.windows(2) {
+                assert!(w[1] > w[0], "column {n} not increasing: {col:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_tbs_is_last_column() {
+        for i in 0..=13u8 {
+            let itbs = Itbs::new(i).unwrap();
+            assert_eq!(
+                TbsTable::max_tbs_bits(itbs),
+                TbsTable::tbs_bits(itbs, Nsf::new(10).unwrap())
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-device RRC state machine.
+
+use core::fmt;
+
+use nbiot_time::SimInstant;
+
+/// RRC protocol state of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RrcState {
+    /// RRC_IDLE: sleeping between paging occasions.
+    #[default]
+    Idle,
+    /// Random access in progress (MSG1–MSG4).
+    RandomAccess,
+    /// RRC_CONNECTED.
+    Connected,
+}
+
+impl fmt::Display for RrcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RrcState::Idle => "idle",
+            RrcState::RandomAccess => "random-access",
+            RrcState::Connected => "connected",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An illegal RRC transition — always a simulation bug, surfaced as an
+/// error so tests can assert protocol discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RrcTransitionError {
+    /// State the connection was in.
+    pub from: RrcState,
+    /// Transition that was attempted.
+    pub attempted: &'static str,
+}
+
+impl fmt::Display for RrcTransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} from state {}", self.attempted, self.from)
+    }
+}
+
+impl std::error::Error for RrcTransitionError {}
+
+/// A device's RRC connection lifecycle tracker.
+///
+/// Enforces the legal `idle → random-access → connected → idle` cycle and
+/// records transition times, from which the simulator derives
+/// connected-mode uptime.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_rrc::RrcConnection;
+/// use nbiot_time::SimInstant;
+///
+/// let mut c = RrcConnection::new();
+/// c.start_random_access(SimInstant::from_ms(100))?;
+/// c.complete_random_access(SimInstant::from_ms(350))?;
+/// let span = c.release(SimInstant::from_ms(1000))?;
+/// assert_eq!(span.as_ms(), 900); // active from RA start to release
+/// # Ok::<(), nbiot_rrc::RrcTransitionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RrcConnection {
+    state: RrcState,
+    active_since: Option<SimInstant>,
+}
+
+impl RrcConnection {
+    /// Creates a tracker in RRC_IDLE.
+    pub fn new() -> RrcConnection {
+        RrcConnection::default()
+    }
+
+    /// Current state.
+    #[inline]
+    pub fn state(&self) -> RrcState {
+        self.state
+    }
+
+    /// When the current active (RA + connected) episode began.
+    #[inline]
+    pub fn active_since(&self) -> Option<SimInstant> {
+        self.active_since
+    }
+
+    /// Leaves idle and begins random access at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is idle.
+    pub fn start_random_access(&mut self, now: SimInstant) -> Result<(), RrcTransitionError> {
+        if self.state != RrcState::Idle {
+            return Err(RrcTransitionError {
+                from: self.state,
+                attempted: "start random access",
+            });
+        }
+        self.state = RrcState::RandomAccess;
+        self.active_since = Some(now);
+        Ok(())
+    }
+
+    /// Completes MSG4 and enters RRC_CONNECTED.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless random access is in progress.
+    pub fn complete_random_access(&mut self, _now: SimInstant) -> Result<(), RrcTransitionError> {
+        if self.state != RrcState::RandomAccess {
+            return Err(RrcTransitionError {
+                from: self.state,
+                attempted: "complete random access",
+            });
+        }
+        self.state = RrcState::Connected;
+        Ok(())
+    }
+
+    /// Releases the connection at `now`, returning the length of the whole
+    /// active episode (from random-access start).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is connected.
+    pub fn release(
+        &mut self,
+        now: SimInstant,
+    ) -> Result<nbiot_time::SimDuration, RrcTransitionError> {
+        if self.state != RrcState::Connected {
+            return Err(RrcTransitionError {
+                from: self.state,
+                attempted: "release",
+            });
+        }
+        let since = self
+            .active_since
+            .expect("active_since set when leaving idle");
+        self.state = RrcState::Idle;
+        self.active_since = None;
+        Ok(now.saturating_duration_since(since))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legal_cycle() {
+        let mut c = RrcConnection::new();
+        assert_eq!(c.state(), RrcState::Idle);
+        c.start_random_access(SimInstant::from_ms(10)).unwrap();
+        assert_eq!(c.state(), RrcState::RandomAccess);
+        c.complete_random_access(SimInstant::from_ms(50)).unwrap();
+        assert_eq!(c.state(), RrcState::Connected);
+        let span = c.release(SimInstant::from_ms(110)).unwrap();
+        assert_eq!(span.as_ms(), 100);
+        assert_eq!(c.state(), RrcState::Idle);
+    }
+
+    #[test]
+    fn double_connect_rejected() {
+        let mut c = RrcConnection::new();
+        c.start_random_access(SimInstant::ZERO).unwrap();
+        let err = c.start_random_access(SimInstant::ZERO).unwrap_err();
+        assert_eq!(err.from, RrcState::RandomAccess);
+        assert!(err.to_string().contains("cannot start random access"));
+    }
+
+    #[test]
+    fn release_requires_connected() {
+        let mut c = RrcConnection::new();
+        assert!(c.release(SimInstant::ZERO).is_err());
+        c.start_random_access(SimInstant::ZERO).unwrap();
+        assert!(c.release(SimInstant::ZERO).is_err());
+    }
+
+    #[test]
+    fn complete_requires_random_access() {
+        let mut c = RrcConnection::new();
+        assert!(c.complete_random_access(SimInstant::ZERO).is_err());
+    }
+
+    #[test]
+    fn reconnect_after_release() {
+        let mut c = RrcConnection::new();
+        c.start_random_access(SimInstant::from_ms(0)).unwrap();
+        c.complete_random_access(SimInstant::from_ms(1)).unwrap();
+        c.release(SimInstant::from_ms(2)).unwrap();
+        assert!(c.start_random_access(SimInstant::from_ms(3)).is_ok());
+    }
+}

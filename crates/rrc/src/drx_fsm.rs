@@ -1,0 +1,315 @@
+//! The device-side DRX cycle state machine (paper Fig. 1).
+//!
+//! The paper's Fig. 1 describes the idle-mode life of an NB-IoT device:
+//! sleep with RF/TX off → wake at the paging occasion and check the paging
+//! channel → if not paged, back to sleep; if paged, connect and receive
+//! downlink data → start the inactivity timer → when it expires, release
+//! and begin a new DRX cycle. This module implements that machine
+//! literally, with every transition validated, so simulations and tests
+//! can assert protocol discipline at the device level.
+
+use core::fmt;
+
+use nbiot_time::{PagingSchedule, SimInstant};
+
+use crate::InactivityTimer;
+
+/// The device's DRX phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DrxPhase {
+    /// RF and TX modules off; waiting for the next paging occasion.
+    Sleeping {
+        /// The next PO at which the device will wake.
+        next_po: SimInstant,
+    },
+    /// Briefly awake, decoding the paging channel.
+    CheckingPaging {
+        /// The PO being monitored.
+        po: SimInstant,
+    },
+    /// Connected, receiving or awaiting downlink data; the inactivity
+    /// timer restarts at every data activity.
+    Connected {
+        /// Current inactivity-timer expiry.
+        inactivity_expires: SimInstant,
+    },
+}
+
+impl fmt::Display for DrxPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrxPhase::Sleeping { next_po } => write!(f, "sleeping (next PO {next_po})"),
+            DrxPhase::CheckingPaging { po } => write!(f, "checking paging at {po}"),
+            DrxPhase::Connected { inactivity_expires } => {
+                write!(f, "connected (TI expires {inactivity_expires})")
+            }
+        }
+    }
+}
+
+/// An illegal DRX transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrxTransitionError {
+    /// Human-readable description of the attempted transition.
+    pub attempted: &'static str,
+    /// Phase the device was in.
+    pub phase: String,
+}
+
+impl fmt::Display for DrxTransitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot {} while {}", self.attempted, self.phase)
+    }
+}
+
+impl std::error::Error for DrxTransitionError {}
+
+/// The Fig. 1 state machine for one device.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_rrc::{DrxStateMachine, InactivityTimer};
+/// use nbiot_time::{DrxCycle, PagingConfig, PagingSchedule, SimInstant, UeId};
+///
+/// let schedule = PagingSchedule::new(&PagingConfig::drx(DrxCycle::Rf128), UeId(5))?;
+/// let mut fsm = DrxStateMachine::new(schedule, InactivityTimer::default(), SimInstant::ZERO);
+///
+/// let po = fsm.next_wake().expect("sleeping devices have a next PO");
+/// fsm.wake_at_po(po)?;               // RF on, check paging channel
+/// fsm.paged(po)?;                    // a page for us: connect
+/// let released = fsm.inactivity_expired(fsm.inactivity_expiry().unwrap())?;
+/// assert!(released > po);            // back to sleep after TI
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrxStateMachine {
+    schedule: PagingSchedule,
+    ti: InactivityTimer,
+    phase: DrxPhase,
+}
+
+impl DrxStateMachine {
+    /// Creates a machine sleeping until its first PO at or after `now`.
+    pub fn new(schedule: PagingSchedule, ti: InactivityTimer, now: SimInstant) -> DrxStateMachine {
+        let next_po = schedule.first_po_at_or_after(now);
+        DrxStateMachine {
+            schedule,
+            ti,
+            phase: DrxPhase::Sleeping { next_po },
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> DrxPhase {
+        self.phase
+    }
+
+    /// The instant of the next wake-up, when sleeping.
+    pub fn next_wake(&self) -> Option<SimInstant> {
+        match self.phase {
+            DrxPhase::Sleeping { next_po } => Some(next_po),
+            _ => None,
+        }
+    }
+
+    /// The current inactivity-timer expiry, when connected.
+    pub fn inactivity_expiry(&self) -> Option<SimInstant> {
+        match self.phase {
+            DrxPhase::Connected { inactivity_expires } => Some(inactivity_expires),
+            _ => None,
+        }
+    }
+
+    fn error(&self, attempted: &'static str) -> DrxTransitionError {
+        DrxTransitionError {
+            attempted,
+            phase: self.phase.to_string(),
+        }
+    }
+
+    /// Wakes at the scheduled PO to monitor the paging channel.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is sleeping and `po` is its scheduled next
+    /// PO.
+    pub fn wake_at_po(&mut self, po: SimInstant) -> Result<(), DrxTransitionError> {
+        match self.phase {
+            DrxPhase::Sleeping { next_po } if next_po == po => {
+                self.phase = DrxPhase::CheckingPaging { po };
+                Ok(())
+            }
+            _ => Err(self.error("wake at PO")),
+        }
+    }
+
+    /// No page was present: return to sleep until the next PO.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is checking its paging channel.
+    pub fn not_paged(&mut self) -> Result<SimInstant, DrxTransitionError> {
+        match self.phase {
+            DrxPhase::CheckingPaging { po } => {
+                let next_po = self
+                    .schedule
+                    .first_po_at_or_after(po + nbiot_time::SimDuration::from_ms(1));
+                self.phase = DrxPhase::Sleeping { next_po };
+                Ok(next_po)
+            }
+            _ => Err(self.error("return to sleep")),
+        }
+    }
+
+    /// A page addressed to this device: connect to the network; the
+    /// inactivity timer starts at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is checking its paging channel.
+    pub fn paged(&mut self, now: SimInstant) -> Result<(), DrxTransitionError> {
+        match self.phase {
+            DrxPhase::CheckingPaging { .. } => {
+                self.phase = DrxPhase::Connected {
+                    inactivity_expires: self.ti.expiry_after(now),
+                };
+                Ok(())
+            }
+            _ => Err(self.error("connect")),
+        }
+    }
+
+    /// Downlink data arrived at `now`: the inactivity timer restarts
+    /// (paper Fig. 1: "after the data reception the device starts the
+    /// inactivity timer").
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is connected.
+    pub fn data_activity(&mut self, now: SimInstant) -> Result<(), DrxTransitionError> {
+        match self.phase {
+            DrxPhase::Connected { .. } => {
+                self.phase = DrxPhase::Connected {
+                    inactivity_expires: self.ti.expiry_after(now),
+                };
+                Ok(())
+            }
+            _ => Err(self.error("receive data")),
+        }
+    }
+
+    /// The inactivity timer expired (or the eNB released the connection
+    /// early, as DA-SC does): back to sleep; a new DRX cycle begins.
+    /// Returns the next PO.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the device is connected.
+    pub fn inactivity_expired(
+        &mut self,
+        now: SimInstant,
+    ) -> Result<SimInstant, DrxTransitionError> {
+        match self.phase {
+            DrxPhase::Connected { .. } => {
+                let next_po = self.schedule.first_po_at_or_after(now);
+                self.phase = DrxPhase::Sleeping { next_po };
+                Ok(next_po)
+            }
+            _ => Err(self.error("release")),
+        }
+    }
+
+    /// Replaces the paging schedule (a DA-SC reconfiguration) — allowed in
+    /// any phase; takes effect from `now`.
+    pub fn reconfigure(&mut self, schedule: PagingSchedule, now: SimInstant) {
+        self.schedule = schedule;
+        if let DrxPhase::Sleeping { .. } = self.phase {
+            self.phase = DrxPhase::Sleeping {
+                next_po: self.schedule.first_po_at_or_after(now),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_time::{DrxCycle, PagingConfig, SimDuration, UeId};
+
+    fn fsm() -> DrxStateMachine {
+        let schedule = PagingSchedule::new(&PagingConfig::drx(DrxCycle::Rf128), UeId(5)).unwrap();
+        DrxStateMachine::new(schedule, InactivityTimer::default(), SimInstant::ZERO)
+    }
+
+    #[test]
+    fn fig1_idle_loop_without_page() {
+        // Sleep -> PO check -> no page -> sleep, advancing one cycle.
+        let mut m = fsm();
+        let po1 = m.next_wake().unwrap();
+        m.wake_at_po(po1).unwrap();
+        let po2 = m.not_paged().unwrap();
+        assert_eq!((po2 - po1).as_ms(), 1280);
+        assert!(matches!(m.phase(), DrxPhase::Sleeping { .. }));
+    }
+
+    #[test]
+    fn fig1_paged_connect_and_release() {
+        let mut m = fsm();
+        let po = m.next_wake().unwrap();
+        m.wake_at_po(po).unwrap();
+        m.paged(po).unwrap();
+        let expiry = m.inactivity_expiry().unwrap();
+        assert_eq!(expiry, po + InactivityTimer::default().duration());
+        let next = m.inactivity_expired(expiry).unwrap();
+        assert!(next >= expiry);
+        assert!(matches!(m.phase(), DrxPhase::Sleeping { .. }));
+    }
+
+    #[test]
+    fn data_activity_restarts_inactivity_timer() {
+        let mut m = fsm();
+        let po = m.next_wake().unwrap();
+        m.wake_at_po(po).unwrap();
+        m.paged(po).unwrap();
+        let first_expiry = m.inactivity_expiry().unwrap();
+        let data_at = po + SimDuration::from_secs(3);
+        m.data_activity(data_at).unwrap();
+        let new_expiry = m.inactivity_expiry().unwrap();
+        assert_eq!(new_expiry, data_at + InactivityTimer::default().duration());
+        assert!(new_expiry > first_expiry);
+    }
+
+    #[test]
+    fn waking_at_wrong_po_rejected() {
+        let mut m = fsm();
+        let po = m.next_wake().unwrap();
+        let err = m.wake_at_po(po + SimDuration::from_ms(1)).unwrap_err();
+        assert!(err.to_string().contains("cannot wake at PO"));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut m = fsm();
+        assert!(m.paged(SimInstant::ZERO).is_err()); // not checking paging
+        assert!(m.data_activity(SimInstant::ZERO).is_err()); // not connected
+        assert!(m.inactivity_expired(SimInstant::ZERO).is_err()); // not connected
+        let po = m.next_wake().unwrap();
+        m.wake_at_po(po).unwrap();
+        assert!(m.wake_at_po(po).is_err()); // already awake
+    }
+
+    #[test]
+    fn reconfigure_moves_next_po_to_new_grid() {
+        // A DA-SC-style shrink: after reconfiguration the next wake-up
+        // follows the shorter cycle.
+        let mut m = fsm();
+        let schedule_fast =
+            PagingSchedule::new(&PagingConfig::drx(DrxCycle::Rf32), UeId(5)).unwrap();
+        let now = SimInstant::from_secs(10);
+        m.reconfigure(schedule_fast, now);
+        let next = m.next_wake().unwrap();
+        assert!((next - now).as_ms() <= 320);
+    }
+}

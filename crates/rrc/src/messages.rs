@@ -1,0 +1,310 @@
+//! RRC message models.
+
+use core::fmt;
+
+use nbiot_time::{PagingCycle, SimDuration, UeId};
+
+/// Maximum paging records per paging message (TS 36.331
+/// `maxPageRec = 16`).
+pub const MAX_PAGING_RECORDS: usize = 16;
+
+/// One entry of the `PagingRecordList`: a device being paged to connect and
+/// receive downlink data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PagingRecord {
+    /// The paged device.
+    pub ue: UeId,
+}
+
+/// The DR-SI `mltc-transmission` non-critical paging extension: notifies a
+/// device of an imminent multicast transmission *without* requiring it to
+/// connect (paper Sec. III-C).
+///
+/// The device identity appears only here — not in the `PagingRecordList` —
+/// so devices can tell multicast notifications apart from ordinary pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MltcNotification {
+    /// The notified device.
+    pub ue: UeId,
+    /// Time remaining until the multicast transmission instant `t`.
+    pub time_remaining: SimDuration,
+}
+
+/// A paging message broadcast in one paging occasion.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_rrc::{MltcNotification, PagingMessage};
+/// use nbiot_time::{SimDuration, UeId};
+///
+/// let standard = PagingMessage::new().with_record(UeId(1));
+/// assert!(standard.is_standards_compliant());
+///
+/// let extended = PagingMessage::new().with_mltc(MltcNotification {
+///     ue: UeId(2),
+///     time_remaining: SimDuration::from_secs(40),
+/// });
+/// assert!(!extended.is_standards_compliant());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PagingMessage {
+    records: Vec<PagingRecord>,
+    mltc_transmission: Vec<MltcNotification>,
+}
+
+impl PagingMessage {
+    /// Creates an empty paging message.
+    pub fn new() -> PagingMessage {
+        PagingMessage::default()
+    }
+
+    /// Adds an ordinary paging record (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the record list already holds
+    /// [`MAX_PAGING_RECORDS`] entries.
+    pub fn with_record(mut self, ue: UeId) -> PagingMessage {
+        self.push_record(ue);
+        self
+    }
+
+    /// Adds an ordinary paging record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the record list already holds
+    /// [`MAX_PAGING_RECORDS`] entries.
+    pub fn push_record(&mut self, ue: UeId) {
+        assert!(
+            self.records.len() < MAX_PAGING_RECORDS,
+            "paging message full: {MAX_PAGING_RECORDS} records"
+        );
+        self.records.push(PagingRecord { ue });
+    }
+
+    /// Adds a DR-SI multicast notification (builder style).
+    pub fn with_mltc(mut self, n: MltcNotification) -> PagingMessage {
+        self.mltc_transmission.push(n);
+        self
+    }
+
+    /// The ordinary paging records.
+    pub fn records(&self) -> &[PagingRecord] {
+        &self.records
+    }
+
+    /// The DR-SI multicast notifications.
+    pub fn mltc_notifications(&self) -> &[MltcNotification] {
+        &self.mltc_transmission
+    }
+
+    /// Whether `ue` is paged (ordinary record) by this message.
+    pub fn pages(&self, ue: UeId) -> bool {
+        self.records.iter().any(|r| r.ue == ue)
+    }
+
+    /// Whether `ue` is notified of a multicast transmission.
+    pub fn notifies_multicast(&self, ue: UeId) -> Option<MltcNotification> {
+        self.mltc_transmission.iter().copied().find(|n| n.ue == ue)
+    }
+
+    /// `true` when the message is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.mltc_transmission.is_empty()
+    }
+
+    /// A message is standards-compliant iff it carries no
+    /// `mltc-transmission` extension — the compliance distinction between
+    /// DR-SC/DA-SC and DR-SI in the paper.
+    pub fn is_standards_compliant(&self) -> bool {
+        self.mltc_transmission.is_empty()
+    }
+
+    /// Approximate encoded size in bits: a fixed header plus per-record and
+    /// per-notification payloads (S-TMSI ≈ 40 bits per record; identity +
+    /// time-remaining ≈ 56 bits per notification).
+    pub fn size_bits(&self) -> u64 {
+        48 + 40 * self.records.len() as u64 + 56 * self.mltc_transmission.len() as u64
+    }
+}
+
+impl fmt::Display for PagingMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "paging({} records, {} mltc)",
+            self.records.len(),
+            self.mltc_transmission.len()
+        )
+    }
+}
+
+/// RRC connection establishment cause (TS 36.331), including the
+/// non-standard `multicastReception` value introduced by DR-SI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum EstablishmentCause {
+    /// Emergency call.
+    Emergency,
+    /// High-priority access.
+    HighPriorityAccess,
+    /// Mobile-terminated access (response to ordinary paging).
+    MtAccess,
+    /// Mobile-originated signalling.
+    MoSignalling,
+    /// Mobile-originated data.
+    MoData,
+    /// Delay-tolerant access (MTC).
+    DelayTolerantAccess,
+    /// **Non-standard**: connection established to receive a multicast
+    /// transmission (DR-SI, paper Sec. III-C).
+    MulticastReception,
+}
+
+impl EstablishmentCause {
+    /// Whether this cause exists in TS 36.331.
+    pub const fn is_standard(self) -> bool {
+        !matches!(self, EstablishmentCause::MulticastReception)
+    }
+}
+
+impl fmt::Display for EstablishmentCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EstablishmentCause::Emergency => "emergency",
+            EstablishmentCause::HighPriorityAccess => "highPriorityAccess",
+            EstablishmentCause::MtAccess => "mt-Access",
+            EstablishmentCause::MoSignalling => "mo-Signalling",
+            EstablishmentCause::MoData => "mo-Data",
+            EstablishmentCause::DelayTolerantAccess => "delayTolerantAccess-v1020",
+            EstablishmentCause::MulticastReception => "multicastReception (non-standard)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// An `RRCConnectionRequest` (MSG3 of the random-access procedure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct RrcConnectionRequest {
+    /// Requesting device.
+    pub ue: UeId,
+    /// Establishment cause.
+    pub cause: EstablishmentCause,
+}
+
+/// Downlink dedicated RRC messages used by the grouping mechanisms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DlMessage {
+    /// `RRCConnectionSetup` (MSG4).
+    RrcConnectionSetup,
+    /// `RRCConnectionReconfiguration`, optionally carrying a new paging
+    /// cycle (the DA-SC adaptation and restoration vehicle).
+    RrcConnectionReconfiguration {
+        /// New (e)DRX cycle to apply, if any.
+        new_cycle: Option<PagingCycle>,
+    },
+    /// `RRCConnectionRelease`: sends the device back to idle immediately,
+    /// without waiting for the inactivity timer (used by DA-SC to minimize
+    /// uptime after the adaptation).
+    RrcConnectionRelease,
+}
+
+impl DlMessage {
+    /// Approximate encoded size in bits.
+    pub const fn size_bits(self) -> u64 {
+        match self {
+            DlMessage::RrcConnectionSetup => 200,
+            DlMessage::RrcConnectionReconfiguration { .. } => 160,
+            DlMessage::RrcConnectionRelease => 80,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_time::DrxCycle;
+
+    #[test]
+    fn paging_message_distinguishes_record_kinds() {
+        let msg = PagingMessage::new()
+            .with_record(UeId(1))
+            .with_mltc(MltcNotification {
+                ue: UeId(2),
+                time_remaining: SimDuration::from_secs(10),
+            });
+        assert!(msg.pages(UeId(1)));
+        assert!(!msg.pages(UeId(2))); // mltc identities are NOT paging records
+        assert!(msg.notifies_multicast(UeId(2)).is_some());
+        assert!(msg.notifies_multicast(UeId(1)).is_none());
+    }
+
+    #[test]
+    fn compliance_depends_on_extension_only() {
+        let mut msg = PagingMessage::new();
+        assert!(msg.is_standards_compliant());
+        for i in 0..MAX_PAGING_RECORDS {
+            msg.push_record(UeId(i as u32));
+        }
+        assert!(msg.is_standards_compliant());
+        let extended = msg.with_mltc(MltcNotification {
+            ue: UeId(99),
+            time_remaining: SimDuration::ZERO,
+        });
+        assert!(!extended.is_standards_compliant());
+    }
+
+    #[test]
+    #[should_panic(expected = "paging message full")]
+    fn record_list_is_bounded() {
+        let mut msg = PagingMessage::new();
+        for i in 0..=MAX_PAGING_RECORDS {
+            msg.push_record(UeId(i as u32));
+        }
+    }
+
+    #[test]
+    fn size_grows_with_content() {
+        let empty = PagingMessage::new();
+        let one = PagingMessage::new().with_record(UeId(1));
+        let ext = PagingMessage::new().with_mltc(MltcNotification {
+            ue: UeId(1),
+            time_remaining: SimDuration::ZERO,
+        });
+        assert!(one.size_bits() > empty.size_bits());
+        // The extension is slightly larger than a plain record (adds the
+        // time-remaining field) — the "negligible increase" of Fig. 6(a).
+        assert!(ext.size_bits() > one.size_bits());
+    }
+
+    #[test]
+    fn multicast_reception_is_the_only_nonstandard_cause() {
+        let causes = [
+            EstablishmentCause::Emergency,
+            EstablishmentCause::HighPriorityAccess,
+            EstablishmentCause::MtAccess,
+            EstablishmentCause::MoSignalling,
+            EstablishmentCause::MoData,
+            EstablishmentCause::DelayTolerantAccess,
+        ];
+        for c in causes {
+            assert!(c.is_standard(), "{c}");
+        }
+        assert!(!EstablishmentCause::MulticastReception.is_standard());
+    }
+
+    #[test]
+    fn reconfiguration_can_carry_cycle() {
+        let m = DlMessage::RrcConnectionReconfiguration {
+            new_cycle: Some(DrxCycle::Rf64.into()),
+        };
+        assert!(m.size_bits() > DlMessage::RrcConnectionRelease.size_bits());
+    }
+}

@@ -1,0 +1,125 @@
+//! Centralized signalling cost book.
+
+use nbiot_time::SimDuration;
+
+use crate::{DlMessage, PagingMessage};
+
+/// Airtime/latency costs of control procedures, used consistently by the
+/// bandwidth ledger and the uptime accounting.
+///
+/// Small control messages ride on NPDCCH + NPDSCH with the smallest
+/// transport blocks; at NB-IoT rates a paging message costs a handful of
+/// subframes. The defaults assume normal coverage (no repetition) — the
+/// values scale linearly for deeper coverage classes if needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SignallingCosts {
+    /// Airtime per paging message, base part (NPDCCH + header).
+    pub paging_base: SimDuration,
+    /// Additional airtime per 256 bits of paging payload.
+    pub paging_per_256_bits: SimDuration,
+    /// Downlink airtime of the RA exchange (MSG2 + MSG4).
+    pub ra_downlink: SimDuration,
+    /// Airtime of an `RRCConnectionSetup`.
+    pub rrc_setup: SimDuration,
+    /// Airtime of an `RRCConnectionReconfiguration`.
+    pub rrc_reconfiguration: SimDuration,
+    /// Airtime of an `RRCConnectionRelease`.
+    pub rrc_release: SimDuration,
+    /// Device-side processing time to decode a paging message while in
+    /// light sleep (adds to light-sleep uptime).
+    pub paging_decode_time: SimDuration,
+    /// Extra decode time for the `mltc-transmission` extension — the
+    /// "negligible increase" of DR-SI in Fig. 6(a).
+    pub mltc_decode_time: SimDuration,
+    /// Light-sleep uptime of monitoring one (empty) paging occasion.
+    pub po_monitor_time: SimDuration,
+}
+
+impl Default for SignallingCosts {
+    fn default() -> Self {
+        SignallingCosts {
+            paging_base: SimDuration::from_ms(2),
+            paging_per_256_bits: SimDuration::from_ms(2),
+            ra_downlink: SimDuration::from_ms(4),
+            rrc_setup: SimDuration::from_ms(2),
+            rrc_reconfiguration: SimDuration::from_ms(2),
+            rrc_release: SimDuration::from_ms(1),
+            paging_decode_time: SimDuration::from_ms(8),
+            mltc_decode_time: SimDuration::from_ms(2),
+            po_monitor_time: SimDuration::from_ms(4),
+        }
+    }
+}
+
+impl SignallingCosts {
+    /// Cell airtime consumed by broadcasting `msg` in one paging occasion.
+    pub fn paging_airtime(&self, msg: &PagingMessage) -> SimDuration {
+        self.paging_base + self.paging_per_256_bits * msg.size_bits().div_ceil(256)
+    }
+
+    /// Device light-sleep uptime for receiving `msg` (on top of the PO
+    /// monitoring itself).
+    pub fn paging_reception_uptime(&self, msg: &PagingMessage) -> SimDuration {
+        let mltc_extra = if msg.is_standards_compliant() {
+            SimDuration::ZERO
+        } else {
+            self.mltc_decode_time
+        };
+        self.paging_decode_time + mltc_extra
+    }
+
+    /// Cell airtime of a dedicated downlink message.
+    pub fn dl_message_airtime(&self, msg: DlMessage) -> SimDuration {
+        match msg {
+            DlMessage::RrcConnectionSetup => self.rrc_setup,
+            DlMessage::RrcConnectionReconfiguration { .. } => self.rrc_reconfiguration,
+            DlMessage::RrcConnectionRelease => self.rrc_release,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MltcNotification;
+    use nbiot_time::UeId;
+
+    #[test]
+    fn paging_airtime_grows_with_records() {
+        let costs = SignallingCosts::default();
+        let small = PagingMessage::new().with_record(UeId(1));
+        let mut big = PagingMessage::new();
+        for i in 0..16 {
+            big.push_record(UeId(i));
+        }
+        assert!(costs.paging_airtime(&big) > costs.paging_airtime(&small));
+    }
+
+    #[test]
+    fn mltc_reception_costs_slightly_more() {
+        let costs = SignallingCosts::default();
+        let plain = PagingMessage::new().with_record(UeId(1));
+        let ext = PagingMessage::new().with_mltc(MltcNotification {
+            ue: UeId(1),
+            time_remaining: SimDuration::from_secs(1),
+        });
+        let plain_cost = costs.paging_reception_uptime(&plain);
+        let ext_cost = costs.paging_reception_uptime(&ext);
+        assert!(ext_cost > plain_cost);
+        // ... but only slightly: well under 2x.
+        assert!(ext_cost.as_ms() < 2 * plain_cost.as_ms());
+    }
+
+    #[test]
+    fn dl_message_airtime_covers_all_kinds() {
+        let costs = SignallingCosts::default();
+        for msg in [
+            DlMessage::RrcConnectionSetup,
+            DlMessage::RrcConnectionReconfiguration { new_cycle: None },
+            DlMessage::RrcConnectionRelease,
+        ] {
+            assert!(!costs.dl_message_airtime(msg).is_zero());
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Simulator errors.
+
+use core::fmt;
+
+use nbiot_grouping::{GroupingError, PlanViolation};
+use nbiot_traffic::TrafficError;
+
+/// Errors surfaced by campaign and experiment execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Plan computation failed.
+    Grouping(GroupingError),
+    /// A mechanism produced a structurally invalid plan (always a bug).
+    InvalidPlan(PlanViolation),
+    /// Population generation failed.
+    Traffic(TrafficError),
+    /// An experiment was configured with zero runs or zero devices.
+    DegenerateExperiment {
+        /// Number of devices requested.
+        n_devices: usize,
+        /// Number of runs requested.
+        runs: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Grouping(e) => write!(f, "grouping failed: {e}"),
+            SimError::InvalidPlan(v) => write!(f, "mechanism produced an invalid plan: {v}"),
+            SimError::Traffic(e) => write!(f, "population generation failed: {e}"),
+            SimError::DegenerateExperiment { n_devices, runs } => write!(
+                f,
+                "experiment needs at least one device and one run (got {n_devices} devices, {runs} runs)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Grouping(e) => Some(e),
+            SimError::InvalidPlan(v) => Some(v),
+            SimError::Traffic(e) => Some(e),
+            SimError::DegenerateExperiment { .. } => None,
+        }
+    }
+}
+
+impl From<GroupingError> for SimError {
+    fn from(e: GroupingError) -> Self {
+        SimError::Grouping(e)
+    }
+}
+
+impl From<PlanViolation> for SimError {
+    fn from(v: PlanViolation) -> Self {
+        SimError::InvalidPlan(v)
+    }
+}
+
+impl From<TrafficError> for SimError {
+    fn from(e: TrafficError) -> Self {
+        SimError::Traffic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_causes() {
+        let e = SimError::Grouping(GroupingError::EmptyGroup);
+        assert!(e.to_string().contains("grouping failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

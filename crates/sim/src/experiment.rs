@@ -1,0 +1,343 @@
+//! The paper's experimental methodology: same populations, mechanisms
+//! compared against the per-run unicast baseline, averaged over runs.
+
+use core::fmt;
+
+use nbiot_des::{RunningStats, SeedSequence, Summary};
+use nbiot_energy::PowerProfile;
+use nbiot_grouping::{GroupingInput, GroupingParams, MechanismKind, Unicast};
+use nbiot_traffic::TrafficMix;
+
+use crate::{run_campaign, SimConfig, SimError};
+
+/// Configuration of one experiment (one point of a figure).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Device population mix.
+    pub mix: TrafficMix,
+    /// Group size (the paper varies 100–1000).
+    pub n_devices: usize,
+    /// Number of repetitions (the paper uses 100).
+    pub runs: u32,
+    /// Master seed; every run derives its own independent streams.
+    pub master_seed: u64,
+    /// Grouping parameters (start, TI, optional transmission override).
+    pub grouping: GroupingParams,
+    /// PHY/protocol configuration.
+    pub sim: SimConfig,
+    /// Power profile used for the supplementary energy-in-Joules metric.
+    pub power: PowerProfile,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            mix: TrafficMix::ericsson_city(),
+            n_devices: 100,
+            runs: 10,
+            master_seed: 0x4E42_494F_5421, // "NBIOT!"
+            grouping: GroupingParams::default(),
+            sim: SimConfig::default(),
+            power: PowerProfile::default(),
+        }
+    }
+}
+
+/// Aggregated metrics of one mechanism across all runs of an experiment.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MechanismSummary {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Whether every executed plan was standards-compliant.
+    pub standards_compliant: bool,
+    /// Relative light-sleep uptime increase vs unicast (Fig. 6(a)).
+    pub rel_light_sleep: Summary,
+    /// Relative connected-mode uptime increase vs unicast (Fig. 6(b)).
+    pub rel_connected: Summary,
+    /// Number of payload transmissions (Fig. 7).
+    pub transmissions: Summary,
+    /// Mean device wait before its transmission, in seconds.
+    pub mean_wait_s: Summary,
+    /// Mean per-device energy in millijoules (supplementary).
+    pub mean_energy_mj: Summary,
+    /// Devices finishing random access after their transmission started.
+    pub late_joins: Summary,
+}
+
+/// The result of comparing several mechanisms under one configuration.
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ComparisonResult {
+    /// Group size.
+    pub n_devices: usize,
+    /// Number of runs aggregated.
+    pub runs: u32,
+    /// Per-mechanism summaries, in the order requested.
+    pub mechanisms: Vec<MechanismSummary>,
+}
+
+impl ComparisonResult {
+    /// Looks up a mechanism summary by name (e.g. `"DR-SC"`).
+    pub fn mechanism(&self, name: &str) -> Option<&MechanismSummary> {
+        self.mechanisms.iter().find(|m| m.mechanism == name)
+    }
+}
+
+impl fmt::Display for ComparisonResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} devices, {} runs:", self.n_devices, self.runs)?;
+        for m in &self.mechanisms {
+            writeln!(
+                f,
+                "  {:<8} light-sleep {:+.3}% connected {:+.3}% tx {:.1}",
+                m.mechanism,
+                m.rel_light_sleep.mean * 100.0,
+                m.rel_connected.mean * 100.0,
+                m.transmissions.mean
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the paper's comparison methodology.
+///
+/// For every run: generate a fresh population, execute the unicast
+/// baseline, then every requested mechanism on the *same* population, and
+/// accumulate per-run means of the relative metrics.
+///
+/// # Errors
+///
+/// Propagates population, grouping and plan-validation failures, and
+/// rejects degenerate configurations.
+pub fn run_comparison(
+    config: &ExperimentConfig,
+    kinds: &[MechanismKind],
+) -> Result<ComparisonResult, SimError> {
+    if config.n_devices == 0 || config.runs == 0 {
+        return Err(SimError::DegenerateExperiment {
+            n_devices: config.n_devices,
+            runs: config.runs,
+        });
+    }
+    let seq = SeedSequence::new(config.master_seed);
+    let mut acc: Vec<(MechanismKind, MechStats)> =
+        kinds.iter().map(|&k| (k, MechStats::default())).collect();
+
+    for run in 0..config.runs {
+        let run_seq = seq.child(run as u64);
+        let population = config.mix.generate(config.n_devices, &mut run_seq.rng(0))?;
+        let input = GroupingInput::from_population(&population, config.grouping)?;
+        let baseline = run_campaign(&Unicast::new(), &input, &config.sim, &mut run_seq.rng(1))?;
+        for (i, (kind, stats)) in acc.iter_mut().enumerate() {
+            let result = if *kind == MechanismKind::Unicast {
+                baseline.clone()
+            } else {
+                run_campaign(
+                    kind.instantiate().as_ref(),
+                    &input,
+                    &config.sim,
+                    &mut run_seq.rng(2 + i as u64),
+                )?
+            };
+            let rel = result.mean_relative_vs(&baseline);
+            stats.rel_light_sleep.push(rel.light_sleep);
+            stats.rel_connected.push(rel.connected);
+            stats.transmissions.push(result.transmission_count as f64);
+            stats.mean_wait_s.push(result.mean_wait.as_secs_f64());
+            stats
+                .mean_energy_mj
+                .push(result.mean_energy_mj(&config.power));
+            stats.late_joins.push(result.late_joins as f64);
+            stats.compliant &= result.standards_compliant;
+        }
+    }
+
+    Ok(ComparisonResult {
+        n_devices: config.n_devices,
+        runs: config.runs,
+        mechanisms: acc
+            .into_iter()
+            .map(|(kind, s)| MechanismSummary {
+                mechanism: kind.to_string(),
+                standards_compliant: s.compliant,
+                rel_light_sleep: s.rel_light_sleep.summary(),
+                rel_connected: s.rel_connected.summary(),
+                transmissions: s.transmissions.summary(),
+                mean_wait_s: s.mean_wait_s.summary(),
+                mean_energy_mj: s.mean_energy_mj.summary(),
+                late_joins: s.late_joins.summary(),
+            })
+            .collect(),
+    })
+}
+
+#[derive(Debug, Clone)]
+struct MechStats {
+    rel_light_sleep: RunningStats,
+    rel_connected: RunningStats,
+    transmissions: RunningStats,
+    mean_wait_s: RunningStats,
+    mean_energy_mj: RunningStats,
+    late_joins: RunningStats,
+    compliant: bool,
+}
+
+impl Default for MechStats {
+    fn default() -> Self {
+        MechStats {
+            rel_light_sleep: RunningStats::new(),
+            rel_connected: RunningStats::new(),
+            transmissions: RunningStats::new(),
+            mean_wait_s: RunningStats::new(),
+            mean_energy_mj: RunningStats::new(),
+            late_joins: RunningStats::new(),
+            compliant: true,
+        }
+    }
+}
+
+/// One point of a group-size sweep (Fig. 7).
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SweepPoint {
+    /// Group size.
+    pub n_devices: usize,
+    /// Transmission-count statistics for the swept mechanism.
+    pub transmissions: Summary,
+    /// Transmissions as a fraction of the group size.
+    pub ratio_to_devices: Summary,
+}
+
+/// Sweeps group sizes for one mechanism — the Fig. 7 x-axis.
+///
+/// # Errors
+///
+/// Propagates [`run_comparison`] failures.
+pub fn sweep_devices(
+    base: &ExperimentConfig,
+    kind: MechanismKind,
+    sizes: &[usize],
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let mut config = base.clone();
+        config.n_devices = n;
+        let seq = SeedSequence::new(config.master_seed);
+        let mut transmissions = RunningStats::new();
+        let mut ratio = RunningStats::new();
+        for run in 0..config.runs {
+            let run_seq = seq.child(run as u64);
+            let population = config.mix.generate(n, &mut run_seq.rng(0))?;
+            let input = GroupingInput::from_population(&population, config.grouping)?;
+            let result = run_campaign(
+                kind.instantiate().as_ref(),
+                &input,
+                &config.sim,
+                &mut run_seq.rng(2),
+            )?;
+            transmissions.push(result.transmission_count as f64);
+            ratio.push(result.transmission_count as f64 / n as f64);
+        }
+        points.push(SweepPoint {
+            n_devices: n,
+            transmissions: transmissions.summary(),
+            ratio_to_devices: ratio.summary(),
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ExperimentConfig {
+        ExperimentConfig {
+            n_devices: 30,
+            runs: 3,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut cfg = small_config();
+        cfg.runs = 0;
+        assert!(matches!(
+            run_comparison(&cfg, &[MechanismKind::DrSc]),
+            Err(SimError::DegenerateExperiment { .. })
+        ));
+        let mut cfg2 = small_config();
+        cfg2.n_devices = 0;
+        assert!(matches!(
+            run_comparison(&cfg2, &[MechanismKind::DrSc]),
+            Err(SimError::DegenerateExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn unicast_vs_itself_is_zero() {
+        let cmp = run_comparison(&small_config(), &[MechanismKind::Unicast]).unwrap();
+        let u = cmp.mechanism("Unicast").unwrap();
+        assert!(u.rel_light_sleep.mean.abs() < 1e-12);
+        assert!(u.rel_connected.mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_mechanism_ordering_holds() {
+        // Fig. 6(a): DR-SC adds nothing; DR-SI adds a sliver; DA-SC more.
+        let cmp = run_comparison(&small_config(), &MechanismKind::PAPER_MECHANISMS).unwrap();
+        let dr_sc = cmp.mechanism("DR-SC").unwrap().rel_light_sleep.mean;
+        let da_sc = cmp.mechanism("DA-SC").unwrap().rel_light_sleep.mean;
+        let dr_si = cmp.mechanism("DR-SI").unwrap().rel_light_sleep.mean;
+        assert!(dr_sc.abs() < 1e-9, "DR-SC {dr_sc}");
+        assert!(dr_si > 0.0, "DR-SI {dr_si}");
+        assert!(da_sc > dr_si, "DA-SC {da_sc} vs DR-SI {dr_si}");
+    }
+
+    #[test]
+    fn single_transmission_mechanisms() {
+        let cmp = run_comparison(
+            &small_config(),
+            &[
+                MechanismKind::DaSc,
+                MechanismKind::DrSi,
+                MechanismKind::Unicast,
+            ],
+        )
+        .unwrap();
+        assert_eq!(cmp.mechanism("DA-SC").unwrap().transmissions.mean, 1.0);
+        assert_eq!(cmp.mechanism("DR-SI").unwrap().transmissions.mean, 1.0);
+        assert_eq!(cmp.mechanism("Unicast").unwrap().transmissions.mean, 30.0);
+    }
+
+    #[test]
+    fn sweep_produces_requested_points() {
+        let cfg = ExperimentConfig {
+            runs: 2,
+            ..small_config()
+        };
+        let points = sweep_devices(&cfg, MechanismKind::DrSc, &[10, 20]).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].n_devices, 10);
+        assert!(points[1].transmissions.mean >= points[0].transmissions.mean);
+    }
+
+    #[test]
+    fn comparison_is_reproducible() {
+        let a = run_comparison(&small_config(), &[MechanismKind::DrSi]).unwrap();
+        let b = run_comparison(&small_config(), &[MechanismKind::DrSi]).unwrap();
+        assert_eq!(
+            a.mechanism("DR-SI").unwrap().rel_connected.mean,
+            b.mechanism("DR-SI").unwrap().rel_connected.mean
+        );
+    }
+
+    #[test]
+    fn display_lists_mechanisms() {
+        let cmp = run_comparison(&small_config(), &[MechanismKind::DrSc]).unwrap();
+        assert!(cmp.to_string().contains("DR-SC"));
+    }
+}

@@ -1,0 +1,61 @@
+//! Single-cell NB-IoT multicast campaign simulator.
+//!
+//! This crate is the executable counterpart of `nbiot-grouping`: it takes a
+//! declarative [`MulticastPlan`](nbiot_grouping::MulticastPlan) and plays it
+//! out over the deterministic event queue of `nbiot-des`, producing per-
+//! device [`UptimeLedger`](nbiot_energy::UptimeLedger)s and a cell
+//! [`BandwidthLedger`](nbiot_phy::BandwidthLedger) — the raw material of the
+//! paper's Fig. 6 and Fig. 7.
+//!
+//! Layers:
+//!
+//! * [`SimConfig`] — payload size, NPDSCH configuration, random-access
+//!   model and signalling costs,
+//! * [`run_campaign`] — one mechanism on one population, event by event,
+//! * [`ExperimentConfig`] / [`run_comparison`] — the paper's methodology:
+//!   the same populations, mechanisms compared against the unicast baseline
+//!   of the same run, averaged over `runs` repetitions,
+//! * [`sweep_devices`] — the Fig. 7 x-axis (group sizes 100…1000).
+//!
+//! Accounting model (documented in DESIGN.md): protocol actions (pagings,
+//! random access, reconfigurations, T322 wake-ups, transmissions) are
+//! simulated as discrete events; strictly periodic background PO
+//! monitoring is accounted analytically over a horizon common to all
+//! compared mechanisms, which is both exact and fast.
+//!
+//! # Example
+//!
+//! ```
+//! use nbiot_grouping::{GroupingParams, MechanismKind};
+//! use nbiot_sim::{ExperimentConfig, run_comparison};
+//! use nbiot_traffic::TrafficMix;
+//!
+//! let cfg = ExperimentConfig {
+//!     n_devices: 40,
+//!     runs: 3,
+//!     ..ExperimentConfig::default()
+//! };
+//! let cmp = run_comparison(&cfg, &MechanismKind::PAPER_MECHANISMS)?;
+//! let dr_sc = cmp.mechanism("DR-SC").unwrap();
+//! // DR-SC spends no extra light-sleep energy over unicast (Fig. 6(a)).
+//! assert!(dr_sc.rel_light_sleep.mean.abs() < 1e-9);
+//! # Ok::<(), nbiot_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod config;
+mod engine;
+mod error;
+mod experiment;
+mod result;
+
+pub use campaign::run_campaign;
+pub use config::SimConfig;
+pub use error::SimError;
+pub use experiment::{
+    run_comparison, sweep_devices, ComparisonResult, ExperimentConfig, MechanismSummary, SweepPoint,
+};
+pub use result::CampaignResult;

@@ -1,0 +1,91 @@
+//! Error types for timing and paging configuration.
+
+use core::fmt;
+
+/// Errors produced when validating timing or paging configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeError {
+    /// A paging time window length outside `1..=16` units was requested.
+    InvalidPtw {
+        /// The rejected number of 2.56 s units.
+        units: u8,
+    },
+    /// The `nB` parameter would yield more than 4 paging occasions per
+    /// paging frame, which TS 36.304 does not define.
+    UnsupportedNb {
+        /// The rejected `nB` numerator (in units of `T/32`).
+        nb_over_t_32: u32,
+    },
+    /// The paging time window does not fit the in-window DRX cycle (it would
+    /// contain no paging occasion).
+    PtwShorterThanDrx {
+        /// PTW length in frames.
+        ptw_frames: u64,
+        /// In-window DRX cycle length in frames.
+        drx_frames: u64,
+    },
+    /// The paging time window is longer than the eDRX cycle, so consecutive
+    /// windows would overlap.
+    PtwLongerThanCycle {
+        /// PTW length in frames.
+        ptw_frames: u64,
+        /// eDRX cycle length in frames.
+        cycle_frames: u64,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::InvalidPtw { units } => {
+                write!(f, "paging time window of {units} units is outside 1..=16")
+            }
+            TimeError::UnsupportedNb { nb_over_t_32 } => {
+                write!(
+                    f,
+                    "nB of {}/32 T yields more than 4 paging occasions per frame",
+                    nb_over_t_32
+                )
+            }
+            TimeError::PtwShorterThanDrx {
+                ptw_frames,
+                drx_frames,
+            } => write!(
+                f,
+                "paging time window of {ptw_frames} frames cannot hold a PO of a {drx_frames}-frame DRX cycle"
+            ),
+            TimeError::PtwLongerThanCycle {
+                ptw_frames,
+                cycle_frames,
+            } => write!(
+                f,
+                "paging time window of {ptw_frames} frames exceeds the {cycle_frames}-frame eDRX cycle"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            TimeError::InvalidPtw { units: 0 }.to_string(),
+            TimeError::UnsupportedNb { nb_over_t_32: 256 }.to_string(),
+            TimeError::PtwShorterThanDrx {
+                ptw_frames: 10,
+                drx_frames: 256,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

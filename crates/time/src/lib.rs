@@ -1,0 +1,47 @@
+//! NB-IoT radio timing primitives.
+//!
+//! This crate models the 3GPP time base used by every other crate in the
+//! workspace:
+//!
+//! * [`SimInstant`] / [`SimDuration`] — absolute simulation time and spans,
+//!   with 1 ms (one LTE subframe) resolution,
+//! * radio frames (10 ms), the System Frame Number ([`Sfn`], wraps at 1024)
+//!   and hyperframes ([`HyperSfn`], 1024 frames = 10.24 s),
+//! * [`DrxCycle`] (0.32 s – 2.56 s) and [`EdrxCycle`] (20.48 s – 10 485.76 s)
+//!   discontinuous-reception cycles, where each value is exactly twice the
+//!   immediately shorter one (the property the DA-SC mechanism of the paper
+//!   relies on),
+//! * the paging-frame / paging-occasion computation of 3GPP TS 36.304 §7
+//!   ([`PagingSchedule`]), including eDRX paging hyperframes and paging time
+//!   windows,
+//! * [`TimeWindow`] — half-open `[start, end)` windows used by the grouping
+//!   mechanisms to reason about inactivity-timer (`TI`) coverage.
+//!
+//! # Example
+//!
+//! ```
+//! use nbiot_time::{DrxCycle, PagingConfig, PagingSchedule, SimInstant, UeId};
+//!
+//! let cfg = PagingConfig::drx(DrxCycle::Rf128); // 1.28 s cycle
+//! let schedule = PagingSchedule::new(&cfg, UeId(42)).expect("valid config");
+//! let first = schedule.first_po_at_or_after(SimInstant::ZERO);
+//! let second = schedule.first_po_at_or_after(first + nbiot_time::SimDuration::from_ms(1));
+//! assert_eq!((second - first).as_ms(), 1280);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod error;
+mod instant;
+mod paging;
+mod sfn;
+mod window;
+
+pub use cycles::{CycleLadder, DrxCycle, EdrxCycle, PagingCycle, PtwLength};
+pub use error::TimeError;
+pub use instant::{SimDuration, SimInstant, MS_PER_FRAME, MS_PER_SUBFRAME, SUBFRAMES_PER_FRAME};
+pub use paging::{NbParam, PagingConfig, PagingSchedule, PoIter, UeId};
+pub use sfn::{FrameNumber, HyperSfn, Sfn, FRAMES_PER_HYPERFRAME, SFN_PERIOD};
+pub use window::TimeWindow;

@@ -1,0 +1,706 @@
+//! Paging frame / paging occasion computation per 3GPP TS 36.304 §7.
+//!
+//! For regular DRX the UE monitors one paging occasion (PO) per DRX cycle:
+//!
+//! * `T` — DRX cycle in radio frames,
+//! * `N = min(T, nB)`, `Ns = max(1, nB/T)`,
+//! * paging frame (PF): the frames whose SFN satisfies
+//!   `SFN mod T = (T div N) * (UE_ID mod N)`,
+//! * `i_s = floor(UE_ID / N) mod Ns` selects the PO subframe within the PF
+//!   from the FDD lookup table (`Ns = 1 → {9}`, `Ns = 2 → {4, 9}`,
+//!   `Ns = 4 → {0, 4, 5, 9}`).
+//!
+//! For eDRX (TS 36.304 §7.3) the UE additionally only pages inside a paging
+//! time window (PTW) that recurs once per eDRX cycle:
+//!
+//! * paging hyperframe (PH): `H-SFN mod T_eDRX,H = UE_ID mod T_eDRX,H`,
+//! * PTW start: `SFN = 256 * i_eDRX` with
+//!   `i_eDRX = floor(UE_ID / T_eDRX,H) mod 4`,
+//! * PTW length: 1–16 units of 2.56 s; inside the PTW the UE follows its
+//!   regular DRX formula above.
+//!
+//! All arithmetic here is done on absolute (non-wrapping) frame numbers;
+//! because every standard cycle divides the 1024-frame SFN period (and every
+//! eDRX cycle divides the 1024-hyperframe H-SFN period), absolute and
+//! wrapping arithmetic agree.
+
+use core::fmt;
+
+use crate::{
+    DrxCycle, EdrxCycle, PagingCycle, PtwLength, SimDuration, SimInstant, TimeError, TimeWindow,
+    FRAMES_PER_HYPERFRAME, MS_PER_FRAME,
+};
+
+/// A UE identity used for paging-occasion derivation (the standard uses
+/// `IMSI mod 1024`; any stable per-device integer works for simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct UeId(pub u32);
+
+impl fmt::Display for UeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ue{}", self.0)
+    }
+}
+
+/// The cell-wide `nB` parameter controlling paging density
+/// (TS 36.331 `PCCH-Config`): the number of paging occasions per DRX cycle
+/// across the cell is `min(nB, T) ... nB`, expressed relative to `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum NbParam {
+    /// `nB = 4T` (4 POs per paging frame).
+    FourT,
+    /// `nB = 2T` (2 POs per paging frame).
+    TwoT,
+    /// `nB = T` (1 PO per paging frame, every frame can be a PF).
+    #[default]
+    OneT,
+    /// `nB = T/2`.
+    HalfT,
+    /// `nB = T/4`.
+    QuarterT,
+    /// `nB = T/8`.
+    EighthT,
+    /// `nB = T/16`.
+    SixteenthT,
+    /// `nB = T/32`.
+    ThirtySecondT,
+}
+
+impl NbParam {
+    /// All standard values, densest first.
+    pub const ALL: [NbParam; 8] = [
+        NbParam::FourT,
+        NbParam::TwoT,
+        NbParam::OneT,
+        NbParam::HalfT,
+        NbParam::QuarterT,
+        NbParam::EighthT,
+        NbParam::SixteenthT,
+        NbParam::ThirtySecondT,
+    ];
+
+    /// `nB` as a (numerator, denominator) fraction of `T`.
+    #[inline]
+    pub const fn fraction(self) -> (u64, u64) {
+        match self {
+            NbParam::FourT => (4, 1),
+            NbParam::TwoT => (2, 1),
+            NbParam::OneT => (1, 1),
+            NbParam::HalfT => (1, 2),
+            NbParam::QuarterT => (1, 4),
+            NbParam::EighthT => (1, 8),
+            NbParam::SixteenthT => (1, 16),
+            NbParam::ThirtySecondT => (1, 32),
+        }
+    }
+
+    /// `nB` evaluated for a DRX cycle of `t_frames` (at least 1).
+    #[inline]
+    pub const fn value(self, t_frames: u64) -> u64 {
+        let (n, d) = self.fraction();
+        let v = t_frames * n / d;
+        if v == 0 {
+            1
+        } else {
+            v
+        }
+    }
+}
+
+impl fmt::Display for NbParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (n, d) = self.fraction();
+        if d == 1 {
+            write!(f, "nB={n}T")
+        } else {
+            write!(f, "nB=T/{d}")
+        }
+    }
+}
+
+/// Per-device paging configuration: the (e)DRX cycle plus the cell's `nB`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PagingConfig {
+    /// The device's negotiated paging cycle.
+    pub cycle: PagingCycle,
+    /// Cell-wide paging density parameter.
+    pub nb: NbParam,
+}
+
+impl PagingConfig {
+    /// Regular-DRX configuration with the default `nB = T`.
+    pub const fn drx(cycle: DrxCycle) -> PagingConfig {
+        PagingConfig {
+            cycle: PagingCycle::Drx(cycle),
+            nb: NbParam::OneT,
+        }
+    }
+
+    /// eDRX configuration with one PO per cycle (shortest PTW, 2.56 s
+    /// in-window DRX) and the default `nB = T`.
+    pub const fn edrx(cycle: EdrxCycle) -> PagingConfig {
+        PagingConfig {
+            cycle: PagingCycle::edrx(cycle),
+            nb: NbParam::OneT,
+        }
+    }
+
+    /// Full eDRX configuration.
+    pub const fn edrx_with(cycle: EdrxCycle, ptw: PtwLength, ptw_drx: DrxCycle) -> PagingConfig {
+        PagingConfig {
+            cycle: PagingCycle::Edrx {
+                cycle,
+                ptw,
+                ptw_drx,
+            },
+            nb: NbParam::OneT,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeError::PtwShorterThanDrx`] when an eDRX paging time
+    /// window is shorter than the in-window DRX cycle (no PO would be
+    /// guaranteed inside the window).
+    pub fn validate(&self) -> Result<(), TimeError> {
+        if let PagingCycle::Edrx {
+            cycle,
+            ptw,
+            ptw_drx,
+        } = self.cycle
+        {
+            if ptw.frames() < ptw_drx.frames() {
+                return Err(TimeError::PtwShorterThanDrx {
+                    ptw_frames: ptw.frames(),
+                    drx_frames: ptw_drx.frames(),
+                });
+            }
+            if ptw.frames() > cycle.frames() {
+                return Err(TimeError::PtwLongerThanCycle {
+                    ptw_frames: ptw.frames(),
+                    cycle_frames: cycle.frames(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PagingConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.cycle, self.nb)
+    }
+}
+
+/// eDRX-specific precomputed parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EdrxParams {
+    /// eDRX cycle in hyperframes.
+    cycle_hf: u64,
+    /// Paging hyperframe offset: `UE_ID mod T_eDRX,H`.
+    ph_offset: u64,
+    /// PTW start frame within the paging hyperframe (`256 * i_eDRX`).
+    ptw_start_frame: u64,
+    /// PTW length in frames.
+    ptw_frames: u64,
+}
+
+/// A device's fully resolved paging-occasion schedule.
+///
+/// Construction resolves the TS 36.304 formulas once; all queries are then
+/// O(1) (DRX) or O(POs per PTW) (eDRX).
+///
+/// # Example
+///
+/// ```
+/// use nbiot_time::{EdrxCycle, PagingConfig, PagingSchedule, SimInstant, UeId};
+///
+/// let cfg = PagingConfig::edrx(EdrxCycle::Hf2); // 20.48 s cycle
+/// let s = PagingSchedule::new(&cfg, UeId(7))?;
+/// let po = s.first_po_at_or_after(SimInstant::ZERO);
+/// let next = s.first_po_at_or_after(po + nbiot_time::SimDuration::from_ms(1));
+/// assert_eq!((next - po).as_ms(), 20_480);
+/// # Ok::<(), nbiot_time::TimeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PagingSchedule {
+    /// Original cycle (kept for reporting).
+    cycle: PagingCycle,
+    /// In-window (or plain) DRX cycle length in frames.
+    t_frames: u64,
+    /// Paging-frame offset within the DRX cycle, in frames.
+    pf_offset: u64,
+    /// PO subframe within the paging frame (0..=9), in ms.
+    po_subframe: u64,
+    /// eDRX parameters, when the cycle is extended.
+    edrx: Option<EdrxParams>,
+}
+
+/// PO subframe lookup for FDD, indexed by `i_s` (TS 36.304 Table 7.2).
+const PO_SUBFRAME_NS1: [u64; 1] = [9];
+const PO_SUBFRAME_NS2: [u64; 2] = [4, 9];
+const PO_SUBFRAME_NS4: [u64; 4] = [0, 4, 5, 9];
+
+impl PagingSchedule {
+    /// Resolves the paging schedule of `ue` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PagingConfig::validate`] failures.
+    pub fn new(cfg: &PagingConfig, ue: UeId) -> Result<PagingSchedule, TimeError> {
+        cfg.validate()?;
+        let ue_id = ue.0 as u64;
+        let (t_frames, edrx) = match cfg.cycle {
+            PagingCycle::Drx(d) => (d.frames(), None),
+            PagingCycle::Edrx {
+                cycle,
+                ptw,
+                ptw_drx,
+            } => {
+                let cycle_hf = cycle.hyperframes();
+                let i_edrx = (ue_id / cycle_hf) % 4;
+                (
+                    ptw_drx.frames(),
+                    Some(EdrxParams {
+                        cycle_hf,
+                        ph_offset: ue_id % cycle_hf,
+                        ptw_start_frame: 256 * i_edrx,
+                        ptw_frames: ptw.frames(),
+                    }),
+                )
+            }
+        };
+        let nb = cfg.nb.value(t_frames);
+        let n = t_frames.min(nb);
+        let ns = (nb / t_frames).max(1);
+        let pf_offset = (t_frames / n) * (ue_id % n);
+        let i_s = (ue_id / n) % ns;
+        let po_subframe = match ns {
+            1 => PO_SUBFRAME_NS1[i_s as usize],
+            2 => PO_SUBFRAME_NS2[i_s as usize],
+            4 => PO_SUBFRAME_NS4[i_s as usize],
+            other => {
+                return Err(TimeError::UnsupportedNb {
+                    nb_over_t_32: (other * 32) as u32,
+                })
+            }
+        };
+        Ok(PagingSchedule {
+            cycle: cfg.cycle,
+            t_frames,
+            pf_offset,
+            po_subframe,
+            edrx,
+        })
+    }
+
+    /// The configured paging cycle.
+    #[inline]
+    pub fn cycle(&self) -> PagingCycle {
+        self.cycle
+    }
+
+    /// Period after which the PO pattern repeats.
+    #[inline]
+    pub fn period(&self) -> SimDuration {
+        self.cycle.period()
+    }
+
+    /// Number of POs the device monitors per repetition period
+    /// (1 for DRX; PTW occupancy for eDRX).
+    pub fn pos_per_period(&self) -> u64 {
+        match self.edrx {
+            None => 1,
+            Some(e) => {
+                // Alignment of the DRX grid inside the PTW is identical each
+                // cycle because T divides the 1024-frame hyperframe.
+                let first = first_multiple_offset(e.ptw_start_frame, self.t_frames, self.pf_offset);
+                if first >= e.ptw_frames {
+                    0
+                } else {
+                    1 + (e.ptw_frames - 1 - first) / self.t_frames
+                }
+            }
+        }
+    }
+
+    /// The first PO at or after `t`.
+    pub fn first_po_at_or_after(&self, t: SimInstant) -> SimInstant {
+        match self.edrx {
+            None => {
+                let base = self.pf_offset * MS_PER_FRAME + self.po_subframe;
+                let period = self.t_frames * MS_PER_FRAME;
+                let t_ms = t.as_ms();
+                if t_ms <= base {
+                    SimInstant::from_ms(base)
+                } else {
+                    let k = (t_ms - base).div_ceil(period);
+                    SimInstant::from_ms(base + k * period)
+                }
+            }
+            Some(e) => {
+                // Start from the PTW that could contain t (or the previous
+                // one when t is mid-PTW), then walk forward.
+                let hyper = t.as_ms() / (FRAMES_PER_HYPERFRAME * MS_PER_FRAME);
+                let mut m = (hyper.saturating_sub(e.ph_offset) / e.cycle_hf).saturating_sub(1);
+                loop {
+                    for po in self.pos_in_ptw(e, m) {
+                        if po >= t {
+                            return po;
+                        }
+                    }
+                    m += 1;
+                }
+            }
+        }
+    }
+
+    /// The last PO strictly before `t`, if any exists since the epoch.
+    pub fn last_po_before(&self, t: SimInstant) -> Option<SimInstant> {
+        match self.edrx {
+            None => {
+                let base = self.pf_offset * MS_PER_FRAME + self.po_subframe;
+                let period = self.t_frames * MS_PER_FRAME;
+                let t_ms = t.as_ms();
+                if t_ms <= base {
+                    None
+                } else {
+                    let k = (t_ms - base - 1) / period;
+                    Some(SimInstant::from_ms(base + k * period))
+                }
+            }
+            Some(e) => {
+                let hyper = t.as_ms() / (FRAMES_PER_HYPERFRAME * MS_PER_FRAME);
+                let mut m = hyper.saturating_sub(e.ph_offset) / e.cycle_hf + 1;
+                loop {
+                    let mut best = None;
+                    for po in self.pos_in_ptw(e, m) {
+                        if po < t {
+                            best = Some(po);
+                        }
+                    }
+                    if let Some(po) = best {
+                        return Some(po);
+                    }
+                    if m == 0 {
+                        return None;
+                    }
+                    m -= 1;
+                }
+            }
+        }
+    }
+
+    /// All POs inside the half-open `window`, in order.
+    pub fn pos_in(&self, window: TimeWindow) -> Vec<SimInstant> {
+        self.iter_from(window.start())
+            .take_while(|&po| po < window.end())
+            .collect()
+    }
+
+    /// Whether the device has at least one PO inside `window`.
+    pub fn has_po_in(&self, window: TimeWindow) -> bool {
+        if window.is_empty() {
+            return false;
+        }
+        self.first_po_at_or_after(window.start()) < window.end()
+    }
+
+    /// Number of POs monitored in the half-open interval `[from, to)`.
+    ///
+    /// Computed analytically per repetition period, so it is cheap even for
+    /// very long intervals.
+    pub fn count_pos_between(&self, from: SimInstant, to: SimInstant) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let period_ms = self.period().as_ms();
+        let span = to.as_ms() - from.as_ms();
+        let full_periods = span / period_ms;
+        let mut count = full_periods * self.pos_per_period();
+        // Count the ragged remainder by iteration (bounded by POs per period).
+        let tail_start = SimInstant::from_ms(from.as_ms() + full_periods * period_ms);
+        count += self.iter_from(tail_start).take_while(|&po| po < to).count() as u64;
+        count
+    }
+
+    /// Infinite iterator over POs starting from the first PO at or after
+    /// `from`.
+    pub fn iter_from(&self, from: SimInstant) -> PoIter {
+        PoIter {
+            schedule: *self,
+            next: self.first_po_at_or_after(from),
+        }
+    }
+
+    /// POs of hyperframe-cycle index `m` (eDRX only).
+    fn pos_in_ptw(&self, e: EdrxParams, m: u64) -> impl Iterator<Item = SimInstant> {
+        let ptw_start_frame =
+            (m * e.cycle_hf + e.ph_offset) * FRAMES_PER_HYPERFRAME + e.ptw_start_frame;
+        let first = first_multiple_offset(e.ptw_start_frame, self.t_frames, self.pf_offset);
+        let t_frames = self.t_frames;
+        let po_subframe = self.po_subframe;
+        let ptw_frames = e.ptw_frames;
+        (0u64..)
+            .map(move |i| first + i * t_frames)
+            .take_while(move |&off| off < ptw_frames)
+            .map(move |off| {
+                SimInstant::from_ms((ptw_start_frame + off) * MS_PER_FRAME + po_subframe)
+            })
+    }
+}
+
+/// Smallest `x >= 0` such that `(start + x) mod t == offset`.
+#[inline]
+fn first_multiple_offset(start: u64, t: u64, offset: u64) -> u64 {
+    let rem = start % t;
+    if offset >= rem {
+        offset - rem
+    } else {
+        t - (rem - offset)
+    }
+}
+
+/// Infinite iterator over a device's paging occasions.
+///
+/// Produced by [`PagingSchedule::iter_from`].
+#[derive(Debug, Clone)]
+pub struct PoIter {
+    schedule: PagingSchedule,
+    next: SimInstant,
+}
+
+impl Iterator for PoIter {
+    type Item = SimInstant;
+
+    fn next(&mut self) -> Option<SimInstant> {
+        let current = self.next;
+        self.next = self
+            .schedule
+            .first_po_at_or_after(current + SimDuration::from_ms(1));
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DrxCycle;
+
+    fn drx_schedule(cycle: DrxCycle, ue: u32) -> PagingSchedule {
+        PagingSchedule::new(&PagingConfig::drx(cycle), UeId(ue)).unwrap()
+    }
+
+    #[test]
+    fn drx_po_period_is_cycle_length() {
+        let s = drx_schedule(DrxCycle::Rf128, 5);
+        let a = s.first_po_at_or_after(SimInstant::ZERO);
+        let b = s.first_po_at_or_after(a + SimDuration::from_ms(1));
+        assert_eq!((b - a).as_ms(), 1280);
+    }
+
+    #[test]
+    fn drx_pf_offset_follows_ue_id() {
+        // nB = T: N = T, Ns = 1, PF offset = UE_ID mod T, PO subframe 9.
+        let s = drx_schedule(DrxCycle::Rf32, 7);
+        let po = s.first_po_at_or_after(SimInstant::ZERO);
+        assert_eq!(po.frame(), 7);
+        assert_eq!(po.subframe_in_frame(), 9);
+    }
+
+    #[test]
+    fn ue_ids_spread_over_paging_frames() {
+        // Different UE ids mod T land on different frames.
+        let t0 = drx_schedule(DrxCycle::Rf32, 0).first_po_at_or_after(SimInstant::ZERO);
+        let t1 = drx_schedule(DrxCycle::Rf32, 1).first_po_at_or_after(SimInstant::ZERO);
+        let t33 = drx_schedule(DrxCycle::Rf32, 33).first_po_at_or_after(SimInstant::ZERO);
+        assert_ne!(t0, t1);
+        assert_eq!(t1, t33); // 33 mod 32 == 1
+    }
+
+    #[test]
+    fn ns4_uses_po_subframe_table() {
+        let cfg = PagingConfig {
+            cycle: PagingCycle::Drx(DrxCycle::Rf32),
+            nb: NbParam::FourT,
+        };
+        // Ns = 4, N = T = 32. i_s = floor(ue/32) mod 4.
+        let subframes: Vec<u64> = (0..4)
+            .map(|i| {
+                let s = PagingSchedule::new(&cfg, UeId(32 * i)).unwrap();
+                s.first_po_at_or_after(SimInstant::ZERO).subframe_in_frame()
+            })
+            .collect();
+        assert_eq!(subframes, vec![0, 4, 5, 9]);
+    }
+
+    #[test]
+    fn ns2_uses_two_po_subframes() {
+        let cfg = PagingConfig {
+            cycle: PagingCycle::Drx(DrxCycle::Rf64),
+            nb: NbParam::TwoT,
+        };
+        // Ns = 2, N = T = 64, i_s = floor(ue/64) mod 2 -> subframe 4 or 9.
+        let s0 = PagingSchedule::new(&cfg, UeId(0)).unwrap();
+        let s1 = PagingSchedule::new(&cfg, UeId(64)).unwrap();
+        assert_eq!(
+            s0.first_po_at_or_after(SimInstant::ZERO)
+                .subframe_in_frame(),
+            4
+        );
+        assert_eq!(
+            s1.first_po_at_or_after(SimInstant::ZERO)
+                .subframe_in_frame(),
+            9
+        );
+    }
+
+    #[test]
+    fn ptw_spanning_hyperframes_yields_all_pos() {
+        // Hf16 cycle (163.84 s) with the maximum 40.96 s PTW: the window
+        // spans 4 hyperframes and must still hold ptw/drx POs.
+        let cfg = PagingConfig::edrx_with(
+            EdrxCycle::Hf16,
+            PtwLength::MAX,  // 4096 frames = 40.96 s
+            DrxCycle::Rf256, // 2.56 s in-window DRX
+        );
+        let s = PagingSchedule::new(&cfg, UeId(123)).unwrap();
+        assert_eq!(s.pos_per_period(), 16); // 4096 / 256
+        let w = TimeWindow::new(SimInstant::ZERO, SimInstant::from_secs(164));
+        let pos = s.pos_in(w);
+        assert_eq!(pos.len(), 16);
+        // All POs lie within one 40.96 s span.
+        let span = *pos.last().unwrap() - pos[0];
+        assert!(span.as_ms() < 40_960, "span {span}");
+    }
+
+    #[test]
+    fn nb_less_than_t_coalesces_paging_frames() {
+        let cfg = PagingConfig {
+            cycle: PagingCycle::Drx(DrxCycle::Rf256),
+            nb: NbParam::QuarterT,
+        };
+        // N = 64 -> PF offset multiples of (T div N) = 4 frames.
+        let s = PagingSchedule::new(&cfg, UeId(3)).unwrap();
+        let po = s.first_po_at_or_after(SimInstant::ZERO);
+        assert_eq!(po.frame() % 4, 0);
+        assert_eq!(po.frame(), 12); // (256/64) * (3 mod 64)
+    }
+
+    #[test]
+    fn last_po_before_is_dual_of_first_after() {
+        let s = drx_schedule(DrxCycle::Rf64, 11);
+        let t = SimInstant::from_secs(100);
+        let before = s.last_po_before(t).unwrap();
+        let after = s.first_po_at_or_after(t);
+        assert!(before < t && t <= after);
+        assert_eq!((after - before).as_ms(), 640);
+    }
+
+    #[test]
+    fn last_po_before_epoch_is_none() {
+        let s = drx_schedule(DrxCycle::Rf64, 11);
+        assert_eq!(s.last_po_before(SimInstant::ZERO), None);
+        // And before the very first PO there is also nothing.
+        let first = s.first_po_at_or_after(SimInstant::ZERO);
+        assert_eq!(s.last_po_before(first), None);
+    }
+
+    #[test]
+    fn edrx_one_po_per_cycle_with_min_ptw() {
+        let s = PagingSchedule::new(&PagingConfig::edrx(EdrxCycle::Hf2), UeId(3)).unwrap();
+        assert_eq!(s.pos_per_period(), 1);
+        let a = s.first_po_at_or_after(SimInstant::ZERO);
+        let b = s.first_po_at_or_after(a + SimDuration::from_ms(1));
+        assert_eq!((b - a).as_ms(), 20_480);
+    }
+
+    #[test]
+    fn edrx_ptw_lands_in_paging_hyperframe() {
+        let ue = UeId(5);
+        let s = PagingSchedule::new(&PagingConfig::edrx(EdrxCycle::Hf4), ue).unwrap();
+        let po = s.first_po_at_or_after(SimInstant::ZERO);
+        // PH: H-SFN mod 4 == 5 mod 4 == 1; i_eDRX = (5/4) mod 4 = 1 ->
+        // PTW starts at SFN 256 of hyperframe 1.
+        assert_eq!(po.hyperframe() % 4, 1);
+        assert!(po.sfn() >= 256 && po.sfn() < 256 + 256);
+    }
+
+    #[test]
+    fn edrx_multiple_pos_with_long_ptw() {
+        let cfg = PagingConfig::edrx_with(
+            EdrxCycle::Hf2,
+            PtwLength::new(4).unwrap(), // 10.24 s window
+            DrxCycle::Rf128,            // 1.28 s in-window DRX
+        );
+        let s = PagingSchedule::new(&cfg, UeId(9)).unwrap();
+        assert_eq!(s.pos_per_period(), 8); // 1024 frames / 128
+        let w = TimeWindow::new(SimInstant::ZERO, SimInstant::from_secs(21));
+        assert_eq!(s.pos_in(w).len(), 8);
+    }
+
+    #[test]
+    fn invalid_ptw_vs_drx_rejected() {
+        let cfg = PagingConfig::edrx_with(EdrxCycle::Hf2, PtwLength::MIN, DrxCycle::Rf256);
+        assert!(cfg.validate().is_ok());
+        // PTW of 2.56 s always fits every DRX <= 2.56 s; force a failure via
+        // direct construction of an inconsistent config is impossible with
+        // standard values, so validate() is exercised through the Ok path
+        // and the error is covered in crate::error tests.
+        let s = PagingSchedule::new(&cfg, UeId(1)).unwrap();
+        assert_eq!(s.pos_per_period(), 1);
+    }
+
+    #[test]
+    fn count_pos_between_matches_iteration() {
+        for (cfg, ue) in [
+            (PagingConfig::drx(DrxCycle::Rf32), 17u32),
+            (PagingConfig::drx(DrxCycle::Rf256), 3),
+            (PagingConfig::edrx(EdrxCycle::Hf2), 40),
+            (
+                PagingConfig::edrx_with(
+                    EdrxCycle::Hf4,
+                    PtwLength::new(2).unwrap(),
+                    DrxCycle::Rf128,
+                ),
+                11,
+            ),
+        ] {
+            let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+            let from = SimInstant::from_secs(13);
+            let to = SimInstant::from_secs(130);
+            let counted = s.count_pos_between(from, to);
+            let iterated = s.iter_from(from).take_while(|&p| p < to).count() as u64;
+            assert_eq!(counted, iterated, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn has_po_in_empty_window_is_false() {
+        let s = drx_schedule(DrxCycle::Rf32, 0);
+        let t = SimInstant::from_secs(5);
+        assert!(!s.has_po_in(TimeWindow::new(t, t)));
+    }
+
+    #[test]
+    fn po_iter_is_strictly_increasing() {
+        let s = PagingSchedule::new(&PagingConfig::edrx(EdrxCycle::Hf2), UeId(123)).unwrap();
+        let pos: Vec<_> = s.iter_from(SimInstant::ZERO).take(5).collect();
+        for w in pos.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn first_multiple_offset_cases() {
+        assert_eq!(first_multiple_offset(0, 8, 3), 3);
+        assert_eq!(first_multiple_offset(5, 8, 3), 6); // 5+6=11, 11 mod 8 = 3
+        assert_eq!(first_multiple_offset(11, 8, 3), 0); // 11 mod 8 == 3
+    }
+}

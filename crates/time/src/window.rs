@@ -1,0 +1,172 @@
+//! Half-open time windows.
+
+use core::fmt;
+
+use crate::{SimDuration, SimInstant};
+
+/// A half-open window of simulation time, `[start, end)`.
+///
+/// The grouping mechanisms use windows of inactivity-timer length (`TI`) to
+/// decide which devices a single multicast transmission can cover (paper
+/// Fig. 2): a transmission at the window end reaches every device with a PO
+/// inside the window, because none of those devices' inactivity timers has
+/// expired yet.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_time::{SimDuration, SimInstant, TimeWindow};
+///
+/// let ti = SimDuration::from_secs(20);
+/// let w = TimeWindow::ending_at(SimInstant::from_secs(100), ti);
+/// assert!(w.contains(SimInstant::from_secs(80)));
+/// assert!(w.contains(SimInstant::from_secs(99)));
+/// assert!(!w.contains(SimInstant::from_secs(100))); // half-open
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimeWindow {
+    start: SimInstant,
+    end: SimInstant,
+}
+
+impl TimeWindow {
+    /// Creates the window `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `end < start`.
+    pub fn new(start: SimInstant, end: SimInstant) -> TimeWindow {
+        assert!(end >= start, "window end {end} precedes start {start}");
+        TimeWindow { start, end }
+    }
+
+    /// Creates the window `[start, start + len)`.
+    pub fn starting_at(start: SimInstant, len: SimDuration) -> TimeWindow {
+        TimeWindow {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Creates the window `[end - len, end)`, clamping the start at the
+    /// epoch.
+    pub fn ending_at(end: SimInstant, len: SimDuration) -> TimeWindow {
+        TimeWindow {
+            start: end.saturating_sub(len),
+            end,
+        }
+    }
+
+    /// Window start (inclusive).
+    #[inline]
+    pub fn start(self) -> SimInstant {
+        self.start
+    }
+
+    /// Window end (exclusive).
+    #[inline]
+    pub fn end(self) -> SimInstant {
+        self.end
+    }
+
+    /// Window length.
+    #[inline]
+    pub fn len(self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// `true` when the window contains no instant.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` lies inside the window.
+    #[inline]
+    pub fn contains(self, t: SimInstant) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// The overlap of two windows, or `None` when they are disjoint.
+    pub fn intersect(self, other: TimeWindow) -> Option<TimeWindow> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(TimeWindow { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// Shifts the whole window later by `d`.
+    pub fn shifted(self, d: SimDuration) -> TimeWindow {
+        TimeWindow {
+            start: self.start + d,
+            end: self.end + d,
+        }
+    }
+}
+
+impl fmt::Display for TimeWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let w = TimeWindow::new(SimInstant::from_ms(10), SimInstant::from_ms(20));
+        assert!(w.contains(SimInstant::from_ms(10)));
+        assert!(w.contains(SimInstant::from_ms(19)));
+        assert!(!w.contains(SimInstant::from_ms(20)));
+        assert!(!w.contains(SimInstant::from_ms(9)));
+    }
+
+    #[test]
+    fn ending_at_clamps_at_epoch() {
+        let w = TimeWindow::ending_at(SimInstant::from_ms(5), SimDuration::from_ms(10));
+        assert_eq!(w.start(), SimInstant::ZERO);
+        assert_eq!(w.len(), SimDuration::from_ms(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes start")]
+    fn reversed_window_panics() {
+        let _ = TimeWindow::new(SimInstant::from_ms(2), SimInstant::from_ms(1));
+    }
+
+    #[test]
+    fn empty_window_contains_nothing() {
+        let t = SimInstant::from_ms(7);
+        let w = TimeWindow::new(t, t);
+        assert!(w.is_empty());
+        assert!(!w.contains(t));
+    }
+
+    #[test]
+    fn intersection() {
+        let a = TimeWindow::new(SimInstant::from_ms(0), SimInstant::from_ms(10));
+        let b = TimeWindow::new(SimInstant::from_ms(5), SimInstant::from_ms(15));
+        let c = a.intersect(b).unwrap();
+        assert_eq!(c.start(), SimInstant::from_ms(5));
+        assert_eq!(c.end(), SimInstant::from_ms(10));
+        let d = TimeWindow::new(SimInstant::from_ms(20), SimInstant::from_ms(30));
+        assert_eq!(a.intersect(d), None);
+        // Touching windows are disjoint (half-open semantics).
+        let e = TimeWindow::new(SimInstant::from_ms(10), SimInstant::from_ms(20));
+        assert_eq!(a.intersect(e), None);
+    }
+
+    #[test]
+    fn shifting_preserves_length() {
+        let w = TimeWindow::starting_at(SimInstant::from_ms(3), SimDuration::from_ms(4));
+        let s = w.shifted(SimDuration::from_ms(10));
+        assert_eq!(s.start(), SimInstant::from_ms(13));
+        assert_eq!(s.len(), w.len());
+    }
+}

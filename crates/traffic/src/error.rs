@@ -1,0 +1,69 @@
+//! Traffic-model errors.
+
+use core::fmt;
+
+/// Errors produced when building or sampling a traffic mix.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrafficError {
+    /// The mix has no classes.
+    EmptyMix,
+    /// A class has a non-positive share or cycle weight.
+    NonPositiveWeight {
+        /// Offending class name.
+        class: String,
+    },
+    /// A class has no cycle options.
+    NoCycles {
+        /// Offending class name.
+        class: String,
+    },
+    /// A paging configuration inside the mix is invalid.
+    InvalidPaging(nbiot_time::TimeError),
+}
+
+impl fmt::Display for TrafficError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrafficError::EmptyMix => f.write_str("traffic mix has no device classes"),
+            TrafficError::NonPositiveWeight { class } => {
+                write!(f, "class {class} has a non-positive weight")
+            }
+            TrafficError::NoCycles { class } => {
+                write!(f, "class {class} has no paging cycle options")
+            }
+            TrafficError::InvalidPaging(e) => write!(f, "invalid paging configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrafficError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrafficError::InvalidPaging(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nbiot_time::TimeError> for TrafficError {
+    fn from(e: nbiot_time::TimeError) -> Self {
+        TrafficError::InvalidPaging(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_descriptive() {
+        assert!(TrafficError::EmptyMix
+            .to_string()
+            .contains("no device classes"));
+        let e = TrafficError::NonPositiveWeight {
+            class: "meters".into(),
+        };
+        assert!(e.to_string().contains("meters"));
+    }
+}

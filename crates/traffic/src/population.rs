@@ -1,0 +1,270 @@
+//! Generated device populations.
+
+use core::fmt;
+
+use nbiot_time::{PagingConfig, PagingSchedule, SimDuration, TimeError, UeId};
+
+/// Index of a device within its population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// The index as `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Index of a device class within its mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
+pub struct ClassId(pub usize);
+
+/// One generated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceProfile {
+    /// Population index.
+    pub id: DeviceId,
+    /// Paging identity (drives PO phase).
+    pub ue: UeId,
+    /// Class this device was sampled from.
+    pub class: ClassId,
+    /// Negotiated paging configuration.
+    pub paging: PagingConfig,
+    /// Mean background uplink reporting interval.
+    pub report_interval: SimDuration,
+}
+
+impl DeviceProfile {
+    /// Resolves this device's paging-occasion schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures (cannot happen for
+    /// populations generated from a validated [`crate::TrafficMix`]).
+    pub fn schedule(&self) -> Result<PagingSchedule, TimeError> {
+        PagingSchedule::new(&self.paging, self.ue)
+    }
+}
+
+/// A generated population of devices, tied to the mix it came from.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Population {
+    mix_name: String,
+    class_names: Vec<String>,
+    devices: Vec<DeviceProfile>,
+}
+
+impl Population {
+    /// Creates a population (normally via
+    /// [`crate::TrafficMix::generate`]).
+    pub fn new(
+        mix_name: String,
+        class_names: Vec<String>,
+        devices: Vec<DeviceProfile>,
+    ) -> Population {
+        Population {
+            mix_name,
+            class_names,
+            devices,
+        }
+    }
+
+    /// Name of the generating mix.
+    pub fn mix_name(&self) -> &str {
+        &self.mix_name
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[DeviceProfile] {
+        &self.devices
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` for an empty population.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Class name lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`ClassId`] that does not belong to this population.
+    pub fn class_name(&self, class: ClassId) -> &str {
+        &self.class_names[class.0]
+    }
+
+    /// The longest paging cycle in the population ("maxDRX" in the paper).
+    ///
+    /// Returns [`SimDuration::ZERO`] for an empty population.
+    pub fn max_cycle(&self) -> SimDuration {
+        self.devices
+            .iter()
+            .map(|d| d.paging.cycle.period())
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Resolves all paging schedules, in device order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first schedule-resolution failure.
+    pub fn schedules(&self) -> Result<Vec<PagingSchedule>, TimeError> {
+        self.devices.iter().map(|d| d.schedule()).collect()
+    }
+
+    /// The sub-population belonging to the named class — the typical
+    /// multicast group for a firmware update, which targets one device
+    /// model. Devices keep their original [`DeviceId`]s.
+    ///
+    /// Returns an empty population for an unknown class name.
+    pub fn filter_by_class(&self, name: &str) -> Population {
+        let devices = self
+            .devices
+            .iter()
+            .filter(|d| self.class_names[d.class.0] == name)
+            .copied()
+            .collect();
+        Population {
+            mix_name: format!("{}:{name}", self.mix_name),
+            class_names: self.class_names.clone(),
+            devices,
+        }
+    }
+
+    /// Splits the population into one sub-population per (non-empty)
+    /// class, in class order.
+    pub fn partition_by_class(&self) -> Vec<(String, Population)> {
+        self.class_names
+            .iter()
+            .map(|name| (name.clone(), self.filter_by_class(name)))
+            .filter(|(_, p)| !p.is_empty())
+            .collect()
+    }
+
+    /// Number of devices per class, in class order (including empty
+    /// classes).
+    pub fn class_counts(&self) -> Vec<(String, usize)> {
+        let mut counts = vec![0usize; self.class_names.len()];
+        for d in &self.devices {
+            counts[d.class.0] += 1;
+        }
+        self.class_names.iter().cloned().zip(counts).collect()
+    }
+}
+
+impl fmt::Display for Population {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} devices from mix {} (max cycle {})",
+            self.len(),
+            self.mix_name,
+            self.max_cycle()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrafficMix;
+    use nbiot_time::{EdrxCycle, PagingCycle};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop(n: usize) -> Population {
+        TrafficMix::ericsson_city()
+            .generate(n, &mut StdRng::seed_from_u64(11))
+            .unwrap()
+    }
+
+    #[test]
+    fn max_cycle_reflects_longest_device() {
+        let mix = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf32));
+        let p = mix.generate(10, &mut StdRng::seed_from_u64(0)).unwrap();
+        assert_eq!(p.max_cycle(), EdrxCycle::Hf32.duration());
+    }
+
+    #[test]
+    fn empty_population_max_cycle_is_zero() {
+        let p = Population::new("empty".into(), vec![], vec![]);
+        assert_eq!(p.max_cycle(), SimDuration::ZERO);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn schedules_resolve_for_generated_population() {
+        let p = pop(300);
+        let schedules = p.schedules().unwrap();
+        assert_eq!(schedules.len(), 300);
+    }
+
+    #[test]
+    fn device_ids_are_sequential() {
+        let p = pop(50);
+        for (i, d) in p.devices().iter().enumerate() {
+            assert_eq!(d.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let p = pop(5);
+        let text = p.to_string();
+        assert!(text.contains("5 devices"));
+        assert!(text.contains("ericsson-city"));
+    }
+
+    #[test]
+    fn filter_by_class_keeps_ids_and_membership() {
+        let p = pop(400);
+        let meters = p.filter_by_class("electricity-meter");
+        assert!(!meters.is_empty());
+        assert!(meters.len() < p.len());
+        for d in meters.devices() {
+            assert_eq!(p.class_name(d.class), "electricity-meter");
+            // Original identity preserved.
+            assert_eq!(p.devices()[d.id.index()].id, d.id);
+        }
+        assert!(p.filter_by_class("no-such-class").is_empty());
+    }
+
+    #[test]
+    fn partition_covers_whole_population() {
+        let p = pop(300);
+        let parts = p.partition_by_class();
+        let total: usize = parts.iter().map(|(_, sub)| sub.len()).sum();
+        assert_eq!(total, p.len());
+        for (name, sub) in &parts {
+            assert!(sub.devices().iter().all(|d| p.class_name(d.class) == name));
+        }
+    }
+
+    #[test]
+    fn class_counts_sum_to_population() {
+        let p = pop(250);
+        let counts = p.class_counts();
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 250);
+        assert_eq!(counts.len(), 7); // city mix classes
+    }
+}

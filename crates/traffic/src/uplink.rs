@@ -1,0 +1,95 @@
+//! Background uplink report traffic.
+
+use rand::Rng;
+
+use nbiot_time::{SimDuration, SimInstant, TimeWindow};
+
+/// Samples the arrival instants of a Poisson reporting process with the
+/// given mean interval over `horizon`.
+///
+/// Used to model the cell's background uplink load (device reports) for the
+/// random-access contention ablation; the grouping mechanisms themselves do
+/// not depend on it.
+///
+/// # Example
+///
+/// ```
+/// use nbiot_traffic::poisson_arrivals;
+/// use nbiot_time::{SimDuration, SimInstant, TimeWindow};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let horizon = TimeWindow::new(SimInstant::ZERO, SimInstant::from_secs(3600));
+/// let arrivals = poisson_arrivals(SimDuration::from_secs(60), horizon, &mut rng);
+/// // Roughly one report per minute over an hour.
+/// assert!((30..=120).contains(&arrivals.len()));
+/// ```
+pub fn poisson_arrivals<R: Rng + ?Sized>(
+    mean_interval: SimDuration,
+    horizon: TimeWindow,
+    rng: &mut R,
+) -> Vec<SimInstant> {
+    let mut arrivals = Vec::new();
+    if mean_interval.is_zero() || horizon.is_empty() {
+        return arrivals;
+    }
+    let mean_ms = mean_interval.as_ms() as f64;
+    let mut t = horizon.start();
+    loop {
+        // Exponential inter-arrival via inverse transform.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let gap_ms = (-u.ln() * mean_ms).ceil().max(1.0) as u64;
+        t += SimDuration::from_ms(gap_ms);
+        if !horizon.contains(t) {
+            break;
+        }
+        arrivals.push(t);
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rate_matches_mean_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let horizon = TimeWindow::new(SimInstant::ZERO, SimInstant::from_secs(100_000));
+        let arrivals = poisson_arrivals(SimDuration::from_secs(100), horizon, &mut rng);
+        // Expect ~1000 arrivals; allow 10 %.
+        assert!(
+            (900..=1100).contains(&arrivals.len()),
+            "{} arrivals",
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_inside_horizon() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let horizon = TimeWindow::new(SimInstant::from_secs(50), SimInstant::from_secs(150));
+        let arrivals = poisson_arrivals(SimDuration::from_secs(5), horizon, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(arrivals.iter().all(|&a| horizon.contains(a)));
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_nothing() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = SimInstant::from_secs(1);
+        assert!(poisson_arrivals(
+            SimDuration::ZERO,
+            TimeWindow::new(SimInstant::ZERO, SimInstant::from_secs(10)),
+            &mut rng
+        )
+        .is_empty());
+        assert!(
+            poisson_arrivals(SimDuration::from_secs(1), TimeWindow::new(t, t), &mut rng).is_empty()
+        );
+    }
+}

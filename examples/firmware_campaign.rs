@@ -1,0 +1,78 @@
+//! Firmware rollout planning: a mobile network operator must push a 1 MB
+//! firmware image to every electricity meter in a cell and wants to know,
+//! *before* committing, what each grouping mechanism will cost in downlink
+//! airtime and device battery.
+//!
+//! This is the paper's motivating scenario (Sec. I): 10-year-battery
+//! devices that still need occasional security updates.
+//!
+//! ```text
+//! cargo run --release --example firmware_campaign
+//! ```
+
+use nbiot_multicast::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+
+    // The update targets one device model: a metering population on the
+    // longest eDRX cycle (10485.76 s — ~175 min, the deepest sleep the
+    // standard allows).
+    let meters = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf1024));
+    let population = meters.generate(500, &mut rng)?;
+
+    let input = GroupingInput::from_population(&population, GroupingParams::default())?;
+    let firmware = DataSize::from_mb(1);
+    let config = SimConfig::default().with_payload(firmware);
+    let profile = PowerProfile::default();
+
+    let transfer = config.npdsch.plan_transfer(firmware);
+    println!("firmware image : {firmware}");
+    println!("one transfer   : {transfer}");
+    println!(
+        "group          : {} meters, cycle 175 min",
+        population.len()
+    );
+    println!(
+        "earliest single-transmission instant (2 x maxDRX): {}\n",
+        input.default_transmission_time()
+    );
+
+    println!(
+        "{:<8} {:>6} {:>16} {:>18} {:>16}",
+        "mech", "tx", "data airtime", "battery (mJ/dev)", "campaign ends"
+    );
+    let mut unicast_airtime = None;
+    for kind in [
+        MechanismKind::Unicast,
+        MechanismKind::DrSc,
+        MechanismKind::DaSc,
+        MechanismKind::DrSi,
+    ] {
+        let result = run_campaign(kind.instantiate().as_ref(), &input, &config, &mut rng)?;
+        let airtime = result.data_airtime();
+        if kind == MechanismKind::Unicast {
+            unicast_airtime = Some(airtime);
+        }
+        let saving = unicast_airtime
+            .map(|u| 100.0 * (1.0 - airtime.as_ms() as f64 / u.as_ms() as f64))
+            .unwrap_or(0.0);
+        println!(
+            "{:<8} {:>6} {:>10} ({saving:>4.0}%) {:>18.1} {:>16}",
+            result.mechanism,
+            result.transmission_count,
+            airtime.to_string(),
+            result.mean_energy_mj(&profile),
+            result.horizon.end().to_string(),
+        );
+    }
+
+    println!(
+        "\nWith every meter on the same 175-minute cycle, DR-SC finds few\n\
+         shareable windows, so its airtime stays close to unicast — exactly\n\
+         the paper's conclusion that DR-SC is impractical. DA-SC and DR-SI\n\
+         spend one transfer's worth of airtime, a ~99.8% saving."
+    );
+    Ok(())
+}

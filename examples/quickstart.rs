@@ -1,0 +1,52 @@
+//! Quickstart: plan and simulate one multicast campaign with each of the
+//! paper's three mechanisms, and print what each one trades away.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nbiot_multicast::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A single NB-IoT cell serving a city-scale device mix: street lights
+    // and alarm panels on short reachability cycles, meters on multi-hour
+    // eDRX.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let population = TrafficMix::ericsson_city().generate(200, &mut rng)?;
+    println!("population: {population}");
+
+    // The multicast job: deliver a 100 kB firmware image to every device.
+    let input = GroupingInput::from_population(&population, GroupingParams::default())?;
+    let config = SimConfig::default(); // 100 kB payload, best-MCS NPDSCH
+
+    println!(
+        "\n{:<8} {:>4} {:>12} {:>14} {:>14} {:>10}",
+        "mech", "tx", "mean wait", "light-sleep", "connected", "compliant"
+    );
+    for kind in MechanismKind::ALL {
+        let mechanism = kind.instantiate();
+        let result = run_campaign(mechanism.as_ref(), &input, &config, &mut rng)?;
+        println!(
+            "{:<8} {:>4} {:>12} {:>12}ms {:>12}ms {:>10}",
+            result.mechanism,
+            result.transmission_count,
+            result.mean_wait.to_string(),
+            format!("{:.0}", result.mean_light_sleep_ms()),
+            format!("{:.0}", result.mean_connected_ms()),
+            if result.standards_compliant {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+
+    println!(
+        "\nDR-SC respects every DRX cycle but needs many transmissions;\n\
+         DA-SC and DR-SI deliver everything in one transmission — DA-SC by\n\
+         temporarily shortening DRX cycles (standards-compliant), DR-SI by\n\
+         extending the paging message (not standards-compliant)."
+    );
+    Ok(())
+}

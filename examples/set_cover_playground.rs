@@ -1,0 +1,91 @@
+//! The DR-SC set-cover formulation, hands-on: reconstructs the paper's
+//! Fig. 3 bipartite instance, solves it with the greedy heuristic, then
+//! runs the windowed solver on a realistic PO timeline so you can watch
+//! the greedy pick transmission windows (the Fig. 4 walkthrough).
+//!
+//! ```text
+//! cargo run --release --example set_cover_playground
+//! ```
+
+use nbiot_multicast::grouping::set_cover::{greedy_set_cover, WindowCover};
+use nbiot_multicast::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Part 1: the paper's Fig. 3 instance ----
+    // Five devices with POs on six frames; TI = one frame. The minimum set
+    // of frames covering every device is {frame 4, frame 5}.
+    println!("Fig. 3 bipartite instance:");
+    let frames: Vec<(u32, Vec<usize>)> = vec![
+        (1, vec![0]),
+        (2, vec![1]),
+        (3, vec![3]),
+        (4, vec![0, 1, 2]),
+        (5, vec![3, 4]),
+        (6, vec![2]),
+    ];
+    for (frame, devices) in &frames {
+        println!(
+            "  frame {frame}: devices {:?}",
+            devices.iter().map(|d| d + 1).collect::<Vec<_>>()
+        );
+    }
+    let sets: Vec<Vec<usize>> = frames.iter().map(|(_, d)| d.clone()).collect();
+    let picked = greedy_set_cover(5, &sets).expect("coverable");
+    println!(
+        "  greedy picks frames {:?} (paper: optimal is frames 4 and 5)\n",
+        picked.iter().map(|i| frames[*i].0).collect::<Vec<_>>()
+    );
+
+    // ---- Part 2: the windowed solver on a live PO timeline (Fig. 4) ----
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let population = TrafficMix::ericsson_city().generate(12, &mut rng)?;
+    let ti = SimDuration::from_secs(10);
+    let horizon = TimeWindow::starting_at(SimInstant::ZERO, SimDuration::from_secs(2 * 21_000));
+
+    let mut events = Vec::new();
+    let mut dense = Vec::new();
+    println!("12-device timeline (TI = {ti}):");
+    for device in population.devices() {
+        let schedule = device.schedule()?;
+        let is_dense = device.paging.cycle.period() <= ti;
+        dense.push(is_dense);
+        let pos = if is_dense {
+            vec![]
+        } else {
+            schedule.pos_in(horizon)
+        };
+        println!(
+            "  {}: cycle {}, {} POs in horizon{}",
+            device.id,
+            device.paging.cycle,
+            pos.len(),
+            if is_dense {
+                " (dense: every window covers it)"
+            } else {
+                ""
+            },
+        );
+        events.push(pos);
+    }
+
+    let slots = WindowCover::new(ti)
+        .solve(horizon.start(), &events, &dense)
+        .expect("coverable");
+    println!("\ngreedy cover -> {} transmissions:", slots.len());
+    for (i, slot) in slots.iter().enumerate() {
+        println!(
+            "  #{:<2} window [{} .. {}) covers {:?}",
+            i + 1,
+            slot.window_start,
+            slot.transmit_at,
+            slot.covered
+                .iter()
+                .map(|d| format!("dev{d}"))
+                .collect::<Vec<_>>()
+        );
+    }
+    println!("\n(each transmission reaches the devices paged inside its window,");
+    println!(" exactly the iterative procedure of the paper's Fig. 4)");
+    Ok(())
+}

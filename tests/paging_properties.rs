@@ -1,0 +1,162 @@
+//! Property-based tests of the TS 36.304 paging-occasion substrate.
+
+use nbiot_multicast::prelude::*;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = PagingConfig> {
+    prop_oneof![
+        prop_oneof![
+            Just(DrxCycle::Rf32),
+            Just(DrxCycle::Rf64),
+            Just(DrxCycle::Rf128),
+            Just(DrxCycle::Rf256),
+        ]
+        .prop_map(PagingConfig::drx),
+        prop_oneof![
+            Just(EdrxCycle::Hf2),
+            Just(EdrxCycle::Hf8),
+            Just(EdrxCycle::Hf64),
+            Just(EdrxCycle::Hf512),
+            Just(EdrxCycle::Hf1024),
+        ]
+        .prop_map(PagingConfig::edrx),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pos_repeat_with_the_cycle_period(cfg in arb_config(), ue in 0u32..100_000) {
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let first = s.first_po_at_or_after(SimInstant::ZERO);
+        let next = s.first_po_at_or_after(first + SimDuration::from_ms(1));
+        prop_assert_eq!(next - first, cfg.cycle.period());
+    }
+
+    #[test]
+    fn first_after_and_last_before_are_adjacent(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+        probe_s in 1u64..50_000,
+    ) {
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let t = SimInstant::from_secs(probe_s);
+        let after = s.first_po_at_or_after(t);
+        prop_assert!(after >= t);
+        if let Some(before) = s.last_po_before(t) {
+            prop_assert!(before < t);
+            // No PO lies strictly between them.
+            prop_assert_eq!(
+                s.first_po_at_or_after(before + SimDuration::from_ms(1)),
+                after
+            );
+        }
+    }
+
+    #[test]
+    fn count_matches_iteration(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+        from_s in 0u64..10_000,
+        span_s in 1u64..40_000,
+    ) {
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let from = SimInstant::from_secs(from_s);
+        let to = SimInstant::from_secs(from_s + span_s);
+        let counted = s.count_pos_between(from, to);
+        let iterated = s.iter_from(from).take_while(|&p| p < to).count() as u64;
+        prop_assert_eq!(counted, iterated);
+    }
+
+    #[test]
+    fn any_window_of_one_cycle_contains_a_po(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+        start_s in 0u64..30_000,
+    ) {
+        // The feasibility property DA-SC and DR-SI rely on: every span of
+        // one full cycle holds at least one PO.
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let w = TimeWindow::starting_at(SimInstant::from_secs(start_s), cfg.cycle.period());
+        prop_assert!(s.has_po_in(w), "no PO in {w} for {cfg:?}");
+    }
+
+    #[test]
+    fn pos_are_strictly_increasing_and_on_schedule(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+    ) {
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let pos: Vec<SimInstant> = s.iter_from(SimInstant::ZERO).take(8).collect();
+        for w in pos.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        for po in pos {
+            prop_assert_eq!(s.first_po_at_or_after(po), po);
+        }
+    }
+
+    #[test]
+    fn different_ue_ids_use_admissible_po_subframes(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+    ) {
+        // With nB = T, the FDD PO subframe is always 9.
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let po = s.first_po_at_or_after(SimInstant::ZERO);
+        prop_assert_eq!(po.subframe_in_frame(), 9);
+    }
+
+    #[test]
+    fn ladder_next_shorter_halves_or_bridges(
+        frames in prop_oneof![
+            Just(64u64), Just(256), Just(2048), Just(65536), Just(1048576)
+        ],
+    ) {
+        let cycle = CycleLadder::from_frames(frames).unwrap();
+        let shorter = CycleLadder::next_shorter(cycle).unwrap();
+        prop_assert!(shorter.period_frames() < frames);
+        // Power-of-two ladder: the next shorter cycle divides this one.
+        prop_assert_eq!(frames % shorter.period_frames(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn schedule_survives_hsfn_wrap(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+    ) {
+        // One full H-SFN cycle is 1024 hyperframes = 10485.76 s; the PO
+        // pattern must continue seamlessly across the wrap (and across the
+        // full 1024 * 1024-frame super-period).
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let wrap = SimInstant::from_ms(1024 * 1024 * 10); // H-SFN wrap
+        let before = s.last_po_before(wrap).unwrap();
+        let after = s.first_po_at_or_after(wrap);
+        let gap = after - before;
+        // Consecutive POs are never farther apart than one full cycle.
+        prop_assert!(gap <= cfg.cycle.period(), "gap {gap} across wrap");
+        // And the pattern one super-period later is an exact translate.
+        let period = SimDuration::from_ms(1024 * 1024 * 10);
+        let translated = s.first_po_at_or_after(after + period);
+        prop_assert_eq!(translated - after, period);
+    }
+
+    #[test]
+    fn count_is_additive_across_wraps(
+        cfg in arb_config(),
+        ue in 0u32..100_000,
+    ) {
+        let s = PagingSchedule::new(&cfg, UeId(ue)).unwrap();
+        let a = SimInstant::from_secs(10_400);
+        let b = SimInstant::from_secs(10_500); // around one H-SFN wrap
+        let c = SimInstant::from_secs(21_000); // around 2 * maxDRX
+        let whole = s.count_pos_between(a, c);
+        let split = s.count_pos_between(a, b) + s.count_pos_between(b, c);
+        prop_assert_eq!(whole, split);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests on the *executed* campaigns: invariants that must
+//! hold for the measured ledgers of every mechanism, across random
+//! populations and seeds.
+
+use nbiot_multicast::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_mix() -> impl Strategy<Value = TrafficMix> {
+    prop_oneof![
+        Just(TrafficMix::ericsson_city()),
+        Just(TrafficMix::short_drx()),
+        prop_oneof![Just(EdrxCycle::Hf8), Just(EdrxCycle::Hf256)]
+            .prop_map(|c| TrafficMix::uniform(PagingCycle::edrx(c))),
+    ]
+}
+
+fn campaign(
+    mix: &TrafficMix,
+    kind: MechanismKind,
+    n: usize,
+    seed: u64,
+) -> (GroupingInput, CampaignResult) {
+    let pop = mix.generate(n, &mut StdRng::seed_from_u64(seed)).unwrap();
+    let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+    let result = run_campaign(
+        kind.instantiate().as_ref(),
+        &input,
+        &SimConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    (input, result)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_device_receives_for_at_least_the_transfer_duration(
+        mix in arb_mix(),
+        kind in proptest::sample::select(MechanismKind::ALL.to_vec()),
+        n in 2usize..40,
+        seed in 0u64..300,
+    ) {
+        let (_, result) = campaign(&mix, kind, n, seed);
+        let transfer = result.transfer.duration;
+        for ledger in &result.ledgers {
+            prop_assert!(
+                ledger.time_in(PowerState::ConnectedReceiving) >= transfer,
+                "{kind}: device received for less than the payload airtime"
+            );
+        }
+    }
+
+    #[test]
+    fn dr_sc_light_sleep_is_bit_identical_to_unicast(
+        mix in arb_mix(),
+        n in 2usize..40,
+        seed in 0u64..300,
+    ) {
+        let (_, unicast) = campaign(&mix, MechanismKind::Unicast, n, seed);
+        let (_, dr_sc) = campaign(&mix, MechanismKind::DrSc, n, seed);
+        for (a, b) in dr_sc.ledgers.iter().zip(&unicast.ledgers) {
+            prop_assert_eq!(a.light_sleep(), b.light_sleep());
+            prop_assert_eq!(a.pos_monitored, b.pos_monitored);
+            prop_assert_eq!(a.pagings_received, b.pagings_received);
+        }
+    }
+
+    #[test]
+    fn paging_and_ra_counts_per_mechanism(
+        mix in arb_mix(),
+        n in 2usize..40,
+        seed in 0u64..300,
+    ) {
+        // Unicast and DR-SC: exactly one page, one RA per device.
+        for kind in [MechanismKind::Unicast, MechanismKind::DrSc] {
+            let (_, res) = campaign(&mix, kind, n, seed);
+            for l in &res.ledgers {
+                prop_assert_eq!(l.pagings_received, 1, "{}", kind);
+                prop_assert_eq!(l.random_accesses, 1, "{}", kind);
+            }
+        }
+        // DR-SI: one page (ordinary or extended), one RA.
+        let (_, dr_si) = campaign(&mix, MechanismKind::DrSi, n, seed);
+        for l in &dr_si.ledgers {
+            prop_assert_eq!(l.pagings_received, 1);
+            prop_assert_eq!(l.random_accesses, 1);
+        }
+        // DA-SC: adapted devices get two pages and two RAs, others one.
+        let (_, da_sc) = campaign(&mix, MechanismKind::DaSc, n, seed);
+        for l in &da_sc.ledgers {
+            prop_assert!(l.pagings_received == 1 || l.pagings_received == 2);
+            prop_assert_eq!(l.random_accesses, l.pagings_received);
+        }
+        // SC-PTM: no paging, no RA at all.
+        let (_, scptm) = campaign(&mix, MechanismKind::ScPtm, n, seed);
+        for l in &scptm.ledgers {
+            prop_assert_eq!(l.pagings_received, 0);
+            prop_assert_eq!(l.random_accesses, 0);
+        }
+    }
+
+    #[test]
+    fn multicast_airtime_is_transmissions_times_transfer(
+        mix in arb_mix(),
+        kind in proptest::sample::select(vec![
+            MechanismKind::DrSc,
+            MechanismKind::DaSc,
+            MechanismKind::DrSi,
+        ]),
+        n in 2usize..40,
+        seed in 0u64..300,
+    ) {
+        let (_, res) = campaign(&mix, kind, n, seed);
+        let recorded = res.bandwidth.airtime(TrafficCategory::MulticastData)
+            + res.bandwidth.airtime(TrafficCategory::UnicastData);
+        prop_assert_eq!(
+            recorded.as_ms(),
+            res.transfer.duration.as_ms() * res.transmission_count as u64
+        );
+    }
+
+    #[test]
+    fn horizon_is_common_across_mechanisms(
+        mix in arb_mix(),
+        n in 2usize..30,
+        seed in 0u64..300,
+    ) {
+        // The accounting horizon must not depend on the mechanism, or the
+        // light-sleep comparison would be meaningless.
+        let horizons: Vec<_> = MechanismKind::ALL
+            .iter()
+            .map(|&k| campaign(&mix, k, n, seed).1.horizon)
+            .collect();
+        for h in &horizons[1..] {
+            prop_assert_eq!(*h, horizons[0]);
+        }
+    }
+
+    #[test]
+    fn analysis_estimate_is_finite_and_bounded(
+        mix in arb_mix(),
+        n in 2usize..80,
+        seed in 0u64..300,
+    ) {
+        let pop = mix.generate(n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let est = nbiot_multicast::grouping::analysis::estimate_dr_sc_transmissions(&input);
+        prop_assert!(est.transmissions.is_finite());
+        prop_assert!(est.transmissions >= 1.0);
+        prop_assert!(est.transmissions <= n as f64 + 1.0);
+        prop_assert_eq!(est.dense_devices + est.sparse_devices, n);
+    }
+}
