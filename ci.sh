@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI pipeline: build, test, lint, and a bench_report smoke run.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: root crate)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench_report smoke (tiny parameters, temp output)"
+SMOKE_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$SMOKE_JSON"' EXIT
+# --out keeps the smoke run's tiny numbers out of the default
+# BENCH_results.json scratch path (the committed full-workload snapshot
+# lives in BENCH_baseline.json).
+cargo run --release -q -p nbiot-bench --bin bench_report -- \
+    --runs 2 --devices 40 --out "$SMOKE_JSON" > /dev/null
+test -s "$SMOKE_JSON"
+echo "smoke report written:"
+grep -A4 '"derived"' "$SMOKE_JSON"
+
+echo "==> CI OK"

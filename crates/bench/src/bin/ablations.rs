@@ -32,12 +32,8 @@ use nbiot_time::SimDuration;
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let base = ExperimentConfig {
-        runs: opts.runs,
-        n_devices: opts.devices,
-        master_seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let mut base = ExperimentConfig::default();
+    opts.apply(&mut base);
 
     ti_sweep(&base, &opts);
     notify_policy(&base, &opts);

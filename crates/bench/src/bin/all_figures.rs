@@ -13,12 +13,8 @@ use nbiot_sim::{run_comparison, sweep_devices, ExperimentConfig};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let base = ExperimentConfig {
-        runs: opts.runs,
-        n_devices: opts.devices,
-        master_seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let mut base = ExperimentConfig::default();
+    opts.apply(&mut base);
 
     // ---------- Fig. 6(a) ----------
     let cmp =

@@ -218,6 +218,8 @@ fn main() {
         let config = ExperimentConfig {
             mix: m.clone(),
             runs: 10,
+            threads: 0, // calibration sweeps are embarrassingly parallel
+
             grouping: GroupingParams {
                 ti: InactivityTimer::new(SimDuration::from_secs(ti_s)),
                 ..GroupingParams::default()

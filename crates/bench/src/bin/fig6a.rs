@@ -17,12 +17,8 @@ use nbiot_sim::{run_comparison, ExperimentConfig};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let config = ExperimentConfig {
-        runs: opts.runs,
-        n_devices: opts.devices,
-        master_seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let mut config = ExperimentConfig::default();
+    opts.apply(&mut config);
     let cmp =
         run_comparison(&config, &MechanismKind::PAPER_MECHANISMS).expect("fig6a comparison failed");
 

@@ -30,12 +30,8 @@ fn main() {
     let mut json_out = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (label, payload) in payloads {
-        let mut config = ExperimentConfig {
-            runs: opts.runs,
-            n_devices: opts.devices,
-            master_seed: opts.seed,
-            ..ExperimentConfig::default()
-        };
+        let mut config = ExperimentConfig::default();
+        opts.apply(&mut config);
         config.sim = config.sim.with_payload(payload);
         let cmp = run_comparison(&config, &MechanismKind::PAPER_MECHANISMS)
             .expect("fig6b comparison failed");

@@ -21,11 +21,8 @@ use nbiot_sim::{sweep_devices, ExperimentConfig};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let config = ExperimentConfig {
-        runs: opts.runs,
-        master_seed: opts.seed,
-        ..ExperimentConfig::default()
-    };
+    let mut config = ExperimentConfig::default();
+    opts.apply(&mut config);
     let sizes: Vec<usize> = (1..=10).map(|k| k * 100).collect();
     let points = sweep_devices(&config, MechanismKind::DrSc, &sizes).expect("fig7 sweep failed");
 

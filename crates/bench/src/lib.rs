@@ -10,10 +10,13 @@
 //! | `fig7`        | Fig. 7         | mean multicast transmissions vs group size (DR-SC) |
 //! | `all_figures` | all of the above | |
 //! | `ablations`   | beyond-paper sensitivity studies | TI, notify policy, adaptation grid, RACH contention |
+//! | `bench_report`| — | machine-trackable wall-clock of the macro workload (`BENCH_results.json`) |
 //!
 //! Common flags: `--runs <u32>` (default 100, the paper's repetition
-//! count), `--devices <usize>`, `--seed <u64>`, `--json` (machine-readable
-//! output).
+//! count), `--devices <usize>`, `--seed <u64>`, `--threads <usize>`
+//! (worker threads for the run fan-out; `0` = all cores, the default;
+//! results are bit-identical for every setting), `--json`
+//! (machine-readable output).
 
 use std::fmt::Write as _;
 
@@ -26,6 +29,10 @@ pub struct FigureOpts {
     pub devices: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for the experiment run fan-out: `0` uses all
+    /// available cores, `1` runs serially. Every setting produces
+    /// bit-identical results; this only trades wall-clock for cores.
+    pub threads: usize,
     /// Emit JSON instead of a text table.
     pub json: bool,
 }
@@ -36,22 +43,33 @@ impl Default for FigureOpts {
             runs: 100,
             devices: 500,
             seed: 0x4E42_494F_5421,
+            threads: 0,
             json: false,
         }
     }
 }
 
 impl FigureOpts {
-    /// Parses `--runs`, `--devices`, `--seed` and `--json` from the process
-    /// arguments, falling back to defaults.
+    /// Parses `--runs`, `--devices`, `--seed`, `--threads` and `--json`
+    /// from the process arguments, falling back to defaults.
     ///
     /// # Panics
     ///
     /// Panics with a usage message on malformed values — appropriate for a
     /// CLI entry point.
     pub fn from_args() -> FigureOpts {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses the shared figure flags from an explicit argument list
+    /// (binaries with extra private flags strip them first).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`FigureOpts::from_args`].
+    pub fn parse(args: impl Iterator<Item = String>) -> FigureOpts {
         let mut opts = FigureOpts::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args;
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--runs" => {
@@ -72,11 +90,17 @@ impl FigureOpts {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--threads" => {
+                    opts.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs an integer (0 = all cores)");
+                }
                 "--json" => opts.json = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--runs N] [--devices N] [--seed N] [--json]\n\
-                         defaults: --runs 100 --devices 500"
+                        "usage: [--runs N] [--devices N] [--seed N] [--threads N] [--json]\n\
+                         defaults: --runs 100 --devices 500 --threads 0 (all cores)"
                     );
                     std::process::exit(0);
                 }
@@ -84,6 +108,14 @@ impl FigureOpts {
             }
         }
         opts
+    }
+
+    /// Applies these options to an experiment configuration.
+    pub fn apply(&self, config: &mut nbiot_sim::ExperimentConfig) {
+        config.runs = self.runs;
+        config.n_devices = self.devices;
+        config.master_seed = self.seed;
+        config.threads = self.threads;
     }
 }
 
@@ -107,25 +139,98 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
             }
         }
     }
-    let mut out = String::new();
-    let mut line = String::new();
-    for (h, w) in headers.iter().zip(&widths) {
-        let _ = write!(line, "{h:<w$}  ");
-    }
-    out.push_str(line.trim_end());
-    out.push('\n');
-    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
-    out.push_str(&"-".repeat(total.saturating_sub(2)));
-    out.push('\n');
-    for row in rows {
+    let render_line = |cells: &mut dyn Iterator<Item = &str>| {
         let mut line = String::new();
-        for (cell, w) in row.iter().zip(&widths) {
+        for (cell, w) in cells.zip(&widths) {
             let _ = write!(line, "{cell:<w$}  ");
         }
-        out.push_str(line.trim_end());
+        line.truncate(line.trim_end().len());
+        line
+    };
+    let header_line = render_line(&mut headers.iter().copied());
+    // The divider spans exactly the header line: every padded column plus
+    // the two-space gutters between columns (the old `sum + 2*cols - 2`
+    // arithmetic under-drew whenever trailing columns were empty and
+    // over-drew the degenerate zero/one-column edge cases).
+    let divider = "-".repeat(header_line.len());
+    let mut out = String::new();
+    out.push_str(&header_line);
+    out.push('\n');
+    out.push_str(&divider);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_line(&mut row.iter().map(String::as_str)));
         out.push('\n');
     }
     out
+}
+
+/// Deterministic synthetic workloads shared by the criterion benches and
+/// the `bench_report` binary, mirroring the structure DR-SC's solvers see
+/// in real campaigns.
+pub mod workload {
+    use nbiot_des::SeedSequence;
+    use nbiot_time::SimInstant;
+    use rand::Rng;
+
+    /// A generalized paper-Fig.-3 frame-cover instance over `n_devices`
+    /// devices: candidate sets are `TI`-length windows tiling the DR-SC
+    /// search horizon, and a window covers every device with a paging
+    /// occasion inside it. A bimodal cycle population (30 % short-cycle
+    /// devices that appear in *every* window — exactly the paper's "dense"
+    /// devices — plus a long-cycle tail) makes the sets wide, which is the
+    /// shape the real mechanism produces before dense-filtering.
+    ///
+    /// Returns `(universe_size, sets)` for
+    /// [`nbiot_grouping::set_cover::greedy_set_cover`].
+    pub fn frame_cover_instance(n_devices: usize, seed: u64) -> (usize, Vec<Vec<usize>>) {
+        let mut rng = SeedSequence::new(seed).rng(0);
+        let ti_ms = 10_000u64;
+        let n_windows = (2 * 2_621_440u64 / ti_ms) as usize; // 2 * longest eDRX
+        let horizon_ms = n_windows as u64 * ti_ms; // whole windows only
+        let long_cycles_ms = [163_840u64, 327_680, 655_360, 1_310_720, 2_621_440];
+        let mut sets: Vec<Vec<usize>> = vec![Vec::new(); n_windows];
+        for d in 0..n_devices {
+            if rng.gen_bool(0.3) {
+                // Dense device: one PO in every window.
+                for set in &mut sets {
+                    set.push(d);
+                }
+            } else {
+                let cycle = long_cycles_ms[rng.gen_range(0..long_cycles_ms.len())];
+                let phase = rng.gen_range(0..cycle);
+                let mut t = phase;
+                while t < horizon_ms {
+                    sets[(t / ti_ms) as usize].push(d);
+                    t += cycle;
+                }
+            }
+        }
+        (n_devices, sets)
+    }
+
+    /// A sparse PO timeline for [`nbiot_grouping::set_cover::WindowCover`]:
+    /// `n_devices` devices with periodic occasions over the DR-SC horizon.
+    ///
+    /// Returns `(events, dense)` in the solver's input shape.
+    pub fn window_cover_instance(
+        n_devices: usize,
+        cycle_s: u64,
+        seed: u64,
+    ) -> (Vec<Vec<SimInstant>>, Vec<bool>) {
+        let mut rng = SeedSequence::new(seed).rng(1);
+        let horizon_ms = 2 * 10_486 * 1000u64;
+        let events = (0..n_devices)
+            .map(|_| {
+                let phase: u64 = rng.gen_range(0..cycle_s * 1000);
+                (0..)
+                    .map(|k| SimInstant::from_ms(phase + k * cycle_s * 1000))
+                    .take_while(|t| t.as_ms() < horizon_ms)
+                    .collect()
+            })
+            .collect();
+        (events, vec![false; n_devices])
+    }
 }
 
 /// Formats a fraction as a signed percentage with sensible precision.
@@ -156,6 +261,59 @@ mod tests {
     }
 
     #[test]
+    fn divider_spans_header_line_exactly() {
+        for headers in [
+            vec!["one"],
+            vec!["a", "b"],
+            vec!["mechanism", "x", "y", "z", "w"],
+        ] {
+            let rows = vec![vec![String::from("v"); headers.len()]];
+            let t = render_table(&headers, &rows);
+            let lines: Vec<&str> = t.lines().collect();
+            assert_eq!(
+                lines[1].len(),
+                lines[0].len(),
+                "divider must match the header width for {headers:?}"
+            );
+            assert!(lines[1].chars().all(|c| c == '-'));
+        }
+    }
+
+    #[test]
+    fn divider_handles_degenerate_tables() {
+        // Zero columns: no divider dashes, no panic.
+        let t = render_table(&[], &[]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "");
+        assert_eq!(lines[1], "");
+        // One short column: the old formula drew sum+2*1-2 = sum dashes,
+        // which happened to fit, but sum+2*cols-2 overdraws wide gutters
+        // once trailing cells go empty; the new divider always matches.
+        let t1 = render_table(&["h"], &[vec!["x".into()]]);
+        let lines1: Vec<&str> = t1.lines().collect();
+        assert_eq!(lines1[1].len(), lines1[0].len());
+    }
+
+    #[test]
+    fn workload_instances_are_coverable_and_solvers_agree() {
+        let (n, sets) = workload::frame_cover_instance(120, 7);
+        assert_eq!(sets.len(), 524);
+        let fast = nbiot_grouping::set_cover::greedy_set_cover(n, &sets);
+        let oracle = nbiot_grouping::set_cover::reference::greedy_set_cover(n, &sets);
+        assert!(fast.is_some(), "tiled windows always cover the horizon");
+        assert_eq!(fast, oracle);
+
+        let (events, dense) = workload::window_cover_instance(40, 2_600, 7);
+        assert!(events.iter().all(|e| !e.is_empty()));
+        let ti = nbiot_time::SimDuration::from_secs(10);
+        let zero = nbiot_time::SimInstant::ZERO;
+        let fast = nbiot_grouping::set_cover::WindowCover::new(ti).solve(zero, &events, &dense);
+        let oracle =
+            nbiot_grouping::set_cover::reference::window_cover_solve(ti, zero, &events, &dense);
+        assert_eq!(fast, oracle);
+    }
+
+    #[test]
     fn pct_precision() {
         assert_eq!(pct(0.1234), "+12.34%");
         assert_eq!(pct(0.0001), "+0.0100%");
@@ -167,5 +325,23 @@ mod tests {
         let o = FigureOpts::default();
         assert_eq!(o.runs, 100);
         assert_eq!(o.devices, 500);
+        assert_eq!(o.threads, 0, "default fan-out uses all cores");
+    }
+
+    #[test]
+    fn apply_transfers_all_fields() {
+        let opts = FigureOpts {
+            runs: 7,
+            devices: 42,
+            seed: 9,
+            threads: 3,
+            json: true,
+        };
+        let mut cfg = nbiot_sim::ExperimentConfig::default();
+        opts.apply(&mut cfg);
+        assert_eq!(cfg.runs, 7);
+        assert_eq!(cfg.n_devices, 42);
+        assert_eq!(cfg.master_seed, 9);
+        assert_eq!(cfg.threads, 3);
     }
 }

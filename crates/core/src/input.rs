@@ -2,7 +2,7 @@
 
 use nbiot_rrc::InactivityTimer;
 use nbiot_time::{CycleLadder, PagingSchedule, SimDuration, SimInstant};
-use nbiot_traffic::{DeviceProfile, Population};
+use nbiot_traffic::{DeviceId, DeviceProfile, Population};
 
 use crate::GroupingError;
 
@@ -38,6 +38,10 @@ pub struct GroupingInput {
     schedules: Vec<PagingSchedule>,
     params: GroupingParams,
     max_cycle: SimDuration,
+    /// `(id, position)` pairs sorted by id: the identity → device-order
+    /// index map, precomputed once so per-campaign execution does no hash
+    /// map construction (recipient lists reference devices by identity).
+    positions: Vec<(DeviceId, usize)>,
 }
 
 impl GroupingInput {
@@ -85,12 +89,27 @@ impl GroupingInput {
             .map(|d| d.paging.cycle.period())
             .max()
             .expect("non-empty");
+        let mut positions: Vec<(DeviceId, usize)> =
+            devices.iter().enumerate().map(|(i, d)| (d.id, i)).collect();
+        positions.sort_unstable();
         Ok(GroupingInput {
             devices,
             schedules,
             params,
             max_cycle,
+            positions,
         })
+    }
+
+    /// The device-order position of the device with identity `id`, or
+    /// `None` when `id` is not part of this group. Binary search over the
+    /// precomputed sorted index — no per-lookup hashing, no per-campaign
+    /// map construction.
+    pub fn position_of(&self, id: DeviceId) -> Option<usize> {
+        self.positions
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|i| self.positions[i].1)
     }
 
     /// The device group.
@@ -237,5 +256,27 @@ mod tests {
         assert_eq!(inp.devices().len(), inp.schedules().len());
         assert_eq!(inp.len(), 40);
         assert!(!inp.is_empty());
+    }
+
+    #[test]
+    fn position_index_resolves_every_device() {
+        let inp = input(40);
+        for (i, dev) in inp.devices().iter().enumerate() {
+            assert_eq!(inp.position_of(dev.id), Some(i));
+        }
+        let absent = nbiot_traffic::DeviceId(u32::MAX);
+        assert!(inp.devices().iter().all(|d| d.id != absent));
+        assert_eq!(inp.position_of(absent), None);
+    }
+
+    #[test]
+    fn position_index_survives_permuted_device_order() {
+        let inp = input(20);
+        let mut devices = inp.devices().to_vec();
+        devices.reverse();
+        let permuted = GroupingInput::from_devices(devices, *inp.params()).unwrap();
+        for (i, dev) in permuted.devices().iter().enumerate() {
+            assert_eq!(permuted.position_of(dev.id), Some(i));
+        }
     }
 }

@@ -42,7 +42,7 @@ pub struct Recommendation {
     /// The selected mechanism.
     pub mechanism: MechanismKind,
     /// Why, in the paper's terms.
-    pub rationale: &'static str,
+    pub rationale: String,
 }
 
 impl fmt::Display for Recommendation {
@@ -74,7 +74,8 @@ pub fn recommend(policy: SelectionPolicy) -> Recommendation {
         return Recommendation {
             mechanism: MechanismKind::DrSi,
             rationale: "excellent energy and bandwidth; acceptable because the \
-                        operator can deploy the mltc-transmission paging extension",
+                        operator can deploy the mltc-transmission paging extension"
+                .into(),
         };
     }
     if policy.energy_critical && policy.bandwidth_unconstrained {
@@ -82,14 +83,16 @@ pub fn recommend(policy: SelectionPolicy) -> Recommendation {
             mechanism: MechanismKind::DrSc,
             rationale: "zero extra sleep energy and standards-compliant; the \
                         many transmissions are tolerable only because bandwidth \
-                        is unconstrained",
+                        is unconstrained"
+                .into(),
         };
     }
     Recommendation {
         mechanism: MechanismKind::DaSc,
         rationale: "single transmission with a small, shrinking-with-payload \
                     uptime overhead and no protocol changes — the paper's best \
-                    trade-off for firmware distribution",
+                    trade-off for firmware distribution"
+            .into(),
     }
 }
 

@@ -18,6 +18,21 @@
 //!   start at some PO, and (b) a device whose cycle is at most `TI` has a
 //!   PO in *every* window, so it never influences the argmax and can be
 //!   attached to the first selected transmission.
+//!
+//! # Performance
+//!
+//! Both solvers run their greedy rounds allocation-free. The generic
+//! greedy packs each set into `u64` bitset rows once up front, so a
+//! round's gain computation is a `popcount(set & !covered)` sweep instead
+//! of a per-element tag-array scan. The timeline solver hoists its
+//! per-round counting buffers into scratch storage sized once per call;
+//! its two-pointer sweep is additionally self-cleaning (every event is
+//! incremented once as a window member and decremented once as an anchor),
+//! so the counter array needs no per-round reset. The original
+//! straightforward implementations are retained verbatim in [`reference`]
+//! as the oracle for equivalence tests
+//! (`tests/setcover_properties.rs`) — both solvers must produce
+//! *identical* picks and slots, not merely equally sized covers.
 
 use nbiot_time::{SimDuration, SimInstant};
 
@@ -28,6 +43,10 @@ use nbiot_time::{SimDuration, SimInstant};
 /// selected sets in selection order, or `None` when the union of all sets
 /// does not cover the universe. Ties are broken towards the lowest set
 /// index, making the result deterministic.
+///
+/// # Panics
+///
+/// Panics when a set contains an element `>= universe_size`.
 ///
 /// # Example
 ///
@@ -49,38 +68,51 @@ use nbiot_time::{SimDuration, SimInstant};
 /// assert_eq!(picked, vec![3, 4]); // frames 4 and 5
 /// ```
 pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
-    let mut covered = vec![false; universe_size];
+    if universe_size == 0 {
+        return Some(Vec::new());
+    }
+    let words = universe_size.div_ceil(64);
+    // Pack each set into a bitset row once; duplicates collapse for free,
+    // which is exactly the unique-gain semantics of the reference solver.
+    let mut rows = vec![0u64; sets.len() * words];
+    for (i, set) in sets.iter().enumerate() {
+        let row = &mut rows[i * words..(i + 1) * words];
+        for &e in set {
+            assert!(
+                e < universe_size,
+                "set {i} contains element {e} outside universe 0..{universe_size}"
+            );
+            row[e / 64] |= 1 << (e % 64);
+        }
+    }
+    let mut covered = vec![0u64; words];
     let mut remaining = universe_size;
     let mut picked = Vec::new();
-    // Gains must count *unique* uncovered elements, or sets with repeated
-    // entries would corrupt the bookkeeping.
-    let mut seen = vec![usize::MAX; universe_size];
-    let mut unique_gain = |set: &[usize], covered: &[bool], tag: usize| {
-        let mut gain = 0;
-        for &e in set {
-            if !covered[e] && seen[e] != tag {
-                seen[e] = tag;
-                gain += 1;
-            }
-        }
-        gain
-    };
-    let mut round = 0usize;
     while remaining > 0 {
-        let mut best: Option<(usize, usize)> = None; // (gain, set index)
-        for (i, set) in sets.iter().enumerate() {
-            let gain = unique_gain(set, &covered, round * sets.len() + i);
-            if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
-                best = Some((gain, i));
+        let mut best_gain = 0usize;
+        let mut best_idx = usize::MAX;
+        for (i, row) in rows.chunks_exact(words).enumerate() {
+            let gain = row
+                .iter()
+                .zip(&covered)
+                .map(|(r, c)| (r & !c).count_ones() as usize)
+                .sum::<usize>();
+            if gain > best_gain {
+                best_gain = gain;
+                best_idx = i;
             }
         }
-        let (gain, idx) = best?;
-        picked.push(idx);
-        for &e in &sets[idx] {
-            covered[e] = true;
+        if best_idx == usize::MAX {
+            return None; // no set adds anything, yet elements remain
         }
-        remaining -= gain;
-        round += 1;
+        picked.push(best_idx);
+        for (c, r) in covered
+            .iter_mut()
+            .zip(&rows[best_idx * words..(best_idx + 1) * words])
+        {
+            *c |= r;
+        }
+        remaining -= best_gain;
     }
     Some(picked)
 }
@@ -104,6 +136,19 @@ pub struct WindowCover {
     ti: SimDuration,
 }
 
+/// Reusable buffers for [`WindowCover::solve`]: sized once per call,
+/// reused across greedy rounds so the rounds allocate nothing.
+#[derive(Debug, Default)]
+struct SolveScratch {
+    /// Flat, time-sorted `(po, device)` events over uncovered sparse
+    /// devices; compacted in place as devices get covered.
+    flat: Vec<(SimInstant, usize)>,
+    /// Per-device occurrence count inside the sliding window.
+    count: Vec<u32>,
+    /// Per-device covered flag.
+    covered: Vec<bool>,
+}
+
 impl WindowCover {
     /// Creates a solver for windows of inactivity-timer length `ti`.
     pub fn new(ti: SimDuration) -> WindowCover {
@@ -123,8 +168,202 @@ impl WindowCover {
     /// Returns the selected transmissions in selection order, or `None`
     /// when some non-dense device has no PO events (it could never be
     /// covered).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `events` and `dense` have different lengths.
     pub fn solve(
         &self,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+    ) -> Option<Vec<CoverSlot>> {
+        assert_eq!(events.len(), dense.len(), "events/dense length mismatch");
+        let n = events.len();
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        for (evs, &is_dense) in events.iter().zip(dense) {
+            if evs.is_empty() && !is_dense {
+                return None;
+            }
+        }
+
+        let mut scratch = SolveScratch::default();
+        // Flat, time-sorted (po, device) list over sparse devices only.
+        scratch.flat.reserve(
+            events
+                .iter()
+                .zip(dense)
+                .filter(|(_, &d)| !d)
+                .map(|(e, _)| e.len())
+                .sum(),
+        );
+        for (d, evs) in events.iter().enumerate() {
+            if !dense[d] {
+                scratch.flat.extend(evs.iter().map(|&t| (t, d)));
+            }
+        }
+        scratch.flat.sort_unstable();
+        scratch.count.resize(n, 0);
+        scratch.covered.resize(n, false);
+
+        let mut uncovered_sparse = dense.iter().filter(|&&d| !d).count();
+        let mut slots: Vec<CoverSlot> = Vec::new();
+
+        while uncovered_sparse > 0 {
+            let slot = self.greedy_round(&mut scratch);
+            uncovered_sparse -= slot.covered.len();
+            slots.push(slot);
+        }
+
+        // Dense devices ride the first transmission; if there is none
+        // (everyone is dense), create one window at the earliest possible
+        // position.
+        let dense_devices: Vec<usize> = (0..n)
+            .filter(|&d| dense[d] && !scratch.covered[d])
+            .collect();
+        if !dense_devices.is_empty() {
+            for &d in &dense_devices {
+                scratch.covered[d] = true;
+            }
+            if let Some(first) = slots.first_mut() {
+                first.covered.extend(dense_devices);
+                first.covered.sort_unstable();
+            } else {
+                let window_start = horizon_start;
+                slots.push(CoverSlot {
+                    window_start,
+                    transmit_at: window_start + self.ti,
+                    covered: dense_devices,
+                });
+            }
+        }
+        debug_assert!(scratch.covered.iter().all(|&c| c));
+        Some(slots)
+    }
+
+    /// One greedy round: a single two-pointer sweep over the remaining
+    /// events picks the best window anchor, then the newly covered devices
+    /// are extracted and their events compacted away. Allocates only the
+    /// returned slot's `covered` list.
+    fn greedy_round(&self, scratch: &mut SolveScratch) -> CoverSlot {
+        let SolveScratch {
+            flat,
+            count,
+            covered,
+        } = scratch;
+        // The sweep below is self-cleaning: every event is counted once
+        // when the right pointer passes it and discounted once when it
+        // becomes the anchor, so `count` is all-zero between rounds.
+        debug_assert!(count.iter().all(|&c| c == 0));
+
+        // For each window anchored at event i, count distinct uncovered
+        // devices with a PO in [flat[i].0, flat[i].0 + TI).
+        let mut distinct = 0usize;
+        let mut best_gain = 0usize;
+        let mut best_anchor = 0usize;
+        let mut j = 0usize;
+        for i in 0..flat.len() {
+            let (start, _) = flat[i];
+            let end = start + self.ti;
+            while j < flat.len() && flat[j].0 < end {
+                let d = flat[j].1;
+                if !covered[d] {
+                    if count[d] == 0 {
+                        distinct += 1;
+                    }
+                    count[d] += 1;
+                }
+                j += 1;
+            }
+            if distinct > best_gain {
+                best_gain = distinct;
+                best_anchor = i;
+            }
+            // Remove the anchor event before moving on.
+            let d = flat[i].1;
+            if !covered[d] {
+                count[d] -= 1;
+                if count[d] == 0 {
+                    distinct -= 1;
+                }
+            }
+        }
+        debug_assert!(best_gain > 0, "uncovered sparse device without events");
+        let window_start = flat[best_anchor].0;
+        let transmit_at = window_start + self.ti;
+        let mut newly: Vec<usize> = flat
+            .iter()
+            .skip(best_anchor)
+            .take_while(|(t, _)| *t < transmit_at)
+            .filter(|(_, d)| !covered[*d])
+            .map(|&(_, d)| d)
+            .collect();
+        newly.sort_unstable();
+        newly.dedup();
+        for &d in &newly {
+            covered[d] = true;
+        }
+        // Compact spent events in place so later sweeps stay cheap.
+        flat.retain(|&(_, d)| !covered[d]);
+        CoverSlot {
+            window_start,
+            transmit_at,
+            covered: newly,
+        }
+    }
+}
+
+/// The original straightforward solvers, retained verbatim as the oracle
+/// for equivalence testing of the bitset/scratch fast paths.
+pub mod reference {
+    use super::{CoverSlot, SimDuration, SimInstant};
+
+    /// Reference greedy set cover: boolean coverage vector plus a tag
+    /// array for unique-gain counting (the pre-bitset implementation).
+    pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+        let mut covered = vec![false; universe_size];
+        let mut remaining = universe_size;
+        let mut picked = Vec::new();
+        // Gains must count *unique* uncovered elements, or sets with
+        // repeated entries would corrupt the bookkeeping.
+        let mut seen = vec![usize::MAX; universe_size];
+        let mut unique_gain = |set: &[usize], covered: &[bool], tag: usize| {
+            let mut gain = 0;
+            for &e in set {
+                if !covered[e] && seen[e] != tag {
+                    seen[e] = tag;
+                    gain += 1;
+                }
+            }
+            gain
+        };
+        let mut round = 0usize;
+        while remaining > 0 {
+            let mut best: Option<(usize, usize)> = None; // (gain, set index)
+            for (i, set) in sets.iter().enumerate() {
+                let gain = unique_gain(set, &covered, round * sets.len() + i);
+                if gain > 0 && best.is_none_or(|(bg, _)| gain > bg) {
+                    best = Some((gain, i));
+                }
+            }
+            let (gain, idx) = best?;
+            picked.push(idx);
+            for &e in &sets[idx] {
+                covered[e] = true;
+            }
+            remaining -= gain;
+            round += 1;
+        }
+        Some(picked)
+    }
+
+    /// Reference timeline solver: allocates its counting buffer afresh
+    /// every round (the pre-scratch implementation). Same greedy, same
+    /// tie-breaking, same output.
+    pub fn window_cover_solve(
+        ti: SimDuration,
         horizon_start: SimInstant,
         events: &[Vec<SimInstant>],
         dense: &[bool],
@@ -164,7 +403,7 @@ impl WindowCover {
             let mut j = 0usize;
             for i in 0..flat.len() {
                 let (start, _) = flat[i];
-                let end = start + self.ti;
+                let end = start + ti;
                 while j < flat.len() && flat[j].0 < end {
                     let d = flat[j].1;
                     if !covered[d] {
@@ -190,7 +429,7 @@ impl WindowCover {
             }
             debug_assert!(best_gain > 0, "uncovered sparse device without events");
             let window_start = flat[best_anchor].0;
-            let transmit_at = window_start + self.ti;
+            let transmit_at = window_start + ti;
             let mut newly: Vec<usize> = flat
                 .iter()
                 .skip(best_anchor)
@@ -204,8 +443,6 @@ impl WindowCover {
                 covered[d] = true;
             }
             uncovered_sparse -= newly.len();
-            // Drop spent events lazily by filtering on the next sweep; for
-            // large rounds compact the flat list to keep sweeps cheap.
             flat.retain(|&(_, d)| !covered[d]);
             slots.push(CoverSlot {
                 window_start,
@@ -226,7 +463,7 @@ impl WindowCover {
                 let window_start = horizon_start;
                 slots.push(CoverSlot {
                     window_start,
-                    transmit_at: window_start + self.ti,
+                    transmit_at: window_start + ti,
                     covered: dense_devices.clone(),
                 });
             }
@@ -283,6 +520,55 @@ mod tests {
             }
         }
         assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn duplicate_elements_count_once() {
+        // A set listing one element many times must not beat a genuine
+        // two-element set.
+        let sets = vec![vec![0, 0, 0, 0], vec![1, 2]];
+        let picked = greedy_set_cover(3, &sets).unwrap();
+        assert_eq!(picked, vec![1, 0]);
+    }
+
+    #[test]
+    fn wide_universe_crosses_word_boundaries() {
+        // 200 elements span four u64 words; cover with overlapping strides.
+        let sets: Vec<Vec<usize>> = (0..20).map(|k| (k * 10..k * 10 + 15).filter(|&e| e < 200).collect()).collect();
+        let picked = greedy_set_cover(200, &sets).unwrap();
+        let mut covered = [false; 200];
+        for i in &picked {
+            for &e in &sets[*i] {
+                covered[e] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        assert_eq!(picked, reference::greedy_set_cover(200, &sets).unwrap());
+    }
+
+    #[test]
+    fn bitset_greedy_matches_reference_exactly() {
+        // Deterministic pseudo-random instances, compared pick-for-pick.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for trial in 0..50 {
+            let n = 1 + next() % 80;
+            let n_sets = 1 + next() % 40;
+            let mut sets: Vec<Vec<usize>> = (0..n_sets)
+                .map(|_| (0..1 + next() % 10).map(|_| next() % n).collect())
+                .collect();
+            if trial % 2 == 0 {
+                sets.push((0..n).collect()); // force coverability half the time
+            }
+            assert_eq!(
+                greedy_set_cover(n, &sets),
+                reference::greedy_set_cover(n, &sets),
+                "trial {trial}: n={n} sets={sets:?}"
+            );
+        }
     }
 
     #[test]
@@ -409,6 +695,35 @@ mod tests {
                     .iter()
                     .any(|&t| t >= s.window_start && t < s.transmit_at));
             }
+        }
+    }
+
+    #[test]
+    fn scratch_solver_matches_reference_exactly() {
+        // Dense/sparse mixtures, compared slot-for-slot.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..40 {
+            let n = 1 + (next() % 30) as usize;
+            let ti = SimDuration::from_ms(50 + next() % 500);
+            let events: Vec<Vec<SimInstant>> = (0..n)
+                .map(|_| {
+                    let mut v: Vec<SimInstant> =
+                        (0..1 + next() % 5).map(|_| ms(next() % 5_000)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let dense: Vec<bool> = (0..n).map(|_| next() % 4 == 0).collect();
+            assert_eq!(
+                WindowCover::new(ti).solve(ms(0), &events, &dense),
+                reference::window_cover_solve(ti, ms(0), &events, &dense),
+                "trial {trial}"
+            );
         }
     }
 }

@@ -15,9 +15,9 @@ use crate::{CampaignResult, SimConfig};
 /// transmission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    /// Ordinary page at a shared PO: every listed device decodes the same
-    /// paging message, then performs random access.
-    PageBatch { first_device: usize },
+    /// Ordinary page at a shared PO: every device of the indexed batch
+    /// decodes the same paging message, then performs random access.
+    PageBatch { batch: usize },
     /// DA-SC adaptation page: decode, random access, reconfigure, release.
     AdaptationPage { device: usize },
     /// DR-SI extended page: decode only (no connection).
@@ -67,15 +67,6 @@ pub(crate) fn execute(
     let mut late_joins = 0u64;
     let mut ra_failures = 0u64;
 
-    // Recipient lists reference devices by identity, which need not equal
-    // the position in the input (e.g. class-filtered sub-populations).
-    let position: std::collections::HashMap<nbiot_traffic::DeviceId, usize> = input
-        .devices()
-        .iter()
-        .enumerate()
-        .map(|(i, d)| (d.id, i))
-        .collect();
-
     // ---- Analytic part: periodic monitoring ----
     for (i, (dp, sched)) in plan.device_plans.iter().zip(input.schedules()).enumerate() {
         let pos = match dp.adaptation {
@@ -107,28 +98,33 @@ pub(crate) fn execute(
     let mut queue: EventQueue<Event> = EventQueue::new();
     // Ordinary pages sharing a paging occasion ride one paging message
     // (PagingRecordList holds up to MAX_PAGING_RECORDS entries), exactly as
-    // a real eNB batches them.
-    let mut page_batches: std::collections::BTreeMap<SimInstant, Vec<usize>> =
-        std::collections::BTreeMap::new();
+    // a real eNB batches them. Batches are built by one stable sort over
+    // the paged devices instead of a per-device ordered-map insertion, and
+    // each batch is addressed by index, so the event loop never searches.
+    let mut paged: Vec<(SimInstant, usize)> = Vec::new();
     for (i, dp) in plan.device_plans.iter().enumerate() {
         if let Some(a) = dp.adaptation {
             queue.schedule(a.page_po, Event::AdaptationPage { device: i });
         }
         if let Some(p) = dp.page {
-            page_batches.entry(p.po).or_default().push(i);
+            paged.push((p.po, i));
         }
         if let Some(m) = dp.mltc {
             queue.schedule(m.po, Event::ExtendedPage { device: i });
             queue.schedule(m.wake_at, Event::Wake { device: i });
         }
     }
-    for (&po, devices) in &page_batches {
-        queue.schedule(
-            po,
-            Event::PageBatch {
-                first_device: devices[0],
-            },
-        );
+    // Stable by PO: devices sharing a PO keep their device-order position.
+    paged.sort_by_key(|&(po, _)| po);
+    let mut page_batches: Vec<(SimInstant, Vec<usize>)> = Vec::new();
+    for (po, device) in paged {
+        match page_batches.last_mut() {
+            Some((batch_po, devices)) if *batch_po == po => devices.push(device),
+            _ => page_batches.push((po, vec![device])),
+        }
+    }
+    for (k, &(po, _)) in page_batches.iter().enumerate() {
+        queue.schedule(po, Event::PageBatch { batch: k });
     }
     for (k, tx) in plan.transmissions.iter().enumerate() {
         queue.schedule(tx.at, Event::Transmit { index: k });
@@ -147,9 +143,9 @@ pub(crate) fn execute(
 
     while let Some((now, event)) = queue.pop() {
         match event {
-            Event::PageBatch { first_device } => {
-                let _ = first_device;
-                let devices = page_batches.get(&now).expect("batch scheduled");
+            Event::PageBatch { batch } => {
+                let devices = &page_batches[batch].1;
+                debug_assert_eq!(page_batches[batch].0, now);
                 // Cell airtime: as many messages as the record capacity
                 // requires.
                 for chunk in devices.chunks(nbiot_rrc::MAX_PAGING_RECORDS) {
@@ -255,7 +251,9 @@ pub(crate) fn execute(
                 };
                 bandwidth.record(data_category, transfer.duration);
                 for &rid in &tx.recipients {
-                    let device = position[&rid];
+                    let device = input
+                        .position_of(rid)
+                        .expect("validated plan recipients are group members");
                     if plan.requires_connection {
                         let Some(p) = pending[device].take() else {
                             debug_assert!(false, "recipient {rid} was never connected");

@@ -1,11 +1,23 @@
 //! The paper's experimental methodology: same populations, mechanisms
 //! compared against the per-run unicast baseline, averaged over runs.
+//!
+//! # Parallel execution
+//!
+//! Every run is a pure function of its [`SeedSequence`] child (seeds derive
+//! per-run via `seq.child(run)`), so runs fan out across
+//! [`ExperimentConfig::threads`] OS threads and their per-run records are
+//! folded back **in run order** on the coordinating thread. The fold is the
+//! same push sequence the serial loop performs, which makes every
+//! [`Summary`] field bit-identical regardless of the thread count —
+//! verified by `comparison_is_thread_count_invariant` below. Each worker
+//! instantiates its mechanism set once and reuses it across all of its
+//! runs instead of re-boxing a planner per run.
 
 use core::fmt;
 
 use nbiot_des::{RunningStats, SeedSequence, Summary};
 use nbiot_energy::PowerProfile;
-use nbiot_grouping::{GroupingInput, GroupingParams, MechanismKind, Unicast};
+use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast};
 use nbiot_traffic::TrafficMix;
 
 use crate::{run_campaign, SimConfig, SimError};
@@ -27,6 +39,10 @@ pub struct ExperimentConfig {
     pub sim: SimConfig,
     /// Power profile used for the supplementary energy-in-Joules metric.
     pub power: PowerProfile,
+    /// Worker threads for the run fan-out: `1` executes serially on the
+    /// calling thread, `0` uses all available cores, any other value that
+    /// many threads. Results are bit-identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -39,12 +55,13 @@ impl Default for ExperimentConfig {
             grouping: GroupingParams::default(),
             sim: SimConfig::default(),
             power: PowerProfile::default(),
+            threads: 1,
         }
     }
 }
 
 /// Aggregated metrics of one mechanism across all runs of an experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MechanismSummary {
     /// Mechanism name.
@@ -66,7 +83,7 @@ pub struct MechanismSummary {
 }
 
 /// The result of comparing several mechanisms under one configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ComparisonResult {
     /// Group size.
@@ -101,15 +118,142 @@ impl fmt::Display for ComparisonResult {
     }
 }
 
+/// The per-run observations for one mechanism (one row of a run record).
+#[derive(Debug, Clone, Copy)]
+struct MechRun {
+    rel_light_sleep: f64,
+    rel_connected: f64,
+    transmissions: f64,
+    mean_wait_s: f64,
+    mean_energy_mj: f64,
+    late_joins: f64,
+    compliant: bool,
+}
+
+/// Resolves a thread-count setting: `0` means all available cores, and no
+/// point spawning more workers than there are runs.
+fn effective_threads(requested: usize, runs: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    threads.clamp(1, runs.max(1))
+}
+
+/// Executes `runs` independent jobs across `threads` workers and returns
+/// their results **indexed by run**, or the error of the lowest-numbered
+/// failing run — exactly what serial execution would surface.
+///
+/// `init` builds one worker-local state (e.g. the instantiated mechanism
+/// set), shared by all runs that worker executes. Each worker stops at its
+/// own first error; the runs it skips come *after* that error in run
+/// order, so the run-order scan below still finds the globally first
+/// failure deterministically while avoiding wasted work on the error
+/// path.
+fn fan_out_runs<T, S, I, J>(
+    runs: usize,
+    threads: usize,
+    init: I,
+    job: J,
+) -> Result<Vec<T>, SimError>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    J: Fn(&mut S, usize) -> Result<T, SimError> + Sync,
+{
+    let threads = effective_threads(threads, runs);
+    let mut records: Vec<Option<Result<T, SimError>>> = Vec::new();
+    records.resize_with(runs, || None);
+    let chunk_size = runs.div_ceil(threads);
+    let run_chunk = |chunk_idx: usize, chunk: &mut [Option<Result<T, SimError>>]| {
+        let mut state = init();
+        for (offset, slot) in chunk.iter_mut().enumerate() {
+            let run = chunk_idx * chunk_size + offset;
+            let record = job(&mut state, run);
+            let failed = record.is_err();
+            *slot = Some(record);
+            if failed {
+                break;
+            }
+        }
+    };
+    if threads <= 1 {
+        run_chunk(0, &mut records);
+    } else {
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in records.chunks_mut(chunk_size).enumerate() {
+                let run_chunk = &run_chunk;
+                scope.spawn(move || run_chunk(chunk_idx, chunk));
+            }
+        });
+    }
+    let mut out = Vec::with_capacity(runs);
+    for slot in records {
+        match slot {
+            Some(Ok(value)) => out.push(value),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("runs are only skipped after an earlier error in their chunk"),
+        }
+    }
+    Ok(out)
+}
+
+/// One comparison run: fresh population, unicast baseline, every requested
+/// mechanism on the same population. `mechanisms` are the worker's reused
+/// planner instances, aligned with `kinds`.
+fn comparison_run(
+    config: &ExperimentConfig,
+    kinds: &[MechanismKind],
+    mechanisms: &[Box<dyn GroupingMechanism>],
+    run: usize,
+) -> Result<Vec<MechRun>, SimError> {
+    let seq = SeedSequence::new(config.master_seed);
+    let run_seq = seq.child(run as u64);
+    let population = config.mix.generate(config.n_devices, &mut run_seq.rng(0))?;
+    let input = GroupingInput::from_population(&population, config.grouping)?;
+    let baseline = run_campaign(&Unicast::new(), &input, &config.sim, &mut run_seq.rng(1))?;
+    let mut rows = Vec::with_capacity(kinds.len());
+    for (i, (kind, mechanism)) in kinds.iter().zip(mechanisms).enumerate() {
+        let result = if *kind == MechanismKind::Unicast {
+            baseline.clone()
+        } else {
+            run_campaign(
+                mechanism.as_ref(),
+                &input,
+                &config.sim,
+                &mut run_seq.rng(2 + i as u64),
+            )?
+        };
+        let rel = result.mean_relative_vs(&baseline);
+        rows.push(MechRun {
+            rel_light_sleep: rel.light_sleep,
+            rel_connected: rel.connected,
+            transmissions: result.transmission_count as f64,
+            mean_wait_s: result.mean_wait.as_secs_f64(),
+            mean_energy_mj: result.mean_energy_mj(&config.power),
+            late_joins: result.late_joins as f64,
+            compliant: result.standards_compliant,
+        });
+    }
+    Ok(rows)
+}
+
 /// Runs the paper's comparison methodology.
 ///
 /// For every run: generate a fresh population, execute the unicast
 /// baseline, then every requested mechanism on the *same* population, and
-/// accumulate per-run means of the relative metrics.
+/// accumulate per-run means of the relative metrics. Runs execute across
+/// [`ExperimentConfig::threads`] workers; the aggregation folds the
+/// per-run records in run order, so the result is bit-identical for every
+/// thread count.
 ///
 /// # Errors
 ///
-/// Propagates population, grouping and plan-validation failures, and
+/// Propagates population, grouping and plan-validation failures (the
+/// lowest-numbered failing run wins, matching serial execution), and
 /// rejects degenerate configurations.
 pub fn run_comparison(
     config: &ExperimentConfig,
@@ -121,36 +265,29 @@ pub fn run_comparison(
             runs: config.runs,
         });
     }
-    let seq = SeedSequence::new(config.master_seed);
+    let records = fan_out_runs(
+        config.runs as usize,
+        config.threads,
+        || {
+            kinds
+                .iter()
+                .map(|k| k.instantiate())
+                .collect::<Vec<Box<dyn GroupingMechanism>>>()
+        },
+        |mechanisms, run| comparison_run(config, kinds, mechanisms, run),
+    )?;
+
     let mut acc: Vec<(MechanismKind, MechStats)> =
         kinds.iter().map(|&k| (k, MechStats::default())).collect();
-
-    for run in 0..config.runs {
-        let run_seq = seq.child(run as u64);
-        let population = config.mix.generate(config.n_devices, &mut run_seq.rng(0))?;
-        let input = GroupingInput::from_population(&population, config.grouping)?;
-        let baseline = run_campaign(&Unicast::new(), &input, &config.sim, &mut run_seq.rng(1))?;
-        for (i, (kind, stats)) in acc.iter_mut().enumerate() {
-            let result = if *kind == MechanismKind::Unicast {
-                baseline.clone()
-            } else {
-                run_campaign(
-                    kind.instantiate().as_ref(),
-                    &input,
-                    &config.sim,
-                    &mut run_seq.rng(2 + i as u64),
-                )?
-            };
-            let rel = result.mean_relative_vs(&baseline);
-            stats.rel_light_sleep.push(rel.light_sleep);
-            stats.rel_connected.push(rel.connected);
-            stats.transmissions.push(result.transmission_count as f64);
-            stats.mean_wait_s.push(result.mean_wait.as_secs_f64());
-            stats
-                .mean_energy_mj
-                .push(result.mean_energy_mj(&config.power));
-            stats.late_joins.push(result.late_joins as f64);
-            stats.compliant &= result.standards_compliant;
+    for rows in records {
+        for ((_, stats), row) in acc.iter_mut().zip(rows) {
+            stats.rel_light_sleep.push(row.rel_light_sleep);
+            stats.rel_connected.push(row.rel_connected);
+            stats.transmissions.push(row.transmissions);
+            stats.mean_wait_s.push(row.mean_wait_s);
+            stats.mean_energy_mj.push(row.mean_energy_mj);
+            stats.late_joins.push(row.late_joins);
+            stats.compliant &= row.compliant;
         }
     }
 
@@ -199,7 +336,7 @@ impl Default for MechStats {
 }
 
 /// One point of a group-size sweep (Fig. 7).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SweepPoint {
     /// Group size.
@@ -212,9 +349,13 @@ pub struct SweepPoint {
 
 /// Sweeps group sizes for one mechanism — the Fig. 7 x-axis.
 ///
+/// Runs of each point fan out across [`ExperimentConfig::threads`] workers
+/// with the same run-order fold as [`run_comparison`], so every point is
+/// bit-identical for every thread count.
+///
 /// # Errors
 ///
-/// Propagates [`run_comparison`] failures.
+/// Propagates population, grouping and plan-validation failures.
 pub fn sweep_devices(
     base: &ExperimentConfig,
     kind: MechanismKind,
@@ -224,21 +365,29 @@ pub fn sweep_devices(
     for &n in sizes {
         let mut config = base.clone();
         config.n_devices = n;
-        let seq = SeedSequence::new(config.master_seed);
+        let records = fan_out_runs(
+            config.runs as usize,
+            config.threads,
+            || kind.instantiate(),
+            |mechanism, run| {
+                let seq = SeedSequence::new(config.master_seed);
+                let run_seq = seq.child(run as u64);
+                let population = config.mix.generate(n, &mut run_seq.rng(0))?;
+                let input = GroupingInput::from_population(&population, config.grouping)?;
+                let result = run_campaign(
+                    mechanism.as_ref(),
+                    &input,
+                    &config.sim,
+                    &mut run_seq.rng(2),
+                )?;
+                Ok(result.transmission_count)
+            },
+        )?;
         let mut transmissions = RunningStats::new();
         let mut ratio = RunningStats::new();
-        for run in 0..config.runs {
-            let run_seq = seq.child(run as u64);
-            let population = config.mix.generate(n, &mut run_seq.rng(0))?;
-            let input = GroupingInput::from_population(&population, config.grouping)?;
-            let result = run_campaign(
-                kind.instantiate().as_ref(),
-                &input,
-                &config.sim,
-                &mut run_seq.rng(2),
-            )?;
-            transmissions.push(result.transmission_count as f64);
-            ratio.push(result.transmission_count as f64 / n as f64);
+        for count in records {
+            transmissions.push(count as f64);
+            ratio.push(count as f64 / n as f64);
         }
         points.push(SweepPoint {
             n_devices: n,
@@ -333,6 +482,70 @@ mod tests {
             a.mechanism("DR-SI").unwrap().rel_connected.mean,
             b.mechanism("DR-SI").unwrap().rel_connected.mean
         );
+    }
+
+    #[test]
+    fn comparison_is_thread_count_invariant() {
+        // The acceptance bar: every Summary field of every mechanism must
+        // be bit-identical between serial and parallel execution.
+        let base = ExperimentConfig {
+            n_devices: 25,
+            runs: 6,
+            ..ExperimentConfig::default()
+        };
+        let serial = run_comparison(&base, &MechanismKind::ALL).unwrap();
+        for threads in [2, 3, 8, 0] {
+            let parallel = run_comparison(
+                &ExperimentConfig {
+                    threads,
+                    ..base.clone()
+                },
+                &MechanismKind::ALL,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let base = ExperimentConfig {
+            runs: 4,
+            ..small_config()
+        };
+        let serial = sweep_devices(&base, MechanismKind::DrSc, &[10, 25]).unwrap();
+        let parallel = sweep_devices(
+            &ExperimentConfig {
+                threads: 8,
+                ..base
+            },
+            MechanismKind::DrSc,
+            &[10, 25],
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_errors_match_serial_errors() {
+        // A TI shorter than the shortest cycle fails in every run; the
+        // parallel path must surface the same (first-run) error.
+        let mut cfg = small_config();
+        cfg.runs = 5;
+        cfg.grouping.ti =
+            nbiot_rrc::InactivityTimer::new(nbiot_time::SimDuration::from_ms(1));
+        let serial = run_comparison(&cfg, &[MechanismKind::DrSc]).unwrap_err();
+        cfg.threads = 4;
+        let parallel = run_comparison(&cfg, &[MechanismKind::DrSc]).unwrap_err();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto_and_clamps() {
+        assert_eq!(effective_threads(1, 100), 1);
+        assert_eq!(effective_threads(16, 4), 4);
+        assert!(effective_threads(0, 100) >= 1);
+        assert_eq!(effective_threads(3, 0), 1);
     }
 
     #[test]

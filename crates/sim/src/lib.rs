@@ -17,6 +17,12 @@
 //!   of the same run, averaged over `runs` repetitions,
 //! * [`sweep_devices`] — the Fig. 7 x-axis (group sizes 100…1000).
 //!
+//! Experiment runs fan out across [`ExperimentConfig::threads`] OS threads
+//! (`0` = all cores, `1` = serial). Each run is a pure function of its
+//! per-run seed and the per-run records are folded in run order, so the
+//! results are **bit-identical for every thread count** — parallelism only
+//! buys wall-clock.
+//!
 //! Accounting model (documented in DESIGN.md): protocol actions (pagings,
 //! random access, reconfigurations, T322 wake-ups, transmissions) are
 //! simulated as discrete events; strictly periodic background PO

@@ -1,0 +1,77 @@
+//! The parallel experiment harness must be a pure wall-clock optimization:
+//! every `ComparisonResult`/`SweepPoint` field bit-identical for every
+//! thread count, and errors surfaced identically.
+
+use nbiot_multicast::prelude::*;
+use nbiot_sim::sweep_devices;
+
+fn base_config() -> ExperimentConfig {
+    ExperimentConfig {
+        n_devices: 30,
+        runs: 8,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn comparison_threads_1_vs_8_bit_identical() {
+    let serial = run_comparison(&base_config(), &MechanismKind::ALL).unwrap();
+    let parallel = run_comparison(
+        &ExperimentConfig {
+            threads: 8,
+            ..base_config()
+        },
+        &MechanismKind::ALL,
+    )
+    .unwrap();
+    // PartialEq over ComparisonResult covers every Summary field (n, mean,
+    // std_dev, ci95, min, max) of every metric of every mechanism.
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn comparison_auto_threads_bit_identical() {
+    let serial = run_comparison(&base_config(), &MechanismKind::PAPER_MECHANISMS).unwrap();
+    let auto = run_comparison(
+        &ExperimentConfig {
+            threads: 0,
+            ..base_config()
+        },
+        &MechanismKind::PAPER_MECHANISMS,
+    )
+    .unwrap();
+    assert_eq!(serial, auto);
+}
+
+#[test]
+fn sweep_threads_1_vs_8_bit_identical() {
+    let cfg = base_config();
+    let serial = sweep_devices(&cfg, MechanismKind::DrSc, &[10, 20, 35]).unwrap();
+    let parallel = sweep_devices(
+        &ExperimentConfig { threads: 8, ..cfg },
+        MechanismKind::DrSc,
+        &[10, 20, 35],
+    )
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn thread_counts_beyond_runs_still_identical() {
+    // More workers than runs: the fan-out clamps and stays correct.
+    let cfg = ExperimentConfig {
+        runs: 3,
+        threads: 64,
+        ..base_config()
+    };
+    let wide = run_comparison(&cfg, &[MechanismKind::DaSc]).unwrap();
+    let narrow = run_comparison(
+        &ExperimentConfig {
+            threads: 1,
+            ..cfg.clone()
+        },
+        &[MechanismKind::DaSc],
+    )
+    .unwrap();
+    assert_eq!(wide, narrow);
+}

@@ -1,7 +1,7 @@
 //! Property-based tests of the set-cover solvers, including a brute-force
 //! optimality reference on small instances.
 
-use nbiot_multicast::grouping::set_cover::{greedy_set_cover, WindowCover};
+use nbiot_multicast::grouping::set_cover::{greedy_set_cover, reference, WindowCover};
 use nbiot_multicast::prelude::*;
 use proptest::prelude::*;
 
@@ -153,6 +153,50 @@ proptest! {
             }
             None => prop_assert!(!coverable),
         }
+    }
+
+    #[test]
+    fn bitset_greedy_is_pick_identical_to_reference(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0usize..40, 0..12),
+            1..30
+        ),
+    ) {
+        // The bitset fast path must reproduce the reference oracle's picks
+        // exactly (same sets, same order), including the None cases.
+        prop_assert_eq!(
+            greedy_set_cover(40, &sets),
+            reference::greedy_set_cover(40, &sets)
+        );
+    }
+
+    #[test]
+    fn scratch_window_solver_is_slot_identical_to_reference(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0u64..50_000, 0..6),
+            1..25
+        ),
+        dense_bits in proptest::collection::vec(0u8..4, 1..25),
+        ti_ms in 100u64..2_000,
+    ) {
+        let events: Vec<Vec<SimInstant>> = raw
+            .iter()
+            .map(|d| {
+                let mut v: Vec<SimInstant> = d.iter().map(|&m| SimInstant::from_ms(m)).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        // Random dense flags (aligned with events, padded with false).
+        let dense: Vec<bool> = (0..events.len())
+            .map(|i| dense_bits.get(i).is_some_and(|&b| b == 0))
+            .collect();
+        let ti = SimDuration::from_ms(ti_ms);
+        prop_assert_eq!(
+            WindowCover::new(ti).solve(SimInstant::ZERO, &events, &dense),
+            reference::window_cover_solve(ti, SimInstant::ZERO, &events, &dense)
+        );
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Offline, dependency-free stand-in for
+//! [`criterion`](https://crates.io/crates/criterion): the `Criterion` /
+//! `BenchmarkGroup` / `Bencher` API subset this workspace's benches use,
+//! measured with plain wall-clock timing.
+//!
+//! No statistical machinery — each benchmark is auto-calibrated to a target
+//! measurement time, then reports mean ns/iter over a few samples (with the
+//! min/max spread). Honest enough to track order-of-magnitude perf
+//! trajectories in CI logs; not a substitute for upstream criterion's
+//! analysis.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Runs the timed closure of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u32,
+    measured: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, auto-calibrating the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that runs ~50ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 30 {
+                break;
+            }
+            iters = if elapsed < Duration::from_micros(50) {
+                iters * 128
+            } else {
+                iters * 2
+            };
+        }
+        // Measure.
+        self.measured.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.measured.push(ns);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.measured.is_empty() {
+            println!("{label:<40} (no measurement)");
+            return;
+        }
+        let mean = self.measured.iter().sum::<f64>() / self.measured.len() as f64;
+        let min = self.measured.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self
+            .measured
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{label:<40} {:>14}/iter (min {}, max {})",
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: u32,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour the substring filter `cargo bench -- <filter>` passes.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            samples: 5,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, label: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| label.contains(f))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        if !self.enabled(label) {
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            measured: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(label);
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (kept for API compatibility).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.criterion.samples = (samples as u32).clamp(2, 100);
+        self
+    }
+
+    /// Benchmarks one function with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion {
+            samples: 2,
+            filter: None,
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1u64 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_and_filters() {
+        let mut c = Criterion {
+            samples: 2,
+            filter: Some("match-me".into()),
+        };
+        let mut matched = false;
+        let mut skipped = false;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("match-me", 1), &1, |b, _| {
+            b.iter(|| black_box(0));
+            matched = true;
+        });
+        g.bench_with_input(BenchmarkId::new("other", 1), &1, |b, _| {
+            b.iter(|| black_box(0));
+            skipped = true;
+        });
+        g.finish();
+        assert!(matched);
+        assert!(!skipped);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.0), "12.0 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_500_000.0), "2.50 ms");
+    }
+}

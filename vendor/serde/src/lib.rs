@@ -1,0 +1,413 @@
+//! Offline, dependency-free stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal self-describing implementation: types serialize into a JSON-like
+//! [`Value`] tree and deserialize back from it. The derive macros
+//! (`#[derive(Serialize, Deserialize)]`, re-exported from the vendored
+//! `serde_derive`) generate the same externally-tagged representation real
+//! serde uses by default, so archived JSON keeps the familiar shape.
+//!
+//! Only the API surface this workspace touches is provided: the `Serialize`
+//! and `Deserialize` traits (with much simpler signatures than upstream),
+//! `de::DeserializeOwned`, and impls for the primitives and std containers
+//! the workspace serializes.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (a JSON document model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object: insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, when this value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, when this value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string slice, when this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can serialize itself into a [`Value`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can reconstruct itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Deserializes from `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first shape/range mismatch.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Upstream-compatible module path for the owned-deserialization bound.
+pub mod de {
+    /// Marker for types deserializable without borrowing from the input —
+    /// every [`Deserialize`](crate::Deserialize) in this model.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// Looks up a field in an object body (derive-macro support).
+///
+/// # Errors
+///
+/// Returns an [`Error`] naming the missing field.
+pub fn field<'v>(entries: &'v [(String, Value)], name: &str) -> Result<&'v Value, Error> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))
+}
+
+// ---- primitive impls ----
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = match *value {
+                    Value::U64(x) => x,
+                    Value::I64(x) if x >= 0 => x as u64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match *value {
+                    Value::I64(x) => x,
+                    Value::U64(x) => i64::try_from(x)
+                        .map_err(|_| Error::custom(format!("{x} out of range for i64")))?,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::F64(x) => Ok(x),
+            Value::U64(x) => Ok(x as f64),
+            Value::I64(x) => Ok(x as f64),
+            ref other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            ref other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {value:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        T::to_value(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected {N}-element array, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::custom(format!("expected 2-element array, got {value:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => render_key(&other),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize
+    for std::collections::BTreeMap<K, V>
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {value:?}")))?;
+        entries
+            .iter()
+            .map(|(k, v)| Ok((K::from_value(&Value::Str(k.clone()))?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+/// Renders a non-string [`Value`] as an object key (map keys must be strings
+/// in the JSON model).
+fn render_key(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = "hello".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<u32> = Some(9);
+        assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&n.to_value()).unwrap(), n);
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(u32::from_value(&Value::Str("x".into())).is_err());
+    }
+}

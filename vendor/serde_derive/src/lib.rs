@@ -1,0 +1,441 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates the same externally-tagged shape real serde produces by
+//! default: structs become objects, newtype structs unwrap to their inner
+//! value, unit enum variants become strings, payload variants become
+//! single-entry objects. Parsing is hand-rolled over `proc_macro` token
+//! trees (no `syn`/`quote` available offline); generics are not supported —
+//! no serialized type in this workspace is generic.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum TypeDef {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the vendored `serde::Serialize`.
+///
+/// The `serde` helper attribute is accepted and ignored: the only form this
+/// workspace uses is `#[serde(transparent)]` on newtype structs, which is
+/// already this derive's default newtype behaviour.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_type(input);
+    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+}
+
+// ---- parsing ----
+
+fn parse_type(input: TokenStream) -> TypeDef {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility up to `struct` / `enum`.
+    let kind = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let text = id.to_string();
+                if text == "struct" || text == "enum" {
+                    break text;
+                }
+                // `pub` (possibly followed by a `(crate)` group) — skip.
+                if text == "pub" {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("derive input without struct/enum keyword"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde derive does not support generic type `{name}`");
+        }
+    }
+    if kind == "struct" {
+        let fields = match tokens.next() {
+            None => Fields::Unit,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            other => panic!("unexpected token after struct name: {other:?}"),
+        };
+        TypeDef::Struct { name, fields }
+    } else {
+        let body = match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            Some(other) => panic!("unexpected token in enum `{name}`: {other:?}"),
+            None => panic!("enum `{name}` without a body"),
+        };
+        TypeDef::Enum {
+            name,
+            variants: parse_variants(body.stream()),
+        }
+    }
+}
+
+/// Counts the top-level comma-separated fields of a tuple struct/variant,
+/// tracking `<`/`>` nesting so `BTreeMap<K, V>` counts as one field.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut in_field = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                in_field = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_field {
+            in_field = true;
+            fields += 1;
+        }
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        // Skip attributes and visibility.
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in field list: {other:?}"),
+                None => return names,
+            }
+        };
+        names.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => return names,
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let name = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("unexpected token in enum body: {other:?}"),
+                None => return variants,
+            }
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                tokens.next();
+                Fields::Named(names)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+// ---- code generation ----
+
+fn gen_serialize(def: &TypeDef) -> String {
+    match def {
+        TypeDef::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(k) => {
+                    let items: Vec<String> = (0..*k)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => object_literal(
+                    names
+                        .iter()
+                        .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})"))),
+                ),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        TypeDef::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => {},",
+                            tagged(vname, "::serde::Serialize::to_value(f0)")
+                        ),
+                        Fields::Tuple(k) => {
+                            let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => {},",
+                                binds.join(", "),
+                                tagged(
+                                    vname,
+                                    &format!(
+                                        "::serde::Value::Array(::std::vec![{}])",
+                                        items.join(", ")
+                                    )
+                                )
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let body = object_literal(fields.iter().map(|f| {
+                                (f.clone(), format!("::serde::Serialize::to_value({f})"))
+                            }));
+                            format!(
+                                "{name}::{vname} {{ {} }} => {},",
+                                fields.join(", "),
+                                tagged(vname, &body)
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let body = match def {
+        TypeDef::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Fields::Tuple(k) => {
+                let items: Vec<String> = (0..*k)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_array().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     if items.len() != {k} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                let fields: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::field(entries, \"{f}\")?)?,"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let entries = value.as_object().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    fields.join("\n")
+                )
+            }
+        },
+        TypeDef::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let build = match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(body)?))"
+                        ),
+                        Fields::Tuple(k) => {
+                            let items: Vec<String> = (0..*k)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "let items = body.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 if items.len() != {k} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"wrong arity for {name}::{vname}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(entries, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "let entries = body.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})",
+                                inits.join("\n")
+                            )
+                        }
+                    };
+                    format!("\"{vname}\" => {{ {build} }},")
+                })
+                .collect();
+            format!(
+                "match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, body) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unexpected value {{other:?}} for {name}\"))),\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    let name = match def {
+        TypeDef::Struct { name, .. } | TypeDef::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn object_literal(entries: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = entries
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn tagged(variant: &str, body: &str) -> String {
+    format!(
+        "::serde::Value::Object(::std::vec![\
+         (::std::string::String::from(\"{variant}\"), {body})])"
+    )
+}

@@ -1,0 +1,403 @@
+//! Offline, dependency-free stand-in for
+//! [`serde_json`](https://crates.io/crates/serde_json): JSON text encoding
+//! and decoding over the vendored `serde` [`Value`] model.
+//!
+//! Numbers roundtrip exactly: floats are printed with Rust's
+//! shortest-roundtrip formatting and reparsed with `str::parse::<f64>`,
+//! both of which are exact inverses.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+use std::str::Chars;
+
+pub use serde::Value;
+use serde::{de::DeserializeOwned, Serialize};
+
+/// JSON encoding/decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to compact JSON text.
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors the upstream signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON text (two-space indent).
+///
+/// # Errors
+///
+/// Infallible in this model; the `Result` mirrors the upstream signature.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = parse_value_text(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Builds a [`Value`] object from `"key": expr` pairs; every value position
+/// accepts anything implementing the vendored `serde::Serialize`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::to_value(&$item)),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $((::std::string::String::from($key), $crate::to_value(&$val))),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+// ---- encoding ----
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => write_f64(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; mirror upstream's lossy `null`.
+        out.push_str("null");
+        return;
+    }
+    let text = format!("{x}");
+    out.push_str(&text);
+    // Keep the float/integer distinction through a text roundtrip.
+    if !text.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- decoding ----
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<Chars<'a>>,
+}
+
+fn parse_value_text(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        chars: text.chars().peekable(),
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.chars.peek().is_some() {
+        return Err(Error("trailing characters after JSON value".into()));
+    }
+    Ok(value)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.chars.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), Error> {
+        match self.chars.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(Error(format!("expected `{c}`, got `{got}`"))),
+            None => Err(Error(format!("expected `{c}`, got end of input"))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.chars.peek().copied() {
+            Some('{') => self.parse_object(),
+            Some('[') => self.parse_array(),
+            Some('"') => Ok(Value::Str(self.parse_string()?)),
+            Some('t') => self.parse_keyword("true", Value::Bool(true)),
+            Some('f') => self.parse_keyword("false", Value::Bool(false)),
+            Some('n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error(format!("unexpected character `{c}`"))),
+            None => Err(Error("unexpected end of input".into())),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        for expected in word.chars() {
+            self.expect(expected)?;
+        }
+        Ok(value)
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect('{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&'}') {
+            self.chars.next();
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some('}') => return Ok(Value::Object(entries)),
+                other => return Err(Error(format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.chars.peek() == Some(&']') {
+            self.chars.next();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.chars.next() {
+                Some(',') => continue,
+                Some(']') => return Ok(Value::Array(items)),
+                other => return Err(Error(format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.chars.next() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self
+                                .chars
+                                .next()
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            code = code * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| Error(format!("bad hex digit `{c}`")))?;
+                        }
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error(format!("bad codepoint {code}")))?,
+                        );
+                    }
+                    other => return Err(Error(format!("bad escape {other:?}"))),
+                },
+                Some(c) => s.push(c),
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let mut text = String::new();
+        while let Some(&c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(c);
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        if text.contains(['.', 'e', 'E']) {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<u64>()
+                .map(|x| Value::I64(-(x as i64)))
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error(format!("bad number `{text}`: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        for text in ["null", "true", "false", "42", "-7", "1.5", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            let back = to_string(&v).unwrap();
+            let v2: Value = from_str(&back).unwrap();
+            assert_eq!(v, v2, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_roundtrip_exactly() {
+        for x in [0.1, 1.0 / 3.0, f64::MAX, 5e-324, 123456.789, -0.25] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_keep_their_type() {
+        let text = to_string(&2.0f64).unwrap();
+        assert_eq!(text, "2.0");
+        let v: Value = from_str(&text).unwrap();
+        assert_eq!(v, Value::F64(2.0));
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\te\u{1}".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn nested_pretty_parses_back() {
+        let v = json!({
+            "name": "test",
+            "items": [1u64, 2u64, 3u64],
+            "nested": 0.5,
+        });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n"));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("\"open").is_err());
+    }
+}
