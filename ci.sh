@@ -16,9 +16,22 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> figures --scenario smoke (named scenario + TOML file round-trip)"
+SMOKE_SCN="$(mktemp /tmp/figures_smoke.XXXXXX.toml)"
+trap 'rm -f "$SMOKE_SCN"' EXIT
+cargo run --release -q -p nbiot-bench --bin figures -- --list > /dev/null
+cargo run --release -q -p nbiot-bench --bin figures -- \
+    --scenario fig6a --dump toml > "$SMOKE_SCN"
+# The dumped template must load back and execute with CLI overrides.
+cargo run --release -q -p nbiot-bench --bin figures -- \
+    --scenario "$SMOKE_SCN" --runs 2 --devices 30 --threads 2 > /dev/null
+cargo run --release -q -p nbiot-bench --bin figures -- \
+    --scenario bursty-alarm --runs 2 --devices 30 --json > /dev/null
+echo "figures smoke OK"
+
 echo "==> bench_report smoke (tiny parameters, temp output)"
 SMOKE_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$SMOKE_JSON"' EXIT
+trap 'rm -f "$SMOKE_JSON" "$SMOKE_SCN"' EXIT
 # --out keeps the smoke run's tiny numbers out of the default
 # BENCH_results.json scratch path (the committed full-workload snapshot
 # lives in BENCH_baseline.json).

@@ -17,45 +17,61 @@
 //! 7. **channel serialization** — the cost of the single NB-IoT carrier
 //!    when transfers must queue (ideal channel vs serialized).
 //!
+//! The comparison-based studies (1, 4, 5, 7) are thin shims over the
+//! scenario engine — each is one [`Scenario`] variant executed by
+//! [`run_scenario`], sharing populations within runs and fanning (point ×
+//! run) items across `--threads` workers. The plan-level studies (2, 3, 6)
+//! inspect [`MulticastPlan`](nbiot_grouping::MulticastPlan)s directly and
+//! stay bespoke.
+//!
 //! ```text
 //! cargo run --release -p nbiot-bench --bin ablations -- --runs 20
 //! ```
 
 use nbiot_bench::{pct, render_table, FigureOpts};
 use nbiot_des::{RunningStats, SeedSequence};
-use nbiot_grouping::{
-    AdaptationGrid, DaSc, DrSi, GroupingInput, GroupingParams, MechanismKind, NotifyPolicy,
-};
-use nbiot_rrc::InactivityTimer;
-use nbiot_sim::{run_campaign, run_comparison, ExperimentConfig, SimConfig};
+use nbiot_grouping::{AdaptationGrid, DaSc, DrSi, GroupingInput, MechanismKind, NotifyPolicy};
+use nbiot_sim::{run_scenario, with_ti, Scenario, SimConfig};
 use nbiot_time::SimDuration;
+
+/// The ablation base point with every shared flag applied unconditionally
+/// (the historical behaviour of this binary's `opts.apply`).
+fn base_scenario(opts: &FigureOpts) -> Scenario {
+    let mut s = Scenario {
+        name: "ablation".into(),
+        description: "sensitivity-study base point".into(),
+        ..Scenario::default()
+    };
+    s.runs = opts.runs;
+    s.devices = vec![opts.devices];
+    s.master_seed = opts.seed;
+    s.threads = opts.threads;
+    if let Some(mix) = &opts.mix {
+        s.mix = nbiot_bench::resolve_mix(mix);
+    }
+    s
+}
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let mut base = ExperimentConfig::default();
-    opts.apply(&mut base);
+    let base = base_scenario(&opts);
 
-    ti_sweep(&base, &opts);
-    notify_policy(&base, &opts);
-    adaptation_grid(&base, &opts);
-    rach_contention(&base, &opts);
-    scptm_cost(&base, &opts);
-    nb_density(&base, &opts);
-    channel_serialization(&base, &opts);
+    ti_sweep(&base);
+    notify_policy(&base);
+    adaptation_grid(&base);
+    rach_contention(&base);
+    scptm_cost(&base);
+    nb_density(&base);
+    channel_serialization(&base);
 }
 
-fn ti_sweep(base: &ExperimentConfig, opts: &FigureOpts) {
+fn ti_sweep(base: &Scenario) {
     println!("==== Ablation 1: inactivity timer TI (paper range 10-30 s) ====\n");
     let mut rows = Vec::new();
     for ti_s in [10u64, 20, 30] {
-        let mut config = base.clone();
-        config.grouping = GroupingParams {
-            ti: InactivityTimer::new(SimDuration::from_secs(ti_s)),
-            ..GroupingParams::default()
-        };
-        let cmp =
-            run_comparison(&config, &MechanismKind::PAPER_MECHANISMS).expect("TI sweep failed");
-        for m in &cmp.mechanisms {
+        let scenario = with_ti(base.clone(), SimDuration::from_secs(ti_s));
+        let result = run_scenario(&scenario).expect("TI sweep failed");
+        for m in &result.points[0].comparison.mechanisms {
             rows.push(vec![
                 format!("{ti_s}"),
                 m.mechanism.clone(),
@@ -79,12 +95,12 @@ fn ti_sweep(base: &ExperimentConfig, opts: &FigureOpts) {
         )
     );
     println!("longer TI: fewer DR-SC transmissions, more waiting for everyone\n");
-    let _ = opts;
 }
 
-fn notify_policy(base: &ExperimentConfig, opts: &FigureOpts) {
+fn notify_policy(base: &Scenario) {
     println!("==== Ablation 2: DR-SI notification policy ====\n");
     let seq = SeedSequence::new(base.master_seed);
+    let n_devices = base.devices[0];
     let mut rows = Vec::new();
     for (name, policy) in [
         ("last-before-window", NotifyPolicy::LastBeforeWindow),
@@ -95,7 +111,7 @@ fn notify_policy(base: &ExperimentConfig, opts: &FigureOpts) {
             let run_seq = seq.child(run as u64);
             let pop = base
                 .mix
-                .generate(base.n_devices, &mut run_seq.rng(0))
+                .generate(n_devices, &mut run_seq.rng(0))
                 .expect("population");
             let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
             let mut rng = run_seq.rng(7);
@@ -127,12 +143,12 @@ fn notify_policy(base: &ExperimentConfig, opts: &FigureOpts) {
         render_table(&["policy", "mean T322 lead time (s)", "±95%CI"], &rows)
     );
     println!("earlier notification = longer armed timers (same energy, more state)\n");
-    let _ = opts;
 }
 
-fn adaptation_grid(base: &ExperimentConfig, opts: &FigureOpts) {
+fn adaptation_grid(base: &Scenario) {
     println!("==== Ablation 3: DA-SC adaptation grid ====\n");
     let seq = SeedSequence::new(base.master_seed);
+    let n_devices = base.devices[0];
     let mut rows = Vec::new();
     for (name, grid) in [
         (
@@ -149,7 +165,7 @@ fn adaptation_grid(base: &ExperimentConfig, opts: &FigureOpts) {
             let run_seq = seq.child(run as u64);
             let pop = base
                 .mix
-                .generate(base.n_devices, &mut run_seq.rng(0))
+                .generate(n_devices, &mut run_seq.rng(0))
                 .expect("population");
             let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
             let mut rng = run_seq.rng(8);
@@ -161,7 +177,7 @@ fn adaptation_grid(base: &ExperimentConfig, opts: &FigureOpts) {
                 .iter()
                 .filter_map(|p| p.adaptation.map(|a| a.monitored_adapted_pos))
                 .sum();
-            extra_pos.push(total as f64 / base.n_devices as f64);
+            extra_pos.push(total as f64 / n_devices as f64);
         }
         rows.push(vec![
             name.to_string(),
@@ -174,36 +190,27 @@ fn adaptation_grid(base: &ExperimentConfig, opts: &FigureOpts) {
         render_table(&["grid", "extra POs per device", "±95%CI"], &rows)
     );
     println!("the grids are near-equivalent: the cycle choice dominates, not the phase\n");
-    let _ = opts;
 }
 
-fn rach_contention(base: &ExperimentConfig, opts: &FigureOpts) {
+fn rach_contention(base: &Scenario) {
     println!("==== Ablation 4: RACH contention (DR-SI wake-up draws) ====\n");
-    let seq = SeedSequence::new(base.master_seed);
     let mut rows = Vec::new();
     for contenders in [0u32, 10, 50, 200] {
-        let sim = SimConfig {
-            ra_contenders: contenders,
-            ..base.sim
+        let scenario = Scenario {
+            mechanisms: vec![MechanismKind::DrSi],
+            baseline: false,
+            sim: SimConfig {
+                ra_contenders: contenders,
+                ..base.sim
+            },
+            ..base.clone()
         };
-        let mut connected = RunningStats::new();
-        let mut failures = RunningStats::new();
-        for run in 0..base.runs {
-            let run_seq = seq.child(run as u64);
-            let pop = base
-                .mix
-                .generate(base.n_devices, &mut run_seq.rng(0))
-                .expect("population");
-            let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
-            let res =
-                run_campaign(&DrSi::new(), &input, &sim, &mut run_seq.rng(9)).expect("campaign");
-            connected.push(res.mean_connected_ms() / 1000.0);
-            failures.push(res.ra_failures as f64);
-        }
+        let result = run_scenario(&scenario).expect("RACH sweep failed");
+        let m = &result.points[0].comparison.mechanisms[0];
         rows.push(vec![
             contenders.to_string(),
-            format!("{:.2}", connected.summary().mean),
-            format!("{:.2}", failures.summary().mean),
+            format!("{:.2}", m.mean_connected_s.mean),
+            format!("{:.2}", m.ra_failures.mean),
         ]);
     }
     println!(
@@ -214,21 +221,21 @@ fn rach_contention(base: &ExperimentConfig, opts: &FigureOpts) {
         )
     );
     println!("the random T322 spread keeps contention tolerable until extreme loads\n");
-    let _ = opts;
 }
 
-fn scptm_cost(base: &ExperimentConfig, opts: &FigureOpts) {
+fn scptm_cost(base: &Scenario) {
     println!("==== Ablation 5: SC-PTM baseline (why on-demand multicast exists) ====\n");
-    let cmp = run_comparison(
-        base,
-        &[
+    let scenario = Scenario {
+        mechanisms: vec![
             MechanismKind::ScPtm,
             MechanismKind::DrSi,
             MechanismKind::DaSc,
         ],
-    )
-    .expect("scptm comparison failed");
-    let rows: Vec<Vec<String>> = cmp
+        ..base.clone()
+    };
+    let result = run_scenario(&scenario).expect("scptm comparison failed");
+    let rows: Vec<Vec<String>> = result.points[0]
+        .comparison
         .mechanisms
         .iter()
         .map(|m| {
@@ -253,14 +260,14 @@ fn scptm_cost(base: &ExperimentConfig, opts: &FigureOpts) {
         )
     );
     println!("SC-PTM pays continuous SC-MCCH monitoring; the paper's mechanisms do not");
-    let _ = opts;
 }
 
-fn nb_density(base: &ExperimentConfig, opts: &FigureOpts) {
+fn nb_density(base: &Scenario) {
     println!("\n==== Ablation 6: paging density nB (PO alignment) ====\n");
     use nbiot_grouping::{DrSc, GroupingMechanism};
     use nbiot_time::NbParam;
     let seq = SeedSequence::new(base.master_seed);
+    let n_devices = base.devices[0];
     let mut rows = Vec::new();
     for (label, nb) in [
         ("nB = T (default)", NbParam::OneT),
@@ -272,7 +279,7 @@ fn nb_density(base: &ExperimentConfig, opts: &FigureOpts) {
             let run_seq = seq.child(run as u64);
             let pop = base
                 .mix
-                .generate(base.n_devices, &mut run_seq.rng(0))
+                .generate(n_devices, &mut run_seq.rng(0))
                 .expect("population");
             // Re-point every device at the swept cell-wide nB.
             let mut devices = pop.devices().to_vec();
@@ -298,42 +305,30 @@ fn nb_density(base: &ExperimentConfig, opts: &FigureOpts) {
         "negative result: for eDRX-dominated populations PO diversity comes from\n\
          the paging-hyperframe phase, not the PF offset, so nB barely moves DR-SC"
     );
-    let _ = opts;
 }
 
-fn channel_serialization(base: &ExperimentConfig, opts: &FigureOpts) {
+fn channel_serialization(base: &Scenario) {
     println!("\n==== Ablation 7: single-carrier serialization ====\n");
-    use nbiot_grouping::{DaSc, Unicast};
-    let seq = SeedSequence::new(base.master_seed);
     let mut rows = Vec::new();
     for (label, serialize) in [
         ("ideal channel (paper)", false),
         ("serialized carrier", true),
     ] {
-        let sim = SimConfig {
-            serialize_channel: serialize,
-            ..base.sim
+        let scenario = Scenario {
+            mechanisms: vec![MechanismKind::Unicast, MechanismKind::DaSc],
+            baseline: false,
+            sim: SimConfig {
+                serialize_channel: serialize,
+                ..base.sim
+            },
+            ..base.clone()
         };
-        let mut uni = RunningStats::new();
-        let mut dasc = RunningStats::new();
-        for run in 0..base.runs {
-            let run_seq = seq.child(run as u64);
-            let pop = base
-                .mix
-                .generate(base.n_devices, &mut run_seq.rng(0))
-                .expect("population");
-            let input = GroupingInput::from_population(&pop, base.grouping).expect("input");
-            let u = run_campaign(&Unicast::new(), &input, &sim, &mut run_seq.rng(12))
-                .expect("campaign");
-            let d =
-                run_campaign(&DaSc::new(), &input, &sim, &mut run_seq.rng(13)).expect("campaign");
-            uni.push(u.mean_connected_ms() / 1000.0);
-            dasc.push(d.mean_connected_ms() / 1000.0);
-        }
+        let result = run_scenario(&scenario).expect("serialization sweep failed");
+        let cmp = &result.points[0].comparison;
         rows.push(vec![
             label.to_string(),
-            format!("{:.1}", uni.summary().mean),
-            format!("{:.1}", dasc.summary().mean),
+            format!("{:.1}", cmp.mechanisms[0].mean_connected_s.mean),
+            format!("{:.1}", cmp.mechanisms[1].mean_connected_s.mean),
         ]);
     }
     println!(
@@ -348,5 +343,4 @@ fn channel_serialization(base: &ExperimentConfig, opts: &FigureOpts) {
         )
     );
     println!("queueing on the real single carrier hits unicast hard; one multicast never queues");
-    let _ = opts;
 }

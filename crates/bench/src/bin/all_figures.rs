@@ -1,110 +1,54 @@
-//! Regenerates every figure of the paper's evaluation section in one go
-//! (Fig. 6(a), Fig. 6(b), Fig. 7), printing the same tables as the
-//! individual binaries. Used to produce EXPERIMENTS.md.
+//! Compat shim regenerating every figure of the paper's evaluation section
+//! in one go (Fig. 6(a), Fig. 6(b), Fig. 7), printing the same tables as
+//! the individual binaries. Used to produce EXPERIMENTS.md. Equivalent to
+//! running `figures --scenario paper-suite` plus `figures --scenario fig7`
+//! — Fig. 6(a) and 6(b) come out of *one* scenario grid, sharing each
+//! run's population and plans across the payload columns.
 //!
 //! ```text
 //! cargo run --release -p nbiot-bench --bin all_figures -- --runs 100
 //! ```
 
-use nbiot_bench::{pct, render_table, FigureOpts};
-use nbiot_grouping::MechanismKind;
-use nbiot_phy::DataSize;
-use nbiot_sim::{run_comparison, sweep_devices, ExperimentConfig};
+use nbiot_bench::{scenarios, FigureOpts};
+use nbiot_sim::{run_scenario, Scenario};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let mut base = ExperimentConfig::default();
-    opts.apply(&mut base);
 
-    // ---------- Fig. 6(a) ----------
-    let cmp =
-        run_comparison(&base, &MechanismKind::PAPER_MECHANISMS).expect("fig6a comparison failed");
+    // Fig. 6(a) + 6(b): one grid over the three payload sizes; the 100 kB
+    // column doubles as Fig. 6(a).
+    let mut suite = Scenario::builtin("paper-suite").expect("registered scenario");
+    opts.apply_to_scenario(&mut suite);
+    let result = run_scenario(&suite).expect("paper-suite comparison failed");
+
     println!("==== Fig. 6(a): relative light-sleep uptime increase vs unicast ====");
-    println!(
-        "(mix: ericsson-city, {} devices, {} runs, TI = 10 s)\n",
-        opts.devices, opts.runs
-    );
-    let rows: Vec<Vec<String>> = cmp
-        .mechanisms
-        .iter()
-        .map(|m| {
-            vec![
-                m.mechanism.clone(),
-                pct(m.rel_light_sleep.mean),
-                pct(m.rel_light_sleep.ci95),
-                if m.standards_compliant { "yes" } else { "no" }.into(),
-            ]
-        })
-        .collect();
+    println!("{}\n", scenarios::caption(&suite));
+    let fig6a_view = Scenario {
+        payloads: vec![suite.payloads[0]],
+        ..suite.clone()
+    };
+    let fig6a_points = nbiot_sim::ScenarioResult {
+        points: result
+            .payload_column(suite.payloads[0])
+            .into_iter()
+            .cloned()
+            .collect(),
+        ..result.clone()
+    };
     println!(
         "{}",
-        render_table(
-            &["mechanism", "light-sleep increase", "±95%CI", "compliant"],
-            &rows
-        )
+        scenarios::render_light_sleep(&fig6a_view, &fig6a_points)
     );
 
-    // ---------- Fig. 6(b) ----------
     println!("==== Fig. 6(b): relative connected-mode uptime increase vs unicast ====");
-    println!(
-        "(mix: ericsson-city, {} devices, {} runs, TI = 10 s)\n",
-        opts.devices, opts.runs
-    );
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    for (label, payload) in [
-        ("100kB", DataSize::from_kb(100)),
-        ("1MB", DataSize::from_mb(1)),
-        ("10MB", DataSize::from_mb(10)),
-    ] {
-        let mut config = base.clone();
-        config.sim = config.sim.with_payload(payload);
-        let cmp = run_comparison(&config, &MechanismKind::PAPER_MECHANISMS)
-            .expect("fig6b comparison failed");
-        for m in &cmp.mechanisms {
-            rows.push(vec![
-                label.to_string(),
-                m.mechanism.clone(),
-                pct(m.rel_connected.mean),
-                pct(m.rel_connected.ci95),
-                format!("{:.1}", m.mean_wait_s.mean),
-            ]);
-        }
-    }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "payload",
-                "mechanism",
-                "connected increase",
-                "±95%CI",
-                "mean wait (s)"
-            ],
-            &rows
-        )
-    );
+    println!("{}\n", scenarios::caption(&suite));
+    println!("{}", scenarios::render_connected(&suite, &result));
 
-    // ---------- Fig. 7 ----------
+    // Fig. 7: the device sweep.
+    let mut fig7 = Scenario::builtin("fig7").expect("registered scenario");
+    opts.apply_to_scenario(&mut fig7);
+    let sweep = run_scenario(&fig7).expect("fig7 sweep failed");
     println!("==== Fig. 7: DR-SC multicast transmissions vs group size ====");
-    println!("(mix: ericsson-city, TI = 10 s, {} runs)\n", opts.runs);
-    let sizes: Vec<usize> = (1..=10).map(|k| k * 100).collect();
-    let points = sweep_devices(&base, MechanismKind::DrSc, &sizes).expect("fig7 sweep failed");
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .map(|p| {
-            vec![
-                p.n_devices.to_string(),
-                format!("{:.1}", p.transmissions.mean),
-                format!("{:.1}", p.transmissions.ci95),
-                format!("{:.1}%", p.ratio_to_devices.mean * 100.0),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["devices", "transmissions", "±95%CI", "ratio to devices"],
-            &rows
-        )
-    );
+    println!("{}\n", scenarios::caption(&fig7));
+    println!("{}", scenarios::render_transmissions(&fig7, &sweep));
 }

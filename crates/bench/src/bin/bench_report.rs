@@ -31,7 +31,11 @@
 //!   "derived": {
 //!     "set_cover_speedup": 3.4,        // reference greedy / bitset greedy
 //!     "window_cover_speedup": 1.2,     // reference / scratch timeline solver
-//!     "comparison_parallel_speedup": 5.9
+//!     "comparison_parallel_speedup": 5.9,
+//!     "population_sharing_speedup": 5.0,     // per-mechanism regeneration / once-per-run
+//!     "sweep_parallel_speedup": 5.5,         // serial full device sweep / one (point × run) pool
+//!     "sweep_pipeline_gain": 1.3,            // per-point barriers (PR-1) / one (point × run) pool
+//!     "figure_suite_sharing_speedup": 2.5    // per-payload comparisons / one shared-plan grid
 //!   }
 //! }
 //! ```
@@ -45,7 +49,7 @@ use nbiot_bench::{workload, FigureOpts};
 use nbiot_des::SeedSequence;
 use nbiot_grouping::set_cover::{self, reference, WindowCover};
 use nbiot_grouping::{GroupingInput, GroupingParams, MechanismKind};
-use nbiot_sim::{run_campaign, run_comparison, ExperimentConfig, SimConfig};
+use nbiot_sim::{run_campaign, run_comparison, run_scenario, ExperimentConfig, Scenario, SimConfig};
 use nbiot_time::SimDuration;
 use serde_json::{json, Value};
 
@@ -89,20 +93,24 @@ fn main() {
     let mut opts = FigureOpts::parse(figure_args.into_iter());
     // This binary's workload default is the ISSUE's macro shape
     // (5 mechanisms × 500 devices × 20 runs), not the figures' 100 runs.
-    if !std::env::args().any(|a| a == "--runs") {
+    if !opts.given.runs {
         opts.runs = 20;
     }
     let seq = SeedSequence::new(opts.seed);
     let params = GroupingParams::default();
     let sim = SimConfig::default();
+    let mix = opts
+        .mix
+        .as_deref()
+        .map(nbiot_bench::resolve_mix)
+        .unwrap_or_else(nbiot_traffic::TrafficMix::ericsson_city);
     let mut stages: Vec<Value> = Vec::new();
 
     // ---- Stage 1: population generation ----
     let (populations, pop_ms) = timed(|| {
         (0..opts.runs as u64)
             .map(|run| {
-                nbiot_traffic::TrafficMix::ericsson_city()
-                    .generate(opts.devices, &mut seq.child(run).rng(0))
+                mix.generate(opts.devices, &mut seq.child(run).rng(0))
                     .expect("population")
             })
             .collect::<Vec<_>>()
@@ -111,6 +119,37 @@ fn main() {
         "population_generation",
         pop_ms,
         json!({ "populations": opts.runs, "devices_each": opts.devices }),
+    ));
+
+    // ---- Stage 1b: population sharing (once per run) vs the historical
+    // regeneration (once per mechanism per run). The scenario engine
+    // generates population + grouping input once per run and shares it
+    // across all mechanisms and payload variants; this stage measures the
+    // generation cost that sharing removes.
+    let mechanisms = MechanismKind::ALL.len() as u32;
+    let gen_inputs = |copies: u32| {
+        for run in 0..opts.runs as u64 {
+            for _ in 0..copies {
+                let pop = mix
+                    .generate(opts.devices, &mut seq.child(run).rng(0))
+                    .expect("population");
+                let input = GroupingInput::from_population(&pop, params).expect("input");
+                std::hint::black_box(&input);
+            }
+        }
+    };
+    let ((), shared_ms) = timed(|| gen_inputs(1));
+    let ((), regen_ms) = timed(|| gen_inputs(mechanisms));
+    let population_sharing_speedup = regen_ms / shared_ms;
+    stages.push(stage(
+        "population_shared_per_run",
+        shared_ms,
+        json!({ "generations": opts.runs, "devices_each": opts.devices }),
+    ));
+    stages.push(stage(
+        "population_regenerated_per_mechanism",
+        regen_ms,
+        json!({ "generations": opts.runs * mechanisms, "devices_each": opts.devices }),
     ));
 
     let input = GroupingInput::from_population(&populations[0], params).expect("input");
@@ -222,6 +261,103 @@ fn main() {
         }),
     ));
 
+    // ---- Stage 6: the full device sweep (Fig. 7 workload) through the
+    // (point × run) scheduler: serial, per-point barriers (the PR-1
+    // behaviour: the pool drains one point before starting the next), and
+    // the whole grid as one item pool.
+    let mut sweep = Scenario::builtin("fig7").expect("registered scenario");
+    sweep.runs = opts.runs;
+    sweep.master_seed = opts.seed;
+    sweep.threads = 1;
+    if let Some(mix) = &opts.mix {
+        sweep.mix = nbiot_bench::resolve_mix(mix);
+    }
+    let (sweep_serial_result, sweep_serial_ms) =
+        timed(|| run_scenario(&sweep).expect("sweep"));
+    stages.push(stage(
+        "sweep_serial",
+        sweep_serial_ms,
+        json!({ "points": sweep.devices.len(), "runs": opts.runs, "threads": 1u64 }),
+    ));
+    let (barrier_result, sweep_barrier_ms) = timed(|| {
+        let mut points = Vec::new();
+        for &n in &sweep.devices {
+            let mut one = sweep.clone();
+            one.devices = vec![n];
+            one.threads = opts.threads;
+            points.extend(run_scenario(&one).expect("sweep point").points);
+        }
+        points
+    });
+    stages.push(stage(
+        "sweep_point_barrier",
+        sweep_barrier_ms,
+        json!({ "points": sweep.devices.len(), "runs": opts.runs, "threads": opts.threads }),
+    ));
+    sweep.threads = opts.threads;
+    let (sweep_parallel_result, sweep_parallel_ms) =
+        timed(|| run_scenario(&sweep).expect("sweep"));
+    stages.push(stage(
+        "sweep_point_parallel",
+        sweep_parallel_ms,
+        json!({ "points": sweep.devices.len(), "runs": opts.runs, "threads": opts.threads }),
+    ));
+    assert_eq!(
+        sweep_serial_result, sweep_parallel_result,
+        "point-parallel sweep must be bit-identical to serial"
+    );
+    assert_eq!(
+        sweep_serial_result.points, barrier_result,
+        "per-point execution must be bit-identical to the full grid"
+    );
+
+    // ---- Stage 7: the Fig. 6 suite — three payload columns executed as
+    // separate comparisons (regenerating populations and plans per
+    // payload, the historical figure-binary behaviour) vs one scenario
+    // grid sharing them. Both serial, isolating the sharing win.
+    let payloads = nbiot_bench::scenarios::paper_payloads();
+    let (separate_results, suite_separate_ms) = timed(|| {
+        payloads
+            .iter()
+            .map(|&payload| {
+                let mut config = ExperimentConfig::default();
+                opts.apply(&mut config);
+                config.threads = 1;
+                config.sim = config.sim.with_payload(payload);
+                run_comparison(&config, &MechanismKind::PAPER_MECHANISMS).expect("comparison")
+            })
+            .collect::<Vec<_>>()
+    });
+    stages.push(stage(
+        "figure_suite_separate",
+        suite_separate_ms,
+        json!({ "payloads": payloads.len(), "devices": opts.devices, "runs": opts.runs }),
+    ));
+    let mut suite = Scenario::builtin("paper-suite").expect("registered scenario");
+    suite.devices = vec![opts.devices];
+    suite.runs = opts.runs;
+    suite.master_seed = opts.seed;
+    suite.threads = 1;
+    if let Some(mix) = &opts.mix {
+        // The "separate" path above inherits --mix via opts.apply(); the
+        // scenario must run the same population or the bit-identity
+        // assert below would (rightly) fire.
+        suite.mix = nbiot_bench::resolve_mix(mix);
+    }
+    let (suite_result, suite_shared_ms) = timed(|| run_scenario(&suite).expect("suite"));
+    stages.push(stage(
+        "figure_suite_shared",
+        suite_shared_ms,
+        json!({ "payloads": payloads.len(), "devices": opts.devices, "runs": opts.runs }),
+    ));
+    for (point, separate) in suite_result.points.iter().zip(&separate_results) {
+        assert_eq!(
+            &point.comparison, separate,
+            "shared-population suite must be bit-identical to separate comparisons"
+        );
+    }
+    let figure_suite_sharing_speedup = suite_separate_ms / suite_shared_ms;
+
     let report = json!({
         "schema_version": 1u64,
         "workload": json!({
@@ -236,6 +372,10 @@ fn main() {
             "set_cover_speedup": set_cover_speedup,
             "window_cover_speedup": window_cover_speedup,
             "comparison_parallel_speedup": serial_ms / parallel_ms,
+            "population_sharing_speedup": population_sharing_speedup,
+            "sweep_parallel_speedup": sweep_serial_ms / sweep_parallel_ms,
+            "sweep_pipeline_gain": sweep_barrier_ms / sweep_parallel_ms,
+            "figure_suite_sharing_speedup": figure_suite_sharing_speedup,
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable");
@@ -244,7 +384,11 @@ fn main() {
     eprintln!(
         "\nbench_report: set-cover bitset speedup {set_cover_speedup:.2}x, \
          window-cover speedup {window_cover_speedup:.2}x, \
-         parallel comparison speedup {:.2}x -> {out_path}",
-        serial_ms / parallel_ms
+         parallel comparison speedup {:.2}x, \
+         sweep point-parallel speedup {:.2}x (pipeline gain {:.2}x vs per-point barriers), \
+         figure-suite sharing speedup {figure_suite_sharing_speedup:.2}x -> {out_path}",
+        serial_ms / parallel_ms,
+        sweep_serial_ms / sweep_parallel_ms,
+        sweep_barrier_ms / sweep_parallel_ms,
     );
 }

@@ -1,6 +1,8 @@
-//! Regenerates **Fig. 6(a)** of the paper: the relative increase in
+//! Compat shim for **Fig. 6(a)** of the paper: the relative increase in
 //! *light-sleep* uptime (PO monitoring + paging reception) of each grouping
-//! mechanism compared to unicast delivery.
+//! mechanism compared to unicast delivery. Equivalent to
+//! `figures --scenario fig6a`; the caption is derived from the executed
+//! configuration, so `--mix`/`--devices`/`--runs` overrides show up in it.
 //!
 //! Expected shape (paper): DR-SC adds exactly nothing, DR-SI a negligible
 //! sliver (the longer extended paging message), DA-SC a minor increase (the
@@ -11,48 +13,26 @@
 //! cargo run --release -p nbiot-bench --bin fig6a -- --runs 100 --devices 500
 //! ```
 
-use nbiot_bench::{pct, render_table, FigureOpts};
-use nbiot_grouping::MechanismKind;
-use nbiot_sim::{run_comparison, ExperimentConfig};
+use nbiot_bench::{scenarios, FigureOpts};
+use nbiot_sim::{run_scenario, Scenario};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let mut config = ExperimentConfig::default();
-    opts.apply(&mut config);
-    let cmp =
-        run_comparison(&config, &MechanismKind::PAPER_MECHANISMS).expect("fig6a comparison failed");
+    let mut scenario = Scenario::builtin("fig6a").expect("registered scenario");
+    opts.apply_to_scenario(&mut scenario);
+    let result = run_scenario(&scenario).expect("fig6a comparison failed");
 
     if opts.json {
+        // The historical shape: one ComparisonResult object.
         println!(
             "{}",
-            serde_json::to_string_pretty(&cmp).expect("serializable")
+            serde_json::to_string_pretty(&result.points[0].comparison).expect("serializable")
         );
         return;
     }
 
     println!("Fig. 6(a) — relative light-sleep uptime increase vs unicast");
-    println!(
-        "(mix: ericsson-city, {} devices, {} runs, TI = 10 s)\n",
-        opts.devices, opts.runs
-    );
-    let rows: Vec<Vec<String>> = cmp
-        .mechanisms
-        .iter()
-        .map(|m| {
-            vec![
-                m.mechanism.clone(),
-                pct(m.rel_light_sleep.mean),
-                pct(m.rel_light_sleep.ci95),
-                if m.standards_compliant { "yes" } else { "no" }.into(),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["mechanism", "light-sleep increase", "±95%CI", "compliant"],
-            &rows
-        )
-    );
+    println!("{}\n", scenarios::caption(&scenario));
+    println!("{}", scenarios::render_light_sleep(&scenario, &result));
     println!("paper: DR-SC = 0, DR-SI negligible, DA-SC minor");
 }

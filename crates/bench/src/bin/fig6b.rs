@@ -1,7 +1,9 @@
-//! Regenerates **Fig. 6(b)** of the paper: the relative increase in
+//! Compat shim for **Fig. 6(b)** of the paper: the relative increase in
 //! *connected-mode* uptime (random access + waiting for the multicast +
 //! reception) of each grouping mechanism compared to unicast, for the three
-//! firmware sizes the paper evaluates (100 kB, 1 MB, 10 MB).
+//! firmware sizes the paper evaluates (100 kB, 1 MB, 10 MB). Equivalent to
+//! `figures --scenario fig6b`; within each run the population and every
+//! mechanism's plan are shared across the three payload columns.
 //!
 //! Expected shape (paper): DR-SC and DR-SI sit slightly above unicast
 //! (devices wait TI/2 on average for the transmission to start); DA-SC is
@@ -14,43 +16,23 @@
 //! cargo run --release -p nbiot-bench --bin fig6b -- --runs 100 --devices 500
 //! ```
 
-use nbiot_bench::{pct, render_table, FigureOpts};
-use nbiot_grouping::MechanismKind;
-use nbiot_phy::DataSize;
-use nbiot_sim::{run_comparison, ExperimentConfig};
+use nbiot_bench::{scenarios, FigureOpts};
+use nbiot_sim::{run_scenario, Scenario};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let payloads = [
-        ("100kB", DataSize::from_kb(100)),
-        ("1MB", DataSize::from_mb(1)),
-        ("10MB", DataSize::from_mb(10)),
-    ];
-
-    let mut json_out = Vec::new();
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    for (label, payload) in payloads {
-        let mut config = ExperimentConfig::default();
-        opts.apply(&mut config);
-        config.sim = config.sim.with_payload(payload);
-        let cmp = run_comparison(&config, &MechanismKind::PAPER_MECHANISMS)
-            .expect("fig6b comparison failed");
-        for m in &cmp.mechanisms {
-            rows.push(vec![
-                label.to_string(),
-                m.mechanism.clone(),
-                pct(m.rel_connected.mean),
-                pct(m.rel_connected.ci95),
-                format!("{:.1}", m.mean_wait_s.mean),
-            ]);
-        }
-        json_out.push((label, cmp));
-    }
+    let mut scenario = Scenario::builtin("fig6b").expect("registered scenario");
+    opts.apply_to_scenario(&mut scenario);
+    let result = run_scenario(&scenario).expect("fig6b comparison failed");
 
     if opts.json {
-        let value: Vec<_> = json_out
+        // The historical shape: one {payload, comparison} entry per size.
+        let value: Vec<_> = result
+            .points
             .iter()
-            .map(|(label, cmp)| serde_json::json!({ "payload": label, "comparison": cmp }))
+            .map(|p| {
+                serde_json::json!({ "payload": p.payload.to_string(), "comparison": p.comparison })
+            })
             .collect();
         println!(
             "{}",
@@ -60,22 +42,7 @@ fn main() {
     }
 
     println!("Fig. 6(b) — relative connected-mode uptime increase vs unicast");
-    println!(
-        "(mix: ericsson-city, {} devices, {} runs, TI = 10 s)\n",
-        opts.devices, opts.runs
-    );
-    println!(
-        "{}",
-        render_table(
-            &[
-                "payload",
-                "mechanism",
-                "connected increase",
-                "±95%CI",
-                "mean wait (s)"
-            ],
-            &rows
-        )
-    );
+    println!("{}\n", scenarios::caption(&scenario));
+    println!("{}", scenarios::render_connected(&scenario, &result));
     println!("paper: DA-SC highest; all shrink with payload; negligible ≥ 1MB");
 }

@@ -1,6 +1,8 @@
-//! Regenerates **Fig. 7** of the paper: the average number of multicast
+//! Compat shim for **Fig. 7** of the paper: the average number of multicast
 //! transmissions DR-SC needs to update all devices, as the group size grows
-//! from 100 to 1000 (averaged over `--runs` repetitions).
+//! from 100 to 1000 (averaged over `--runs` repetitions). Equivalent to
+//! `figures --scenario fig7`; the whole sweep executes as one scheduler
+//! grid, so `--threads` workers span every (size × run) pair at once.
 //!
 //! Expected shape (paper): around 50 % of the number of devices for small
 //! groups, falling to around 40 % at 1000 devices — i.e. DR-SC is only
@@ -14,37 +16,30 @@
 //! cargo run --release -p nbiot-bench --bin fig7 -- --runs 100
 //! ```
 
-use nbiot_bench::{render_table, FigureOpts};
-use nbiot_des::SeedSequence;
-use nbiot_grouping::{analysis, GroupingInput, MechanismKind};
-use nbiot_sim::{sweep_devices, ExperimentConfig};
+use nbiot_bench::{scenarios, FigureOpts};
+use nbiot_sim::{run_scenario, Scenario};
 
 fn main() {
     let opts = FigureOpts::from_args();
-    let mut config = ExperimentConfig::default();
-    opts.apply(&mut config);
-    let sizes: Vec<usize> = (1..=10).map(|k| k * 100).collect();
-    let points = sweep_devices(&config, MechanismKind::DrSc, &sizes).expect("fig7 sweep failed");
-
-    // Fluid-model prediction on a representative population per size.
-    let seq = SeedSequence::new(config.master_seed);
-    let estimates: Vec<f64> = sizes
-        .iter()
-        .map(|&n| {
-            let pop = config
-                .mix
-                .generate(n, &mut seq.child(0).rng(0))
-                .expect("population");
-            let input = GroupingInput::from_population(&pop, config.grouping).expect("input");
-            analysis::estimate_dr_sc_transmissions(&input).transmissions
-        })
-        .collect();
+    let mut scenario = Scenario::builtin("fig7").expect("registered scenario");
+    opts.apply_to_scenario(&mut scenario);
+    let result = run_scenario(&scenario).expect("fig7 sweep failed");
 
     if opts.json {
-        let value: Vec<_> = points
+        // The historical shape: one {point, fluid_estimate} entry per size.
+        let estimates = scenarios::fluid_estimates(&scenario);
+        let value: Vec<_> = result
+            .points
             .iter()
             .zip(&estimates)
-            .map(|(p, est)| serde_json::json!({ "point": p, "fluid_estimate": est }))
+            .map(|(p, est)| {
+                let point = serde_json::json!({
+                    "n_devices": p.n_devices,
+                    "transmissions": p.comparison.mechanisms[0].transmissions,
+                    "ratio_to_devices": p.comparison.mechanisms[0].transmissions_ratio,
+                });
+                serde_json::json!({ "point": point, "fluid_estimate": est })
+            })
             .collect();
         println!(
             "{}",
@@ -54,35 +49,7 @@ fn main() {
     }
 
     println!("Fig. 7 — DR-SC multicast transmissions vs group size");
-    println!(
-        "(mix: ericsson-city, TI = 10 s, {} runs, seed {:#x})\n",
-        opts.runs, opts.seed
-    );
-    let rows: Vec<Vec<String>> = points
-        .iter()
-        .zip(&estimates)
-        .map(|(p, est)| {
-            vec![
-                p.n_devices.to_string(),
-                format!("{:.1}", p.transmissions.mean),
-                format!("{:.1}", p.transmissions.ci95),
-                format!("{:.1}%", p.ratio_to_devices.mean * 100.0),
-                format!("{est:.1}"),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "devices",
-                "transmissions",
-                "±95%CI",
-                "ratio to devices",
-                "fluid model"
-            ],
-            &rows
-        )
-    );
+    println!("{}\n", scenarios::caption(&scenario));
+    println!("{}", scenarios::render_transmissions(&scenario, &result));
     println!("paper: ratio ≈ 50% at small N, falling to ≈ 40% at N = 1000");
 }

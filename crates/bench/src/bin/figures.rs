@@ -1,0 +1,86 @@
+//! The one figure driver: executes any named or file-loaded [`Scenario`]
+//! through the shared (point × run) scheduler and renders the figure
+//! tables with captions derived from the actual configuration.
+//!
+//! ```text
+//! figures --scenario fig6b                     # built-in, paper settings
+//! figures --scenario fig7 --runs 20 --threads 4
+//! figures --scenario clustered --mix bursty-alarm
+//! figures --scenario my_study.toml --json      # file-loaded (.toml/.json)
+//! figures --scenario fig6a --dump toml         # print an editable template
+//! figures --list                               # registry + mixes
+//! ```
+//!
+//! Shared flags (`--runs --devices --seed --threads --mix --json`)
+//! override the scenario's own values only when explicitly passed;
+//! `--mechanisms DR-SC,DA-SC` replaces the mechanism set. Results are
+//! bit-identical for every `--threads` setting.
+
+use nbiot_bench::{scenarios, FigureOpts};
+use nbiot_grouping::MechanismKind;
+use nbiot_sim::Scenario;
+use nbiot_traffic::TrafficMix;
+
+fn main() {
+    // Split driver-private flags off before the shared parser (which
+    // rejects unknown flags) sees the argument list.
+    let mut scenario_spec: Option<String> = None;
+    let mut mechanisms: Option<Vec<MechanismKind>> = None;
+    let mut dump: Option<String> = None;
+    let mut shared_args = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scenario" => scenario_spec = Some(args.next().expect("--scenario needs a name or .json/.toml path")),
+            "--mechanisms" => {
+                let list = args.next().expect("--mechanisms needs a comma-separated set");
+                mechanisms = Some(MechanismKind::parse_set(&list).unwrap_or_else(|bad| {
+                    panic!(
+                        "unknown mechanism `{bad}`; known: {}",
+                        MechanismKind::ALL.map(|k| k.to_string()).join(", ")
+                    )
+                }));
+            }
+            "--dump" => dump = Some(args.next().expect("--dump needs a format: json or toml")),
+            "--list" => {
+                println!("built-in scenarios:");
+                for name in Scenario::REGISTRY {
+                    let s = Scenario::builtin(name).expect("registered");
+                    println!("  {name:<16} {}", s.description);
+                }
+                println!("\nregistered traffic mixes (for --mix): {}", TrafficMix::REGISTRY.join(", "));
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: figures --scenario <name|path.json|path.toml> \
+                     [--runs N] [--devices N] [--seed N] [--threads N] [--mix NAME]\n\
+                     \x20      [--mechanisms A,B,...] [--json] [--dump json|toml] | --list\n\
+                     built-in scenarios: {}",
+                    Scenario::REGISTRY.join(", ")
+                );
+                return;
+            }
+            other => shared_args.push(other.to_string()),
+        }
+    }
+    let opts = FigureOpts::parse(shared_args.into_iter());
+    let spec = scenario_spec.expect("--scenario is required (try --list or --help)");
+    let mut scenario = scenarios::load_scenario(&spec).unwrap_or_else(|e| panic!("{e}"));
+    opts.apply_to_scenario(&mut scenario);
+    if let Some(kinds) = mechanisms {
+        scenario.mechanisms = kinds;
+    }
+
+    if let Some(format) = dump {
+        let value = serde_json::to_value(&scenario);
+        match format.as_str() {
+            "json" => println!("{}", serde_json::to_string_pretty(&scenario).expect("serializable")),
+            "toml" => println!("{}", nbiot_bench::toml_lite::to_toml(&value).expect("TOML-writable")),
+            other => panic!("unknown dump format `{other}`; use json or toml"),
+        }
+        return;
+    }
+
+    scenarios::run_and_print(&scenario, opts.json);
+}

@@ -1,10 +1,14 @@
 //! Shared harness utilities for the figure-regeneration binaries.
 //!
-//! Every binary in this crate regenerates one table/figure of the paper's
-//! evaluation section (Sec. IV):
+//! The primary entry point is the **`figures`** driver, which executes any
+//! named or file-loaded [`Scenario`](nbiot_sim::Scenario)
+//! (`--scenario <name|path.json|path.toml>`, `--list` for the registry)
+//! through the shared (point × run) scheduler. The historical per-figure
+//! binaries remain as thin shims over the same engine:
 //!
 //! | Binary        | Paper artifact | Metric |
 //! |---------------|----------------|--------|
+//! | `figures`     | any scenario   | all of the below, captions derived from the actual config |
 //! | `fig6a`       | Fig. 6(a)      | relative light-sleep uptime increase vs unicast |
 //! | `fig6b`       | Fig. 6(b)      | relative connected-mode uptime increase vs unicast, per payload size |
 //! | `fig7`        | Fig. 7         | mean multicast transmissions vs group size (DR-SC) |
@@ -14,11 +18,28 @@
 //!
 //! Common flags: `--runs <u32>` (default 100, the paper's repetition
 //! count), `--devices <usize>`, `--seed <u64>`, `--threads <usize>`
-//! (worker threads for the run fan-out; `0` = all cores, the default;
-//! results are bit-identical for every setting), `--json`
-//! (machine-readable output).
+//! (worker threads for the (point × run) fan-out; `0` = all cores, the
+//! default; results are bit-identical for every setting), `--mix <name>`
+//! (any registered traffic mix), `--json` (machine-readable output).
 
 use std::fmt::Write as _;
+
+pub mod scenarios;
+pub mod toml_lite;
+
+/// Which shared flags were explicitly passed on the command line — the
+/// scenario driver only overrides a scenario's own values for these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GivenFlags {
+    /// `--runs` was passed.
+    pub runs: bool,
+    /// `--devices` was passed.
+    pub devices: bool,
+    /// `--seed` was passed.
+    pub seed: bool,
+    /// `--threads` was passed.
+    pub threads: bool,
+}
 
 /// Parsed command-line options shared by the figure binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,12 +50,17 @@ pub struct FigureOpts {
     pub devices: usize,
     /// Master seed.
     pub seed: u64,
-    /// Worker threads for the experiment run fan-out: `0` uses all
+    /// Worker threads for the experiment work-item fan-out: `0` uses all
     /// available cores, `1` runs serially. Every setting produces
     /// bit-identical results; this only trades wall-clock for cores.
     pub threads: usize,
+    /// Registered traffic mix selected with `--mix` (`None` = the
+    /// config's own mix).
+    pub mix: Option<String>,
     /// Emit JSON instead of a text table.
     pub json: bool,
+    /// Which of the flags above were explicitly passed.
+    pub given: GivenFlags,
 }
 
 impl Default for FigureOpts {
@@ -44,7 +70,9 @@ impl Default for FigureOpts {
             devices: 500,
             seed: 0x4E42_494F_5421,
             threads: 0,
+            mix: None,
             json: false,
+            given: GivenFlags::default(),
         }
     }
 }
@@ -77,30 +105,41 @@ impl FigureOpts {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--runs needs a positive integer");
+                    opts.given.runs = true;
                 }
                 "--devices" => {
                     opts.devices = args
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--devices needs a positive integer");
+                    opts.given.devices = true;
                 }
                 "--seed" => {
                     opts.seed = args
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
+                    opts.given.seed = true;
                 }
                 "--threads" => {
                     opts.threads = args
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--threads needs an integer (0 = all cores)");
+                    opts.given.threads = true;
+                }
+                "--mix" => {
+                    let name = args.next().expect("--mix needs a mix name");
+                    opts.mix = Some(resolve_mix(&name).name);
                 }
                 "--json" => opts.json = true,
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--runs N] [--devices N] [--seed N] [--threads N] [--json]\n\
-                         defaults: --runs 100 --devices 500 --threads 0 (all cores)"
+                        "usage: [--runs N] [--devices N] [--seed N] [--threads N] \
+                         [--mix NAME] [--json]\n\
+                         defaults: --runs 100 --devices 500 --threads 0 (all cores)\n\
+                         registered mixes: {}",
+                        nbiot_traffic::TrafficMix::REGISTRY.join(", ")
                     );
                     std::process::exit(0);
                 }
@@ -116,7 +155,46 @@ impl FigureOpts {
         config.n_devices = self.devices;
         config.master_seed = self.seed;
         config.threads = self.threads;
+        if let Some(name) = &self.mix {
+            config.mix = resolve_mix(name);
+        }
     }
+
+    /// Overrides a scenario's fields with the *explicitly passed* flags
+    /// only — a file- or registry-loaded scenario keeps its own runs,
+    /// devices, seed and thread count unless the user asked otherwise.
+    pub fn apply_to_scenario(&self, scenario: &mut nbiot_sim::Scenario) {
+        if self.given.runs {
+            scenario.runs = self.runs;
+        }
+        if self.given.devices {
+            scenario.devices = vec![self.devices];
+        }
+        if self.given.seed {
+            scenario.master_seed = self.seed;
+        }
+        if self.given.threads {
+            scenario.threads = self.threads;
+        }
+        if let Some(name) = &self.mix {
+            scenario.mix = resolve_mix(name);
+        }
+    }
+}
+
+/// Resolves a registered traffic mix by name.
+///
+/// # Panics
+///
+/// Panics with the list of known mixes on an unknown name — appropriate
+/// for the CLI entry points this backs.
+pub fn resolve_mix(name: &str) -> nbiot_traffic::TrafficMix {
+    nbiot_traffic::TrafficMix::by_name(name).unwrap_or_else(|| {
+        panic!(
+            "unknown traffic mix `{name}`; registered mixes: {}",
+            nbiot_traffic::TrafficMix::REGISTRY.join(", ")
+        )
+    })
 }
 
 /// Renders an aligned text table.
@@ -335,7 +413,9 @@ mod tests {
             devices: 42,
             seed: 9,
             threads: 3,
+            mix: Some("bursty-alarm".into()),
             json: true,
+            given: GivenFlags::default(),
         };
         let mut cfg = nbiot_sim::ExperimentConfig::default();
         opts.apply(&mut cfg);
@@ -343,5 +423,32 @@ mod tests {
         assert_eq!(cfg.n_devices, 42);
         assert_eq!(cfg.master_seed, 9);
         assert_eq!(cfg.threads, 3);
+        assert_eq!(cfg.mix.name, "bursty-alarm");
+    }
+
+    #[test]
+    fn parse_records_given_flags_and_resolves_mix() {
+        let args = ["--runs", "5", "--mix", "clustered-heterogeneous"]
+            .into_iter()
+            .map(String::from);
+        let opts = FigureOpts::parse(args);
+        assert!(opts.given.runs);
+        assert!(!opts.given.devices && !opts.given.seed && !opts.given.threads);
+        assert_eq!(opts.mix.as_deref(), Some("clustered-heterogeneous"));
+    }
+
+    #[test]
+    fn scenario_overrides_respect_explicit_flags_only() {
+        let args = ["--runs", "4", "--threads", "2"].into_iter().map(String::from);
+        let opts = FigureOpts::parse(args);
+        let mut scenario = nbiot_sim::Scenario::builtin("fig7").unwrap();
+        let original_devices = scenario.devices.clone();
+        let original_seed = scenario.master_seed;
+        opts.apply_to_scenario(&mut scenario);
+        assert_eq!(scenario.runs, 4);
+        assert_eq!(scenario.threads, 2);
+        // --devices/--seed were not passed: the scenario keeps its sweep.
+        assert_eq!(scenario.devices, original_devices);
+        assert_eq!(scenario.master_seed, original_seed);
     }
 }

@@ -1,0 +1,323 @@
+//! Scenario loading and figure rendering shared by the `figures` driver
+//! and the legacy figure-binary shims.
+//!
+//! A scenario is addressed either by registry name
+//! ([`nbiot_sim::Scenario::REGISTRY`]) or by a `.json`/`.toml` file path;
+//! captions are **derived from the executed configuration** (mix name,
+//! device counts, TI, runs), so they cannot drift from what actually ran.
+
+use nbiot_des::SeedSequence;
+use nbiot_grouping::{analysis, GroupingInput, MechanismKind};
+use nbiot_phy::DataSize;
+use nbiot_sim::{run_scenario, Scenario, ScenarioResult};
+
+use crate::{pct, render_table};
+
+/// Loads a scenario from a registry name or a `.json`/`.toml` file path.
+///
+/// # Errors
+///
+/// Returns a user-facing message listing the registry for unknown names,
+/// or the underlying I/O/parse error for files.
+pub fn load_scenario(spec: &str) -> Result<Scenario, String> {
+    if spec.ends_with(".json") || spec.ends_with(".toml") {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read scenario file `{spec}`: {e}"))?;
+        if spec.ends_with(".json") {
+            serde_json::from_str(&text).map_err(|e| format!("bad scenario JSON in `{spec}`: {e}"))
+        } else {
+            let value = crate::toml_lite::parse(&text)
+                .map_err(|e| format!("bad scenario TOML in `{spec}`: {e}"))?;
+            <Scenario as serde::Deserialize>::from_value(&value)
+                .map_err(|e| format!("scenario shape error in `{spec}`: {e}"))
+        }
+    } else {
+        Scenario::builtin(spec).ok_or_else(|| {
+            format!(
+                "unknown scenario `{spec}`; built-ins: {} (or pass a .json/.toml path)",
+                Scenario::REGISTRY.join(", ")
+            )
+        })
+    }
+}
+
+/// The caption line of a figure, derived from the actual configuration —
+/// never hardcoded, so it cannot lie when flags or files change the
+/// workload.
+pub fn caption(scenario: &Scenario) -> String {
+    let devices = match scenario.devices.as_slice() {
+        [one] => format!("{one} devices"),
+        [first, .., last] => format!(
+            "{first}-{last} devices ({} points)",
+            scenario.devices.len()
+        ),
+        [] => "no devices".to_string(),
+    };
+    format!(
+        "(mix: {}, {devices}, {} runs, TI = {} s, seed {:#x})",
+        scenario.mix.name,
+        scenario.runs,
+        scenario.ti_seconds(),
+        scenario.master_seed
+    )
+}
+
+/// Fig. 6(a)-style table: relative light-sleep uptime increase vs unicast.
+/// Devices/payload columns appear only when the scenario sweeps them.
+pub fn render_light_sleep(scenario: &Scenario, result: &ScenarioResult) -> String {
+    let multi_n = scenario.devices.len() > 1;
+    let multi_p = scenario.payloads.len() > 1;
+    let mut headers: Vec<&str> = Vec::new();
+    if multi_n {
+        headers.push("devices");
+    }
+    if multi_p {
+        headers.push("payload");
+    }
+    headers.extend(["mechanism", "light-sleep increase", "±95%CI", "compliant"]);
+    let mut rows = Vec::new();
+    for point in &result.points {
+        for m in &point.comparison.mechanisms {
+            let mut row = Vec::new();
+            if multi_n {
+                row.push(point.n_devices.to_string());
+            }
+            if multi_p {
+                row.push(point.payload.to_string());
+            }
+            row.extend([
+                m.mechanism.clone(),
+                pct(m.rel_light_sleep.mean),
+                pct(m.rel_light_sleep.ci95),
+                if m.standards_compliant { "yes" } else { "no" }.into(),
+            ]);
+            rows.push(row);
+        }
+    }
+    render_table(&headers, &rows)
+}
+
+/// Fig. 6(b)-style table: relative connected-mode uptime increase vs
+/// unicast, with the mean pre-transmission wait.
+pub fn render_connected(scenario: &Scenario, result: &ScenarioResult) -> String {
+    let multi_n = scenario.devices.len() > 1;
+    let mut headers: Vec<&str> = Vec::new();
+    if multi_n {
+        headers.push("devices");
+    }
+    headers.extend([
+        "payload",
+        "mechanism",
+        "connected increase",
+        "±95%CI",
+        "mean wait (s)",
+    ]);
+    let mut rows = Vec::new();
+    for point in &result.points {
+        for m in &point.comparison.mechanisms {
+            let mut row = Vec::new();
+            if multi_n {
+                row.push(point.n_devices.to_string());
+            }
+            row.extend([
+                point.payload.to_string(),
+                m.mechanism.clone(),
+                pct(m.rel_connected.mean),
+                pct(m.rel_connected.ci95),
+                format!("{:.1}", m.mean_wait_s.mean),
+            ]);
+            rows.push(row);
+        }
+    }
+    render_table(&headers, &rows)
+}
+
+/// Fig. 7-style table: transmission counts and their ratio to the group
+/// size, one row per (device point × mechanism), first payload only (the
+/// plan — and therefore the count — is payload-independent). When DR-SC
+/// is in the set, a fluid-model column shows the analytical estimate.
+pub fn render_transmissions(scenario: &Scenario, result: &ScenarioResult) -> String {
+    let with_fluid = scenario.mechanisms.contains(&MechanismKind::DrSc);
+    let estimates = if with_fluid {
+        fluid_estimates(scenario)
+    } else {
+        Vec::new()
+    };
+    let mut headers = vec!["devices", "mechanism", "transmissions", "±95%CI", "ratio"];
+    if with_fluid {
+        headers.push("fluid model (DR-SC)");
+    }
+    // Estimates looked up by group size, not column position: a scenario
+    // listing duplicate payloads yields several columns per device point.
+    let est_by_n: Vec<(usize, f64)> = scenario.devices.iter().copied().zip(estimates).collect();
+    let first_payload = scenario.payloads[0];
+    let mut rows = Vec::new();
+    for point in result.payload_column(first_payload) {
+        for m in &point.comparison.mechanisms {
+            let mut row = vec![
+                point.n_devices.to_string(),
+                m.mechanism.clone(),
+                format!("{:.1}", m.transmissions.mean),
+                format!("{:.1}", m.transmissions.ci95),
+                format!("{:.1}%", m.transmissions_ratio.mean * 100.0),
+            ];
+            if with_fluid {
+                row.push(match est_by_n.iter().find(|(n, _)| *n == point.n_devices) {
+                    Some((_, est)) if m.mechanism == "DR-SC" => format!("{est:.1}"),
+                    _ => String::new(),
+                });
+            }
+            rows.push(row);
+        }
+    }
+    render_table(&headers, &rows)
+}
+
+/// Fluid-model DR-SC transmission estimates on a representative population
+/// per device point — the "analytical" half of the paper's evaluation.
+pub fn fluid_estimates(scenario: &Scenario) -> Vec<f64> {
+    let seq = SeedSequence::new(scenario.master_seed);
+    scenario
+        .devices
+        .iter()
+        .map(|&n| {
+            let pop = scenario
+                .mix
+                .generate(n, &mut seq.child(0).rng(0))
+                .expect("population");
+            let input = GroupingInput::from_population(&pop, scenario.grouping).expect("input");
+            analysis::estimate_dr_sc_transmissions(&input).transmissions
+        })
+        .collect()
+}
+
+/// Renders the full report for a scenario result: derived caption, the
+/// relative-uptime tables (only meaningful against a baseline), and the
+/// transmission table.
+pub fn render_report(scenario: &Scenario, result: &ScenarioResult) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "==== scenario {}: {} ====\n{}\n\n",
+        scenario.name,
+        scenario.description,
+        caption(scenario)
+    ));
+    if scenario.baseline {
+        out.push_str("-- relative light-sleep uptime increase vs unicast --\n");
+        out.push_str(&render_light_sleep(scenario, result));
+        out.push('\n');
+        out.push_str("-- relative connected-mode uptime increase vs unicast --\n");
+        out.push_str(&render_connected(scenario, result));
+        out.push('\n');
+    }
+    out.push_str("-- multicast transmissions --\n");
+    out.push_str(&render_transmissions(scenario, result));
+    out
+}
+
+/// Executes a scenario and prints the report (or JSON): the shared body
+/// of the `figures` driver and the legacy figure shims.
+///
+/// # Panics
+///
+/// Panics on execution failure — appropriate for the CLI entry points
+/// this backs.
+pub fn run_and_print(scenario: &Scenario, json: bool) -> ScenarioResult {
+    let result = run_scenario(scenario).expect("scenario execution failed");
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serializable")
+        );
+    } else {
+        println!("{}", render_report(scenario, &result));
+    }
+    result
+}
+
+/// The payload sizes of the paper's Fig. 6(b) (100 kB, 1 MB, 10 MB).
+pub fn paper_payloads() -> Vec<DataSize> {
+    vec![
+        DataSize::from_kb(100),
+        DataSize::from_mb(1),
+        DataSize::from_mb(10),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        let mut s = Scenario::builtin("fig6a").unwrap();
+        s.devices = vec![20];
+        s.runs = 2;
+        s.threads = 1;
+        s
+    }
+
+    #[test]
+    fn caption_is_derived_from_config() {
+        let mut s = tiny_scenario();
+        s.mix = nbiot_traffic::TrafficMix::bursty_alarm();
+        s.runs = 7;
+        s = nbiot_sim::with_ti(s, nbiot_time::SimDuration::from_secs(20));
+        let c = caption(&s);
+        assert!(c.contains("bursty-alarm"), "{c}");
+        assert!(c.contains("TI = 20 s"), "{c}");
+        assert!(c.contains("7 runs"), "{c}");
+        assert!(c.contains("20 devices"), "{c}");
+        // A sweep scenario reports its range instead.
+        let fig7 = Scenario::builtin("fig7").unwrap();
+        assert!(caption(&fig7).contains("100-1000 devices (10 points)"));
+    }
+
+    #[test]
+    fn report_contains_all_tables_and_true_caption() {
+        let s = tiny_scenario();
+        let result = run_scenario(&s).unwrap();
+        let report = render_report(&s, &result);
+        assert!(report.contains("light-sleep increase"), "{report}");
+        assert!(report.contains("connected increase"), "{report}");
+        assert!(report.contains("transmissions"), "{report}");
+        assert!(report.contains("mix: ericsson-city"), "{report}");
+        assert!(report.contains("2 runs"), "{report}");
+        assert!(report.contains("fluid model"), "{report}");
+    }
+
+    #[test]
+    fn load_scenario_resolves_names_and_rejects_unknowns() {
+        assert_eq!(load_scenario("fig7").unwrap().name, "fig7");
+        let err = load_scenario("nope").unwrap_err();
+        assert!(err.contains("built-ins"), "{err}");
+    }
+
+    #[test]
+    fn scenario_files_roundtrip_through_json() {
+        let s = tiny_scenario();
+        let dir = std::env::temp_dir().join("nbiot_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&s).unwrap()).unwrap();
+        let loaded = load_scenario(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, s);
+    }
+
+    #[test]
+    fn scenario_files_roundtrip_through_toml() {
+        // Every built-in scenario survives Scenario -> TOML -> Scenario,
+        // exercising tables, arrays of tables, nested enums and options.
+        let dir = std::env::temp_dir().join("nbiot_scenario_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in Scenario::REGISTRY {
+            let s = Scenario::builtin(name).unwrap();
+            let text =
+                crate::toml_lite::to_toml(&serde_json::to_value(&s)).expect("TOML-writable");
+            let path = dir.join(format!("{name}.toml"));
+            std::fs::write(&path, &text).unwrap();
+            let loaded = load_scenario(path.to_str().unwrap())
+                .unwrap_or_else(|e| panic!("{name}: {e}\n{text}"));
+            assert_eq!(loaded, s, "{name}");
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! A minimal TOML-subset reader producing the vendored [`serde::Value`]
+//! tree, so scenario files can be written in TOML without a crates.io
+//! dependency (this environment is offline; see `vendor/`).
+//!
+//! Supported subset — everything the [`Scenario`](nbiot_sim::Scenario)
+//! schema needs:
+//!
+//! * `key = value` pairs with bare or dotted keys,
+//! * `[table]` / `[table.sub]` headers and `[[array-of-tables]]` headers,
+//! * basic strings with the common escapes, integers (decimal and `0x`
+//!   hex), floats, booleans,
+//! * arrays (nesting and spanning lines) and inline tables `{ k = v }`,
+//! * `#` comments.
+//!
+//! Not supported (rejected with an error rather than misparsed): literal
+//! strings, multi-line strings, dates, and `+`/`_` number decorations.
+//!
+//! One deliberate extension: the keyword `null` is accepted (and written)
+//! as [`Value::Null`], because the scenario schema has optional fields and
+//! the vendored serde model requires every field to be present.
+
+use std::fmt::Write as _;
+
+use serde::Value;
+
+/// Parses a TOML-subset document into a [`Value::Object`] tree.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending line for
+/// anything outside the supported subset.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut parser = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut root = Value::Object(Vec::new());
+    // Path of the table the following key/value pairs land in; the last
+    // element of an array-of-tables path addresses its newest entry.
+    let mut current_path: Vec<String> = Vec::new();
+    loop {
+        parser.skip_trivia();
+        if parser.at_end() {
+            break;
+        }
+        if parser.peek() == Some('[') {
+            let array_of_tables = parser.peek_at(1) == Some('[');
+            parser.advance();
+            if array_of_tables {
+                parser.advance();
+            }
+            let path = parser.parse_key_path()?;
+            parser.expect(']')?;
+            if array_of_tables {
+                parser.expect(']')?;
+                append_array_table(&mut root, &path).map_err(|e| parser.err_msg(&e))?;
+            } else {
+                navigate_table(&mut root, &path, true).map_err(|e| parser.err_msg(&e))?;
+            }
+            current_path = path;
+        } else {
+            let path = parser.parse_key_path()?;
+            parser.expect('=')?;
+            let value = parser.parse_value()?;
+            let (key, table_path) = path.split_last().ok_or_else(|| parser.err_msg("empty key"))?;
+            let mut full = current_path.clone();
+            full.extend_from_slice(table_path);
+            let table = navigate_table(&mut root, &full, false).map_err(|e| parser.err_msg(&e))?;
+            let Value::Object(entries) = table else {
+                return Err(parser.err_msg("key path does not address a table"));
+            };
+            if entries.iter().any(|(k, _)| k == key) {
+                return Err(parser.err_msg(&format!("duplicate key `{key}`")));
+            }
+            entries.push((key.clone(), value));
+        }
+        parser.expect_end_of_line()?;
+    }
+    Ok(root)
+}
+
+/// Walks (creating as needed) to the table at `path`. For a path segment
+/// holding an array-of-tables, descends into its **last** entry, matching
+/// TOML's `[a]` … `[[a.b]]` … `[a.b.c]` addressing.
+fn navigate_table<'v>(
+    root: &'v mut Value,
+    path: &[String],
+    _header: bool,
+) -> Result<&'v mut Value, String> {
+    let mut node = root;
+    for segment in path {
+        let entries = match node {
+            Value::Object(entries) => entries,
+            Value::Array(items) => match items.last_mut() {
+                Some(Value::Object(entries)) => entries,
+                _ => return Err(format!("`{segment}` addresses a non-table array entry")),
+            },
+            _ => return Err(format!("`{segment}` addresses a non-table value")),
+        };
+        let idx = match entries.iter().position(|(k, _)| k == segment) {
+            Some(idx) => idx,
+            None => {
+                entries.push((segment.clone(), Value::Object(Vec::new())));
+                entries.len() - 1
+            }
+        };
+        node = &mut entries[idx].1;
+    }
+    // A path may land on an array-of-tables; the caller means its last entry.
+    if let Value::Array(items) = node {
+        match items.last_mut() {
+            Some(last @ Value::Object(_)) => return Ok(last),
+            _ => return Err("path addresses a non-table array".into()),
+        }
+    }
+    Ok(node)
+}
+
+/// Appends a fresh table to the array-of-tables at `path`, creating it on
+/// first use.
+fn append_array_table(root: &mut Value, path: &[String]) -> Result<(), String> {
+    let (last, parent_path) = path.split_last().ok_or("empty table header")?;
+    let parent = navigate_table(root, parent_path, true)?;
+    let Value::Object(entries) = parent else {
+        return Err("array-of-tables parent is not a table".into());
+    };
+    match entries.iter_mut().find(|(k, _)| k == last) {
+        Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
+        Some(_) => return Err(format!("`{last}` is not an array of tables")),
+        None => entries.push((
+            last.clone(),
+            Value::Array(vec![Value::Object(Vec::new())]),
+        )),
+    }
+    Ok(())
+}
+
+/// Writes a [`Value::Object`] tree as a TOML-subset document that
+/// [`parse`] reads back: the inverse used by `figures --dump` to emit
+/// editable scenario templates.
+///
+/// Within each table, scalar and array keys are written before `[table]`
+/// and `[[array-of-tables]]` subsections (a TOML requirement); arrays
+/// whose elements are all tables become `[[sections]]`, every other array
+/// is inline. Key order therefore may differ from the input tree, which
+/// is invisible to the by-name field lookups of the serde model.
+pub fn to_toml(value: &Value) -> Result<String, String> {
+    let Value::Object(_) = value else {
+        return Err("top-level TOML value must be a table".into());
+    };
+    let mut out = String::new();
+    write_table(&mut out, value, &mut Vec::new())?;
+    Ok(out)
+}
+
+fn is_table_array(value: &Value) -> bool {
+    matches!(value, Value::Array(items)
+        if !items.is_empty() && items.iter().all(|v| matches!(v, Value::Object(_))))
+}
+
+fn write_table(out: &mut String, table: &Value, path: &mut Vec<String>) -> Result<(), String> {
+    let Value::Object(entries) = table else {
+        return Err("expected a table".into());
+    };
+    for (key, value) in entries {
+        match value {
+            Value::Object(_) => {}
+            v if is_table_array(v) => {}
+            v => {
+                let _ = write!(out, "{} = ", bare_or_quoted(key));
+                write_inline(out, v);
+                out.push('\n');
+            }
+        }
+    }
+    for (key, value) in entries {
+        if let Value::Object(_) = value {
+            path.push(key.clone());
+            let _ = write!(out, "\n[{}]\n", path.join("."));
+            write_table(out, value, path)?;
+            path.pop();
+        } else if is_table_array(value) {
+            let Value::Array(items) = value else { unreachable!() };
+            path.push(key.clone());
+            for item in items {
+                let _ = write!(out, "\n[[{}]]\n", path.join("."));
+                write_table(out, item, path)?;
+            }
+            path.pop();
+        }
+    }
+    Ok(())
+}
+
+fn write_inline(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => {
+            let text = format!("{x}");
+            out.push_str(&text);
+            if !text.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_inline(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, " {} = ", bare_or_quoted(k));
+                write_inline(out, v);
+            }
+            out.push_str(" }");
+        }
+    }
+}
+
+fn bare_or_quoted(key: &str) -> String {
+    if !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        key.to_string()
+    } else {
+        format!("\"{}\"", key.replace('\\', "\\\\").replace('"', "\\\""))
+    }
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn advance(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+        c
+    }
+
+    fn err_msg(&self, msg: &str) -> String {
+        format!("TOML line {}: {msg}", self.line)
+    }
+
+    /// Skips spaces/tabs and `#` comments, staying on the current line.
+    fn skip_inline_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.advance();
+        }
+        if self.peek() == Some('#') {
+            while !self.at_end() && self.peek() != Some('\n') {
+                self.advance();
+            }
+        }
+    }
+
+    /// Skips whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            self.skip_inline_ws();
+            if self.peek() == Some('\n') || self.peek() == Some('\r') {
+                self.advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_inline_ws();
+        match self.advance() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(self.err_msg(&format!("expected `{c}`, got `{got}`"))),
+            None => Err(self.err_msg(&format!("expected `{c}`, got end of input"))),
+        }
+    }
+
+    fn expect_end_of_line(&mut self) -> Result<(), String> {
+        self.skip_inline_ws();
+        match self.peek() {
+            None | Some('\n') | Some('\r') => Ok(()),
+            Some(c) => Err(self.err_msg(&format!("unexpected `{c}` after value"))),
+        }
+    }
+
+    /// Parses a dotted key path of bare or quoted segments.
+    fn parse_key_path(&mut self) -> Result<Vec<String>, String> {
+        let mut path = Vec::new();
+        loop {
+            self.skip_inline_ws();
+            let segment = if self.peek() == Some('"') {
+                self.parse_basic_string()?
+            } else {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        s.push(c);
+                        self.advance();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    return Err(self.err_msg("expected a key"));
+                }
+                s
+            };
+            path.push(segment);
+            self.skip_inline_ws();
+            if self.peek() == Some('.') {
+                self.advance();
+            } else {
+                return Ok(path);
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        self.skip_trivia();
+        match self.peek() {
+            Some('"') => Ok(Value::Str(self.parse_basic_string()?)),
+            Some('[') => self.parse_array(),
+            Some('{') => self.parse_inline_table(),
+            Some('t') | Some('f') => self.parse_bool(),
+            Some('n') => {
+                if self.chars[self.pos..].starts_with(&['n', 'u', 'l', 'l']) {
+                    self.pos += 4;
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err_msg("expected `null`"))
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some('\'') => Err(self.err_msg("literal strings are not supported; use \"…\"")),
+            Some(c) => Err(self.err_msg(&format!("unexpected `{c}` in value position"))),
+            None => Err(self.err_msg("expected a value, got end of input")),
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.advance() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.advance() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self
+                                .advance()
+                                .ok_or_else(|| self.err_msg("truncated \\u escape"))?;
+                            code = code * 16
+                                + c.to_digit(16)
+                                    .ok_or_else(|| self.err_msg(&format!("bad hex digit `{c}`")))?;
+                        }
+                        s.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| self.err_msg(&format!("bad codepoint {code}")))?,
+                        );
+                    }
+                    other => return Err(self.err_msg(&format!("bad escape {other:?}"))),
+                },
+                Some('\n') | None => return Err(self.err_msg("unterminated string")),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, String> {
+        for (word, value) in [("true", true), ("false", false)] {
+            if self.chars[self.pos..].starts_with(&word.chars().collect::<Vec<_>>()[..]) {
+                self.pos += word.len();
+                return Ok(Value::Bool(value));
+            }
+        }
+        Err(self.err_msg("expected `true` or `false`"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_hexdigit() || matches!(c, '-' | '+' | '.' | 'x' | 'X') {
+                // `e`/`E` for exponents are covered by is_ascii_hexdigit.
+                text.push(c);
+                self.advance();
+            } else {
+                break;
+            }
+        }
+        if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            return u64::from_str_radix(hex, 16)
+                .map(Value::U64)
+                .map_err(|e| self.err_msg(&format!("bad hex number `{text}`: {e}")));
+        }
+        if text.contains(['.', 'e', 'E']) && !text.contains('x') {
+            return text
+                .parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| self.err_msg(&format!("bad float `{text}`: {e}")));
+        }
+        if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| self.err_msg(&format!("bad integer `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| self.err_msg(&format!("bad integer `{text}`: {e}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect('[')?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(']') {
+                self.advance();
+                return Ok(Value::Array(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.advance();
+                }
+                Some(']') => {}
+                other => return Err(self.err_msg(&format!("expected `,` or `]`, got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, String> {
+        self.expect('{')?;
+        let mut entries: Vec<(String, Value)> = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some('}') {
+                self.advance();
+                return Ok(Value::Object(entries));
+            }
+            let path = self.parse_key_path()?;
+            if path.len() != 1 {
+                return Err(self.err_msg("dotted keys in inline tables are not supported"));
+            }
+            self.expect('=')?;
+            let value = self.parse_value()?;
+            entries.push((path.into_iter().next().expect("len checked"), value));
+            self.skip_trivia();
+            match self.peek() {
+                Some(',') => {
+                    self.advance();
+                }
+                Some('}') => {}
+                other => return Err(self.err_msg(&format!("expected `,` or `}}`, got {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get<'v>(v: &'v Value, key: &str) -> &'v Value {
+        match v {
+            Value::Object(entries) => {
+                &entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .unwrap_or_else(|| panic!("missing key {key}"))
+                    .1
+            }
+            other => panic!("not an object: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalars_tables_and_arrays_parse() {
+        let v = parse(
+            r##"
+            # top-level pairs
+            name = "demo"
+            runs = 20
+            seed = 0x4E42
+            ratio = 0.5
+            flag = true
+            sizes = [100, 200,
+                     300]
+
+            [nested.table]
+            value = -7
+            "##,
+        )
+        .unwrap();
+        assert_eq!(get(&v, "name"), &Value::Str("demo".into()));
+        assert_eq!(get(&v, "runs"), &Value::U64(20));
+        assert_eq!(get(&v, "seed"), &Value::U64(0x4E42));
+        assert_eq!(get(&v, "ratio"), &Value::F64(0.5));
+        assert_eq!(get(&v, "flag"), &Value::Bool(true));
+        assert_eq!(
+            get(&v, "sizes"),
+            &Value::Array(vec![Value::U64(100), Value::U64(200), Value::U64(300)])
+        );
+        assert_eq!(get(get(get(&v, "nested"), "table"), "value"), &Value::I64(-7));
+    }
+
+    #[test]
+    fn array_of_tables_and_inline_tables() {
+        let v = parse(
+            r#"
+            [mix]
+            name = "custom"
+
+            [[mix.classes]]
+            name = "a"
+            share = 0.5
+            cycles = [[{ Drx = "Rf256" }, 1.0]]
+
+            [[mix.classes]]
+            name = "b"
+            share = 0.5
+            "#,
+        )
+        .unwrap();
+        let classes = get(get(&v, "mix"), "classes");
+        let Value::Array(items) = classes else {
+            panic!("classes must be an array")
+        };
+        assert_eq!(items.len(), 2);
+        assert_eq!(get(&items[0], "name"), &Value::Str("a".into()));
+        let cycles = get(&items[0], "cycles");
+        let Value::Array(pairs) = cycles else {
+            panic!("cycles must be an array")
+        };
+        let Value::Array(pair) = &pairs[0] else {
+            panic!("cycle entries are [cycle, weight] pairs")
+        };
+        assert_eq!(get(&pair[0], "Drx"), &Value::Str("Rf256".into()));
+        assert_eq!(pair[1], Value::F64(1.0));
+        assert_eq!(get(&items[1], "name"), &Value::Str("b".into()));
+    }
+
+    #[test]
+    fn errors_name_the_line() {
+        let err = parse("a = 1\nb = 'literal'\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse("a = 1\na = 2\n").unwrap_err().contains("duplicate"));
+        assert!(parse("a = \n").is_err());
+    }
+
+    #[test]
+    fn writer_roundtrips_nested_trees() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::Str("demo \"x\"".into())),
+            ("opt".into(), Value::Null),
+            ("count".into(), Value::U64(3)),
+            ("delta".into(), Value::I64(-2)),
+            ("exact".into(), Value::F64(2.0)),
+            (
+                "pairs".into(),
+                Value::Array(vec![Value::Array(vec![
+                    Value::Object(vec![("Drx".into(), Value::Str("Rf256".into()))]),
+                    Value::F64(0.5),
+                ])]),
+            ),
+            (
+                "sub".into(),
+                Value::Object(vec![("k".into(), Value::U64(1))]),
+            ),
+            (
+                "rows".into(),
+                Value::Array(vec![
+                    Value::Object(vec![("a".into(), Value::U64(1))]),
+                    Value::Object(vec![("a".into(), Value::U64(2))]),
+                ]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ]);
+        let text = to_toml(&v).unwrap();
+        let back = parse(&text).unwrap();
+        // Key order may differ (scalars before sections); compare by name.
+        for key in ["name", "opt", "count", "delta", "exact", "pairs", "sub", "rows", "empty"] {
+            assert_eq!(get(&back, key), get(&v, key), "key {key} via:\n{text}");
+        }
+    }
+
+    #[test]
+    fn integer_extremes_parse_or_error() {
+        let v = parse("a = -9223372036854775808\n").unwrap();
+        assert_eq!(get(&v, "a"), &Value::I64(i64::MIN));
+        // Below i64::MIN: a clean error, not a silently wrapped value.
+        assert!(parse("a = -10000000000000000000\n").is_err());
+        let v = parse("b = 18446744073709551615\n").unwrap();
+        assert_eq!(get(&v, "b"), &Value::U64(u64::MAX));
+    }
+
+    #[test]
+    fn null_extension_parses() {
+        let v = parse("a = null\n").unwrap();
+        assert_eq!(get(&v, "a"), &Value::Null);
+    }
+
+    #[test]
+    fn values_deserialize_into_types() {
+        #[derive(Debug, PartialEq, serde::Deserialize)]
+        struct Demo {
+            name: String,
+            sizes: Vec<usize>,
+            ratio: f64,
+        }
+        let v = parse("name = \"x\"\nsizes = [1, 2]\nratio = 0.25\n").unwrap();
+        let demo = <Demo as serde::Deserialize>::from_value(&v).unwrap();
+        assert_eq!(
+            demo,
+            Demo {
+                name: "x".into(),
+                sizes: vec![1, 2],
+                ratio: 0.25
+            }
+        );
+    }
+}

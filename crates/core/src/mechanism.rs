@@ -65,6 +65,31 @@ impl MechanismKind {
         MechanismKind::ScPtm,
     ];
 
+    /// Resolves a mechanism from its display name (`"DR-SC"`, `"DA-SC"`,
+    /// `"DR-SI"`, `"Unicast"`, `"SC-PTM"`), case-insensitively.
+    ///
+    /// Returns `None` for unknown names; CLI callers that surface errors
+    /// should list [`MechanismKind::ALL`].
+    pub fn by_name(name: &str) -> Option<MechanismKind> {
+        MechanismKind::ALL
+            .into_iter()
+            .find(|k| k.to_string().eq_ignore_ascii_case(name))
+    }
+
+    /// Parses a comma-separated mechanism set (e.g. `"DR-SC,DA-SC"`),
+    /// preserving order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unresolvable name.
+    pub fn parse_set(list: &str) -> Result<Vec<MechanismKind>, String> {
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|name| MechanismKind::by_name(name).ok_or_else(|| name.to_string()))
+            .collect()
+    }
+
     /// Instantiates the mechanism with default settings.
     pub fn instantiate(self) -> Box<dyn GroupingMechanism> {
         match self {
@@ -100,6 +125,34 @@ mod tests {
             let mech = kind.instantiate();
             assert_eq!(mech.name(), kind.to_string());
         }
+    }
+
+    #[test]
+    fn by_name_roundtrips_and_ignores_case() {
+        for kind in MechanismKind::ALL {
+            assert_eq!(MechanismKind::by_name(&kind.to_string()), Some(kind));
+            assert_eq!(
+                MechanismKind::by_name(&kind.to_string().to_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(MechanismKind::by_name("DR-XX"), None);
+    }
+
+    #[test]
+    fn parse_set_preserves_order_and_reports_bad_names() {
+        assert_eq!(
+            MechanismKind::parse_set("dr-si, Unicast,DR-SC"),
+            Ok(vec![
+                MechanismKind::DrSi,
+                MechanismKind::Unicast,
+                MechanismKind::DrSc
+            ])
+        );
+        assert_eq!(
+            MechanismKind::parse_set("DR-SC,bogus,DA-SC"),
+            Err("bogus".to_string())
+        );
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub enum SimError {
         /// Number of runs requested.
         runs: u32,
     },
+    /// A scenario listed no sweep points or no mechanisms.
+    EmptyScenario {
+        /// Which list was empty (`"devices"`, `"payloads"`, `"mechanisms"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +39,9 @@ impl fmt::Display for SimError {
                 f,
                 "experiment needs at least one device and one run (got {n_devices} devices, {runs} runs)"
             ),
+            SimError::EmptyScenario { what } => {
+                write!(f, "scenario lists no {what}; every sweep axis needs at least one entry")
+            }
         }
     }
 }
@@ -45,6 +53,7 @@ impl std::error::Error for SimError {
             SimError::InvalidPlan(v) => Some(v),
             SimError::Traffic(e) => Some(e),
             SimError::DegenerateExperiment { .. } => None,
+            SimError::EmptyScenario { .. } => None,
         }
     }
 }

@@ -1,26 +1,45 @@
 //! The paper's experimental methodology: same populations, mechanisms
 //! compared against the per-run unicast baseline, averaged over runs.
 //!
-//! # Parallel execution
+//! # One scheduler for every sweep
 //!
-//! Every run is a pure function of its [`SeedSequence`] child (seeds derive
-//! per-run via `seq.child(run)`), so runs fan out across
-//! [`ExperimentConfig::threads`] OS threads and their per-run records are
-//! folded back **in run order** on the coordinating thread. The fold is the
-//! same push sequence the serial loop performs, which makes every
-//! [`Summary`] field bit-identical regardless of the thread count —
-//! verified by `comparison_is_thread_count_invariant` below. Each worker
-//! instantiates its mechanism set once and reuses it across all of its
-//! runs instead of re-boxing a planner per run.
+//! All experiment execution — single comparisons ([`run_comparison`]),
+//! device sweeps ([`sweep_devices`]) and whole scenario grids
+//! ([`run_scenario`](crate::run_scenario)) — flows through one generic
+//! work-item scheduler ([`fan_out_items`]) whose unit of parallelism is a
+//! **(sweep point × run)** pair. The thread pool therefore spans entire
+//! sweeps and figure suites instead of draining one point at a time.
+//!
+//! Every item is a pure function of its [`SeedSequence`] child (seeds
+//! derive per-run via `seq.child(run)`), items are distributed cyclically
+//! across workers for load balance, and the per-item records are folded
+//! back **in item order** on the coordinating thread — the same push
+//! sequence serial execution performs. That makes every [`Summary`] field
+//! bit-identical regardless of the thread count, verified by
+//! `comparison_is_thread_count_invariant` below and
+//! `tests/parallel_determinism.rs`.
+//!
+//! # Shared populations and plans
+//!
+//! Within one item, the run's [`Population`](nbiot_traffic::Population)
+//! and [`GroupingInput`] are generated **once** and shared by the unicast
+//! baseline and every mechanism (they never depend on the payload), and
+//! each mechanism's [`MulticastPlan`](nbiot_grouping::MulticastPlan) is
+//! computed **once** and executed per payload with a cloned post-plan RNG
+//! — bit-identical to re-planning from scratch, because planning is a
+//! deterministic function of the same input and RNG stream.
 
 use core::fmt;
 
 use nbiot_des::{RunningStats, SeedSequence, Summary};
 use nbiot_energy::PowerProfile;
-use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast};
+use nbiot_grouping::{
+    GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast,
+};
 use nbiot_traffic::TrafficMix;
+use rand::rngs::StdRng;
 
-use crate::{run_campaign, SimConfig, SimError};
+use crate::{engine, CampaignResult, SimConfig, SimError};
 
 /// Configuration of one experiment (one point of a figure).
 #[derive(Debug, Clone)]
@@ -39,9 +58,9 @@ pub struct ExperimentConfig {
     pub sim: SimConfig,
     /// Power profile used for the supplementary energy-in-Joules metric.
     pub power: PowerProfile,
-    /// Worker threads for the run fan-out: `1` executes serially on the
-    /// calling thread, `0` uses all available cores, any other value that
-    /// many threads. Results are bit-identical for every setting.
+    /// Worker threads for the work-item fan-out: `1` executes serially on
+    /// the calling thread, `0` uses all available cores, any other value
+    /// that many threads. Results are bit-identical for every setting.
     pub threads: usize,
 }
 
@@ -74,10 +93,16 @@ pub struct MechanismSummary {
     pub rel_connected: Summary,
     /// Number of payload transmissions (Fig. 7).
     pub transmissions: Summary,
+    /// Transmissions as a fraction of the group size (the Fig. 7 ratio).
+    pub transmissions_ratio: Summary,
     /// Mean device wait before its transmission, in seconds.
     pub mean_wait_s: Summary,
+    /// Mean absolute per-device connected-mode uptime, in seconds.
+    pub mean_connected_s: Summary,
     /// Mean per-device energy in millijoules (supplementary).
     pub mean_energy_mj: Summary,
+    /// Random-access failures per run (RACH contention ablations).
+    pub ra_failures: Summary,
     /// Devices finishing random access after their transmission started.
     pub late_joins: Summary,
 }
@@ -125,14 +150,16 @@ struct MechRun {
     rel_connected: f64,
     transmissions: f64,
     mean_wait_s: f64,
+    mean_connected_s: f64,
     mean_energy_mj: f64,
+    ra_failures: f64,
     late_joins: f64,
     compliant: bool,
 }
 
 /// Resolves a thread-count setting: `0` means all available cores, and no
-/// point spawning more workers than there are runs.
-fn effective_threads(requested: usize, runs: usize) -> usize {
+/// point spawning more workers than there are work items.
+fn effective_threads(requested: usize, items: usize) -> usize {
     let threads = if requested == 0 {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -140,21 +167,25 @@ fn effective_threads(requested: usize, runs: usize) -> usize {
     } else {
         requested
     };
-    threads.clamp(1, runs.max(1))
+    threads.clamp(1, items.max(1))
 }
 
-/// Executes `runs` independent jobs across `threads` workers and returns
-/// their results **indexed by run**, or the error of the lowest-numbered
-/// failing run — exactly what serial execution would surface.
+/// The generic work-item scheduler: executes `items` independent jobs
+/// across `threads` workers and returns their results **indexed by item**,
+/// or the error of the lowest-numbered failing item — exactly what serial
+/// execution would surface.
 ///
-/// `init` builds one worker-local state (e.g. the instantiated mechanism
-/// set), shared by all runs that worker executes. Each worker stops at its
-/// own first error; the runs it skips come *after* that error in run
-/// order, so the run-order scan below still finds the globally first
-/// failure deterministically while avoiding wasted work on the error
-/// path.
-fn fan_out_runs<T, S, I, J>(
-    runs: usize,
+/// Items are assigned cyclically (worker `w` takes items `w`, `w + T`,
+/// `w + 2T`, …), so a sweep whose later points are more expensive — e.g.
+/// group sizes 100…1000 laid out point-major — still spreads evenly over
+/// the pool. `init` builds one worker-local state (e.g. the instantiated
+/// mechanism set), shared by all items that worker executes. Each worker
+/// stops at its own first error; the items it skips come *after* that
+/// error in item order, so the item-order scan below still finds the
+/// globally first failure deterministically while avoiding wasted work on
+/// the error path.
+fn fan_out_items<T, S, I, J>(
+    items: usize,
     threads: usize,
     init: I,
     job: J,
@@ -164,89 +195,215 @@ where
     I: Fn() -> S + Sync,
     J: Fn(&mut S, usize) -> Result<T, SimError> + Sync,
 {
-    let threads = effective_threads(threads, runs);
-    let mut records: Vec<Option<Result<T, SimError>>> = Vec::new();
-    records.resize_with(runs, || None);
-    let chunk_size = runs.div_ceil(threads);
-    let run_chunk = |chunk_idx: usize, chunk: &mut [Option<Result<T, SimError>>]| {
+    let threads = effective_threads(threads, items);
+    let run_stride = |worker: usize| -> Vec<Option<Result<T, SimError>>> {
         let mut state = init();
-        for (offset, slot) in chunk.iter_mut().enumerate() {
-            let run = chunk_idx * chunk_size + offset;
-            let record = job(&mut state, run);
-            let failed = record.is_err();
-            *slot = Some(record);
+        let mut out = Vec::with_capacity(items.div_ceil(threads));
+        let mut failed = false;
+        let mut item = worker;
+        while item < items {
             if failed {
-                break;
+                out.push(None);
+            } else {
+                let record = job(&mut state, item);
+                failed = record.is_err();
+                out.push(Some(record));
             }
+            item += threads;
         }
+        out
     };
-    if threads <= 1 {
-        run_chunk(0, &mut records);
+    let mut per_worker: Vec<Vec<Option<Result<T, SimError>>>> = if threads <= 1 {
+        vec![run_stride(0)]
     } else {
         std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in records.chunks_mut(chunk_size).enumerate() {
-                let run_chunk = &run_chunk;
-                scope.spawn(move || run_chunk(chunk_idx, chunk));
-            }
-        });
-    }
-    let mut out = Vec::with_capacity(runs);
-    for slot in records {
-        match slot {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let run_stride = &run_stride;
+                    scope.spawn(move || run_stride(w))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scheduler worker panicked"))
+                .collect()
+        })
+    };
+    // Reassemble in item order. A `None` slot can only sit *behind* its
+    // worker's first error in item order, so the first non-`Ok` slot this
+    // scan meets is always the globally lowest-numbered error.
+    let mut out = Vec::with_capacity(items);
+    for item in 0..items {
+        match per_worker[item % threads][item / threads].take() {
             Some(Ok(value)) => out.push(value),
             Some(Err(e)) => return Err(e),
-            None => unreachable!("runs are only skipped after an earlier error in their chunk"),
+            None => unreachable!("items are only skipped after an earlier error in their stride"),
         }
     }
     Ok(out)
 }
 
-/// One comparison run: fresh population, unicast baseline, every requested
-/// mechanism on the same population. `mechanisms` are the worker's reused
-/// planner instances, aligned with `kinds`.
-fn comparison_run(
-    config: &ExperimentConfig,
-    kinds: &[MechanismKind],
+/// The full experiment grid one scheduler invocation executes: device
+/// sweep points × payload variants × mechanisms × runs.
+///
+/// Work items are **(device point × run)** pairs; payload variants and
+/// mechanisms ride inside an item so they can share the run's population,
+/// grouping input and per-mechanism plan.
+pub(crate) struct GridSpec<'a> {
+    /// Device population mix.
+    pub mix: &'a TrafficMix,
+    /// Device sweep points (group sizes), one outer grid row each.
+    pub devices: &'a [usize],
+    /// Payload/protocol variants, one inner grid column each. The
+    /// mechanisms' plans are payload-independent and shared across these.
+    pub sims: &'a [SimConfig],
+    /// Mechanism set, in presentation order.
+    pub kinds: &'a [MechanismKind],
+    /// Repetitions per point.
+    pub runs: u32,
+    /// Master seed; run `r` of every point derives from `child(r)`.
+    pub master_seed: u64,
+    /// Grouping parameters.
+    pub grouping: GroupingParams,
+    /// Power profile for the energy metric.
+    pub power: &'a PowerProfile,
+    /// Compare against a per-run unicast baseline. When `false` the
+    /// relative metrics are zero (sweeps that only need absolute counts
+    /// skip the baseline's cost).
+    pub baseline: bool,
+    /// Worker threads (`0` = all cores, `1` = serial).
+    pub threads: usize,
+}
+
+/// Plans once, then executes the plan under every payload variant with a
+/// cloned post-plan RNG — bit-identical to planning from scratch per
+/// variant, since planning is deterministic in (input, RNG stream).
+fn execute_per_payload(
+    mechanism: &dyn GroupingMechanism,
+    input: &GroupingInput,
+    sims: &[SimConfig],
+    rng: &mut StdRng,
+) -> Result<Vec<CampaignResult>, SimError> {
+    let plan = mechanism.plan(input, rng)?;
+    plan.validate(input)?;
+    Ok(sims
+        .iter()
+        .map(|sim| engine::execute(input, &plan, sim, &mut rng.clone()))
+        .collect())
+}
+
+/// One (device point × run) work item: fresh population and grouping
+/// input, shared by the unicast baseline and every mechanism across every
+/// payload variant. Returns rows indexed `[payload][mechanism]`.
+fn grid_item(
+    spec: &GridSpec<'_>,
     mechanisms: &[Box<dyn GroupingMechanism>],
+    n_devices: usize,
     run: usize,
-) -> Result<Vec<MechRun>, SimError> {
-    let seq = SeedSequence::new(config.master_seed);
-    let run_seq = seq.child(run as u64);
-    let population = config.mix.generate(config.n_devices, &mut run_seq.rng(0))?;
-    let input = GroupingInput::from_population(&population, config.grouping)?;
-    let baseline = run_campaign(&Unicast::new(), &input, &config.sim, &mut run_seq.rng(1))?;
-    let mut rows = Vec::with_capacity(kinds.len());
-    for (i, (kind, mechanism)) in kinds.iter().zip(mechanisms).enumerate() {
-        let result = if *kind == MechanismKind::Unicast {
-            baseline.clone()
-        } else {
-            run_campaign(
+) -> Result<Vec<Vec<MechRun>>, SimError> {
+    let run_seq = SeedSequence::new(spec.master_seed).child(run as u64);
+    let population = spec.mix.generate(n_devices, &mut run_seq.rng(0))?;
+    let input = GroupingInput::from_population(&population, spec.grouping)?;
+    let baselines = if spec.baseline {
+        Some(execute_per_payload(
+            &Unicast::new(),
+            &input,
+            spec.sims,
+            &mut run_seq.rng(1),
+        )?)
+    } else {
+        None
+    };
+    let mut rows: Vec<Vec<MechRun>> = (0..spec.sims.len())
+        .map(|_| Vec::with_capacity(spec.kinds.len()))
+        .collect();
+    for (i, (kind, mechanism)) in spec.kinds.iter().zip(mechanisms).enumerate() {
+        let results = match &baselines {
+            // The baseline already executed unicast on this population;
+            // reuse it (and leave the mechanism's RNG stream untouched,
+            // matching what a dedicated unicast row would observe).
+            Some(base) if *kind == MechanismKind::Unicast => base.clone(),
+            _ => execute_per_payload(
                 mechanism.as_ref(),
                 &input,
-                &config.sim,
+                spec.sims,
                 &mut run_seq.rng(2 + i as u64),
-            )?
+            )?,
         };
-        let rel = result.mean_relative_vs(&baseline);
-        rows.push(MechRun {
-            rel_light_sleep: rel.light_sleep,
-            rel_connected: rel.connected,
-            transmissions: result.transmission_count as f64,
-            mean_wait_s: result.mean_wait.as_secs_f64(),
-            mean_energy_mj: result.mean_energy_mj(&config.power),
-            late_joins: result.late_joins as f64,
-            compliant: result.standards_compliant,
-        });
+        for (p, result) in results.iter().enumerate() {
+            let baseline = baselines.as_ref().map_or(result, |b| &b[p]);
+            let rel = result.mean_relative_vs(baseline);
+            rows[p].push(MechRun {
+                rel_light_sleep: rel.light_sleep,
+                rel_connected: rel.connected,
+                transmissions: result.transmission_count as f64,
+                mean_wait_s: result.mean_wait.as_secs_f64(),
+                mean_connected_s: result.mean_connected_ms() / 1000.0,
+                mean_energy_mj: result.mean_energy_mj(spec.power),
+                ra_failures: result.ra_failures as f64,
+                late_joins: result.late_joins as f64,
+                compliant: result.standards_compliant,
+            });
+        }
     }
     Ok(rows)
+}
+
+/// Executes the whole grid through the scheduler and folds the per-item
+/// records into one [`ComparisonResult`] per (device point × payload
+/// variant), in run order — the fold that keeps every thread count
+/// bit-identical. Output is indexed `[device point][payload variant]`.
+pub(crate) fn execute_grid(spec: &GridSpec<'_>) -> Result<Vec<Vec<ComparisonResult>>, SimError> {
+    let runs = spec.runs as usize;
+    let items = spec.devices.len() * runs;
+    let records = fan_out_items(
+        items,
+        spec.threads,
+        || {
+            spec.kinds
+                .iter()
+                .map(|k| k.instantiate())
+                .collect::<Vec<Box<dyn GroupingMechanism>>>()
+        },
+        |mechanisms, item| grid_item(spec, mechanisms, spec.devices[item / runs], item % runs),
+    )?;
+
+    let mut grid = Vec::with_capacity(spec.devices.len());
+    for (n_idx, &n_devices) in spec.devices.iter().enumerate() {
+        let mut per_payload: Vec<Vec<(MechanismKind, MechStats)>> = (0..spec.sims.len())
+            .map(|_| spec.kinds.iter().map(|&k| (k, MechStats::default())).collect())
+            .collect();
+        for run in 0..runs {
+            let item = &records[n_idx * runs + run];
+            for (payload_rows, acc) in item.iter().zip(per_payload.iter_mut()) {
+                for (row, (_, stats)) in payload_rows.iter().zip(acc.iter_mut()) {
+                    stats.push(row, n_devices);
+                }
+            }
+        }
+        grid.push(
+            per_payload
+                .into_iter()
+                .map(|acc| ComparisonResult {
+                    n_devices,
+                    runs: spec.runs,
+                    mechanisms: acc
+                        .into_iter()
+                        .map(|(kind, s)| s.into_summary(kind))
+                        .collect(),
+                })
+                .collect(),
+        );
+    }
+    Ok(grid)
 }
 
 /// Runs the paper's comparison methodology.
 ///
 /// For every run: generate a fresh population, execute the unicast
 /// baseline, then every requested mechanism on the *same* population, and
-/// accumulate per-run means of the relative metrics. Runs execute across
-/// [`ExperimentConfig::threads`] workers; the aggregation folds the
+/// accumulate per-run means of the relative metrics. Work items execute
+/// across [`ExperimentConfig::threads`] workers; the aggregation folds the
 /// per-run records in run order, so the result is bit-identical for every
 /// thread count.
 ///
@@ -265,49 +422,23 @@ pub fn run_comparison(
             runs: config.runs,
         });
     }
-    let records = fan_out_runs(
-        config.runs as usize,
-        config.threads,
-        || {
-            kinds
-                .iter()
-                .map(|k| k.instantiate())
-                .collect::<Vec<Box<dyn GroupingMechanism>>>()
-        },
-        |mechanisms, run| comparison_run(config, kinds, mechanisms, run),
-    )?;
-
-    let mut acc: Vec<(MechanismKind, MechStats)> =
-        kinds.iter().map(|&k| (k, MechStats::default())).collect();
-    for rows in records {
-        for ((_, stats), row) in acc.iter_mut().zip(rows) {
-            stats.rel_light_sleep.push(row.rel_light_sleep);
-            stats.rel_connected.push(row.rel_connected);
-            stats.transmissions.push(row.transmissions);
-            stats.mean_wait_s.push(row.mean_wait_s);
-            stats.mean_energy_mj.push(row.mean_energy_mj);
-            stats.late_joins.push(row.late_joins);
-            stats.compliant &= row.compliant;
-        }
-    }
-
-    Ok(ComparisonResult {
-        n_devices: config.n_devices,
+    let grid = execute_grid(&GridSpec {
+        mix: &config.mix,
+        devices: &[config.n_devices],
+        sims: std::slice::from_ref(&config.sim),
+        kinds,
         runs: config.runs,
-        mechanisms: acc
-            .into_iter()
-            .map(|(kind, s)| MechanismSummary {
-                mechanism: kind.to_string(),
-                standards_compliant: s.compliant,
-                rel_light_sleep: s.rel_light_sleep.summary(),
-                rel_connected: s.rel_connected.summary(),
-                transmissions: s.transmissions.summary(),
-                mean_wait_s: s.mean_wait_s.summary(),
-                mean_energy_mj: s.mean_energy_mj.summary(),
-                late_joins: s.late_joins.summary(),
-            })
-            .collect(),
-    })
+        master_seed: config.master_seed,
+        grouping: config.grouping,
+        power: &config.power,
+        baseline: true,
+        threads: config.threads,
+    })?;
+    Ok(grid
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("grid has exactly one point"))
 }
 
 #[derive(Debug, Clone)]
@@ -315,10 +446,45 @@ struct MechStats {
     rel_light_sleep: RunningStats,
     rel_connected: RunningStats,
     transmissions: RunningStats,
+    transmissions_ratio: RunningStats,
     mean_wait_s: RunningStats,
+    mean_connected_s: RunningStats,
     mean_energy_mj: RunningStats,
+    ra_failures: RunningStats,
     late_joins: RunningStats,
     compliant: bool,
+}
+
+impl MechStats {
+    fn push(&mut self, row: &MechRun, n_devices: usize) {
+        self.rel_light_sleep.push(row.rel_light_sleep);
+        self.rel_connected.push(row.rel_connected);
+        self.transmissions.push(row.transmissions);
+        self.transmissions_ratio
+            .push(row.transmissions / n_devices as f64);
+        self.mean_wait_s.push(row.mean_wait_s);
+        self.mean_connected_s.push(row.mean_connected_s);
+        self.mean_energy_mj.push(row.mean_energy_mj);
+        self.ra_failures.push(row.ra_failures);
+        self.late_joins.push(row.late_joins);
+        self.compliant &= row.compliant;
+    }
+
+    fn into_summary(self, kind: MechanismKind) -> MechanismSummary {
+        MechanismSummary {
+            mechanism: kind.to_string(),
+            standards_compliant: self.compliant,
+            rel_light_sleep: self.rel_light_sleep.summary(),
+            rel_connected: self.rel_connected.summary(),
+            transmissions: self.transmissions.summary(),
+            transmissions_ratio: self.transmissions_ratio.summary(),
+            mean_wait_s: self.mean_wait_s.summary(),
+            mean_connected_s: self.mean_connected_s.summary(),
+            mean_energy_mj: self.mean_energy_mj.summary(),
+            ra_failures: self.ra_failures.summary(),
+            late_joins: self.late_joins.summary(),
+        }
+    }
 }
 
 impl Default for MechStats {
@@ -327,8 +493,11 @@ impl Default for MechStats {
             rel_light_sleep: RunningStats::new(),
             rel_connected: RunningStats::new(),
             transmissions: RunningStats::new(),
+            transmissions_ratio: RunningStats::new(),
             mean_wait_s: RunningStats::new(),
+            mean_connected_s: RunningStats::new(),
             mean_energy_mj: RunningStats::new(),
+            ra_failures: RunningStats::new(),
             late_joins: RunningStats::new(),
             compliant: true,
         }
@@ -349,9 +518,11 @@ pub struct SweepPoint {
 
 /// Sweeps group sizes for one mechanism — the Fig. 7 x-axis.
 ///
-/// Runs of each point fan out across [`ExperimentConfig::threads`] workers
-/// with the same run-order fold as [`run_comparison`], so every point is
-/// bit-identical for every thread count.
+/// The whole sweep executes as one scheduler invocation whose work items
+/// are (point × run) pairs, so [`ExperimentConfig::threads`] workers span
+/// *all* points at once instead of draining them one by one; the run-order
+/// fold keeps every point bit-identical for every thread count. The
+/// unicast baseline is skipped (transmission counts need no reference).
 ///
 /// # Errors
 ///
@@ -361,41 +532,30 @@ pub fn sweep_devices(
     kind: MechanismKind,
     sizes: &[usize],
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut points = Vec::with_capacity(sizes.len());
-    for &n in sizes {
-        let mut config = base.clone();
-        config.n_devices = n;
-        let records = fan_out_runs(
-            config.runs as usize,
-            config.threads,
-            || kind.instantiate(),
-            |mechanism, run| {
-                let seq = SeedSequence::new(config.master_seed);
-                let run_seq = seq.child(run as u64);
-                let population = config.mix.generate(n, &mut run_seq.rng(0))?;
-                let input = GroupingInput::from_population(&population, config.grouping)?;
-                let result = run_campaign(
-                    mechanism.as_ref(),
-                    &input,
-                    &config.sim,
-                    &mut run_seq.rng(2),
-                )?;
-                Ok(result.transmission_count)
-            },
-        )?;
-        let mut transmissions = RunningStats::new();
-        let mut ratio = RunningStats::new();
-        for count in records {
-            transmissions.push(count as f64);
-            ratio.push(count as f64 / n as f64);
-        }
-        points.push(SweepPoint {
-            n_devices: n,
-            transmissions: transmissions.summary(),
-            ratio_to_devices: ratio.summary(),
-        });
-    }
-    Ok(points)
+    let grid = execute_grid(&GridSpec {
+        mix: &base.mix,
+        devices: sizes,
+        sims: std::slice::from_ref(&base.sim),
+        kinds: &[kind],
+        runs: base.runs,
+        master_seed: base.master_seed,
+        grouping: base.grouping,
+        power: &base.power,
+        baseline: false,
+        threads: base.threads,
+    })?;
+    Ok(grid
+        .into_iter()
+        .flatten()
+        .map(|cmp| {
+            let m = &cmp.mechanisms[0];
+            SweepPoint {
+                n_devices: cmp.n_devices,
+                transmissions: m.transmissions,
+                ratio_to_devices: m.transmissions_ratio,
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -527,6 +687,37 @@ mod tests {
     }
 
     #[test]
+    fn multi_payload_grid_shares_plans_bit_identically() {
+        // The shared-population/shared-plan fast path must be invisible:
+        // every payload column of a grid equals a dedicated
+        // run_comparison at that payload (which regenerates everything).
+        let base = small_config();
+        let payloads = [
+            SimConfig::default(),
+            SimConfig::default().with_payload(nbiot_phy::DataSize::from_mb(1)),
+        ];
+        let grid = execute_grid(&GridSpec {
+            mix: &base.mix,
+            devices: &[base.n_devices],
+            sims: &payloads,
+            kinds: &MechanismKind::ALL,
+            runs: base.runs,
+            master_seed: base.master_seed,
+            grouping: base.grouping,
+            power: &base.power,
+            baseline: true,
+            threads: 1,
+        })
+        .unwrap();
+        for (p, sim) in payloads.iter().enumerate() {
+            let mut cfg = base.clone();
+            cfg.sim = *sim;
+            let dedicated = run_comparison(&cfg, &MechanismKind::ALL).unwrap();
+            assert_eq!(grid[0][p], dedicated, "payload column {p}");
+        }
+    }
+
+    #[test]
     fn parallel_errors_match_serial_errors() {
         // A TI shorter than the shortest cycle fails in every run; the
         // parallel path must surface the same (first-run) error.
@@ -546,6 +737,33 @@ mod tests {
         assert_eq!(effective_threads(16, 4), 4);
         assert!(effective_threads(0, 100) >= 1);
         assert_eq!(effective_threads(3, 0), 1);
+    }
+
+    #[test]
+    fn scheduler_folds_in_item_order_and_surfaces_first_error() {
+        // Pure-function scheduler check independent of the simulator.
+        let squares =
+            fan_out_items(10, 3, || (), |(), i| Ok::<usize, SimError>(i * i)).unwrap();
+        assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        // Two failing items: the lowest-numbered one wins for every
+        // thread count, exactly as serial execution would surface it.
+        for threads in [1, 2, 3, 8] {
+            let err = fan_out_items(10, threads, || (), |(), i| {
+                if i == 7 || i == 4 {
+                    Err(SimError::DegenerateExperiment {
+                        n_devices: i,
+                        runs: 0,
+                    })
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+            assert!(
+                matches!(err, SimError::DegenerateExperiment { n_devices: 4, .. }),
+                "threads={threads}: {err:?}"
+            );
+        }
     }
 
     #[test]

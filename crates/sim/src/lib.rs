@@ -12,16 +12,23 @@
 //! * [`SimConfig`] — payload size, NPDSCH configuration, random-access
 //!   model and signalling costs,
 //! * [`run_campaign`] — one mechanism on one population, event by event,
+//! * [`Scenario`] / [`run_scenario`] — a declarative experiment suite
+//!   (mix × device sweep × payloads × mechanisms × runs) executed as one
+//!   grid, with a registry of built-in scenarios,
 //! * [`ExperimentConfig`] / [`run_comparison`] — the paper's methodology:
 //!   the same populations, mechanisms compared against the unicast baseline
 //!   of the same run, averaged over `runs` repetitions,
 //! * [`sweep_devices`] — the Fig. 7 x-axis (group sizes 100…1000).
 //!
-//! Experiment runs fan out across [`ExperimentConfig::threads`] OS threads
-//! (`0` = all cores, `1` = serial). Each run is a pure function of its
-//! per-run seed and the per-run records are folded in run order, so the
-//! results are **bit-identical for every thread count** — parallelism only
-//! buys wall-clock.
+//! All experiment execution flows through one generic scheduler whose work
+//! items are **(sweep point × run)** pairs, fanned out across
+//! [`ExperimentConfig::threads`] OS threads (`0` = all cores, `1` =
+//! serial) — the pool spans entire sweeps and figure suites at once. Each
+//! item is a pure function of its per-run seed; within an item the run's
+//! population and each mechanism's plan are generated **once** and shared
+//! across payload variants. The per-item records are folded in item order,
+//! so the results are **bit-identical for every thread count** —
+//! parallelism only buys wall-clock.
 //!
 //! Accounting model (documented in DESIGN.md): protocol actions (pagings,
 //! random access, reconfigurations, T322 wake-ups, transmissions) are
@@ -57,6 +64,7 @@ mod engine;
 mod error;
 mod experiment;
 mod result;
+mod scenario;
 
 pub use campaign::run_campaign;
 pub use config::SimConfig;
@@ -65,3 +73,4 @@ pub use experiment::{
     run_comparison, sweep_devices, ComparisonResult, ExperimentConfig, MechanismSummary, SweepPoint,
 };
 pub use result::CampaignResult;
+pub use scenario::{run_scenario, with_ti, PointResult, Scenario, ScenarioResult};

@@ -1,0 +1,419 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] is the whole description of an experiment suite — the
+//! traffic mix, the device sweep, the payload variants, the mechanism set,
+//! the grouping/protocol parameters and the repetition count — as one
+//! serializable value. [`run_scenario`] executes it through the generic
+//! (point × run) scheduler, so one thread pool spans the entire grid, each
+//! run's population is generated exactly once, and every result is
+//! bit-identical for any thread count.
+//!
+//! Built-in scenarios live in the registry ([`Scenario::builtin`]); custom
+//! ones round-trip through serde (the `figures` binary loads them from
+//! JSON or TOML files).
+
+use nbiot_energy::PowerProfile;
+use nbiot_grouping::{GroupingParams, MechanismKind};
+use nbiot_phy::DataSize;
+use nbiot_rrc::InactivityTimer;
+use nbiot_time::SimDuration;
+use nbiot_traffic::TrafficMix;
+
+use crate::experiment::{execute_grid, GridSpec};
+use crate::{ComparisonResult, SimConfig, SimError};
+
+/// A declarative experiment workload: everything needed to reproduce a
+/// figure or a sensitivity study, as one serializable value.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Scenario {
+    /// Scenario name, used for reporting and file naming.
+    pub name: String,
+    /// One-line description shown by the `figures` driver.
+    pub description: String,
+    /// Device population mix.
+    pub mix: TrafficMix,
+    /// Device sweep points (group sizes), one grid row each.
+    pub devices: Vec<usize>,
+    /// Payload variants, one grid column each; populations and plans are
+    /// shared across them within a run.
+    pub payloads: Vec<DataSize>,
+    /// Mechanism set, in presentation order.
+    pub mechanisms: Vec<MechanismKind>,
+    /// Repetitions per grid point (the paper uses 100).
+    pub runs: u32,
+    /// Master seed; every run derives its own independent streams.
+    pub master_seed: u64,
+    /// Grouping parameters (start, TI, optional transmission override).
+    pub grouping: GroupingParams,
+    /// PHY/protocol configuration; each payload variant overrides only the
+    /// payload size of this base config.
+    pub sim: SimConfig,
+    /// Power profile for the supplementary energy metric.
+    pub power: PowerProfile,
+    /// Compare mechanisms against a per-run unicast baseline. Disable for
+    /// sweeps that only need absolute counts (saves the baseline's cost).
+    pub baseline: bool,
+    /// Worker threads (`0` = all cores, `1` = serial); results are
+    /// bit-identical for every setting.
+    pub threads: usize,
+}
+
+impl Default for Scenario {
+    /// The paper's default point: ericsson-city, 500 devices, 100 kB.
+    fn default() -> Self {
+        Scenario {
+            name: "default".into(),
+            description: "paper default point (ericsson-city, 500 devices, 100 kB)".into(),
+            mix: TrafficMix::ericsson_city(),
+            devices: vec![500],
+            payloads: vec![DataSize::from_kb(100)],
+            mechanisms: MechanismKind::PAPER_MECHANISMS.to_vec(),
+            runs: 100,
+            master_seed: 0x4E42_494F_5421, // "NBIOT!"
+            grouping: GroupingParams::default(),
+            sim: SimConfig::default(),
+            power: PowerProfile::default(),
+            baseline: true,
+            threads: 0,
+        }
+    }
+}
+
+impl Scenario {
+    /// Names of the registered built-in scenarios, resolvable by
+    /// [`Scenario::builtin`] (and the `figures` binary's `--scenario`).
+    pub const REGISTRY: [&'static str; 8] = [
+        "fig6a",
+        "fig6b",
+        "fig7",
+        "paper-suite",
+        "clustered",
+        "bursty-alarm",
+        "large-n-stress",
+        "short-drx",
+    ];
+
+    /// Resolves a registered built-in scenario by name.
+    ///
+    /// Returns `None` for unknown names; callers that surface errors to
+    /// users should list [`Scenario::REGISTRY`].
+    pub fn builtin(name: &str) -> Option<Scenario> {
+        let fig7_sizes: Vec<usize> = (1..=10).map(|k| k * 100).collect();
+        let s = match name {
+            "fig6a" => Scenario {
+                name: "fig6a".into(),
+                description: "Fig. 6(a): relative light-sleep uptime increase vs unicast".into(),
+                ..Scenario::default()
+            },
+            "fig6b" => Scenario {
+                name: "fig6b".into(),
+                description:
+                    "Fig. 6(b): relative connected-mode uptime increase vs unicast, per payload"
+                        .into(),
+                payloads: vec![
+                    DataSize::from_kb(100),
+                    DataSize::from_mb(1),
+                    DataSize::from_mb(10),
+                ],
+                ..Scenario::default()
+            },
+            "fig7" => Scenario {
+                name: "fig7".into(),
+                description: "Fig. 7: DR-SC multicast transmissions vs group size".into(),
+                devices: fig7_sizes,
+                mechanisms: vec![MechanismKind::DrSc],
+                baseline: false,
+                ..Scenario::default()
+            },
+            // The whole evaluation section as one grid: Fig. 6(a) is the
+            // 100 kB payload column, Fig. 6(b) the payload axis, Fig. 7
+            // the 500-device transmission counts.
+            "paper-suite" => Scenario {
+                name: "paper-suite".into(),
+                description: "Fig. 6(a)+6(b) in one grid (shared populations and plans)".into(),
+                payloads: vec![
+                    DataSize::from_kb(100),
+                    DataSize::from_mb(1),
+                    DataSize::from_mb(10),
+                ],
+                ..Scenario::default()
+            },
+            "clustered" => Scenario {
+                name: "clustered".into(),
+                description:
+                    "clustered heterogeneous device classes (NOMA-style user clustering)".into(),
+                mix: TrafficMix::clustered_heterogeneous(),
+                devices: vec![200, 500, 1000],
+                runs: 50,
+                ..Scenario::default()
+            },
+            // Correlated alarm burst: short-cycle-dominated population
+            // plus synchronized random access (50 contenders per attempt)
+            // — the regime grouping-based RACH collision control targets.
+            "bursty-alarm" => Scenario {
+                name: "bursty-alarm".into(),
+                description: "correlated alarm burst with contended random access".into(),
+                mix: TrafficMix::bursty_alarm(),
+                devices: vec![200, 500, 1000],
+                runs: 50,
+                sim: SimConfig {
+                    ra_contenders: 50,
+                    ..SimConfig::default()
+                },
+                ..Scenario::default()
+            },
+            // Beyond the paper's 1000-device ceiling: does the grouping
+            // advantage survive an order of magnitude more devices?
+            "large-n-stress" => Scenario {
+                name: "large-n-stress".into(),
+                description: "large-N stress: 2k-10k devices, ericsson-city".into(),
+                devices: vec![2_000, 5_000, 10_000],
+                runs: 5,
+                ..Scenario::default()
+            },
+            "short-drx" => Scenario {
+                name: "short-drx".into(),
+                description: "LTE-like corner: regular-DRX-only population".into(),
+                mix: TrafficMix::short_drx(),
+                runs: 50,
+                mechanisms: MechanismKind::ALL.to_vec(),
+                ..Scenario::default()
+            },
+            _ => return None,
+        };
+        Some(s)
+    }
+
+    /// The inactivity timer in seconds — the caption-derivation helper the
+    /// figure driver uses (captions must reflect the actual config).
+    pub fn ti_seconds(&self) -> f64 {
+        self.grouping.ti.duration().as_secs_f64()
+    }
+
+    /// Validates list shapes before execution.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::EmptyScenario`] when a sweep axis or the mechanism set
+    /// is empty, [`SimError::DegenerateExperiment`] for zero runs or a
+    /// zero-device point.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (what, empty) in [
+            ("devices", self.devices.is_empty()),
+            ("payloads", self.payloads.is_empty()),
+            ("mechanisms", self.mechanisms.is_empty()),
+        ] {
+            if empty {
+                return Err(SimError::EmptyScenario { what });
+            }
+        }
+        if self.runs == 0 || self.devices.contains(&0) {
+            return Err(SimError::DegenerateExperiment {
+                n_devices: self.devices.iter().copied().min().unwrap_or(0),
+                runs: self.runs,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One grid point of a scenario result.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PointResult {
+    /// Group size of this point.
+    pub n_devices: usize,
+    /// Payload size of this point.
+    pub payload: DataSize,
+    /// The mechanism comparison at this point.
+    pub comparison: ComparisonResult,
+}
+
+/// The result of executing a whole scenario grid.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Traffic-mix name (derived from the actual mix, not a caption).
+    pub mix: String,
+    /// Inactivity timer in seconds (derived from the actual config).
+    pub ti_s: f64,
+    /// Runs per point.
+    pub runs: u32,
+    /// Results, device-point-major then payload order.
+    pub points: Vec<PointResult>,
+}
+
+impl ScenarioResult {
+    /// Points at a given payload size, in device order (one "figure line").
+    pub fn payload_column(&self, payload: DataSize) -> Vec<&PointResult> {
+        self.points.iter().filter(|p| p.payload == payload).collect()
+    }
+}
+
+/// Executes a scenario grid through the shared (point × run) scheduler.
+///
+/// Within each run the population and grouping input are generated once
+/// and shared by every mechanism and payload variant, and each
+/// mechanism's plan is computed once and executed per payload — results
+/// are bit-identical to regenerating everything per point, verified by
+/// `multi_payload_grid_shares_plans_bit_identically`.
+///
+/// # Errors
+///
+/// Scenario-shape errors from [`Scenario::validate`], plus population,
+/// grouping and plan-validation failures of the lowest-numbered failing
+/// work item (matching serial execution).
+pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, SimError> {
+    scenario.validate()?;
+    let sims: Vec<SimConfig> = scenario
+        .payloads
+        .iter()
+        .map(|&payload| scenario.sim.with_payload(payload))
+        .collect();
+    let grid = execute_grid(&GridSpec {
+        mix: &scenario.mix,
+        devices: &scenario.devices,
+        sims: &sims,
+        kinds: &scenario.mechanisms,
+        runs: scenario.runs,
+        master_seed: scenario.master_seed,
+        grouping: scenario.grouping,
+        power: &scenario.power,
+        baseline: scenario.baseline,
+        threads: scenario.threads,
+    })?;
+    let mut points = Vec::with_capacity(scenario.devices.len() * scenario.payloads.len());
+    for (row, &n_devices) in grid.into_iter().zip(&scenario.devices) {
+        for (comparison, &payload) in row.into_iter().zip(&scenario.payloads) {
+            points.push(PointResult {
+                n_devices,
+                payload,
+                comparison,
+            });
+        }
+    }
+    Ok(ScenarioResult {
+        scenario: scenario.name.clone(),
+        mix: scenario.mix.name.clone(),
+        ti_s: scenario.ti_seconds(),
+        runs: scenario.runs,
+        points,
+    })
+}
+
+/// Convenience: a scenario whose `grouping.ti` is replaced — ablation
+/// suites sweep the inactivity timer this way.
+pub fn with_ti(mut scenario: Scenario, ti: SimDuration) -> Scenario {
+    scenario.grouping = GroupingParams {
+        ti: InactivityTimer::new(ti),
+        ..scenario.grouping
+    };
+    scenario
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str) -> Scenario {
+        let mut s = Scenario::builtin(name).expect("builtin");
+        s.devices = vec![15, 25];
+        s.runs = 2;
+        s.threads = 1;
+        s
+    }
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in Scenario::REGISTRY {
+            let s = Scenario::builtin(name)
+                .unwrap_or_else(|| panic!("registered scenario {name} must resolve"));
+            assert_eq!(s.name, name, "registry name must match the scenario name");
+            s.validate().unwrap();
+        }
+        assert!(Scenario::builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn grid_produces_point_per_device_payload_pair() {
+        let mut s = tiny("fig6b");
+        s.mechanisms = vec![MechanismKind::DrSc];
+        let result = run_scenario(&s).unwrap();
+        assert_eq!(result.points.len(), 2 * 3);
+        assert_eq!(result.mix, "ericsson-city");
+        assert_eq!(result.ti_s, 10.0);
+        // Point order is device-major, payload-minor.
+        assert_eq!(result.points[0].n_devices, 15);
+        assert_eq!(result.points[2].n_devices, 15);
+        assert_eq!(result.points[3].n_devices, 25);
+        let col = result.payload_column(DataSize::from_mb(1));
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn scenario_threads_are_bit_identical() {
+        let serial = run_scenario(&tiny("fig6b")).unwrap();
+        for threads in [3, 8] {
+            let mut s = tiny("fig6b");
+            s.threads = threads;
+            assert_eq!(run_scenario(&s).unwrap(), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_axes_are_rejected() {
+        let mut s = tiny("fig6a");
+        s.devices.clear();
+        assert!(matches!(
+            run_scenario(&s),
+            Err(SimError::EmptyScenario { what: "devices" })
+        ));
+        let mut s = tiny("fig6a");
+        s.mechanisms.clear();
+        assert!(matches!(
+            run_scenario(&s),
+            Err(SimError::EmptyScenario { what: "mechanisms" })
+        ));
+        let mut s = tiny("fig6a");
+        s.runs = 0;
+        assert!(matches!(
+            run_scenario(&s),
+            Err(SimError::DegenerateExperiment { .. })
+        ));
+    }
+
+    #[test]
+    fn with_ti_overrides_only_the_timer() {
+        let s = with_ti(tiny("fig6a"), SimDuration::from_secs(30));
+        assert_eq!(s.ti_seconds(), 30.0);
+        assert_eq!(s.grouping.start, GroupingParams::default().start);
+    }
+
+    #[test]
+    fn fig7_scenario_matches_sweep_devices() {
+        // The declarative path and the legacy wrapper must agree exactly.
+        let mut s = tiny("fig7");
+        s.devices = vec![10, 20];
+        let scenario_result = run_scenario(&s).unwrap();
+        let cfg = crate::ExperimentConfig {
+            runs: s.runs,
+            master_seed: s.master_seed,
+            ..crate::ExperimentConfig::default()
+        };
+        let sweep = crate::sweep_devices(&cfg, MechanismKind::DrSc, &[10, 20]).unwrap();
+        for (point, sp) in scenario_result.points.iter().zip(&sweep) {
+            assert_eq!(point.n_devices, sp.n_devices);
+            assert_eq!(
+                point.comparison.mechanisms[0].transmissions,
+                sp.transmissions
+            );
+            assert_eq!(
+                point.comparison.mechanisms[0].transmissions_ratio,
+                sp.ratio_to_devices
+            );
+        }
+    }
+}

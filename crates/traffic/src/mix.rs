@@ -180,6 +180,139 @@ impl TrafficMix {
         .expect("built-in mix is valid")
     }
 
+    /// A clustered, heterogeneous mix: the population is dominated by a
+    /// few tight device clusters, each with its *own* internal cycle
+    /// spread, modelling NOMA-style user clustering (Shahini & Ansari,
+    /// *NOMA Aided Narrowband IoT for MTC with User Clustering*). Unlike
+    /// `ericsson-city`'s smooth bimodal shape, the clusters put large
+    /// same-cycle cohorts on the grouping mechanisms — the regime where
+    /// frame-level set cover either collapses to a handful of
+    /// transmissions or fragments badly.
+    pub fn clustered_heterogeneous() -> TrafficMix {
+        let h = SimDuration::from_secs(3600);
+        TrafficMix::new(
+            "clustered-heterogeneous",
+            vec![
+                // Cluster A: dense metering block on one long cycle with a
+                // thin spill-over into the neighbouring cycle.
+                ClassSpec {
+                    name: "meter-cluster".into(),
+                    share: 0.45,
+                    cycles: vec![
+                        (PagingCycle::edrx(EdrxCycle::Hf512), 0.85),
+                        (PagingCycle::edrx(EdrxCycle::Hf1024), 0.15),
+                    ],
+                    report_interval: h * 24,
+                },
+                // Cluster B: mid-cycle tracker fleet, internally split
+                // between two adjacent eDRX settings.
+                ClassSpec {
+                    name: "tracker-cluster".into(),
+                    share: 0.3,
+                    cycles: vec![
+                        (PagingCycle::edrx(EdrxCycle::Hf16), 0.6),
+                        (PagingCycle::edrx(EdrxCycle::Hf32), 0.4),
+                    ],
+                    report_interval: SimDuration::from_secs(900),
+                },
+                // Cluster C: reachability cohort on short regular DRX.
+                ClassSpec {
+                    name: "actuator-cluster".into(),
+                    share: 0.2,
+                    cycles: vec![
+                        (PagingCycle::Drx(DrxCycle::Rf128), 0.5),
+                        (PagingCycle::Drx(DrxCycle::Rf256), 0.5),
+                    ],
+                    report_interval: h * 24,
+                },
+                // A thin unclustered tail keeps the instance from being
+                // perfectly coverable by three windows.
+                ClassSpec {
+                    name: "stragglers".into(),
+                    share: 0.05,
+                    cycles: vec![
+                        (PagingCycle::edrx(EdrxCycle::Hf128), 0.5),
+                        (PagingCycle::edrx(EdrxCycle::Hf256), 0.5),
+                    ],
+                    report_interval: h,
+                },
+            ],
+        )
+        .expect("built-in mix is valid")
+    }
+
+    /// A bursty alarm-dominated mix: most of the population are alarm
+    /// panels and sirens on short reachability cycles that all become
+    /// pageable nearly simultaneously — the synchronized-access regime of
+    /// grouping-based RACH collision control (Han & Schotten,
+    /// *Grouping-Based Random Access Collision Control for Massive MTC*).
+    /// Combine with a raised `ra_contenders` simulation setting to stress
+    /// random access under a correlated burst.
+    pub fn bursty_alarm() -> TrafficMix {
+        let h = SimDuration::from_secs(3600);
+        TrafficMix::new(
+            "bursty-alarm",
+            vec![
+                ClassSpec::new(
+                    "alarm-panel",
+                    0.40,
+                    PagingCycle::Drx(DrxCycle::Rf256), // 2.56 s
+                    h * 24,
+                ),
+                ClassSpec::new(
+                    "siren",
+                    0.20,
+                    PagingCycle::Drx(DrxCycle::Rf128), // 1.28 s
+                    h * 24,
+                ),
+                ClassSpec::new(
+                    "door-sensor",
+                    0.25,
+                    PagingCycle::edrx(EdrxCycle::Hf2), // 20.48 s
+                    h * 12,
+                ),
+                // A small metering tail so the sweep still exercises the
+                // long-cycle search horizon.
+                ClassSpec::new(
+                    "backup-meter",
+                    0.15,
+                    PagingCycle::edrx(EdrxCycle::Hf512),
+                    h * 24,
+                ),
+            ],
+        )
+        .expect("built-in mix is valid")
+    }
+
+    /// Names of the registered built-in mixes, selectable by
+    /// [`TrafficMix::by_name`] (and the figure binaries' `--mix` flag).
+    pub const REGISTRY: [&'static str; 5] = [
+        "ericsson-city",
+        "clustered-heterogeneous",
+        "bursty-alarm",
+        "short-drx",
+        "uniform-edrx",
+    ];
+
+    /// Looks up a registered built-in mix by name.
+    ///
+    /// Returns `None` for unknown names; callers that surface errors to
+    /// users should list [`TrafficMix::REGISTRY`].
+    pub fn by_name(name: &str) -> Option<TrafficMix> {
+        match name {
+            "ericsson-city" => Some(TrafficMix::ericsson_city()),
+            "clustered-heterogeneous" => Some(TrafficMix::clustered_heterogeneous()),
+            "bursty-alarm" => Some(TrafficMix::bursty_alarm()),
+            "short-drx" => Some(TrafficMix::short_drx()),
+            "uniform-edrx" => {
+                let mut mix = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf1024));
+                mix.name = "uniform-edrx".into();
+                Some(mix)
+            }
+            _ => None,
+        }
+    }
+
     /// A degenerate mix where every device uses the same cycle — useful for
     /// analytical cross-checks and ablations.
     pub fn uniform(cycle: PagingCycle) -> TrafficMix {
@@ -380,6 +513,51 @@ mod tests {
                 });
         assert!(hf512 > hf1024, "60/40 split expected: {hf512} vs {hf1024}");
         assert!((2700..=3300).contains(&hf512), "hf512 {hf512}");
+    }
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in TrafficMix::REGISTRY {
+            let mix = TrafficMix::by_name(name)
+                .unwrap_or_else(|| panic!("registered mix {name} must resolve"));
+            assert_eq!(mix.name, name, "registry name must match the mix name");
+            // Every registered mix generates a valid population.
+            let pop = mix.generate(50, &mut StdRng::seed_from_u64(7)).unwrap();
+            assert_eq!(pop.devices().len(), 50);
+        }
+        assert!(TrafficMix::by_name("no-such-mix").is_none());
+    }
+
+    #[test]
+    fn clustered_mix_has_dominant_same_cycle_cohorts() {
+        let mix = TrafficMix::clustered_heterogeneous();
+        let pop = mix.generate(4000, &mut StdRng::seed_from_u64(11)).unwrap();
+        // The meter cluster's dominant cycle (Hf512) should be the single
+        // largest cohort: 0.45 share * 0.85 weight ≈ 38 % of devices.
+        let hf512 = pop
+            .devices()
+            .iter()
+            .filter(|d| d.paging.cycle.period_frames() == EdrxCycle::Hf512.frames())
+            .count();
+        assert!(
+            (1200..=1900).contains(&hf512),
+            "dominant cohort should be ~38%: {hf512}/4000"
+        );
+    }
+
+    #[test]
+    fn bursty_alarm_mix_is_short_cycle_dominated() {
+        let mix = TrafficMix::bursty_alarm();
+        let pop = mix.generate(2000, &mut StdRng::seed_from_u64(13)).unwrap();
+        let short = pop
+            .devices()
+            .iter()
+            .filter(|d| d.paging.cycle.period().as_secs_f64() <= 21.0)
+            .count();
+        assert!(
+            short >= 1600,
+            "alarm mix should be ≥80% short-cycle devices: {short}/2000"
+        );
     }
 
     #[test]

@@ -69,8 +69,9 @@ pub mod prelude {
         RandomAccess, RandomAccessConfig, SignallingCosts,
     };
     pub use nbiot_sim::{
-        run_campaign, run_comparison, sweep_devices, CampaignResult, ComparisonResult,
-        ExperimentConfig, SimConfig, SimError,
+        run_campaign, run_comparison, run_scenario, sweep_devices, CampaignResult,
+        ComparisonResult, ExperimentConfig, PointResult, Scenario, ScenarioResult, SimConfig,
+        SimError,
     };
     pub use nbiot_time::{
         CycleLadder, DrxCycle, EdrxCycle, PagingConfig, PagingCycle, PagingSchedule, SimDuration,

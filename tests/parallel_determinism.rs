@@ -56,6 +56,69 @@ fn sweep_threads_1_vs_8_bit_identical() {
     assert_eq!(serial, parallel);
 }
 
+fn small_scenario() -> Scenario {
+    let mut s = Scenario::builtin("fig6b").expect("registered");
+    s.devices = vec![15, 30];
+    s.runs = 4;
+    s.threads = 1;
+    s
+}
+
+#[test]
+fn scenario_grid_threads_1_vs_8_bit_identical() {
+    // The tentpole acceptance bar: a full multi-point, multi-payload
+    // scenario grid — the thread pool spans every (point × run) pair —
+    // must be bit-identical between serial and parallel execution.
+    // PartialEq over ScenarioResult covers every Summary field of every
+    // mechanism of every grid point.
+    let serial = run_scenario(&small_scenario()).unwrap();
+    let mut parallel_scenario = small_scenario();
+    parallel_scenario.threads = 8;
+    let parallel = run_scenario(&parallel_scenario).unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn full_device_sweep_scenario_threads_bit_identical() {
+    let mut sweep = Scenario::builtin("fig7").expect("registered");
+    sweep.devices = vec![10, 20, 35];
+    sweep.runs = 5;
+    sweep.threads = 1;
+    let serial = run_scenario(&sweep).unwrap();
+    for threads in [8, 0] {
+        sweep.threads = threads;
+        assert_eq!(run_scenario(&sweep).unwrap(), serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn shared_populations_match_per_payload_regeneration() {
+    // Within a scenario, each run's population and every mechanism's plan
+    // are generated once and shared across the payload columns; a
+    // dedicated run_comparison per payload regenerates everything. Both
+    // paths must agree bit-for-bit.
+    let scenario = small_scenario();
+    let result = run_scenario(&scenario).unwrap();
+    for &n_devices in &scenario.devices {
+        for &payload in &scenario.payloads {
+            let mut config = ExperimentConfig {
+                n_devices,
+                runs: scenario.runs,
+                master_seed: scenario.master_seed,
+                ..ExperimentConfig::default()
+            };
+            config.sim = config.sim.with_payload(payload);
+            let dedicated = run_comparison(&config, &MechanismKind::PAPER_MECHANISMS).unwrap();
+            let point = result
+                .points
+                .iter()
+                .find(|p| p.n_devices == n_devices && p.payload == payload)
+                .expect("grid point");
+            assert_eq!(point.comparison, dedicated, "{n_devices} devices, {payload}");
+        }
+    }
+}
+
 #[test]
 fn thread_counts_beyond_runs_still_identical() {
     // More workers than runs: the fan-out clamps and stays correct.

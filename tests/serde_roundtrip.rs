@@ -95,6 +95,31 @@ fn ledgers_and_metrics_roundtrip() {
 }
 
 #[test]
+fn scenarios_roundtrip() {
+    // Every built-in scenario — including the new clustered, bursty-alarm
+    // and large-N families — must survive JSON archival exactly, so
+    // experiments can be replayed from their scenario files alone.
+    for name in Scenario::REGISTRY {
+        let scenario = Scenario::builtin(name).expect("registered scenario");
+        let back: Scenario = roundtrip(&scenario);
+        assert_eq!(back, scenario, "{name}");
+    }
+}
+
+#[test]
+fn scenario_results_roundtrip() {
+    let mut scenario = Scenario::builtin("fig6b").expect("registered scenario");
+    scenario.devices = vec![12];
+    scenario.runs = 2;
+    scenario.threads = 1;
+    let result = run_scenario(&scenario).unwrap();
+    let back: ScenarioResult = roundtrip(&result);
+    assert_eq!(back, result);
+    assert_eq!(back.mix, "ericsson-city");
+    assert_eq!(back.points.len(), 3);
+}
+
+#[test]
 fn comparison_results_serialize_for_archival() {
     let config = ExperimentConfig {
         n_devices: 15,
