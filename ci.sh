@@ -1,44 +1,150 @@
 #!/usr/bin/env bash
-# CI pipeline: build, test, lint, and a bench_report smoke run.
-# Usage: ./ci.sh
+# CI pipeline, shared verbatim by local runs and .github/workflows/ci.yml.
+#
+# Usage:
+#   ./ci.sh                      # run every stage in order
+#   ./ci.sh --stage <name>       # run one stage (what the workflow matrix does)
+#   ./ci.sh --list               # list stage names
+#
+# Stages:
+#   build          cargo build --release (whole workspace)
+#   test           tier-1 root-crate tests, then the whole workspace
+#   lint           clippy with -D warnings across all targets
+#   fmt            cargo fmt --check (no formatting drift)
+#   figures-smoke  figures driver smoke: registry, TOML round-trip, JSON
+#   shard-smoke    3-way shard -> merge -> zero-tolerance scenario_diff
+#                  against the unsharded run (bit-identity gate)
+#   bench-gate     bench_report --compare against BENCH_baseline.json
+#
+# Artifacts (merged smoke archive, bench report) land in $CI_ARTIFACT_DIR
+# when set (the workflow uploads them), otherwise in a temp directory.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+STAGES=(build test lint fmt figures-smoke shard-smoke bench-gate)
 
-echo "==> cargo test -q (tier-1: root crate)"
-cargo test -q
+ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
+if [[ -z "$ARTIFACT_DIR" ]]; then
+    ARTIFACT_DIR="$(mktemp -d /tmp/nbiot_ci.XXXXXX)"
+fi
+mkdir -p "$ARTIFACT_DIR"
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
+SCRATCH="$(mktemp -d /tmp/nbiot_ci_scratch.XXXXXX)"
+trap 'rm -rf "$SCRATCH"' EXIT
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+run_figures() {
+    cargo run --release -q -p nbiot-bench --bin figures -- "$@"
+}
 
-echo "==> figures --scenario smoke (named scenario + TOML file round-trip)"
-SMOKE_SCN="$(mktemp /tmp/figures_smoke.XXXXXX.toml)"
-trap 'rm -f "$SMOKE_SCN"' EXIT
-cargo run --release -q -p nbiot-bench --bin figures -- --list > /dev/null
-cargo run --release -q -p nbiot-bench --bin figures -- \
-    --scenario fig6a --dump toml > "$SMOKE_SCN"
-# The dumped template must load back and execute with CLI overrides.
-cargo run --release -q -p nbiot-bench --bin figures -- \
-    --scenario "$SMOKE_SCN" --runs 2 --devices 30 --threads 2 > /dev/null
-cargo run --release -q -p nbiot-bench --bin figures -- \
-    --scenario bursty-alarm --runs 2 --devices 30 --json > /dev/null
-echo "figures smoke OK"
+stage_build() {
+    echo "==> cargo build --release --workspace"
+    cargo build --release --workspace
+}
 
-echo "==> bench_report smoke (tiny parameters, temp output)"
-SMOKE_JSON="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$SMOKE_JSON" "$SMOKE_SCN"' EXIT
-# --out keeps the smoke run's tiny numbers out of the default
-# BENCH_results.json scratch path (the committed full-workload snapshot
-# lives in BENCH_baseline.json).
-cargo run --release -q -p nbiot-bench --bin bench_report -- \
-    --runs 2 --devices 40 --out "$SMOKE_JSON" > /dev/null
-test -s "$SMOKE_JSON"
-echo "smoke report written:"
-grep -A4 '"derived"' "$SMOKE_JSON"
+stage_test() {
+    echo "==> cargo test -q (tier-1: root crate)"
+    cargo test -q
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q
+}
 
-echo "==> CI OK"
+stage_lint() {
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+stage_fmt() {
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+}
+
+stage_figures_smoke() {
+    echo "==> figures --scenario smoke (named scenario + TOML file round-trip)"
+    local scn="$SCRATCH/figures_smoke.toml"
+    run_figures --list > /dev/null
+    run_figures --scenario fig6a --dump toml > "$scn"
+    # The dumped template must load back and execute with CLI overrides.
+    run_figures --scenario "$scn" --runs 2 --devices 30 --threads 2 > /dev/null
+    run_figures --scenario bursty-alarm --runs 2 --devices 30 --json > /dev/null
+    echo "figures smoke OK"
+}
+
+stage_shard_smoke() {
+    echo "==> shard smoke: 3-way shard -> merge -> zero-tolerance diff vs unsharded"
+    # Same workload either way; any delta at all fails the diff (and CI).
+    local args=(--scenario fig6b --runs 3 --devices 40 --threads 2)
+    for i in 0 1 2; do
+        run_figures "${args[@]}" --shard "$i/3" --emit-archive "$SCRATCH/shard$i.json"
+    done
+    run_figures "${args[@]}" --emit-archive "$SCRATCH/unsharded.json" > /dev/null
+    cargo run --release -q -p nbiot-bench --bin scenario_merge -- \
+        --out "$ARTIFACT_DIR/smoke_scenario_archive.json" \
+        "$SCRATCH"/shard{0,1,2}.json > /dev/null
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- \
+        "$ARTIFACT_DIR/smoke_scenario_archive.json" "$SCRATCH/unsharded.json"
+    echo "shard smoke OK (merged archive bit-identical to the unsharded run)"
+}
+
+stage_bench_gate() {
+    echo "==> bench gate: bench_report --compare vs BENCH_baseline.json"
+    # The committed baseline was measured on the *full* default workload.
+    # Strict mode therefore measures the full workload too — a gate
+    # comparing a tiny smoke run against the full baseline could never
+    # flag a regression in the workload-scaled stages. The default
+    # (non-strict) mode keeps CI fast with a tiny run and --warn-only:
+    # on the 1-core shared container wall-clock ratios are untrustworthy
+    # anyway (per ROADMAP), and the fixed-size kernel stages still get a
+    # meaningful look. Flip BENCH_GATE_STRICT=1 on dedicated hardware.
+    local gate_flags=(--compare BENCH_baseline.json --tolerance-pct "${BENCH_TOLERANCE_PCT:-25}")
+    local workload_flags=(--runs 2 --devices 40)
+    if [[ "${BENCH_GATE_STRICT:-0}" == "1" ]]; then
+        workload_flags=() # full default workload, matching the baseline
+    else
+        gate_flags+=(--warn-only)
+    fi
+    cargo run --release -q -p nbiot-bench --bin bench_report -- \
+        "${workload_flags[@]}" --out "$ARTIFACT_DIR/BENCH_results.json" \
+        "${gate_flags[@]}" > /dev/null
+    test -s "$ARTIFACT_DIR/BENCH_results.json"
+    echo "bench report written to $ARTIFACT_DIR/BENCH_results.json:"
+    grep -A4 '"derived"' "$ARTIFACT_DIR/BENCH_results.json"
+}
+
+run_stage() {
+    case "$1" in
+        build)         stage_build ;;
+        test)          stage_test ;;
+        lint)          stage_lint ;;
+        fmt)           stage_fmt ;;
+        figures-smoke) stage_figures_smoke ;;
+        shard-smoke)   stage_shard_smoke ;;
+        bench-gate)    stage_bench_gate ;;
+        *)
+            echo "unknown stage '$1'; stages: ${STAGES[*]}" >&2
+            exit 2
+            ;;
+    esac
+}
+
+case "${1:-}" in
+    --stage)
+        [[ $# -ge 2 ]] || { echo "--stage needs a name; stages: ${STAGES[*]}" >&2; exit 2; }
+        run_stage "$2"
+        ;;
+    --list)
+        printf '%s\n' "${STAGES[@]}"
+        ;;
+    --help|-h)
+        sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+        ;;
+    "")
+        for stage in "${STAGES[@]}"; do
+            run_stage "$stage"
+        done
+        echo "==> CI OK"
+        ;;
+    *)
+        echo "unknown argument '$1'; use --stage <name>, --list or no argument" >&2
+        exit 2
+        ;;
+esac

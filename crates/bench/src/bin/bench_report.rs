@@ -11,9 +11,19 @@
 //! full-workload snapshot is `BENCH_baseline.json` (regenerate it with
 //! `--out BENCH_baseline.json` when a change moves performance).
 //!
+//! `--compare <baseline.json>` turns the run into a **regression gate**:
+//! every stage's wall clock is compared against the same-keyed stage of
+//! the baseline report, and the process exits nonzero when any stage is
+//! slower by more than `--tolerance-pct <p>` percent (default 25).
+//! `--warn-only` downgrades the gate to a report — the right setting on
+//! noisy shared hardware like the 1-core CI container, where wall-clock
+//! ratios are not trustworthy (see ROADMAP).
+//!
 //! ```text
 //! cargo run --release -p nbiot-bench --bin bench_report
 //! cargo run --release -p nbiot-bench --bin bench_report -- --runs 2 --devices 40 --out /tmp/bench.json
+//! cargo run --release -p nbiot-bench --bin bench_report -- \
+//!     --compare BENCH_baseline.json --tolerance-pct 25 --warn-only
 //! ```
 //!
 //! # `BENCH_results.json` schema
@@ -49,7 +59,9 @@ use nbiot_bench::{workload, FigureOpts};
 use nbiot_des::SeedSequence;
 use nbiot_grouping::set_cover::{self, reference, WindowCover};
 use nbiot_grouping::{GroupingInput, GroupingParams, MechanismKind};
-use nbiot_sim::{run_campaign, run_comparison, run_scenario, ExperimentConfig, Scenario, SimConfig};
+use nbiot_sim::{
+    run_campaign, run_comparison, run_scenario, ExperimentConfig, Scenario, SimConfig,
+};
 use nbiot_time::SimDuration;
 use serde_json::{json, Value};
 
@@ -77,17 +89,137 @@ fn stage(name: &str, wall_clock_ms: f64, detail: Value) -> Value {
     json!({ "name": name, "wall_clock_ms": wall_clock_ms, "detail": detail })
 }
 
+// ---- the --compare regression gate ----
+
+fn lookup<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    value
+        .as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match *value {
+        Value::F64(x) => Some(x),
+        Value::U64(x) => Some(x as f64),
+        Value::I64(x) => Some(x as f64),
+        _ => None,
+    }
+}
+
+/// The identity of a stage across reports: its name, qualified by the
+/// mechanism when the stage repeats per mechanism (`plan`, `campaign`).
+fn stage_key(stage: &Value) -> Option<String> {
+    let name = lookup(stage, "name")?.as_str()?.to_string();
+    match lookup(stage, "detail").and_then(|d| lookup(d, "mechanism")) {
+        Some(mech) => Some(format!("{name}[{}]", mech.as_str()?)),
+        None => Some(name),
+    }
+}
+
+///`(key, wall_clock_ms)` of every well-formed stage in a report.
+fn stage_times(report: &Value) -> Vec<(String, f64)> {
+    lookup(report, "stages")
+        .and_then(Value::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|s| Some((stage_key(s)?, as_f64(lookup(s, "wall_clock_ms")?)?)))
+        .collect()
+}
+
+/// One row of the comparison table.
+struct StageDelta {
+    key: String,
+    baseline_ms: f64,
+    current_ms: f64,
+}
+
+impl StageDelta {
+    fn change_pct(&self) -> f64 {
+        (self.current_ms / self.baseline_ms - 1.0) * 100.0
+    }
+}
+
+/// Pairs the current report's stages with the baseline's by key and
+/// splits them into (compared rows, keys with no baseline counterpart).
+/// Stages only in the baseline are ignored — a renamed or retired stage
+/// must not fail the gate forever.
+fn compare_stages(current: &Value, baseline: &Value) -> (Vec<StageDelta>, Vec<String>) {
+    let baseline_times = stage_times(baseline);
+    let mut rows = Vec::new();
+    let mut unmatched = Vec::new();
+    for (key, current_ms) in stage_times(current) {
+        match baseline_times.iter().find(|(k, _)| *k == key) {
+            Some(&(_, baseline_ms)) if baseline_ms > 0.0 => rows.push(StageDelta {
+                key,
+                baseline_ms,
+                current_ms,
+            }),
+            _ => unmatched.push(key),
+        }
+    }
+    (rows, unmatched)
+}
+
+/// Runs the gate: prints the per-stage comparison and returns the keys of
+/// stages regressing beyond `tolerance_pct`.
+fn run_gate(current: &Value, baseline: &Value, tolerance_pct: f64) -> Vec<String> {
+    let (rows, unmatched) = compare_stages(current, baseline);
+    let mut violations = Vec::new();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let regressed = row.change_pct() > tolerance_pct;
+            if regressed {
+                violations.push(row.key.clone());
+            }
+            vec![
+                row.key.clone(),
+                format!("{:.3}", row.baseline_ms),
+                format!("{:.3}", row.current_ms),
+                format!("{:+.1}%", row.change_pct()),
+                if regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]
+        })
+        .collect();
+    eprintln!(
+        "\nbench gate vs baseline (tolerance {tolerance_pct}%):\n{}",
+        nbiot_bench::render_table(
+            &["stage", "baseline ms", "current ms", "change", "verdict"],
+            &table,
+        )
+    );
+    if !unmatched.is_empty() {
+        eprintln!(
+            "stages without a baseline entry (skipped): {}",
+            unmatched.join(", ")
+        );
+    }
+    violations
+}
+
 fn main() {
-    // Split off the binary-specific `--out <path>` before the shared
-    // figure-flag parser (which rejects unknown flags) sees the args.
+    // Split off the binary-specific flags before the shared figure-flag
+    // parser (which rejects unknown flags) sees the args.
     let mut out_path = String::from("BENCH_results.json");
+    let mut compare: Option<String> = None;
+    let mut tolerance_pct = 25.0f64;
+    let mut warn_only = false;
     let mut figure_args = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--out" {
-            out_path = args.next().expect("--out needs a path");
-        } else {
-            figure_args.push(arg);
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--compare" => compare = Some(args.next().expect("--compare needs a baseline path")),
+            "--tolerance-pct" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--tolerance-pct needs a number (percent)");
+            }
+            "--warn-only" => warn_only = true,
+            _ => figure_args.push(arg),
         }
     }
     let mut opts = FigureOpts::parse(figure_args.into_iter());
@@ -171,10 +303,12 @@ fn main() {
 
     // ---- Stage 3: set-cover kernels, bitset vs reference ----
     let (universe, sets) = workload::frame_cover_instance(1_000, opts.seed);
-    let (picked_fast, bitset_ms) =
-        timed_min(5, || set_cover::greedy_set_cover(universe, &sets).expect("coverable"));
-    let (picked_ref, reference_ms) =
-        timed_min(5, || reference::greedy_set_cover(universe, &sets).expect("coverable"));
+    let (picked_fast, bitset_ms) = timed_min(5, || {
+        set_cover::greedy_set_cover(universe, &sets).expect("coverable")
+    });
+    let (picked_ref, reference_ms) = timed_min(5, || {
+        reference::greedy_set_cover(universe, &sets).expect("coverable")
+    });
     assert_eq!(picked_fast, picked_ref, "solvers must agree pick-for-pick");
     let set_cover_speedup = reference_ms / bitset_ms;
     stages.push(stage(
@@ -272,8 +406,7 @@ fn main() {
     if let Some(mix) = &opts.mix {
         sweep.mix = nbiot_bench::resolve_mix(mix);
     }
-    let (sweep_serial_result, sweep_serial_ms) =
-        timed(|| run_scenario(&sweep).expect("sweep"));
+    let (sweep_serial_result, sweep_serial_ms) = timed(|| run_scenario(&sweep).expect("sweep"));
     stages.push(stage(
         "sweep_serial",
         sweep_serial_ms,
@@ -295,8 +428,7 @@ fn main() {
         json!({ "points": sweep.devices.len(), "runs": opts.runs, "threads": opts.threads }),
     ));
     sweep.threads = opts.threads;
-    let (sweep_parallel_result, sweep_parallel_ms) =
-        timed(|| run_scenario(&sweep).expect("sweep"));
+    let (sweep_parallel_result, sweep_parallel_ms) = timed(|| run_scenario(&sweep).expect("sweep"));
     stages.push(stage(
         "sweep_point_parallel",
         sweep_parallel_ms,
@@ -391,4 +523,81 @@ fn main() {
         sweep_serial_ms / sweep_parallel_ms,
         sweep_barrier_ms / sweep_parallel_ms,
     );
+
+    if let Some(baseline_path) = compare {
+        let baseline: Value = serde_json::from_str(
+            &std::fs::read_to_string(&baseline_path)
+                .unwrap_or_else(|e| panic!("cannot read baseline `{baseline_path}`: {e}")),
+        )
+        .unwrap_or_else(|e| panic!("bad baseline JSON in `{baseline_path}`: {e}"));
+        let violations = run_gate(&report, &baseline, tolerance_pct);
+        if !violations.is_empty() {
+            eprintln!(
+                "bench gate: {} stage(s) regressed beyond {tolerance_pct}%: {}",
+                violations.len(),
+                violations.join(", ")
+            );
+            if warn_only {
+                eprintln!("bench gate: --warn-only set, not failing the build");
+            } else {
+                std::process::exit(1);
+            }
+        } else {
+            eprintln!("bench gate: no stage regressed beyond {tolerance_pct}%");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(stages: &[(&str, Option<&str>, f64)]) -> Value {
+        let stages: Vec<Value> = stages
+            .iter()
+            .map(|&(name, mechanism, ms)| {
+                let detail = match mechanism {
+                    Some(m) => json!({ "mechanism": m }),
+                    None => json!({}),
+                };
+                stage(name, ms, detail)
+            })
+            .collect();
+        json!({ "schema_version": 1u64, "stages": Value::Array(stages) })
+    }
+
+    #[test]
+    fn stage_keys_qualify_repeated_stages_by_mechanism() {
+        let r = report(&[
+            ("plan", Some("DR-SC"), 1.0),
+            ("plan", Some("DA-SC"), 2.0),
+            ("comparison_serial", None, 3.0),
+        ]);
+        let times = stage_times(&r);
+        assert_eq!(
+            times,
+            vec![
+                ("plan[DR-SC]".to_string(), 1.0),
+                ("plan[DA-SC]".to_string(), 2.0),
+                ("comparison_serial".to_string(), 3.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_tolerance() {
+        let baseline = report(&[("a", None, 100.0), ("b", None, 100.0), ("c", None, 100.0)]);
+        let current = report(&[
+            ("a", None, 109.0),  // +9% — within a 10% gate
+            ("b", None, 150.0),  // +50% — regression
+            ("c", None, 50.0),   // improvement
+            ("new", None, 10.0), // no baseline: skipped, never a failure
+        ]);
+        let (rows, unmatched) = compare_stages(&current, &baseline);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(unmatched, vec!["new".to_string()]);
+        let violations = run_gate(&current, &baseline, 10.0);
+        assert_eq!(violations, vec!["b".to_string()]);
+        assert!(run_gate(&current, &baseline, 60.0).is_empty());
+    }
 }

@@ -8,6 +8,8 @@
 //! figures --scenario clustered --mix bursty-alarm
 //! figures --scenario my_study.toml --json      # file-loaded (.toml/.json)
 //! figures --scenario fig6a --dump toml         # print an editable template
+//! figures --scenario fig6a --emit-archive full.json        # result archive
+//! figures --scenario fig6a --shard 0/3 --emit-archive s0.json  # one shard
 //! figures --list                               # registry + mixes
 //! ```
 //!
@@ -15,10 +17,16 @@
 //! override the scenario's own values only when explicitly passed;
 //! `--mechanisms DR-SC,DA-SC` replaces the mechanism set. Results are
 //! bit-identical for every `--threads` setting.
+//!
+//! `--shard i/N` executes only the i-th (zero-based) of N deterministic
+//! partitions of the (point × run) item pool and requires
+//! `--emit-archive`; `scenario_merge` reassembles the N partial archives
+//! into a result bit-identical to the unsharded run, and `scenario_diff`
+//! compares two archives.
 
 use nbiot_bench::{scenarios, FigureOpts};
 use nbiot_grouping::MechanismKind;
-use nbiot_sim::Scenario;
+use nbiot_sim::{run_scenario_shard, Scenario, ShardSpec};
 use nbiot_traffic::TrafficMix;
 
 fn main() {
@@ -27,13 +35,29 @@ fn main() {
     let mut scenario_spec: Option<String> = None;
     let mut mechanisms: Option<Vec<MechanismKind>> = None;
     let mut dump: Option<String> = None;
+    let mut shard: Option<ShardSpec> = None;
+    let mut emit_archive: Option<String> = None;
     let mut shared_args = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scenario" => scenario_spec = Some(args.next().expect("--scenario needs a name or .json/.toml path")),
+            "--scenario" => {
+                scenario_spec = Some(
+                    args.next()
+                        .expect("--scenario needs a name or .json/.toml path"),
+                )
+            }
+            "--shard" => {
+                let spec = args.next().expect("--shard needs index/count, e.g. 0/3");
+                shard = Some(spec.parse().unwrap_or_else(|e| panic!("bad --shard: {e}")));
+            }
+            "--emit-archive" => {
+                emit_archive = Some(args.next().expect("--emit-archive needs a path"));
+            }
             "--mechanisms" => {
-                let list = args.next().expect("--mechanisms needs a comma-separated set");
+                let list = args
+                    .next()
+                    .expect("--mechanisms needs a comma-separated set");
                 mechanisms = Some(MechanismKind::parse_set(&list).unwrap_or_else(|bad| {
                     panic!(
                         "unknown mechanism `{bad}`; known: {}",
@@ -48,14 +72,18 @@ fn main() {
                     let s = Scenario::builtin(name).expect("registered");
                     println!("  {name:<16} {}", s.description);
                 }
-                println!("\nregistered traffic mixes (for --mix): {}", TrafficMix::REGISTRY.join(", "));
+                println!(
+                    "\nregistered traffic mixes (for --mix): {}",
+                    TrafficMix::REGISTRY.join(", ")
+                );
                 return;
             }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: figures --scenario <name|path.json|path.toml> \
                      [--runs N] [--devices N] [--seed N] [--threads N] [--mix NAME]\n\
-                     \x20      [--mechanisms A,B,...] [--json] [--dump json|toml] | --list\n\
+                     \x20      [--mechanisms A,B,...] [--json] [--dump json|toml]\n\
+                     \x20      [--shard i/N --emit-archive PATH] [--emit-archive PATH] | --list\n\
                      built-in scenarios: {}",
                     Scenario::REGISTRY.join(", ")
                 );
@@ -75,10 +103,46 @@ fn main() {
     if let Some(format) = dump {
         let value = serde_json::to_value(&scenario);
         match format.as_str() {
-            "json" => println!("{}", serde_json::to_string_pretty(&scenario).expect("serializable")),
-            "toml" => println!("{}", nbiot_bench::toml_lite::to_toml(&value).expect("TOML-writable")),
+            "json" => println!(
+                "{}",
+                serde_json::to_string_pretty(&scenario).expect("serializable")
+            ),
+            "toml" => println!(
+                "{}",
+                nbiot_bench::toml_lite::to_toml(&value).expect("TOML-writable")
+            ),
             other => panic!("unknown dump format `{other}`; use json or toml"),
         }
+        return;
+    }
+
+    if shard.is_some() || emit_archive.is_some() {
+        let shard = shard.unwrap_or(ShardSpec::FULL);
+        let path = emit_archive.unwrap_or_else(|| {
+            panic!("--shard needs --emit-archive <path>: a partial grid cannot be rendered")
+        });
+        let archive = run_scenario_shard(&scenario, shard)
+            .unwrap_or_else(|e| panic!("scenario execution failed: {e}"));
+        scenarios::write_archive(&path, &archive).unwrap_or_else(|e| panic!("{e}"));
+        if archive.is_complete() {
+            // A 1/1 archive is a whole run: render it like a normal run.
+            let result = archive.result().expect("complete archive folds");
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&result).expect("serializable")
+                );
+            } else {
+                println!("{}", scenarios::render_report(&scenario, &result));
+            }
+        }
+        eprintln!(
+            "figures: shard {} of scenario {} ({} of {} items) -> {path}",
+            archive.shard,
+            scenario.name,
+            archive.items.len(),
+            archive.total_items(),
+        );
         return;
     }
 

@@ -1,0 +1,86 @@
+//! Compares two full [`ScenarioArchive`]s mechanism-by-mechanism and
+//! point-by-point, exiting nonzero when any metric moves beyond tolerance
+//! — the CI regression gate of the shard/merge/diff workflow.
+//!
+//! ```text
+//! scenario_diff baseline.json candidate.json             # exact equality
+//! scenario_diff --rel-tol 0.02 baseline.json candidate.json
+//! scenario_diff --abs-tol 1e-9 --json a.json b.json      # machine report
+//! ```
+//!
+//! Both tolerances default to **zero** (bit-exact equality), which is how
+//! `ci.sh --stage shard-smoke` proves that a 3-way sharded run merges back
+//! to the single-host result. Partial archives are refused: merge shards
+//! with `scenario_merge` first.
+//!
+//! Exit status: 0 when the archives agree within tolerance, 1 otherwise
+//! (including structural mismatches: missing points/mechanisms, differing
+//! run counts, compliance flips).
+
+use nbiot_bench::diff::{diff_results, diff_to_json, render_diff, DiffTolerance};
+use nbiot_bench::scenarios;
+use nbiot_sim::ScenarioResult;
+
+fn load_result(path: &str) -> ScenarioResult {
+    let archive = scenarios::load_archive(path).unwrap_or_else(|e| panic!("{e}"));
+    archive.result().unwrap_or_else(|e| {
+        panic!("`{path}`: {e} (merge partial shards with scenario_merge first)")
+    })
+}
+
+fn main() {
+    let mut tolerance = DiffTolerance::default();
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--abs-tol" => {
+                tolerance.abs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--abs-tol needs a number");
+            }
+            "--rel-tol" => {
+                tolerance.rel = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rel-tol needs a number (fraction of the baseline)");
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: scenario_diff [--abs-tol X] [--rel-tol X] [--json] \
+                     <baseline.json> <candidate.json>\n\
+                     compares two full scenario archives; default tolerances are zero\n\
+                     (bit-exact); exits 1 on any delta beyond tolerance"
+                );
+                return;
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}; try --help"),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        panic!(
+            "scenario_diff needs exactly a baseline and a candidate archive (got {}); try --help",
+            paths.len()
+        );
+    };
+
+    let baseline = load_result(baseline_path);
+    let candidate = load_result(candidate_path);
+    let report = diff_results(&baseline, &candidate, tolerance);
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diff_to_json(&report)).expect("serializable")
+        );
+    } else {
+        print!("{}", render_diff(&report));
+    }
+    if !report.ok() {
+        std::process::exit(1);
+    }
+}

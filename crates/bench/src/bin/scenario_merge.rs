@@ -1,0 +1,68 @@
+//! Reassembles partial [`ScenarioArchive`]s (written by
+//! `figures --shard i/N --emit-archive`) into one full archive and renders
+//! the figure tables from the merged result — which is **bit-identical**
+//! to the unsharded single-host run.
+//!
+//! ```text
+//! scenario_merge s0.json s1.json s2.json                 # tables to stdout
+//! scenario_merge --out merged.json s0.json s1.json s2.json
+//! scenario_merge --json --out merged.json shards/*.json  # result as JSON
+//! ```
+//!
+//! Exits nonzero (with a clear message) on mismatched scenario
+//! fingerprints, duplicate shards or missing shards — a merge can only
+//! succeed on exactly the complete shard set of one scenario
+//! configuration.
+
+use nbiot_bench::scenarios;
+use nbiot_sim::{merge_archives, ScenarioArchive};
+
+fn main() {
+    let mut out: Option<String> = None;
+    let mut json = false;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: scenario_merge [--out merged.json] [--json] <shard.json>...\n\
+                     merges the complete shard set of one scenario run into a full archive\n\
+                     and renders the figure tables (bit-identical to the unsharded run)"
+                );
+                return;
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}; try --help"),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        panic!("scenario_merge needs at least one shard archive; try --help");
+    }
+
+    let archives: Vec<ScenarioArchive> = paths
+        .iter()
+        .map(|path| scenarios::load_archive(path).unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let merged = merge_archives(&archives).unwrap_or_else(|e| panic!("merge failed: {e}"));
+    let result = merged.result().expect("merged archive is complete");
+
+    if let Some(path) = &out {
+        scenarios::write_archive(path, &merged).unwrap_or_else(|e| panic!("{e}"));
+        eprintln!(
+            "scenario_merge: {} shards, {} items -> {path}",
+            archives.len(),
+            merged.items.len()
+        );
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("serializable")
+        );
+    } else {
+        println!("{}", scenarios::render_report(&merged.scenario, &result));
+    }
+}

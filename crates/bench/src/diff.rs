@@ -1,0 +1,388 @@
+//! Mechanism-by-mechanism, point-by-point comparison of two
+//! [`ScenarioResult`]s — the regression-gate half of the shard/merge/diff
+//! workflow.
+//!
+//! Points are aligned by (device count, payload) and mechanisms by name,
+//! so a diff survives reordering; anything present on one side only is a
+//! *structural* mismatch (always a violation). Numeric metrics compare
+//! the mean and 95 % CI half-width of every summary through a
+//! numpy-style tolerance test: `|a - b| <= abs + rel * |baseline|`. Both
+//! tolerances default to **zero**, making the default an exact
+//! bit-equality gate — which is how CI verifies that a sharded run merged
+//! back together matches the single-host run.
+
+use nbiot_sim::{MechanismSummary, ScenarioResult};
+use serde_json::{json, Value};
+
+use crate::render_table;
+
+/// Absolute/relative tolerance pair for metric comparisons; the zero
+/// default demands exact equality.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiffTolerance {
+    /// Absolute tolerance (same unit as the metric).
+    pub abs: f64,
+    /// Relative tolerance, as a fraction of the baseline magnitude.
+    pub rel: f64,
+}
+
+impl DiffTolerance {
+    /// Whether `baseline` and `candidate` agree within this tolerance.
+    /// Bit-equal values (including two NaNs) always pass; otherwise any
+    /// NaN fails.
+    pub fn within(&self, baseline: f64, candidate: f64) -> bool {
+        if baseline.to_bits() == candidate.to_bits() {
+            return true;
+        }
+        (baseline - candidate).abs() <= self.abs + self.rel * baseline.abs()
+    }
+}
+
+/// One metric comparison that exceeded tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Group size of the point.
+    pub n_devices: usize,
+    /// Payload of the point (display form, e.g. `"100 kB"`).
+    pub payload: String,
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Metric path, e.g. `"rel_light_sleep.mean"`.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+}
+
+impl MetricDelta {
+    /// Signed difference `candidate - baseline`.
+    pub fn delta(&self) -> f64 {
+        self.candidate - self.baseline
+    }
+}
+
+/// The outcome of diffing two scenario results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Shape mismatches (missing points/mechanisms, differing run counts,
+    /// compliance flips); each one is a violation on its own.
+    pub structural: Vec<String>,
+    /// Metric comparisons beyond tolerance, in result order.
+    pub violations: Vec<MetricDelta>,
+    /// Total numeric comparisons performed.
+    pub compared: usize,
+    /// Grid points successfully aligned between the two results.
+    pub points: usize,
+}
+
+impl DiffReport {
+    /// Whether the two results agree within tolerance everywhere.
+    pub fn ok(&self) -> bool {
+        self.structural.is_empty() && self.violations.is_empty()
+    }
+}
+
+/// The compared metrics of one mechanism summary: (path, value) pairs for
+/// the mean and 95 % CI half-width of every reported statistic.
+fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 18] {
+    [
+        ("rel_light_sleep.mean", m.rel_light_sleep.mean),
+        ("rel_light_sleep.ci95", m.rel_light_sleep.ci95),
+        ("rel_connected.mean", m.rel_connected.mean),
+        ("rel_connected.ci95", m.rel_connected.ci95),
+        ("transmissions.mean", m.transmissions.mean),
+        ("transmissions.ci95", m.transmissions.ci95),
+        ("transmissions_ratio.mean", m.transmissions_ratio.mean),
+        ("transmissions_ratio.ci95", m.transmissions_ratio.ci95),
+        ("mean_wait_s.mean", m.mean_wait_s.mean),
+        ("mean_wait_s.ci95", m.mean_wait_s.ci95),
+        ("mean_connected_s.mean", m.mean_connected_s.mean),
+        ("mean_connected_s.ci95", m.mean_connected_s.ci95),
+        ("mean_energy_mj.mean", m.mean_energy_mj.mean),
+        ("mean_energy_mj.ci95", m.mean_energy_mj.ci95),
+        ("ra_failures.mean", m.ra_failures.mean),
+        ("ra_failures.ci95", m.ra_failures.ci95),
+        ("late_joins.mean", m.late_joins.mean),
+        ("late_joins.ci95", m.late_joins.ci95),
+    ]
+}
+
+/// Diffs `candidate` against `baseline` point-by-point and
+/// mechanism-by-mechanism under the given tolerances.
+pub fn diff_results(
+    baseline: &ScenarioResult,
+    candidate: &ScenarioResult,
+    tolerance: DiffTolerance,
+) -> DiffReport {
+    let mut report = DiffReport::default();
+    if baseline.runs != candidate.runs {
+        report.structural.push(format!(
+            "run counts differ: baseline {} vs candidate {}",
+            baseline.runs, candidate.runs
+        ));
+    }
+    for point in &baseline.points {
+        let key = (point.n_devices, point.payload);
+        let Some(other) = candidate
+            .points
+            .iter()
+            .find(|p| (p.n_devices, p.payload) == key)
+        else {
+            report.structural.push(format!(
+                "point ({} devices, {}) missing from candidate",
+                point.n_devices, point.payload
+            ));
+            continue;
+        };
+        report.points += 1;
+        for summary in &point.comparison.mechanisms {
+            let Some(counterpart) = other.comparison.mechanism(&summary.mechanism) else {
+                report.structural.push(format!(
+                    "mechanism {} missing from candidate at ({} devices, {})",
+                    summary.mechanism, point.n_devices, point.payload
+                ));
+                continue;
+            };
+            if summary.standards_compliant != counterpart.standards_compliant {
+                report.structural.push(format!(
+                    "standards compliance flipped for {} at ({} devices, {}): {} -> {}",
+                    summary.mechanism,
+                    point.n_devices,
+                    point.payload,
+                    summary.standards_compliant,
+                    counterpart.standards_compliant
+                ));
+            }
+            for ((metric, a), (_, b)) in summary_metrics(summary)
+                .into_iter()
+                .zip(summary_metrics(counterpart))
+            {
+                report.compared += 1;
+                if !tolerance.within(a, b) {
+                    report.violations.push(MetricDelta {
+                        n_devices: point.n_devices,
+                        payload: point.payload.to_string(),
+                        mechanism: summary.mechanism.clone(),
+                        metric,
+                        baseline: a,
+                        candidate: b,
+                    });
+                }
+            }
+        }
+        for summary in &other.comparison.mechanisms {
+            if point.comparison.mechanism(&summary.mechanism).is_none() {
+                report.structural.push(format!(
+                    "mechanism {} present only in candidate at ({} devices, {})",
+                    summary.mechanism, point.n_devices, point.payload
+                ));
+            }
+        }
+    }
+    for point in &candidate.points {
+        let key = (point.n_devices, point.payload);
+        if !baseline
+            .points
+            .iter()
+            .any(|p| (p.n_devices, p.payload) == key)
+        {
+            report.structural.push(format!(
+                "point ({} devices, {}) present only in candidate",
+                point.n_devices, point.payload
+            ));
+        }
+    }
+    report
+}
+
+/// Renders the report as text: a violation table when anything exceeded
+/// tolerance, a one-line all-clear otherwise.
+pub fn render_diff(report: &DiffReport) -> String {
+    let mut out = String::new();
+    for issue in &report.structural {
+        out.push_str(&format!("STRUCTURAL: {issue}\n"));
+    }
+    if !report.violations.is_empty() {
+        let rows: Vec<Vec<String>> = report
+            .violations
+            .iter()
+            .map(|v| {
+                vec![
+                    v.n_devices.to_string(),
+                    v.payload.clone(),
+                    v.mechanism.clone(),
+                    v.metric.to_string(),
+                    format!("{:.9e}", v.baseline),
+                    format!("{:.9e}", v.candidate),
+                    format!("{:+.3e}", v.delta()),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            &[
+                "devices",
+                "payload",
+                "mechanism",
+                "metric",
+                "baseline",
+                "candidate",
+                "delta",
+            ],
+            &rows,
+        ));
+    }
+    out.push_str(&format!(
+        "scenario_diff: {} points, {} comparisons, {} beyond tolerance, {} structural -> {}\n",
+        report.points,
+        report.compared,
+        report.violations.len(),
+        report.structural.len(),
+        if report.ok() { "OK" } else { "FAIL" }
+    ));
+    out
+}
+
+/// The report as a machine-readable JSON value (the `--json` output).
+pub fn diff_to_json(report: &DiffReport) -> Value {
+    json!({
+        "ok": report.ok(),
+        "points": report.points as u64,
+        "compared": report.compared as u64,
+        "structural": report.structural,
+        "violations": Value::Array(
+            report
+                .violations
+                .iter()
+                .map(|v| {
+                    json!({
+                        "n_devices": v.n_devices as u64,
+                        "payload": v.payload,
+                        "mechanism": v.mechanism,
+                        "metric": v.metric,
+                        "baseline": v.baseline,
+                        "candidate": v.candidate,
+                        "delta": v.delta(),
+                    })
+                })
+                .collect(),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_sim::{run_scenario, Scenario};
+
+    fn tiny_result() -> ScenarioResult {
+        let mut s = Scenario::builtin("fig6a").unwrap();
+        s.devices = vec![15];
+        s.runs = 2;
+        s.threads = 1;
+        run_scenario(&s).unwrap()
+    }
+
+    #[test]
+    fn identical_results_diff_clean_at_zero_tolerance() {
+        let a = tiny_result();
+        let report = diff_results(&a, &a.clone(), DiffTolerance::default());
+        assert!(report.ok(), "{report:?}");
+        assert!(report.compared > 0);
+        assert_eq!(report.points, 1);
+        assert!(render_diff(&report).contains("OK"));
+    }
+
+    #[test]
+    fn injected_perturbation_is_detected_and_reported() {
+        let baseline = tiny_result();
+        let mut perturbed = baseline.clone();
+        // Nudge one mechanism's connected-uptime mean by one part in 1e9 —
+        // far below anything a rendered table would show.
+        perturbed.points[0].comparison.mechanisms[1]
+            .rel_connected
+            .mean += 1e-9;
+        let report = diff_results(&baseline, &perturbed, DiffTolerance::default());
+        assert!(!report.ok());
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.metric, "rel_connected.mean");
+        assert_eq!(
+            v.mechanism,
+            baseline.points[0].comparison.mechanisms[1].mechanism
+        );
+        let text = render_diff(&report);
+        assert!(text.contains("FAIL"), "{text}");
+        assert!(text.contains("rel_connected.mean"), "{text}");
+        // The same perturbation passes under a loose absolute tolerance.
+        let loose = diff_results(
+            &baseline,
+            &perturbed,
+            DiffTolerance {
+                abs: 1e-6,
+                rel: 0.0,
+            },
+        );
+        assert!(loose.ok());
+    }
+
+    #[test]
+    fn relative_tolerance_scales_with_baseline() {
+        let tol = DiffTolerance { abs: 0.0, rel: 0.1 };
+        assert!(tol.within(100.0, 109.0));
+        assert!(!tol.within(100.0, 111.0));
+        assert!(tol.within(0.0, 0.0));
+        assert!(
+            !tol.within(0.0, 1e-12),
+            "rel tolerance alone has no slack at zero"
+        );
+        assert!(tol.within(f64::NAN, f64::NAN), "bit-equal NaNs pass");
+        assert!(!tol.within(1.0, f64::NAN));
+    }
+
+    #[test]
+    fn structural_mismatches_are_violations() {
+        let baseline = tiny_result();
+        let mut missing_mechanism = baseline.clone();
+        missing_mechanism.points[0].comparison.mechanisms.pop();
+        let report = diff_results(&baseline, &missing_mechanism, DiffTolerance::default());
+        assert!(!report.ok());
+        assert!(report.structural[0].contains("missing from candidate"));
+
+        // The reverse asymmetry must also fail: a candidate with an extra
+        // mechanism compares clean metric-by-metric but differs in shape.
+        let report = diff_results(&missing_mechanism, &baseline, DiffTolerance::default());
+        assert!(!report.ok());
+        assert!(report.structural[0].contains("present only in candidate"));
+
+        let mut extra_point = baseline.clone();
+        extra_point.points.push(baseline.points[0].clone());
+        let mut with_different_devices = extra_point.points[1].clone();
+        with_different_devices.n_devices += 1;
+        extra_point.points[1] = with_different_devices;
+        let report = diff_results(&baseline, &extra_point, DiffTolerance::default());
+        assert!(report
+            .structural
+            .iter()
+            .any(|s| s.contains("present only in candidate")));
+
+        let mut fewer_runs = baseline.clone();
+        fewer_runs.runs -= 1;
+        let report = diff_results(&baseline, &fewer_runs, DiffTolerance::default());
+        assert!(report.structural[0].contains("run counts differ"));
+    }
+
+    #[test]
+    fn json_report_carries_verdict_and_deltas() {
+        let baseline = tiny_result();
+        let mut perturbed = baseline.clone();
+        perturbed.points[0].comparison.mechanisms[0]
+            .transmissions
+            .mean += 0.5;
+        let report = diff_results(&baseline, &perturbed, DiffTolerance::default());
+        let value = diff_to_json(&report);
+        let text = serde_json::to_string(&value).unwrap();
+        assert!(text.contains("\"ok\":false"), "{text}");
+        assert!(text.contains("transmissions.mean"), "{text}");
+    }
+}

@@ -24,6 +24,7 @@
 
 use std::fmt::Write as _;
 
+pub mod diff;
 pub mod scenarios;
 pub mod toml_lite;
 
@@ -439,7 +440,9 @@ mod tests {
 
     #[test]
     fn scenario_overrides_respect_explicit_flags_only() {
-        let args = ["--runs", "4", "--threads", "2"].into_iter().map(String::from);
+        let args = ["--runs", "4", "--threads", "2"]
+            .into_iter()
+            .map(String::from);
         let opts = FigureOpts::parse(args);
         let mut scenario = nbiot_sim::Scenario::builtin("fig7").unwrap();
         let original_devices = scenario.devices.clone();

@@ -9,7 +9,7 @@
 use nbiot_des::SeedSequence;
 use nbiot_grouping::{analysis, GroupingInput, MechanismKind};
 use nbiot_phy::DataSize;
-use nbiot_sim::{run_scenario, Scenario, ScenarioResult};
+use nbiot_sim::{run_scenario, Scenario, ScenarioArchive, ScenarioResult};
 
 use crate::{pct, render_table};
 
@@ -41,16 +41,43 @@ pub fn load_scenario(spec: &str) -> Result<Scenario, String> {
     }
 }
 
+/// Reads a [`ScenarioArchive`] from a JSON file.
+///
+/// # Errors
+///
+/// Returns a user-facing message on I/O, parse or archive-consistency
+/// failure (every loaded archive is [`ScenarioArchive::validate`]d, so a
+/// truncated or hand-edited file is caught at the door).
+pub fn load_archive(path: &str) -> Result<ScenarioArchive, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read archive `{path}`: {e}"))?;
+    let archive: ScenarioArchive =
+        serde_json::from_str(&text).map_err(|e| format!("bad archive JSON in `{path}`: {e}"))?;
+    archive
+        .validate()
+        .map_err(|e| format!("invalid archive `{path}`: {e}"))?;
+    Ok(archive)
+}
+
+/// Writes a [`ScenarioArchive`] to a JSON file (pretty-printed; floats use
+/// shortest-roundtrip formatting, so records survive the text roundtrip
+/// bit-exactly).
+///
+/// # Errors
+///
+/// Returns a user-facing message on I/O failure.
+pub fn write_archive(path: &str, archive: &ScenarioArchive) -> Result<(), String> {
+    let text = serde_json::to_string_pretty(archive).expect("archive is serializable");
+    std::fs::write(path, text).map_err(|e| format!("cannot write archive `{path}`: {e}"))
+}
+
 /// The caption line of a figure, derived from the actual configuration —
 /// never hardcoded, so it cannot lie when flags or files change the
 /// workload.
 pub fn caption(scenario: &Scenario) -> String {
     let devices = match scenario.devices.as_slice() {
         [one] => format!("{one} devices"),
-        [first, .., last] => format!(
-            "{first}-{last} devices ({} points)",
-            scenario.devices.len()
-        ),
+        [first, .., last] => format!("{first}-{last} devices ({} points)", scenario.devices.len()),
         [] => "no devices".to_string(),
     };
     format!(
@@ -304,6 +331,31 @@ mod tests {
     }
 
     #[test]
+    fn archives_roundtrip_through_json_files() {
+        let s = tiny_scenario();
+        let shard = nbiot_sim::ShardSpec { index: 0, count: 2 };
+        let archive = nbiot_sim::run_scenario_shard(&s, shard).unwrap();
+        let dir = std::env::temp_dir().join("nbiot_archive_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard0.json");
+        let path = path.to_str().unwrap();
+        write_archive(path, &archive).unwrap();
+        let loaded = load_archive(path).unwrap();
+        assert_eq!(
+            loaded, archive,
+            "archive must survive the JSON roundtrip bit-exactly"
+        );
+        // A hand-edited archive fails validation at load time.
+        let mut tampered = archive.clone();
+        tampered.scenario.master_seed += 1;
+        let bad_path = dir.join("tampered.json");
+        let bad_path = bad_path.to_str().unwrap();
+        std::fs::write(bad_path, serde_json::to_string_pretty(&tampered).unwrap()).unwrap();
+        let err = load_archive(bad_path).unwrap_err();
+        assert!(err.contains("invalid archive"), "{err}");
+    }
+
+    #[test]
     fn scenario_files_roundtrip_through_toml() {
         // Every built-in scenario survives Scenario -> TOML -> Scenario,
         // exercising tables, arrays of tables, nested enums and options.
@@ -311,8 +363,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         for name in Scenario::REGISTRY {
             let s = Scenario::builtin(name).unwrap();
-            let text =
-                crate::toml_lite::to_toml(&serde_json::to_value(&s)).expect("TOML-writable");
+            let text = crate::toml_lite::to_toml(&serde_json::to_value(&s)).expect("TOML-writable");
             let path = dir.join(format!("{name}.toml"));
             std::fs::write(&path, &text).unwrap();
             let loaded = load_scenario(path.to_str().unwrap())

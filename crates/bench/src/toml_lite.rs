@@ -63,7 +63,9 @@ pub fn parse(text: &str) -> Result<Value, String> {
             let path = parser.parse_key_path()?;
             parser.expect('=')?;
             let value = parser.parse_value()?;
-            let (key, table_path) = path.split_last().ok_or_else(|| parser.err_msg("empty key"))?;
+            let (key, table_path) = path
+                .split_last()
+                .ok_or_else(|| parser.err_msg("empty key"))?;
             let mut full = current_path.clone();
             full.extend_from_slice(table_path);
             let table = navigate_table(&mut root, &full, false).map_err(|e| parser.err_msg(&e))?;
@@ -128,10 +130,7 @@ fn append_array_table(root: &mut Value, path: &[String]) -> Result<(), String> {
     match entries.iter_mut().find(|(k, _)| k == last) {
         Some((_, Value::Array(items))) => items.push(Value::Object(Vec::new())),
         Some(_) => return Err(format!("`{last}` is not an array of tables")),
-        None => entries.push((
-            last.clone(),
-            Value::Array(vec![Value::Object(Vec::new())]),
-        )),
+        None => entries.push((last.clone(), Value::Array(vec![Value::Object(Vec::new())]))),
     }
     Ok(())
 }
@@ -181,7 +180,9 @@ fn write_table(out: &mut String, table: &Value, path: &mut Vec<String>) -> Resul
             write_table(out, value, path)?;
             path.pop();
         } else if is_table_array(value) {
-            let Value::Array(items) = value else { unreachable!() };
+            let Value::Array(items) = value else {
+                unreachable!()
+            };
             path.push(key.clone());
             for item in items {
                 let _ = write!(out, "\n[[{}]]\n", path.join("."));
@@ -558,7 +559,10 @@ mod tests {
             get(&v, "sizes"),
             &Value::Array(vec![Value::U64(100), Value::U64(200), Value::U64(300)])
         );
-        assert_eq!(get(get(get(&v, "nested"), "table"), "value"), &Value::I64(-7));
+        assert_eq!(
+            get(get(get(&v, "nested"), "table"), "value"),
+            &Value::I64(-7)
+        );
     }
 
     #[test]
@@ -636,7 +640,9 @@ mod tests {
         let text = to_toml(&v).unwrap();
         let back = parse(&text).unwrap();
         // Key order may differ (scalars before sections); compare by name.
-        for key in ["name", "opt", "count", "delta", "exact", "pairs", "sub", "rows", "empty"] {
+        for key in [
+            "name", "opt", "count", "delta", "exact", "pairs", "sub", "rows", "empty",
+        ] {
             assert_eq!(get(&back, key), get(&v, key), "key {key} via:\n{text}");
         }
     }

@@ -534,7 +534,9 @@ mod tests {
     #[test]
     fn wide_universe_crosses_word_boundaries() {
         // 200 elements span four u64 words; cover with overlapping strides.
-        let sets: Vec<Vec<usize>> = (0..20).map(|k| (k * 10..k * 10 + 15).filter(|&e| e < 200).collect()).collect();
+        let sets: Vec<Vec<usize>> = (0..20)
+            .map(|k| (k * 10..k * 10 + 15).filter(|&e| e < 200).collect())
+            .collect();
         let picked = greedy_set_cover(200, &sets).unwrap();
         let mut covered = [false; 200];
         for i in &picked {
@@ -551,7 +553,9 @@ mod tests {
         // Deterministic pseudo-random instances, compared pick-for-pick.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         for trial in 0..50 {
@@ -703,7 +707,9 @@ mod tests {
         // Dense/sparse mixtures, compared slot-for-slot.
         let mut state = 0x9E37_79B9_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for trial in 0..40 {

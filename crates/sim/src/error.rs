@@ -27,6 +27,53 @@ pub enum SimError {
         /// Which list was empty (`"devices"`, `"payloads"`, `"mechanisms"`).
         what: &'static str,
     },
+    /// A shard spec addressed a shard outside its own count, or zero shards.
+    InvalidShard {
+        /// Zero-based shard index.
+        index: u32,
+        /// Total number of shards.
+        count: u32,
+    },
+    /// An archive merge was given no archives at all.
+    NoArchives,
+    /// Two archives in one merge came from different scenario configs.
+    FingerprintMismatch {
+        /// Fingerprint of the first archive.
+        expected: u64,
+        /// The disagreeing fingerprint.
+        found: u64,
+    },
+    /// Two archives in one merge disagreed on the total shard count.
+    ShardCountMismatch {
+        /// Shard count of the first archive.
+        expected: u32,
+        /// The disagreeing count.
+        found: u32,
+    },
+    /// The same shard index appeared more than once in a merge set.
+    DuplicateShard {
+        /// The repeated zero-based shard index.
+        index: u32,
+    },
+    /// A shard index was absent from a merge set.
+    MissingShard {
+        /// The absent zero-based shard index.
+        index: u32,
+    },
+    /// Results were requested from a partial archive; merge all shards
+    /// first.
+    IncompleteArchive {
+        /// Zero-based shard index of the partial archive.
+        index: u32,
+        /// Total number of shards the run was split into.
+        count: u32,
+    },
+    /// An archive's contents contradict its own metadata (wrong item set,
+    /// malformed record shapes, stale fingerprint, unknown schema).
+    CorruptArchive {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +89,34 @@ impl fmt::Display for SimError {
             SimError::EmptyScenario { what } => {
                 write!(f, "scenario lists no {what}; every sweep axis needs at least one entry")
             }
+            SimError::InvalidShard { index, count } => write!(
+                f,
+                "invalid shard {index}/{count}: the index must be below the count \
+                 and the count at least 1 (shards are zero-based: 0/{count}..{}/{count})",
+                count.saturating_sub(1)
+            ),
+            SimError::NoArchives => write!(f, "cannot merge an empty set of archives"),
+            SimError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "archive fingerprint mismatch: {found:#018x} vs {expected:#018x} — \
+                 the shards were produced from different scenario configurations"
+            ),
+            SimError::ShardCountMismatch { expected, found } => write!(
+                f,
+                "archive shard-count mismatch: one archive says {found} shards, another {expected}"
+            ),
+            SimError::DuplicateShard { index } => {
+                write!(f, "shard {index} appears more than once in the merge set")
+            }
+            SimError::MissingShard { index } => {
+                write!(f, "shard {index} is missing from the merge set")
+            }
+            SimError::IncompleteArchive { index, count } => write!(
+                f,
+                "archive holds only shard {index}/{count}; merge all {count} shards before \
+                 computing results"
+            ),
+            SimError::CorruptArchive { detail } => write!(f, "corrupt archive: {detail}"),
         }
     }
 }
@@ -52,8 +127,7 @@ impl std::error::Error for SimError {
             SimError::Grouping(e) => Some(e),
             SimError::InvalidPlan(v) => Some(v),
             SimError::Traffic(e) => Some(e),
-            SimError::DegenerateExperiment { .. } => None,
-            SimError::EmptyScenario { .. } => None,
+            _ => None,
         }
     }
 }

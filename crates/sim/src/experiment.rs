@@ -33,9 +33,7 @@ use core::fmt;
 
 use nbiot_des::{RunningStats, SeedSequence, Summary};
 use nbiot_energy::PowerProfile;
-use nbiot_grouping::{
-    GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast,
-};
+use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast};
 use nbiot_traffic::TrafficMix;
 use rand::rngs::StdRng;
 
@@ -144,18 +142,39 @@ impl fmt::Display for ComparisonResult {
 }
 
 /// The per-run observations for one mechanism (one row of a run record).
-#[derive(Debug, Clone, Copy)]
-struct MechRun {
-    rel_light_sleep: f64,
-    rel_connected: f64,
-    transmissions: f64,
-    mean_wait_s: f64,
-    mean_connected_s: f64,
-    mean_energy_mj: f64,
-    ra_failures: f64,
-    late_joins: f64,
-    compliant: bool,
+///
+/// These are the raw, pre-aggregation numbers a single (device point × run)
+/// work item produces for one mechanism under one payload variant — the
+/// unit that shard archives ([`ScenarioArchive`](crate::ScenarioArchive))
+/// persist so that merging partial runs can replay the exact aggregation
+/// fold of an unsharded run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MechRun {
+    /// Relative light-sleep uptime increase vs unicast in this run.
+    pub rel_light_sleep: f64,
+    /// Relative connected-mode uptime increase vs unicast in this run.
+    pub rel_connected: f64,
+    /// Payload transmissions in this run.
+    pub transmissions: f64,
+    /// Mean device wait before its transmission, in seconds.
+    pub mean_wait_s: f64,
+    /// Mean absolute per-device connected-mode uptime, in seconds.
+    pub mean_connected_s: f64,
+    /// Mean per-device energy in millijoules.
+    pub mean_energy_mj: f64,
+    /// Random-access failures in this run.
+    pub ra_failures: f64,
+    /// Devices finishing random access after their transmission started.
+    pub late_joins: f64,
+    /// Whether the executed plan was standards-compliant.
+    pub compliant: bool,
 }
+
+/// The raw records of one (device point × run) work item, indexed
+/// `[payload variant][mechanism]` — a pure function of
+/// (scenario, item index).
+pub type ItemRows = Vec<Vec<MechRun>>;
 
 /// Resolves a thread-count setting: `0` means all available cores, and no
 /// point spawning more workers than there are work items.
@@ -349,15 +368,21 @@ fn grid_item(
     Ok(rows)
 }
 
-/// Executes the whole grid through the scheduler and folds the per-item
-/// records into one [`ComparisonResult`] per (device point × payload
-/// variant), in run order — the fold that keeps every thread count
-/// bit-identical. Output is indexed `[device point][payload variant]`.
-pub(crate) fn execute_grid(spec: &GridSpec<'_>) -> Result<Vec<Vec<ComparisonResult>>, SimError> {
+/// Executes an arbitrary subset of the grid's work items (identified by
+/// their global indices, `item = point * runs + run`) through the
+/// scheduler and returns their raw records **in the given order**.
+///
+/// This is the sharding primitive: every item is a pure function of
+/// (spec, item index), so any partition of the item pool — including a
+/// single-host "all items" run — produces records that can later be
+/// reassembled and folded bit-identically to serial execution.
+pub(crate) fn execute_grid_subset(
+    spec: &GridSpec<'_>,
+    items: &[usize],
+) -> Result<Vec<ItemRows>, SimError> {
     let runs = spec.runs as usize;
-    let items = spec.devices.len() * runs;
-    let records = fan_out_items(
-        items,
+    fan_out_items(
+        items.len(),
         spec.threads,
         || {
             spec.kinds
@@ -365,16 +390,38 @@ pub(crate) fn execute_grid(spec: &GridSpec<'_>) -> Result<Vec<Vec<ComparisonResu
                 .map(|k| k.instantiate())
                 .collect::<Vec<Box<dyn GroupingMechanism>>>()
         },
-        |mechanisms, item| grid_item(spec, mechanisms, spec.devices[item / runs], item % runs),
-    )?;
+        |mechanisms, i| {
+            let item = items[i];
+            grid_item(spec, mechanisms, spec.devices[item / runs], item % runs)
+        },
+    )
+}
 
+/// Folds the complete, item-ordered record set into one
+/// [`ComparisonResult`] per (device point × payload variant) — the exact
+/// push sequence serial execution performs, which is what keeps every
+/// thread count *and* every sharding bit-identical. The fold consumes
+/// records strictly in item order (device-major, run-minor), so callers
+/// hand over borrowed records without materializing a copy. Output is
+/// indexed `[device point][payload variant]`.
+pub(crate) fn fold_grid<'a>(
+    spec: &GridSpec<'_>,
+    records: impl Iterator<Item = &'a ItemRows>,
+) -> Vec<Vec<ComparisonResult>> {
+    let runs = spec.runs as usize;
+    let mut records = records;
     let mut grid = Vec::with_capacity(spec.devices.len());
-    for (n_idx, &n_devices) in spec.devices.iter().enumerate() {
+    for &n_devices in spec.devices {
         let mut per_payload: Vec<Vec<(MechanismKind, MechStats)>> = (0..spec.sims.len())
-            .map(|_| spec.kinds.iter().map(|&k| (k, MechStats::default())).collect())
+            .map(|_| {
+                spec.kinds
+                    .iter()
+                    .map(|&k| (k, MechStats::default()))
+                    .collect()
+            })
             .collect();
-        for run in 0..runs {
-            let item = &records[n_idx * runs + run];
+        for _ in 0..runs {
+            let item = records.next().expect("one record per (point, run) item");
             for (payload_rows, acc) in item.iter().zip(per_payload.iter_mut()) {
                 for (row, (_, stats)) in payload_rows.iter().zip(acc.iter_mut()) {
                     stats.push(row, n_devices);
@@ -395,7 +442,16 @@ pub(crate) fn execute_grid(spec: &GridSpec<'_>) -> Result<Vec<Vec<ComparisonResu
                 .collect(),
         );
     }
-    Ok(grid)
+    grid
+}
+
+/// Executes the whole grid through the scheduler and folds the per-item
+/// records in run order. Output is indexed `[device point][payload
+/// variant]`.
+pub(crate) fn execute_grid(spec: &GridSpec<'_>) -> Result<Vec<Vec<ComparisonResult>>, SimError> {
+    let items: Vec<usize> = (0..spec.devices.len() * spec.runs as usize).collect();
+    let records = execute_grid_subset(spec, &items)?;
+    Ok(fold_grid(spec, records.iter()))
 }
 
 /// Runs the paper's comparison methodology.
@@ -675,10 +731,7 @@ mod tests {
         };
         let serial = sweep_devices(&base, MechanismKind::DrSc, &[10, 25]).unwrap();
         let parallel = sweep_devices(
-            &ExperimentConfig {
-                threads: 8,
-                ..base
-            },
+            &ExperimentConfig { threads: 8, ..base },
             MechanismKind::DrSc,
             &[10, 25],
         )
@@ -723,8 +776,7 @@ mod tests {
         // parallel path must surface the same (first-run) error.
         let mut cfg = small_config();
         cfg.runs = 5;
-        cfg.grouping.ti =
-            nbiot_rrc::InactivityTimer::new(nbiot_time::SimDuration::from_ms(1));
+        cfg.grouping.ti = nbiot_rrc::InactivityTimer::new(nbiot_time::SimDuration::from_ms(1));
         let serial = run_comparison(&cfg, &[MechanismKind::DrSc]).unwrap_err();
         cfg.threads = 4;
         let parallel = run_comparison(&cfg, &[MechanismKind::DrSc]).unwrap_err();
@@ -742,22 +794,26 @@ mod tests {
     #[test]
     fn scheduler_folds_in_item_order_and_surfaces_first_error() {
         // Pure-function scheduler check independent of the simulator.
-        let squares =
-            fan_out_items(10, 3, || (), |(), i| Ok::<usize, SimError>(i * i)).unwrap();
+        let squares = fan_out_items(10, 3, || (), |(), i| Ok::<usize, SimError>(i * i)).unwrap();
         assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
         // Two failing items: the lowest-numbered one wins for every
         // thread count, exactly as serial execution would surface it.
         for threads in [1, 2, 3, 8] {
-            let err = fan_out_items(10, threads, || (), |(), i| {
-                if i == 7 || i == 4 {
-                    Err(SimError::DegenerateExperiment {
-                        n_devices: i,
-                        runs: 0,
-                    })
-                } else {
-                    Ok(i)
-                }
-            })
+            let err = fan_out_items(
+                10,
+                threads,
+                || (),
+                |(), i| {
+                    if i == 7 || i == 4 {
+                        Err(SimError::DegenerateExperiment {
+                            n_devices: i,
+                            runs: 0,
+                        })
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
             .unwrap_err();
             assert!(
                 matches!(err, SimError::DegenerateExperiment { n_devices: 4, .. }),

@@ -15,6 +15,10 @@
 //! * [`Scenario`] / [`run_scenario`] — a declarative experiment suite
 //!   (mix × device sweep × payloads × mechanisms × runs) executed as one
 //!   grid, with a registry of built-in scenarios,
+//! * [`ShardSpec`] / [`run_scenario_shard`] / [`merge_archives`] (with the
+//!   `serde` feature) — multi-host sharding of the (point × run) item pool
+//!   into mergeable [`ScenarioArchive`]s, bit-identical to the unsharded
+//!   run,
 //! * [`ExperimentConfig`] / [`run_comparison`] — the paper's methodology:
 //!   the same populations, mechanisms compared against the unicast baseline
 //!   of the same run, averaged over `runs` repetitions,
@@ -65,12 +69,20 @@ mod error;
 mod experiment;
 mod result;
 mod scenario;
+#[cfg(feature = "serde")]
+mod shard;
 
 pub use campaign::run_campaign;
 pub use config::SimConfig;
 pub use error::SimError;
 pub use experiment::{
-    run_comparison, sweep_devices, ComparisonResult, ExperimentConfig, MechanismSummary, SweepPoint,
+    run_comparison, sweep_devices, ComparisonResult, ExperimentConfig, ItemRows, MechRun,
+    MechanismSummary, SweepPoint,
 };
 pub use result::CampaignResult;
 pub use scenario::{run_scenario, with_ti, PointResult, Scenario, ScenarioResult};
+#[cfg(feature = "serde")]
+pub use shard::{
+    merge_archives, run_scenario_shard, scenario_fingerprint, ArchiveItem, ScenarioArchive,
+    ShardSpec, ARCHIVE_SCHEMA_VERSION,
+};

@@ -141,8 +141,8 @@ impl Scenario {
             },
             "clustered" => Scenario {
                 name: "clustered".into(),
-                description:
-                    "clustered heterogeneous device classes (NOMA-style user clustering)".into(),
+                description: "clustered heterogeneous device classes (NOMA-style user clustering)"
+                    .into(),
                 mix: TrafficMix::clustered_heterogeneous(),
                 devices: vec![200, 500, 1000],
                 runs: 50,
@@ -249,7 +249,10 @@ pub struct ScenarioResult {
 impl ScenarioResult {
     /// Points at a given payload size, in device order (one "figure line").
     pub fn payload_column(&self, payload: DataSize) -> Vec<&PointResult> {
-        self.points.iter().filter(|p| p.payload == payload).collect()
+        self.points
+            .iter()
+            .filter(|p| p.payload == payload)
+            .collect()
     }
 }
 
@@ -268,15 +271,27 @@ impl ScenarioResult {
 /// work item (matching serial execution).
 pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, SimError> {
     scenario.validate()?;
-    let sims: Vec<SimConfig> = scenario
+    let sims = payload_sims(scenario);
+    let grid = execute_grid(&grid_spec(scenario, &sims))?;
+    Ok(assemble_result(scenario, grid))
+}
+
+/// The per-payload-variant simulator configurations of a scenario, one
+/// per inner grid column.
+pub(crate) fn payload_sims(scenario: &Scenario) -> Vec<SimConfig> {
+    scenario
         .payloads
         .iter()
         .map(|&payload| scenario.sim.with_payload(payload))
-        .collect();
-    let grid = execute_grid(&GridSpec {
+        .collect()
+}
+
+/// The scheduler grid one scenario execution (full or sharded) spans.
+pub(crate) fn grid_spec<'a>(scenario: &'a Scenario, sims: &'a [SimConfig]) -> GridSpec<'a> {
+    GridSpec {
         mix: &scenario.mix,
         devices: &scenario.devices,
-        sims: &sims,
+        sims,
         kinds: &scenario.mechanisms,
         runs: scenario.runs,
         master_seed: scenario.master_seed,
@@ -284,7 +299,16 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, SimError> {
         power: &scenario.power,
         baseline: scenario.baseline,
         threads: scenario.threads,
-    })?;
+    }
+}
+
+/// Shapes a folded grid into a [`ScenarioResult`] — shared by
+/// [`run_scenario`] and archive merging, so both produce byte-identical
+/// results from identical records.
+pub(crate) fn assemble_result(
+    scenario: &Scenario,
+    grid: Vec<Vec<ComparisonResult>>,
+) -> ScenarioResult {
     let mut points = Vec::with_capacity(scenario.devices.len() * scenario.payloads.len());
     for (row, &n_devices) in grid.into_iter().zip(&scenario.devices) {
         for (comparison, &payload) in row.into_iter().zip(&scenario.payloads) {
@@ -295,13 +319,13 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioResult, SimError> {
             });
         }
     }
-    Ok(ScenarioResult {
+    ScenarioResult {
         scenario: scenario.name.clone(),
         mix: scenario.mix.name.clone(),
         ti_s: scenario.ti_seconds(),
         runs: scenario.runs,
         points,
-    })
+    }
 }
 
 /// Convenience: a scenario whose `grouping.ti` is replaced — ablation

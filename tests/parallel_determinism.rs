@@ -114,7 +114,10 @@ fn shared_populations_match_per_payload_regeneration() {
                 .iter()
                 .find(|p| p.n_devices == n_devices && p.payload == payload)
                 .expect("grid point");
-            assert_eq!(point.comparison, dedicated, "{n_devices} devices, {payload}");
+            assert_eq!(
+                point.comparison, dedicated,
+                "{n_devices} devices, {payload}"
+            );
         }
     }
 }

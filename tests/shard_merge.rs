@@ -1,0 +1,90 @@
+//! Sharded execution must be a pure distribution optimization: merging
+//! the complete shard set of *any* K-way partition of a scenario's
+//! (point × run) item pool — through a JSON text roundtrip, in any merge
+//! order — reproduces the unsharded `run_scenario` result bit for bit.
+
+use nbiot_multicast::prelude::*;
+use nbiot_sim::{merge_archives, run_scenario, run_scenario_shard, ScenarioArchive, ShardSpec};
+use proptest::prelude::*;
+
+fn shard_archives(scenario: &Scenario, count: u32) -> Vec<ScenarioArchive> {
+    (0..count)
+        .map(|index| {
+            run_scenario_shard(scenario, ShardSpec { index, count }).expect("shard execution")
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_k_way_sharding_merges_bit_identically(
+        k in proptest::sample::select(vec![1u32, 2, 3, 7]),
+        devices in proptest::collection::vec(8usize..30, 1..3),
+        runs in 1u32..5,
+        seed in 0u64..1_000,
+        threads in proptest::sample::select(vec![1usize, 3]),
+    ) {
+        // Device sweeps of 1-2 points with 1-4 runs give item pools of
+        // 1..8 items: K = 7 regularly exceeds the pool (empty shards) and
+        // non-divisible pools exercise uneven splits.
+        let mut scenario = Scenario::builtin("fig6a").expect("builtin");
+        scenario.devices = devices;
+        scenario.runs = runs;
+        scenario.master_seed = seed;
+        scenario.threads = threads;
+
+        let unsharded = run_scenario(&scenario).expect("unsharded run");
+        let mut parts = shard_archives(&scenario, k);
+
+        // The merge must not care about shard order.
+        parts.reverse();
+
+        // Archives travel between hosts as JSON text; the roundtrip must
+        // be exact (shortest-roundtrip float formatting).
+        let rehydrated: Vec<ScenarioArchive> = parts
+            .iter()
+            .map(|archive| {
+                let text = serde_json::to_string(archive).expect("serializable");
+                serde_json::from_str(&text).expect("JSON roundtrip")
+            })
+            .collect();
+
+        let merged = merge_archives(&rehydrated).expect("merge");
+        let result = merged.result().expect("merged archive is complete");
+        prop_assert_eq!(&result, &unsharded, "k={} shards", k);
+    }
+}
+
+#[test]
+fn seven_way_shard_of_tiny_pool_is_bit_identical() {
+    // The canonical uneven split pinned as a plain test: a 6-item pool in
+    // 7 shards leaves one shard empty, and the merge still reproduces the
+    // unsharded result exactly.
+    let mut scenario = Scenario::builtin("fig6b").expect("builtin");
+    scenario.devices = vec![10, 18];
+    scenario.runs = 3;
+    scenario.threads = 2;
+    let unsharded = run_scenario(&scenario).unwrap();
+    for k in [1u32, 2, 3, 7] {
+        let merged = merge_archives(&shard_archives(&scenario, k)).unwrap();
+        assert_eq!(merged.result().unwrap(), unsharded, "k={k}");
+    }
+}
+
+#[test]
+fn shards_from_different_thread_counts_still_merge() {
+    // Sharding exists to spread work across heterogeneous hosts; the
+    // fingerprint must treat worker counts as irrelevant.
+    let mut scenario = Scenario::builtin("fig6a").expect("builtin");
+    scenario.devices = vec![12];
+    scenario.runs = 4;
+    scenario.threads = 1;
+    let unsharded = run_scenario(&scenario).unwrap();
+    let serial_half = run_scenario_shard(&scenario, ShardSpec { index: 0, count: 2 }).unwrap();
+    scenario.threads = 8;
+    let threaded_half = run_scenario_shard(&scenario, ShardSpec { index: 1, count: 2 }).unwrap();
+    let merged = merge_archives(&[serial_half, threaded_half]).unwrap();
+    assert_eq!(merged.result().unwrap(), unsharded);
+}

@@ -122,10 +122,7 @@ impl Default for Criterion {
         let filter = std::env::args()
             .skip(1)
             .find(|a| !a.starts_with('-') && a != "--bench");
-        Criterion {
-            samples: 5,
-            filter,
-        }
+        Criterion { samples: 5, filter }
     }
 }
 

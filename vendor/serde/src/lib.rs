@@ -323,7 +323,9 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     fn from_value(value: &Value) -> Result<Self, Error> {
         match value.as_array() {
             Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
-            _ => Err(Error::custom(format!("expected 2-element array, got {value:?}"))),
+            _ => Err(Error::custom(format!(
+                "expected 2-element array, got {value:?}"
+            ))),
         }
     }
 }
@@ -344,9 +346,7 @@ impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<
     }
 }
 
-impl<K: Deserialize + Ord, V: Deserialize> Deserialize
-    for std::collections::BTreeMap<K, V>
-{
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
     fn from_value(value: &Value) -> Result<Self, Error> {
         let entries = value
             .as_object()

@@ -24,8 +24,14 @@ struct Variant {
 
 #[derive(Debug)]
 enum TypeDef {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the vendored `serde::Serialize`.
@@ -36,14 +42,18 @@ enum TypeDef {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_serialize(&def).parse().expect("generated Serialize impl parses")
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the vendored `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let def = parse_type(input);
-    gen_deserialize(&def).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---- parsing ----
@@ -228,11 +238,12 @@ fn gen_serialize(def: &TypeDef) -> String {
                         .collect();
                     format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
                 }
-                Fields::Named(names) => object_literal(
-                    names
-                        .iter()
-                        .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})"))),
-                ),
+                Fields::Named(names) => object_literal(names.iter().map(|f| {
+                    (
+                        f.clone(),
+                        format!("::serde::Serialize::to_value(&self.{f})"),
+                    )
+                })),
             };
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
