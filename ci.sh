@@ -11,6 +11,8 @@
 #   test           tier-1 root-crate tests, then the whole workspace
 #   lint           clippy with -D warnings across all targets
 #   fmt            cargo fmt --check (no formatting drift)
+#   docs           cargo doc --no-deps warning-free (offline) + README
+#                  quick-start commands cross-checked against --help
 #   figures-smoke  figures driver smoke: registry, TOML round-trip, JSON
 #   shard-smoke    3-way shard -> merge -> zero-tolerance scenario_diff
 #                  against the unsharded run (bit-identity gate)
@@ -21,7 +23,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test lint fmt figures-smoke shard-smoke bench-gate)
+STAGES=(build test lint fmt docs figures-smoke shard-smoke bench-gate)
 
 ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
 if [[ -z "$ARTIFACT_DIR" ]]; then
@@ -56,6 +58,46 @@ stage_lint() {
 stage_fmt() {
     echo "==> cargo fmt --all --check"
     cargo fmt --all --check
+}
+
+stage_docs() {
+    echo "==> cargo doc --no-deps (offline, warnings denied)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+    echo "==> README quick-start commands vs --help"
+    # The README's fenced sh blocks are the quick-start contract: every
+    # long flag they pass to an nbiot-bench binary must be documented by
+    # that binary's --help, and every pipeline stage must be mentioned in
+    # the README. Backslash continuations are joined and the shard
+    # example's "${figures[@]}" alias expanded first.
+    local cmds="$SCRATCH/readme_cmds" fail=0
+    awk '/^```sh$/{f=1;next} /^```$/{f=0} f' README.md \
+        | sed -e ':a' -e '/\\$/{N;s/\\\n//;ba}' \
+        | sed 's/"\${figures\[@\]}"/cargo run --release -q -p nbiot-bench --bin figures --/' \
+        > "$cmds"
+    local bin help flags flag
+    for bin in figures fig6a fig6b fig7 all_figures ablations calibrate \
+               bench_report scenario_merge scenario_diff; do
+        grep -Eq -- "--bin $bin( |\$)" "$cmds" || continue
+        help="$(cargo run --release -q -p nbiot-bench --bin "$bin" -- --help 2>&1 || true)"
+        # A binary may appear with no flags at all (grep then exits 1
+        # under pipefail, which is not a failure here).
+        flags="$(sed -n "s/.*--bin $bin *-- //p" "$cmds" | { grep -o -- '--[a-z][a-z-]*' || true; } | sort -u)"
+        for flag in $flags; do
+            if ! grep -q -- "$flag" <<< "$help"; then
+                echo "README uses \`$flag\` with \`$bin\`, but \`$bin --help\` does not document it" >&2
+                fail=1
+            fi
+        done
+    done
+    local s
+    for s in "${STAGES[@]}"; do
+        if ! grep -q "$s" README.md; then
+            echo "ci.sh stage \`$s\` is not mentioned in README.md" >&2
+            fail=1
+        fi
+    done
+    [[ "$fail" -eq 0 ]]
+    echo "docs smoke OK (rustdoc clean, README commands match --help)"
 }
 
 stage_figures_smoke() {
@@ -102,8 +144,11 @@ stage_bench_gate() {
     else
         gate_flags+=(--warn-only)
     fi
+    # ${arr[@]+...} keeps the empty strict-mode array safe under `set -u`
+    # on bash < 4.4 (macOS ships 3.2).
     cargo run --release -q -p nbiot-bench --bin bench_report -- \
-        "${workload_flags[@]}" --out "$ARTIFACT_DIR/BENCH_results.json" \
+        ${workload_flags[@]+"${workload_flags[@]}"} \
+        --out "$ARTIFACT_DIR/BENCH_results.json" \
         "${gate_flags[@]}" > /dev/null
     test -s "$ARTIFACT_DIR/BENCH_results.json"
     echo "bench report written to $ARTIFACT_DIR/BENCH_results.json:"
@@ -116,6 +161,7 @@ run_stage() {
         test)          stage_test ;;
         lint)          stage_lint ;;
         fmt)           stage_fmt ;;
+        docs)          stage_docs ;;
         figures-smoke) stage_figures_smoke ;;
         shard-smoke)   stage_shard_smoke ;;
         bench-gate)    stage_bench_gate ;;
@@ -135,7 +181,7 @@ case "${1:-}" in
         printf '%s\n' "${STAGES[@]}"
         ;;
     --help|-h)
-        sed -n '2,20p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
         ;;
     "")
         for stage in "${STAGES[@]}"; do

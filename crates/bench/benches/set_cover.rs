@@ -1,14 +1,16 @@
 //! Criterion micro-benchmarks for the DR-SC set-cover kernels
-//! (the algorithmic core behind Fig. 7), including the bitset fast path
-//! against its retained reference implementation — the acceptance bar is
-//! the bitset solver beating the reference greedy by ≥2x on the
-//! 1000-device frame-cover instance.
+//! (the algorithmic core behind Fig. 7): the incremental-gain production
+//! solver against the bitset re-sweep and the retained reference
+//! implementations, on the 1000-device frame-cover instance and a
+//! 10k-device large-N stress point (see `docs/KERNELS.md`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nbiot_bench::workload;
 use nbiot_des::SeedSequence;
-use nbiot_grouping::set_cover::{greedy_set_cover, reference, WindowCover};
+use nbiot_grouping::set_cover::{
+    greedy_set_cover, greedy_set_cover_bitset, reference, WindowCover,
+};
 use nbiot_time::{SimDuration, SimInstant};
 use rand::Rng;
 
@@ -32,10 +34,17 @@ fn bench_window_cover(c: &mut Criterion) {
     for &n in &[100usize, 500, 1000] {
         let events = synth_events(n, 2600, 2 * 10_486, 42);
         let dense = vec![false; n];
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
             b.iter(|| {
                 WindowCover::new(SimDuration::from_secs(10))
-                    .solve(SimInstant::ZERO, &events, &dense)
+                    .solve_incremental(SimInstant::ZERO, &events, &dense)
+                    .expect("coverable")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, _| {
+            b.iter(|| {
+                WindowCover::new(SimDuration::from_secs(10))
+                    .solve_sweep(SimInstant::ZERO, &events, &dense)
                     .expect("coverable")
             })
         });
@@ -73,18 +82,25 @@ fn bench_generic_greedy(c: &mut Criterion) {
     group.finish();
 }
 
-/// Bitset vs reference on the realistic frame-cover shape: wide sets (the
+/// All three kernels on the realistic frame-cover shape: wide sets (the
 /// paper's dense devices appear in every candidate window).
-fn bench_bitset_vs_reference(c: &mut Criterion) {
+fn bench_frame_cover_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("frame_cover_1000");
     let (universe, sets) = workload::frame_cover_instance(1_000, 42);
+    let oracle = reference::greedy_set_cover(universe, &sets);
     assert_eq!(
         greedy_set_cover(universe, &sets),
-        reference::greedy_set_cover(universe, &sets),
+        oracle,
         "solvers must agree before being compared"
     );
+    assert_eq!(greedy_set_cover_bitset(universe, &sets), oracle);
+    group.bench_with_input(
+        BenchmarkId::new("incremental", universe),
+        &universe,
+        |b, _| b.iter(|| greedy_set_cover(universe, &sets).expect("coverable")),
+    );
     group.bench_with_input(BenchmarkId::new("bitset", universe), &universe, |b, _| {
-        b.iter(|| greedy_set_cover(universe, &sets).expect("coverable"))
+        b.iter(|| greedy_set_cover_bitset(universe, &sets).expect("coverable"))
     });
     group.bench_with_input(
         BenchmarkId::new("reference", universe),
@@ -94,10 +110,34 @@ fn bench_bitset_vs_reference(c: &mut Criterion) {
     group.finish();
 }
 
+/// Incremental vs bitset at the `large-n-stress` scale (10k devices), on
+/// the post-dense-filtering shape the DR-SC pipeline actually hands the
+/// kernel — the regime the inverted-index update model targets (same
+/// instance as bench_report's `set_cover_stress_*` stages).
+fn bench_stress_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_cover_10000");
+    let (universe, sets) = workload::frame_cover_instance_with(10_000, 0.0, 42);
+    assert_eq!(
+        greedy_set_cover(universe, &sets),
+        greedy_set_cover_bitset(universe, &sets),
+        "solvers must agree before being compared"
+    );
+    group.bench_with_input(
+        BenchmarkId::new("incremental", universe),
+        &universe,
+        |b, _| b.iter(|| greedy_set_cover(universe, &sets).expect("coverable")),
+    );
+    group.bench_with_input(BenchmarkId::new("bitset", universe), &universe, |b, _| {
+        b.iter(|| greedy_set_cover_bitset(universe, &sets).expect("coverable"))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_window_cover,
     bench_generic_greedy,
-    bench_bitset_vs_reference
+    bench_frame_cover_kernels,
+    bench_stress_kernels
 );
 criterion_main!(benches);

@@ -40,7 +40,10 @@
 //!   ],
 //!   "derived": {
 //!     "set_cover_speedup": 3.4,        // reference greedy / bitset greedy
-//!     "window_cover_speedup": 1.2,     // reference / scratch timeline solver
+//!     "set_cover_incremental_speedup": 8.0,  // bitset / incremental, 1000 devices
+//!     "set_cover_stress_speedup": 20.0,      // bitset / incremental, 10k devices
+//!     "window_cover_speedup": 1.2,     // reference / incremental timeline solver
+//!     "window_cover_incremental_speedup": 5.0, // per-round sweep / incremental
 //!     "comparison_parallel_speedup": 5.9,
 //!     "population_sharing_speedup": 5.0,     // per-mechanism regeneration / once-per-run
 //!     "sweep_parallel_speedup": 5.5,         // serial full device sweep / one (point × run) pool
@@ -210,6 +213,19 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench_report [--runs N] [--devices N] [--seed N] [--threads N] \
+                     [--mix NAME]\n\
+                     \x20      [--out PATH] [--compare BASELINE.json] [--tolerance-pct P] \
+                     [--warn-only]\n\
+                     runs the fixed macro workload through every pipeline stage and writes\n\
+                     a BENCH_results.json report (default workload: 5 mechanisms x 500\n\
+                     devices x 20 runs). --compare turns the run into a regression gate\n\
+                     against a baseline report; --warn-only downgrades it to a report."
+                );
+                return;
+            }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--compare" => compare = Some(args.next().expect("--compare needs a baseline path")),
             "--tolerance-pct" => {
@@ -301,16 +317,30 @@ fn main() {
         ));
     }
 
-    // ---- Stage 3: set-cover kernels, bitset vs reference ----
+    // ---- Stage 3: set-cover kernels — incremental vs bitset vs
+    // reference on the 1000-device frame-cover instance, then incremental
+    // vs bitset on a 10k-device large-n-stress point (the regime the
+    // inverted-index update model targets; the reference oracle is too
+    // slow to rerun there).
     let (universe, sets) = workload::frame_cover_instance(1_000, opts.seed);
-    let (picked_fast, bitset_ms) = timed_min(5, || {
+    let (picked_inc, incremental_ms) = timed_min(5, || {
         set_cover::greedy_set_cover(universe, &sets).expect("coverable")
+    });
+    let (picked_fast, bitset_ms) = timed_min(5, || {
+        set_cover::greedy_set_cover_bitset(universe, &sets).expect("coverable")
     });
     let (picked_ref, reference_ms) = timed_min(5, || {
         reference::greedy_set_cover(universe, &sets).expect("coverable")
     });
     assert_eq!(picked_fast, picked_ref, "solvers must agree pick-for-pick");
+    assert_eq!(picked_inc, picked_ref, "solvers must agree pick-for-pick");
     let set_cover_speedup = reference_ms / bitset_ms;
+    let set_cover_incremental_speedup = bitset_ms / incremental_ms;
+    stages.push(stage(
+        "set_cover_incremental",
+        incremental_ms,
+        json!({ "devices": universe, "sets": sets.len(), "picks": picked_inc.len() }),
+    ));
     stages.push(stage(
         "set_cover_bitset",
         bitset_ms,
@@ -322,23 +352,61 @@ fn main() {
         json!({ "devices": universe, "sets": sets.len(), "picks": picked_ref.len() }),
     ));
 
+    // The stress point uses the post-dense-filtering shape (dense share
+    // 0): at scale the DR-SC pipeline hands the cover kernel only the
+    // long-cycle tail — see `workload::frame_cover_instance_with`.
+    let (universe10k, sets10k) = workload::frame_cover_instance_with(10_000, 0.0, opts.seed);
+    let (stress_inc, stress_incremental_ms) = timed_min(3, || {
+        set_cover::greedy_set_cover(universe10k, &sets10k).expect("coverable")
+    });
+    let (stress_bitset, stress_bitset_ms) = timed_min(3, || {
+        set_cover::greedy_set_cover_bitset(universe10k, &sets10k).expect("coverable")
+    });
+    assert_eq!(
+        stress_inc, stress_bitset,
+        "solvers must agree pick-for-pick"
+    );
+    let set_cover_stress_speedup = stress_bitset_ms / stress_incremental_ms;
+    stages.push(stage(
+        "set_cover_stress_incremental",
+        stress_incremental_ms,
+        json!({ "devices": universe10k, "sets": sets10k.len(), "picks": stress_inc.len() }),
+    ));
+    stages.push(stage(
+        "set_cover_stress_bitset",
+        stress_bitset_ms,
+        json!({ "devices": universe10k, "sets": sets10k.len(), "picks": stress_bitset.len() }),
+    ));
+
     let (events, dense) = workload::window_cover_instance(1_000, 2_600, opts.seed);
     let ti = SimDuration::from_secs(10);
     let start = nbiot_time::SimInstant::ZERO;
-    let (slots_fast, scratch_ms) = timed_min(5, || {
+    let (slots_fast, window_incremental_ms) = timed_min(5, || {
         WindowCover::new(ti)
-            .solve(start, &events, &dense)
+            .solve_incremental(start, &events, &dense)
+            .expect("coverable")
+    });
+    let (slots_sweep, window_sweep_ms) = timed_min(5, || {
+        WindowCover::new(ti)
+            .solve_sweep(start, &events, &dense)
             .expect("coverable")
     });
     let (slots_ref, window_ref_ms) = timed_min(5, || {
         reference::window_cover_solve(ti, start, &events, &dense).expect("coverable")
     });
     assert_eq!(slots_fast, slots_ref, "timeline solvers must agree");
-    let window_cover_speedup = window_ref_ms / scratch_ms;
+    assert_eq!(slots_sweep, slots_ref, "timeline solvers must agree");
+    let window_cover_speedup = window_ref_ms / window_incremental_ms;
+    let window_cover_incremental_speedup = window_sweep_ms / window_incremental_ms;
     stages.push(stage(
-        "window_cover_scratch",
-        scratch_ms,
+        "window_cover_incremental",
+        window_incremental_ms,
         json!({ "devices": events.len(), "slots": slots_fast.len() }),
+    ));
+    stages.push(stage(
+        "window_cover_sweep",
+        window_sweep_ms,
+        json!({ "devices": events.len(), "slots": slots_sweep.len() }),
     ));
     stages.push(stage(
         "window_cover_reference",
@@ -502,7 +570,10 @@ fn main() {
         "stages": Value::Array(stages),
         "derived": json!({
             "set_cover_speedup": set_cover_speedup,
+            "set_cover_incremental_speedup": set_cover_incremental_speedup,
+            "set_cover_stress_speedup": set_cover_stress_speedup,
             "window_cover_speedup": window_cover_speedup,
+            "window_cover_incremental_speedup": window_cover_incremental_speedup,
             "comparison_parallel_speedup": serial_ms / parallel_ms,
             "population_sharing_speedup": population_sharing_speedup,
             "sweep_parallel_speedup": sweep_serial_ms / sweep_parallel_ms,
@@ -514,8 +585,11 @@ fn main() {
     std::fs::write(&out_path, &text).expect("write benchmark report");
     println!("{text}");
     eprintln!(
-        "\nbench_report: set-cover bitset speedup {set_cover_speedup:.2}x, \
-         window-cover speedup {window_cover_speedup:.2}x, \
+        "\nbench_report: set-cover bitset speedup {set_cover_speedup:.2}x \
+         (incremental {set_cover_incremental_speedup:.2}x over bitset, \
+         {set_cover_stress_speedup:.2}x at 10k devices), \
+         window-cover speedup {window_cover_speedup:.2}x \
+         (incremental {window_cover_incremental_speedup:.2}x over sweep), \
          parallel comparison speedup {:.2}x, \
          sweep point-parallel speedup {:.2}x (pipeline gain {:.2}x vs per-point barriers), \
          figure-suite sharing speedup {figure_suite_sharing_speedup:.2}x -> {out_path}",

@@ -1,0 +1,61 @@
+//! Regression pins for the set-cover kernels on the benchmark workloads.
+//!
+//! The bench stages (`bench_report`, the criterion benches) assume all
+//! solver tiers agree pick-for-pick on these instances; this test
+//! additionally pins the *absolute* round-by-round pick sequence of the
+//! 1000-device frame-cover instance at the default benchmark seed, so any
+//! change to greedy semantics — tie-breaking, gain accounting, instance
+//! generation — shows up as a failure here rather than as a silently
+//! shifted baseline.
+
+use nbiot_bench::workload;
+use nbiot_grouping::set_cover::{greedy_set_cover, greedy_set_cover_bitset, reference};
+
+/// The default `FigureOpts::seed` used by `bench_report` and the figure
+/// binaries.
+const BENCH_SEED: u64 = 0x4E42_494F_5421;
+
+fn fnv1a_picks(picks: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &p in picks {
+        h ^= p as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn frame_cover_1000_pick_sequence_is_pinned() {
+    let (n, sets) = workload::frame_cover_instance(1_000, BENCH_SEED);
+    let picks = greedy_set_cover(n, &sets).expect("tiled windows cover the horizon");
+    // Round-by-round prefix of the greedy selection (window indices), the
+    // total round count, and a FNV-1a fold of the full sequence.
+    assert_eq!(
+        &picks[..12],
+        &[186, 181, 29, 158, 90, 315, 215, 262, 269, 452, 112, 9],
+        "first greedy rounds moved"
+    );
+    assert_eq!(picks.len(), 139, "round count moved");
+    assert_eq!(
+        fnv1a_picks(&picks),
+        0xb4e7_b6f5_4665_d2cb,
+        "full pick sequence moved"
+    );
+}
+
+#[test]
+fn all_solver_tiers_agree_on_both_bench_shapes() {
+    // The dense-heavy 1000-device instance (the `set_cover_*` stages) and
+    // the sparse post-filter 10k point (`set_cover_stress_*`), each
+    // compared across all three tiers / both fast tiers respectively.
+    let (n, sets) = workload::frame_cover_instance(1_000, BENCH_SEED);
+    let oracle = reference::greedy_set_cover(n, &sets);
+    assert_eq!(greedy_set_cover(n, &sets), oracle);
+    assert_eq!(greedy_set_cover_bitset(n, &sets), oracle);
+
+    let (n, sets) = workload::frame_cover_instance_with(10_000, 0.0, BENCH_SEED);
+    assert_eq!(
+        greedy_set_cover(n, &sets),
+        greedy_set_cover_bitset(n, &sets)
+    );
+}

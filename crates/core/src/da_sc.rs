@@ -1,4 +1,8 @@
 //! DA-SC: DRX Adjusting, Standards Compliant (paper Sec. III-B).
+//!
+//! Unlike DR-SC, DA-SC needs no set cover: it fixes a single transmission
+//! instant and walks the standard cycle ladder per device instead (the
+//! per-mechanism cost comparison lives in `docs/ARCHITECTURE.md`).
 
 use rand::RngCore;
 

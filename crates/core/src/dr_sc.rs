@@ -14,6 +14,11 @@ use crate::{
 /// group with (usually several) multicast transmissions chosen by greedy
 /// set cover over the paging-occasion timeline.
 ///
+/// The cover is solved by [`WindowCover`], which dispatches between
+/// incremental gain maintenance and a per-round re-sweep by measured
+/// window occupancy (both slot-identical; see `docs/KERNELS.md`) — this
+/// planning step dominates DR-SC's cost at `large-n-stress` scale.
+///
 /// Devices spend no more energy than under normal operation (aside from
 /// the reception itself); the price is bandwidth — the number of
 /// transmissions reported in the paper's Fig. 7.

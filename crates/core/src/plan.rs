@@ -1,4 +1,9 @@
 //! Multicast plans: the declarative output of every grouping mechanism.
+//!
+//! A plan is the hand-off point between the planning layer (this crate —
+//! for DR-SC that means the [`crate::set_cover`] kernels) and the
+//! execution layer (`nbiot-sim`), which replays it event by event; the
+//! full pipeline is drawn in `docs/ARCHITECTURE.md`.
 
 use core::fmt;
 use std::collections::HashMap;

@@ -1,5 +1,8 @@
 //! SC-PTM baseline: the standardized single-cell multicast (paper
-//! Sec. II-A).
+//! Sec. II-A). Planning is trivial (one announced transmission, no
+//! cover); its cost is the continuous SC-MCCH monitoring the simulator
+//! charges every device (see `docs/ARCHITECTURE.md` for where baselines
+//! sit in the comparison pipeline).
 
 use rand::RngCore;
 

@@ -10,8 +10,8 @@
 //!
 //! Two solvers are provided:
 //!
-//! * [`greedy_set_cover`] — the textbook greedy over explicit sets (used
-//!   for the Fig. 3 bipartite instance and for cross-checking),
+//! * [`greedy_set_cover`] — the greedy over explicit sets (used for the
+//!   Fig. 3 bipartite instance and for cross-checking),
 //! * [`WindowCover`] — the specialized timeline solver: it slides a
 //!   `TI`-length window over the merged PO event list, exploiting two
 //!   structural facts: (a) an optimal window can always be anchored to
@@ -21,28 +21,105 @@
 //!
 //! # Performance
 //!
-//! Both solvers run their greedy rounds allocation-free. The generic
-//! greedy packs each set into `u64` bitset rows once up front, so a
-//! round's gain computation is a `popcount(set & !covered)` sweep instead
-//! of a per-element tag-array scan. The timeline solver hoists its
-//! per-round counting buffers into scratch storage sized once per call;
-//! its two-pointer sweep is additionally self-cleaning (every event is
-//! incremented once as a window member and decremented once as an anchor),
-//! so the counter array needs no per-round reset. The original
-//! straightforward implementations are retained verbatim in [`reference`]
-//! as the oracle for equivalence tests
-//! (`tests/setcover_properties.rs`) — both solvers must produce
-//! *identical* picks and slots, not merely equally sized covers.
+//! Three implementation tiers exist, all **pick- and slot-identical** (not
+//! merely equally sized covers) — the full story, with complexity notes
+//! and the staleness argument behind the identity guarantee, is in
+//! `docs/KERNELS.md` at the repository root:
+//!
+//! 1. **Incremental gain maintenance** (the production path): instead of
+//!    re-scanning every candidate each round, exact marginal gains are
+//!    kept current through an element→sets inverted index — covering a
+//!    round's winner decrements only the sets that intersect the newly
+//!    covered elements — and the next winner is popped from a lazy
+//!    max-gain snapshot heap (`GainQueue` internally). Total work is
+//!    `O(L log L)` over the whole solve, where `L` is the summed set
+//!    size, independent of the round count. [`greedy_set_cover`] is this
+//!    solver; [`WindowCover::solve`] dispatches to it when the window
+//!    occupancy is low (see [`WindowCover::solve_incremental`]).
+//! 2. **Eager re-sweep fast paths** (the PR-1 kernels):
+//!    [`greedy_set_cover_bitset`] packs each set into `u64` bitset rows so
+//!    a round's gain is a `popcount(set & !covered)` sweep;
+//!    [`WindowCover::solve_sweep`] re-runs a self-cleaning two-pointer
+//!    sweep per round over hoisted scratch buffers. `O(rounds × L/w)`
+//!    shapes that win when rounds are few and windows are crowded.
+//! 3. **Reference oracles**: the original straightforward implementations,
+//!    retained verbatim in [`reference`] for the equivalence tests
+//!    (`tests/setcover_properties.rs`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use nbiot_time::{SimDuration, SimInstant};
 
-/// Greedy (Chvátal) set cover over explicit sets.
+/// Lazy max-gain priority queue over `(gain, Reverse(candidate))`
+/// snapshots — the priority structure of the incremental solvers.
+///
+/// Gains of a greedy cover only ever *decrease* as coverage grows
+/// (coverage gain is submodular), so a snapshot taken earlier is an upper
+/// bound on the candidate's current gain. Every gain change pushes a fresh
+/// snapshot; [`GainQueue::pop_current`] discards stale entries until the
+/// top snapshot matches the candidate's live gain. The first current entry
+/// popped is exactly the eager greedy's argmax with ties broken towards
+/// the lowest index: any entry ordered above `(gain[s*], s*)` either
+/// carries a stale (higher) gain or would itself be a lower-index argmax.
+struct GainQueue {
+    // u32 keys keep the snapshots at 8 bytes: gains are device counts and
+    // candidates are set/anchor indices, both far below 2^32 for any
+    // instance that fits in memory.
+    heap: BinaryHeap<(u32, Reverse<u32>)>,
+}
+
+impl GainQueue {
+    /// Seeds the queue with a snapshot of every candidate with a positive
+    /// gain.
+    fn new(gains: &[u32]) -> GainQueue {
+        let heap = gains
+            .iter()
+            .enumerate()
+            .filter(|&(_, &g)| g > 0)
+            .map(|(i, &g)| (g, Reverse(i as u32)))
+            .collect();
+        GainQueue { heap }
+    }
+
+    /// Pushes a fresh snapshot (no-op for exhausted candidates).
+    fn push(&mut self, gain: u32, candidate: usize) {
+        if gain > 0 {
+            self.heap.push((gain, Reverse(candidate as u32)));
+        }
+    }
+
+    /// Pops snapshots until one is current (`gains[c]` unchanged and `c`
+    /// not dead) and returns that candidate, or `None` when every
+    /// remaining candidate has gain zero.
+    fn pop_current(&mut self, gains: &[u32], dead: impl Fn(usize) -> bool) -> Option<usize> {
+        while let Some((gain, Reverse(candidate))) = self.heap.pop() {
+            let candidate = candidate as usize;
+            if !dead(candidate) && gains[candidate] == gain {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
+/// Greedy (Chvátal) set cover over explicit sets — the incremental-gain
+/// production solver.
 ///
 /// `universe_size` elements are labelled `0..universe_size`; `sets[i]`
 /// lists the elements covered by set `i`. Returns the indices of the
 /// selected sets in selection order, or `None` when the union of all sets
 /// does not cover the universe. Ties are broken towards the lowest set
-/// index, making the result deterministic.
+/// index, making the result deterministic — and **bit-identical** to both
+/// [`greedy_set_cover_bitset`] and [`reference::greedy_set_cover`]
+/// (enforced by `tests/setcover_properties.rs`).
+///
+/// Instead of re-scanning every set each round, exact marginal gains are
+/// maintained through an element→sets inverted index: covering a round's
+/// winner decrements only the sets intersecting the newly covered
+/// elements, and winners are popped from a lazy max-gain snapshot heap.
+/// Total work is `O(L log L)` for summed set size `L`, independent of the
+/// number of rounds (see `docs/KERNELS.md`).
 ///
 /// # Panics
 ///
@@ -68,6 +145,101 @@ use nbiot_time::{SimDuration, SimInstant};
 /// assert_eq!(picked, vec![3, 4]); // frames 4 and 5
 /// ```
 pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+    if universe_size == 0 {
+        return Some(Vec::new());
+    }
+    // Dedup each set into a CSR row (the unique-gain semantics of the
+    // reference solver: repeated elements count once). The index arrays
+    // are u32: the CSR is the memory-bandwidth hot spot of the whole
+    // solver, and halving the entry width measurably moves the build.
+    let mut seen = vec![usize::MAX; universe_size];
+    let mut set_off = Vec::with_capacity(sets.len() + 1);
+    let mut set_elems: Vec<u32> = Vec::new();
+    set_off.push(0usize);
+    for (i, set) in sets.iter().enumerate() {
+        for &e in set {
+            assert!(
+                e < universe_size,
+                "set {i} contains element {e} outside universe 0..{universe_size}"
+            );
+            if seen[e] != i {
+                seen[e] = i;
+                set_elems.push(e as u32);
+            }
+        }
+        set_off.push(set_elems.len());
+    }
+    // Element → sets inverted index (CSR): the update fan-out when an
+    // element gets covered.
+    let mut elem_off = vec![0u32; universe_size + 1];
+    for &e in &set_elems {
+        elem_off[e as usize + 1] += 1;
+    }
+    for i in 0..universe_size {
+        elem_off[i + 1] += elem_off[i];
+    }
+    let mut cursor = elem_off[..universe_size].to_vec();
+    let mut elem_sets = vec![0u32; set_elems.len()];
+    for (i, w) in set_off.windows(2).enumerate() {
+        for &e in &set_elems[w[0]..w[1]] {
+            let c = &mut cursor[e as usize];
+            elem_sets[*c as usize] = i as u32;
+            *c += 1;
+        }
+    }
+
+    let mut gains: Vec<u32> = set_off.windows(2).map(|w| (w[1] - w[0]) as u32).collect();
+    let mut queue = GainQueue::new(&gains);
+    let mut covered = vec![false; universe_size];
+    let mut remaining = universe_size;
+    let mut picked = Vec::new();
+    // Per-round dedup of gain-changed sets, stamped by round number.
+    let mut last_touch = vec![usize::MAX; sets.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut round = 0usize;
+    while remaining > 0 {
+        let best = queue.pop_current(&gains, |_| false)?;
+        picked.push(best);
+        touched.clear();
+        for &e in &set_elems[set_off[best]..set_off[best + 1]] {
+            let e = e as usize;
+            if !covered[e] {
+                covered[e] = true;
+                remaining -= 1;
+                for &s in &elem_sets[elem_off[e] as usize..elem_off[e + 1] as usize] {
+                    let s = s as usize;
+                    gains[s] -= 1;
+                    if last_touch[s] != round {
+                        last_touch[s] = round;
+                        touched.push(s as u32);
+                    }
+                }
+            }
+        }
+        // One fresh snapshot per changed set, after all of the round's
+        // decrements (the winner itself drops to gain zero and is never
+        // re-enqueued).
+        for &s in &touched {
+            queue.push(gains[s as usize], s as usize);
+        }
+        round += 1;
+    }
+    Some(picked)
+}
+
+/// Greedy (Chvátal) set cover over packed-`u64` bitset rows — the eager
+/// per-round re-sweep kernel (the PR-1 fast path), retained for
+/// benchmarking against [`greedy_set_cover`] and as a second independent
+/// implementation in the equivalence tests.
+///
+/// Same contract, same deterministic lowest-index tie-breaking, and
+/// bit-identical picks as [`greedy_set_cover`]; each round costs one
+/// `popcount(set & !covered)` sweep over every set.
+///
+/// # Panics
+///
+/// Panics when a set contains an element `>= universe_size`.
+pub fn greedy_set_cover_bitset(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
     if universe_size == 0 {
         return Some(Vec::new());
     }
@@ -136,8 +308,19 @@ pub struct WindowCover {
     ti: SimDuration,
 }
 
-/// Reusable buffers for [`WindowCover::solve`]: sized once per call,
-/// reused across greedy rounds so the rounds allocate nothing.
+/// Which greedy engine [`WindowCover::solve`] runs the rounds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Pick by measured window occupancy (the production default).
+    Auto,
+    /// Force the per-round two-pointer re-sweep (the PR-1 kernel).
+    Sweep,
+    /// Force incremental gain maintenance.
+    Incremental,
+}
+
+/// Reusable buffers for the sweep engine: sized once per call, reused
+/// across greedy rounds so the rounds allocate nothing.
 #[derive(Debug, Default)]
 struct SolveScratch {
     /// Flat, time-sorted `(po, device)` events over uncovered sparse
@@ -145,8 +328,6 @@ struct SolveScratch {
     flat: Vec<(SimInstant, usize)>,
     /// Per-device occurrence count inside the sliding window.
     count: Vec<u32>,
-    /// Per-device covered flag.
-    covered: Vec<bool>,
 }
 
 impl WindowCover {
@@ -169,6 +350,12 @@ impl WindowCover {
     /// when some non-dense device has no PO events (it could never be
     /// covered).
     ///
+    /// The greedy rounds run on one of two engines — incremental gain
+    /// maintenance ([`WindowCover::solve_incremental`]) or the per-round
+    /// re-sweep ([`WindowCover::solve_sweep`]) — chosen by measured window
+    /// occupancy; both produce **identical slots** (see `docs/KERNELS.md`
+    /// for the crossover analysis), so the choice only trades wall-clock.
+    ///
     /// # Panics
     ///
     /// Panics when `events` and `dense` have different lengths.
@@ -177,6 +364,50 @@ impl WindowCover {
         horizon_start: SimInstant,
         events: &[Vec<SimInstant>],
         dense: &[bool],
+    ) -> Option<Vec<CoverSlot>> {
+        self.solve_with(horizon_start, events, dense, Strategy::Auto)
+    }
+
+    /// [`WindowCover::solve`] forced onto the per-round two-pointer
+    /// re-sweep engine (the PR-1 kernel) — exposed so equivalence tests
+    /// and benchmarks can pin the engine regardless of the occupancy
+    /// heuristic. Identical output to [`WindowCover::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `events` and `dense` have different lengths.
+    pub fn solve_sweep(
+        &self,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+    ) -> Option<Vec<CoverSlot>> {
+        self.solve_with(horizon_start, events, dense, Strategy::Sweep)
+    }
+
+    /// [`WindowCover::solve`] forced onto the incremental-gain engine —
+    /// exposed so equivalence tests and benchmarks can pin the engine
+    /// regardless of the occupancy heuristic. Identical output to
+    /// [`WindowCover::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `events` and `dense` have different lengths.
+    pub fn solve_incremental(
+        &self,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+    ) -> Option<Vec<CoverSlot>> {
+        self.solve_with(horizon_start, events, dense, Strategy::Incremental)
+    }
+
+    fn solve_with(
+        &self,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+        strategy: Strategy,
     ) -> Option<Vec<CoverSlot>> {
         assert_eq!(events.len(), dense.len(), "events/dense length mismatch");
         let n = events.len();
@@ -189,9 +420,8 @@ impl WindowCover {
             }
         }
 
-        let mut scratch = SolveScratch::default();
         // Flat, time-sorted (po, device) list over sparse devices only.
-        scratch.flat.reserve(
+        let mut flat: Vec<(SimInstant, usize)> = Vec::with_capacity(
             events
                 .iter()
                 .zip(dense)
@@ -201,31 +431,41 @@ impl WindowCover {
         );
         for (d, evs) in events.iter().enumerate() {
             if !dense[d] {
-                scratch.flat.extend(evs.iter().map(|&t| (t, d)));
+                flat.extend(evs.iter().map(|&t| (t, d)));
             }
         }
-        scratch.flat.sort_unstable();
-        scratch.count.resize(n, 0);
-        scratch.covered.resize(n, false);
+        flat.sort_unstable();
 
-        let mut uncovered_sparse = dense.iter().filter(|&&d| !d).count();
-        let mut slots: Vec<CoverSlot> = Vec::new();
-
-        while uncovered_sparse > 0 {
-            let slot = self.greedy_round(&mut scratch);
-            uncovered_sparse -= slot.covered.len();
-            slots.push(slot);
-        }
+        let uncovered_sparse = dense.iter().filter(|&&d| !d).count();
+        let mut covered = vec![false; n];
+        let mut slots: Vec<CoverSlot> = if uncovered_sparse == 0 {
+            Vec::new()
+        } else {
+            // The incremental engine needs the per-anchor window ends;
+            // the Auto crossover test is a cheap fold over the same
+            // array, so compute it once and hand it down.
+            let ends = match strategy {
+                Strategy::Sweep => None,
+                Strategy::Incremental => Some(self.window_ends(&flat)),
+                Strategy::Auto => {
+                    let ends = self.window_ends(&flat);
+                    self.incremental_pays_off(&ends, uncovered_sparse)
+                        .then_some(ends)
+                }
+            };
+            match ends {
+                Some(ends) => self.rounds_incremental(&flat, ends, &mut covered, uncovered_sparse),
+                None => self.rounds_sweep(flat, &mut covered, uncovered_sparse),
+            }
+        };
 
         // Dense devices ride the first transmission; if there is none
         // (everyone is dense), create one window at the earliest possible
         // position.
-        let dense_devices: Vec<usize> = (0..n)
-            .filter(|&d| dense[d] && !scratch.covered[d])
-            .collect();
+        let dense_devices: Vec<usize> = (0..n).filter(|&d| dense[d] && !covered[d]).collect();
         if !dense_devices.is_empty() {
             for &d in &dense_devices {
-                scratch.covered[d] = true;
+                covered[d] = true;
             }
             if let Some(first) = slots.first_mut() {
                 first.covered.extend(dense_devices);
@@ -239,20 +479,208 @@ impl WindowCover {
                 });
             }
         }
-        debug_assert!(scratch.covered.iter().all(|&c| c));
+        debug_assert!(covered.iter().all(|&c| c));
         Some(slots)
+    }
+
+    /// One two-pointer pass over the flat event list: `ends[i]` is the
+    /// exclusive end of the index range `[i, ends[i])` of events inside
+    /// the window anchored at event `i` (`ends` is non-decreasing because
+    /// the anchors are time-sorted).
+    fn window_ends(&self, flat: &[(SimInstant, usize)]) -> Vec<usize> {
+        let e = flat.len();
+        let mut ends = vec![0usize; e];
+        let mut k = 0usize;
+        for (i, &(start, _)) in flat.iter().enumerate() {
+            let end = start + self.ti;
+            if k < i {
+                k = i;
+            }
+            while k < e && flat[k].0 < end {
+                k += 1;
+            }
+            ends[i] = k;
+        }
+        ends
+    }
+
+    /// The engine crossover: the incremental path's total decrement work
+    /// is bounded by the summed window occupancy `mass = Σᵢ (jᵢ − i)`
+    /// (every (anchor, covered-device-in-window) pair is decremented at
+    /// most once over the whole solve), while the re-sweep pays
+    /// `rounds × events` with `rounds ≳ n/w̄` for mean occupancy
+    /// `w̄ = mass/events`. The curves cross near `w̄ ≈ √n`; below it the
+    /// incremental engine wins (few devices per window ⇒ many cheap
+    /// rounds), above it the sweep does (crowded windows ⇒ few expensive
+    /// rounds). See `docs/KERNELS.md`.
+    fn incremental_pays_off(&self, ends: &[usize], n_sparse: usize) -> bool {
+        let e = ends.len();
+        let mass: u64 = ends.iter().enumerate().map(|(i, &k)| (k - i) as u64).sum();
+        (mass as f64) <= (e as f64) * (n_sparse as f64).sqrt()
+    }
+
+    /// Greedy rounds on incremental gain maintenance: per-anchor gains are
+    /// seeded with one self-cleaning sweep, then kept exact through the
+    /// device→positions index — covering a device decrements precisely the
+    /// alive anchors whose window sees one of its POs (merged position
+    /// ranges count a device once per window) and tombstones the device's
+    /// own events as anchors (the sweep engine compacts them away
+    /// instead). Winners pop from the same lazy snapshot queue as
+    /// [`greedy_set_cover`].
+    ///
+    /// The anchor index set of a window is the *lexicographic* range
+    /// `[i, j_i)` of the original flat array, which is invariant under the
+    /// reference solver's compaction — the root fact behind slot-identity.
+    fn rounds_incremental(
+        &self,
+        flat: &[(SimInstant, usize)],
+        j: Vec<usize>,
+        covered: &mut [bool],
+        mut uncovered_sparse: usize,
+    ) -> Vec<CoverSlot> {
+        let e = flat.len();
+        let n = covered.len();
+        // j[i]: exclusive end of the index range [i, j[i]) of events
+        // inside the window anchored at event i (see `window_ends`).
+        debug_assert_eq!(j.len(), e);
+        // lo[p]: first anchor whose window still contains position p
+        // (j is non-decreasing, so {a : j[a] > p} is a suffix).
+        let mut lo = vec![0usize; e];
+        {
+            let mut a = 0usize;
+            for (p, slot) in lo.iter_mut().enumerate() {
+                while a < e && j[a] <= p {
+                    a += 1;
+                }
+                *slot = a;
+            }
+        }
+        // Device → its event positions in flat (CSR, ascending).
+        let mut pos_off = vec![0usize; n + 1];
+        for &(_, d) in flat {
+            pos_off[d + 1] += 1;
+        }
+        for d in 0..n {
+            pos_off[d + 1] += pos_off[d];
+        }
+        let mut cursor = pos_off[..n].to_vec();
+        let mut positions = vec![0usize; e];
+        for (p, &(_, d)) in flat.iter().enumerate() {
+            positions[cursor[d]] = p;
+            cursor[d] += 1;
+        }
+        // Initial gains: one self-cleaning two-pointer sweep (each event
+        // is counted once as a window member, discounted once as the
+        // anchor).
+        let mut count = vec![0u32; n];
+        let mut gains = vec![0u32; e];
+        {
+            let mut distinct = 0u32;
+            let mut k = 0usize;
+            for i in 0..e {
+                while k < j[i] {
+                    let d = flat[k].1;
+                    if count[d] == 0 {
+                        distinct += 1;
+                    }
+                    count[d] += 1;
+                    k += 1;
+                }
+                gains[i] = distinct;
+                let d = flat[i].1;
+                count[d] -= 1;
+                if count[d] == 0 {
+                    distinct -= 1;
+                }
+            }
+        }
+
+        let mut dead = vec![false; e];
+        let mut queue = GainQueue::new(&gains);
+        let mut last_touch = vec![usize::MAX; e];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut slots = Vec::new();
+        let mut round = 0usize;
+        while uncovered_sparse > 0 {
+            let a = queue
+                .pop_current(&gains, |i| dead[i])
+                .expect("uncovered sparse device without events");
+            let window_start = flat[a].0;
+            let transmit_at = window_start + self.ti;
+            let mut newly: Vec<usize> = flat[a..j[a]]
+                .iter()
+                .filter(|&&(_, d)| !covered[d])
+                .map(|&(_, d)| d)
+                .collect();
+            newly.sort_unstable();
+            newly.dedup();
+            debug_assert!(!newly.is_empty(), "selected window covers nothing");
+            touched.clear();
+            for &d in &newly {
+                covered[d] = true;
+                // Anchors seeing >= 1 PO of d: the union of [lo[p], p]
+                // over d's positions; the ranges are sorted on both ends,
+                // so a running start merges overlaps and each anchor is
+                // decremented once for d.
+                let mut next_start = 0usize;
+                for &p in &positions[pos_off[d]..pos_off[d + 1]] {
+                    dead[p] = true;
+                    for anchor in lo[p].max(next_start)..=p {
+                        if !dead[anchor] {
+                            gains[anchor] -= 1;
+                            if last_touch[anchor] != round {
+                                last_touch[anchor] = round;
+                                touched.push(anchor);
+                            }
+                        }
+                    }
+                    next_start = p + 1;
+                }
+            }
+            uncovered_sparse -= newly.len();
+            for &anchor in &touched {
+                if !dead[anchor] {
+                    queue.push(gains[anchor], anchor);
+                }
+            }
+            round += 1;
+            slots.push(CoverSlot {
+                window_start,
+                transmit_at,
+                covered: newly,
+            });
+        }
+        slots
+    }
+
+    /// Greedy rounds on the per-round re-sweep engine (the PR-1 kernel):
+    /// hoisted scratch buffers, one self-cleaning two-pointer sweep per
+    /// round, spent events compacted away.
+    fn rounds_sweep(
+        &self,
+        flat: Vec<(SimInstant, usize)>,
+        covered: &mut [bool],
+        mut uncovered_sparse: usize,
+    ) -> Vec<CoverSlot> {
+        let mut scratch = SolveScratch {
+            flat,
+            count: vec![0; covered.len()],
+        };
+        let mut slots = Vec::new();
+        while uncovered_sparse > 0 {
+            let slot = self.greedy_round(&mut scratch, covered);
+            uncovered_sparse -= slot.covered.len();
+            slots.push(slot);
+        }
+        slots
     }
 
     /// One greedy round: a single two-pointer sweep over the remaining
     /// events picks the best window anchor, then the newly covered devices
     /// are extracted and their events compacted away. Allocates only the
     /// returned slot's `covered` list.
-    fn greedy_round(&self, scratch: &mut SolveScratch) -> CoverSlot {
-        let SolveScratch {
-            flat,
-            count,
-            covered,
-        } = scratch;
+    fn greedy_round(&self, scratch: &mut SolveScratch, covered: &mut [bool]) -> CoverSlot {
+        let SolveScratch { flat, count } = scratch;
         // The sweep below is self-cleaning: every event is counted once
         // when the right pointer passes it and discounted once when it
         // becomes the anchor, so `count` is all-zero between rounds.
@@ -502,6 +930,49 @@ mod tests {
     fn generic_greedy_reports_uncoverable() {
         assert_eq!(greedy_set_cover(2, &[vec![0]]), None);
         assert_eq!(greedy_set_cover(0, &[]), Some(vec![]));
+        assert_eq!(greedy_set_cover_bitset(2, &[vec![0]]), None);
+        assert_eq!(greedy_set_cover_bitset(0, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn incremental_single_set_covers_in_one_pick() {
+        let sets = vec![vec![2, 0, 1]];
+        assert_eq!(greedy_set_cover(3, &sets), Some(vec![0]));
+        assert_eq!(
+            greedy_set_cover(3, &sets),
+            greedy_set_cover_bitset(3, &sets)
+        );
+    }
+
+    #[test]
+    fn incremental_breaks_ties_towards_lowest_index() {
+        // Identical sets: the greedy oracle picks the lowest index.
+        let sets = vec![vec![0, 1], vec![0, 1], vec![2]];
+        assert_eq!(greedy_set_cover(3, &sets), Some(vec![0, 2]));
+        // Later rounds tie too: after set 0 wins, sets 2 and 3 tie at
+        // gain 1 and the lower index must win again.
+        let sets = vec![vec![0, 1], vec![1], vec![2], vec![2]];
+        assert_eq!(greedy_set_cover(3, &sets), Some(vec![0, 2]));
+        for sets in [
+            vec![vec![0, 1], vec![0, 1], vec![2]],
+            vec![vec![0, 1], vec![1], vec![2], vec![2]],
+        ] {
+            assert_eq!(
+                greedy_set_cover(3, &sets),
+                reference::greedy_set_cover(3, &sets)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_handles_empty_sets_and_stale_snapshots() {
+        // Set 0 looks best but overlaps set 1 entirely; after set 1 wins
+        // round one, set 0's cached snapshot is stale and must be
+        // discarded, not trusted.
+        let sets = vec![vec![0, 1, 2], vec![0, 1, 2, 3], vec![], vec![4]];
+        let picked = greedy_set_cover(5, &sets).unwrap();
+        assert_eq!(picked, reference::greedy_set_cover(5, &sets).unwrap());
+        assert_eq!(picked, vec![1, 3]);
     }
 
     #[test]
@@ -549,8 +1020,9 @@ mod tests {
     }
 
     #[test]
-    fn bitset_greedy_matches_reference_exactly() {
-        // Deterministic pseudo-random instances, compared pick-for-pick.
+    fn all_three_greedy_solvers_match_exactly() {
+        // Deterministic pseudo-random instances, compared pick-for-pick
+        // across the incremental, bitset and reference implementations.
         let mut state = 0x1234_5678_u64;
         let mut next = move || {
             state = state
@@ -567,10 +1039,16 @@ mod tests {
             if trial % 2 == 0 {
                 sets.push((0..n).collect()); // force coverability half the time
             }
+            let oracle = reference::greedy_set_cover(n, &sets);
             assert_eq!(
                 greedy_set_cover(n, &sets),
-                reference::greedy_set_cover(n, &sets),
-                "trial {trial}: n={n} sets={sets:?}"
+                oracle,
+                "incremental, trial {trial}: n={n} sets={sets:?}"
+            );
+            assert_eq!(
+                greedy_set_cover_bitset(n, &sets),
+                oracle,
+                "bitset, trial {trial}: n={n} sets={sets:?}"
             );
         }
     }
@@ -703,8 +1181,9 @@ mod tests {
     }
 
     #[test]
-    fn scratch_solver_matches_reference_exactly() {
-        // Dense/sparse mixtures, compared slot-for-slot.
+    fn both_window_engines_match_reference_exactly() {
+        // Dense/sparse mixtures, compared slot-for-slot, with the engine
+        // pinned both ways (and the occupancy-dispatched default).
         let mut state = 0x9E37_79B9_u64;
         let mut next = move || {
             state = state
@@ -725,11 +1204,65 @@ mod tests {
                 })
                 .collect();
             let dense: Vec<bool> = (0..n).map(|_| next() % 4 == 0).collect();
+            let solver = WindowCover::new(ti);
+            let oracle = reference::window_cover_solve(ti, ms(0), &events, &dense);
             assert_eq!(
-                WindowCover::new(ti).solve(ms(0), &events, &dense),
-                reference::window_cover_solve(ti, ms(0), &events, &dense),
+                solver.solve_incremental(ms(0), &events, &dense),
+                oracle,
+                "incremental, trial {trial}"
+            );
+            assert_eq!(
+                solver.solve_sweep(ms(0), &events, &dense),
+                oracle,
+                "sweep, trial {trial}"
+            );
+            assert_eq!(
+                solver.solve(ms(0), &events, &dense),
+                oracle,
                 "trial {trial}"
             );
         }
+    }
+
+    #[test]
+    fn incremental_engine_handles_repeated_pos_within_one_window() {
+        // Device 0 has two POs inside the same window; the distinct-gain
+        // bookkeeping must count it once (merged position ranges) and the
+        // tombstoned anchors must not resurface in later rounds.
+        let ti = SimDuration::from_ms(100);
+        let events = vec![
+            vec![ms(10), ms(60)],            // twice in the first window
+            vec![ms(40)],                    // shares that window
+            vec![ms(500), ms(520), ms(540)], // its own later window
+        ];
+        let dense = [false, false, false];
+        let solver = WindowCover::new(ti);
+        let oracle = reference::window_cover_solve(ti, ms(0), &events, &dense);
+        assert_eq!(solver.solve_incremental(ms(0), &events, &dense), oracle);
+        let slots = oracle.unwrap();
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0].covered, vec![0, 1]);
+    }
+
+    #[test]
+    fn incremental_engine_all_dense_and_empty_inputs() {
+        let ti = SimDuration::from_ms(100);
+        // Empty instance.
+        assert_eq!(
+            WindowCover::new(ti).solve_incremental(ms(0), &[], &[]),
+            Some(vec![])
+        );
+        // All devices dense: one synthetic window at the horizon start.
+        let events = vec![vec![ms(5)], vec![ms(20)]];
+        let slots = WindowCover::new(ti)
+            .solve_incremental(ms(0), &events, &[true, true])
+            .unwrap();
+        assert_eq!(slots.len(), 1);
+        assert_eq!(slots[0].window_start, ms(0));
+        // Sparse device without events stays uncoverable.
+        assert_eq!(
+            WindowCover::new(ti).solve_incremental(ms(0), &[vec![]], &[false]),
+            None
+        );
     }
 }

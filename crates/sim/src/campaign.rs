@@ -1,4 +1,10 @@
 //! One mechanism, one population, one campaign.
+//!
+//! This is the planning→execution seam drawn in `docs/ARCHITECTURE.md`:
+//! the mechanism's `plan` call (for DR-SC, the set-cover kernels of
+//! `docs/KERNELS.md`) runs here, inside every (point × run) work item of
+//! the scenario scheduler — so a faster cover solver speeds up every
+//! sweep, suite and shard transparently.
 
 use rand::RngCore;
 

@@ -3,6 +3,10 @@
 //! runs the windowed solver on a realistic PO timeline so you can watch
 //! the greedy pick transmission windows (the Fig. 4 walkthrough).
 //!
+//! Both calls go through the production incremental-gain kernels; the
+//! solver tiers and their equivalence guarantees are documented in
+//! `docs/KERNELS.md`.
+//!
 //! ```text
 //! cargo run --release --example set_cover_playground
 //! ```

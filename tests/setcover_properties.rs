@@ -1,7 +1,9 @@
 //! Property-based tests of the set-cover solvers, including a brute-force
 //! optimality reference on small instances.
 
-use nbiot_multicast::grouping::set_cover::{greedy_set_cover, reference, WindowCover};
+use nbiot_multicast::grouping::set_cover::{
+    greedy_set_cover, greedy_set_cover_bitset, reference, WindowCover,
+};
 use nbiot_multicast::prelude::*;
 use proptest::prelude::*;
 
@@ -156,22 +158,45 @@ proptest! {
     }
 
     #[test]
-    fn bitset_greedy_is_pick_identical_to_reference(
+    fn all_greedy_solvers_are_pick_identical_to_reference(
         sets in proptest::collection::vec(
             proptest::collection::vec(0usize..40, 0..12),
             1..30
         ),
     ) {
-        // The bitset fast path must reproduce the reference oracle's picks
+        // Both fast paths — the incremental-gain production solver and the
+        // bitset re-sweep — must reproduce the reference oracle's picks
         // exactly (same sets, same order), including the None cases.
-        prop_assert_eq!(
-            greedy_set_cover(40, &sets),
-            reference::greedy_set_cover(40, &sets)
-        );
+        let oracle = reference::greedy_set_cover(40, &sets);
+        prop_assert_eq!(greedy_set_cover(40, &sets), oracle.clone());
+        prop_assert_eq!(greedy_set_cover_bitset(40, &sets), oracle);
     }
 
     #[test]
-    fn scratch_window_solver_is_slot_identical_to_reference(
+    fn incremental_greedy_survives_adversarial_tie_storms(
+        n in 1usize..24,
+        width in 1usize..6,
+        copies in 1usize..5,
+    ) {
+        // Adversarial shape for lazy snapshot queues: every set duplicated
+        // `copies` times (maximal ties, lowest index must win every round)
+        // over a sliding overlap structure that leaves most snapshots
+        // stale after each pick.
+        let mut sets = Vec::new();
+        for start in 0..n {
+            let set: Vec<usize> = (start..(start + width).min(n)).collect();
+            for _ in 0..copies {
+                sets.push(set.clone());
+            }
+        }
+        let oracle = reference::greedy_set_cover(n, &sets);
+        prop_assert!(oracle.is_some());
+        prop_assert_eq!(greedy_set_cover(n, &sets), oracle.clone());
+        prop_assert_eq!(greedy_set_cover_bitset(n, &sets), oracle);
+    }
+
+    #[test]
+    fn both_window_engines_are_slot_identical_to_reference(
         raw in proptest::collection::vec(
             proptest::collection::vec(0u64..50_000, 0..6),
             1..25
@@ -193,10 +218,15 @@ proptest! {
             .map(|i| dense_bits.get(i).is_some_and(|&b| b == 0))
             .collect();
         let ti = SimDuration::from_ms(ti_ms);
+        let solver = WindowCover::new(ti);
+        let oracle = reference::window_cover_solve(ti, SimInstant::ZERO, &events, &dense);
+        // The occupancy-dispatched default plus both engines pinned.
+        prop_assert_eq!(solver.solve(SimInstant::ZERO, &events, &dense), oracle.clone());
         prop_assert_eq!(
-            WindowCover::new(ti).solve(SimInstant::ZERO, &events, &dense),
-            reference::window_cover_solve(ti, SimInstant::ZERO, &events, &dense)
+            solver.solve_incremental(SimInstant::ZERO, &events, &dense),
+            oracle.clone()
         );
+        prop_assert_eq!(solver.solve_sweep(SimInstant::ZERO, &events, &dense), oracle);
     }
 
     #[test]
