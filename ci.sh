@@ -13,9 +13,13 @@
 #   fmt            cargo fmt --check (no formatting drift)
 #   docs           cargo doc --no-deps warning-free (offline) + README
 #                  quick-start commands cross-checked against --help
-#   figures-smoke  figures driver smoke: registry, TOML round-trip, JSON
+#   figures-smoke  figures driver smoke: registry, TOML round-trip, JSON,
+#                  churned-family execution (mobility-churn reload)
 #   shard-smoke    3-way shard -> merge -> zero-tolerance scenario_diff
 #                  against the unsharded run (bit-identity gate)
+#   golden         re-run the fig6b smoke scenario and scenario_diff it
+#                  against the committed golden/fig6b_smoke.json at zero
+#                  tolerance (cross-version conformance gate)
 #   bench-gate     bench_report --compare against BENCH_baseline.json
 #
 # Artifacts (merged smoke archive, bench report) land in $CI_ARTIFACT_DIR
@@ -23,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test lint fmt docs figures-smoke shard-smoke bench-gate)
+STAGES=(build test lint fmt docs figures-smoke shard-smoke golden bench-gate)
 
 ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
 if [[ -z "$ARTIFACT_DIR" ]]; then
@@ -108,6 +112,12 @@ stage_figures_smoke() {
     # The dumped template must load back and execute with CLI overrides.
     run_figures --scenario "$scn" --runs 2 --devices 30 --threads 2 > /dev/null
     run_figures --scenario bursty-alarm --runs 2 --devices 30 --json > /dev/null
+    # The churn family end-to-end, including the dumped-TOML reload path
+    # (ChurnModel + RegroupPolicy must survive the TOML subset).
+    local churn_scn="$SCRATCH/mobility_churn_smoke.toml"
+    run_figures --scenario mobility-churn --dump toml > "$churn_scn"
+    run_figures --scenario "$churn_scn" --runs 2 --devices 30 --threads 2 > /dev/null
+    run_figures --scenario handover-storm --runs 2 --devices 25 --json > /dev/null
     echo "figures smoke OK"
 }
 
@@ -125,6 +135,23 @@ stage_shard_smoke() {
     cargo run --release -q -p nbiot-bench --bin scenario_diff -- \
         "$ARTIFACT_DIR/smoke_scenario_archive.json" "$SCRATCH/unsharded.json"
     echo "shard smoke OK (merged archive bit-identical to the unsharded run)"
+}
+
+stage_golden() {
+    echo "==> golden: fig6b smoke vs committed golden archive (zero tolerance)"
+    # The committed golden archive locks the exact numeric output of the
+    # fig6b smoke workload. Any change that moves a single bit of any
+    # summary — engine, kernels, RNG streams, fold order — fails here
+    # until the golden is regenerated deliberately:
+    #   cargo run --release -q -p nbiot-bench --bin figures -- \
+    #       --scenario fig6b --runs 3 --devices 40 --threads 2 \
+    #       --emit-archive golden/fig6b_smoke.json
+    local fresh="$SCRATCH/golden_fresh.json"
+    run_figures --scenario fig6b --runs 3 --devices 40 --threads 2 \
+        --emit-archive "$fresh" > /dev/null
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- \
+        golden/fig6b_smoke.json "$fresh"
+    echo "golden OK (fresh run bit-identical to golden/fig6b_smoke.json)"
 }
 
 stage_bench_gate() {
@@ -164,6 +191,7 @@ run_stage() {
         docs)          stage_docs ;;
         figures-smoke) stage_figures_smoke ;;
         shard-smoke)   stage_shard_smoke ;;
+        golden)        stage_golden ;;
         bench-gate)    stage_bench_gate ;;
         *)
             echo "unknown stage '$1'; stages: ${STAGES[*]}" >&2
@@ -181,7 +209,7 @@ case "${1:-}" in
         printf '%s\n' "${STAGES[@]}"
         ;;
     --help|-h)
-        sed -n '2,22p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
         ;;
     "")
         for stage in "${STAGES[@]}"; do

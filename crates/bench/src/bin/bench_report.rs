@@ -42,6 +42,7 @@
 //!     "set_cover_speedup": 3.4,        // reference greedy / bitset greedy
 //!     "set_cover_incremental_speedup": 8.0,  // bitset / incremental, 1000 devices
 //!     "set_cover_stress_speedup": 20.0,      // bitset / incremental, 10k devices
+//!     "regroup_churn_speedup": 10.0,   // bitset / incremental, churned re-grouping sequence
 //!     "window_cover_speedup": 1.2,     // reference / incremental timeline solver
 //!     "window_cover_incremental_speedup": 5.0, // per-round sweep / incremental
 //!     "comparison_parallel_speedup": 5.9,
@@ -378,6 +379,49 @@ fn main() {
         json!({ "devices": universe10k, "sets": sets10k.len(), "picks": stress_bitset.len() }),
     ));
 
+    // ---- Stage 3b: re-grouping cost under churn — every epoch of a
+    // churned cover sequence is a fresh set-cover solve on a
+    // mostly-unchanged fleet (the every-epoch re-grouping policy's
+    // workload); the incremental and bitset kernels race over the whole
+    // sequence.
+    let churn_sequence = workload::churned_frame_cover_sequence(2_000, 8, 0.15, opts.seed);
+    let (churn_inc_picks, regroup_incremental_ms) = timed_min(3, || {
+        churn_sequence
+            .iter()
+            .map(|(n, sets)| set_cover::greedy_set_cover(*n, sets).expect("coverable"))
+            .collect::<Vec<_>>()
+    });
+    let (churn_bitset_picks, regroup_bitset_ms) = timed_min(3, || {
+        churn_sequence
+            .iter()
+            .map(|(n, sets)| set_cover::greedy_set_cover_bitset(*n, sets).expect("coverable"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        churn_inc_picks, churn_bitset_picks,
+        "solvers must agree pick-for-pick on every churned epoch"
+    );
+    let regroup_churn_speedup = regroup_bitset_ms / regroup_incremental_ms;
+    let churn_picks_total: usize = churn_inc_picks.iter().map(Vec::len).sum();
+    stages.push(stage(
+        "regroup_churn_incremental",
+        regroup_incremental_ms,
+        json!({
+            "devices": 2_000u64,
+            "epochs": churn_sequence.len(),
+            "picks_total": churn_picks_total,
+        }),
+    ));
+    stages.push(stage(
+        "regroup_churn_bitset",
+        regroup_bitset_ms,
+        json!({
+            "devices": 2_000u64,
+            "epochs": churn_sequence.len(),
+            "picks_total": churn_picks_total,
+        }),
+    ));
+
     let (events, dense) = workload::window_cover_instance(1_000, 2_600, opts.seed);
     let ti = SimDuration::from_secs(10);
     let start = nbiot_time::SimInstant::ZERO;
@@ -572,6 +616,7 @@ fn main() {
             "set_cover_speedup": set_cover_speedup,
             "set_cover_incremental_speedup": set_cover_incremental_speedup,
             "set_cover_stress_speedup": set_cover_stress_speedup,
+            "regroup_churn_speedup": regroup_churn_speedup,
             "window_cover_speedup": window_cover_speedup,
             "window_cover_incremental_speedup": window_cover_incremental_speedup,
             "comparison_parallel_speedup": serial_ms / parallel_ms,
@@ -587,7 +632,8 @@ fn main() {
     eprintln!(
         "\nbench_report: set-cover bitset speedup {set_cover_speedup:.2}x \
          (incremental {set_cover_incremental_speedup:.2}x over bitset, \
-         {set_cover_stress_speedup:.2}x at 10k devices), \
+         {set_cover_stress_speedup:.2}x at 10k devices, \
+         {regroup_churn_speedup:.2}x on the churned re-grouping sequence), \
          window-cover speedup {window_cover_speedup:.2}x \
          (incremental {window_cover_incremental_speedup:.2}x over sweep), \
          parallel comparison speedup {:.2}x, \

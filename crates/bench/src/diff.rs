@@ -2,14 +2,22 @@
 //! [`ScenarioResult`]s — the regression-gate half of the shard/merge/diff
 //! workflow.
 //!
-//! Points are aligned by (device count, payload) and mechanisms by name,
-//! so a diff survives reordering; anything present on one side only is a
-//! *structural* mismatch (always a violation). Numeric metrics compare
-//! the mean and 95 % CI half-width of every summary through a
-//! numpy-style tolerance test: `|a - b| <= abs + rel * |baseline|`. Both
-//! tolerances default to **zero**, making the default an exact
-//! bit-equality gate — which is how CI verifies that a sharded run merged
-//! back together matches the single-host run.
+//! Points are aligned **by index** — a `ScenarioResult`'s point order is
+//! defined (device-major, payload-minor), so position is identity. Two
+//! points at the same index must carry the same (device count, payload)
+//! key; a key mismatch, a length mismatch, or a missing mechanism is a
+//! *structural* violation. Index alignment is what makes degenerate
+//! scenarios with *duplicate* sweep points (`devices = [100, 100]`) diff
+//! correctly: the historical first-match-by-key alignment compared the
+//! first duplicate twice and never looked at the second, silently passing
+//! a perturbed duplicate. Mechanisms are still aligned by name (their
+//! order is presentation order). Numeric metrics compare the mean and
+//! 95 % CI half-width of every summary through a numpy-style tolerance
+//! test: `|a - b| <= abs + rel * |baseline|`. Both tolerances default to
+//! **zero**, making the default an exact bit-equality gate — which is how
+//! CI verifies that a sharded run merged back together matches the
+//! single-host run (and that a fresh run matches the committed golden
+//! archive).
 
 use nbiot_sim::{MechanismSummary, ScenarioResult};
 use serde_json::{json, Value};
@@ -85,7 +93,7 @@ impl DiffReport {
 
 /// The compared metrics of one mechanism summary: (path, value) pairs for
 /// the mean and 95 % CI half-width of every reported statistic.
-fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 18] {
+fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 22] {
     [
         ("rel_light_sleep.mean", m.rel_light_sleep.mean),
         ("rel_light_sleep.ci95", m.rel_light_sleep.ci95),
@@ -105,6 +113,10 @@ fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 18] {
         ("ra_failures.ci95", m.ra_failures.ci95),
         ("late_joins.mean", m.late_joins.mean),
         ("late_joins.ci95", m.late_joins.ci95),
+        ("regroup_count.mean", m.regroup_count.mean),
+        ("regroup_count.ci95", m.regroup_count.ci95),
+        ("stale_miss_ratio.mean", m.stale_miss_ratio.mean),
+        ("stale_miss_ratio.ci95", m.stale_miss_ratio.ci95),
     ]
 }
 
@@ -122,19 +134,27 @@ pub fn diff_results(
             baseline.runs, candidate.runs
         ));
     }
-    for point in &baseline.points {
-        let key = (point.n_devices, point.payload);
-        let Some(other) = candidate
-            .points
-            .iter()
-            .find(|p| (p.n_devices, p.payload) == key)
-        else {
+    // Align by index: a result's point order is defined (device-major,
+    // payload-minor), so position is identity even when the sweep lists
+    // duplicate points. First-match-by-key alignment mispaired those —
+    // both duplicates matched the candidate's first copy, and a
+    // perturbation in the second was never compared.
+    for (index, point) in baseline.points.iter().enumerate() {
+        let Some(other) = candidate.points.get(index) else {
             report.structural.push(format!(
-                "point ({} devices, {}) missing from candidate",
+                "point {index} ({} devices, {}) missing from candidate",
                 point.n_devices, point.payload
             ));
             continue;
         };
+        if (point.n_devices, point.payload) != (other.n_devices, other.payload) {
+            report.structural.push(format!(
+                "point {index} differs in kind: baseline ({} devices, {}) vs candidate \
+                 ({} devices, {})",
+                point.n_devices, point.payload, other.n_devices, other.payload
+            ));
+            continue;
+        }
         report.points += 1;
         for summary in &point.comparison.mechanisms {
             let Some(counterpart) = other.comparison.mechanism(&summary.mechanism) else {
@@ -180,18 +200,16 @@ pub fn diff_results(
             }
         }
     }
-    for point in &candidate.points {
-        let key = (point.n_devices, point.payload);
-        if !baseline
-            .points
-            .iter()
-            .any(|p| (p.n_devices, p.payload) == key)
-        {
-            report.structural.push(format!(
-                "point ({} devices, {}) present only in candidate",
-                point.n_devices, point.payload
-            ));
-        }
+    for (index, point) in candidate
+        .points
+        .iter()
+        .enumerate()
+        .skip(baseline.points.len())
+    {
+        report.structural.push(format!(
+            "point {index} ({} devices, {}) present only in candidate",
+            point.n_devices, point.payload
+        ));
     }
     report
 }
@@ -370,6 +388,83 @@ mod tests {
         fewer_runs.runs -= 1;
         let report = diff_results(&baseline, &fewer_runs, DiffTolerance::default());
         assert!(report.structural[0].contains("run counts differ"));
+    }
+
+    #[test]
+    fn duplicate_sweep_points_align_by_index() {
+        // The degenerate scenario the first-match alignment mispaired:
+        // devices = [15, 15] produces two points with the same
+        // (devices, payload) key. A perturbation in the SECOND duplicate
+        // must be caught — historically both baseline duplicates matched
+        // the candidate's first copy and the diff passed silently.
+        let mut s = Scenario::builtin("fig6a").unwrap();
+        s.devices = vec![15, 15];
+        s.runs = 2;
+        s.threads = 1;
+        let baseline = run_scenario(&s).unwrap();
+        assert_eq!(baseline.points.len(), 2);
+        assert_eq!(
+            (baseline.points[0].n_devices, baseline.points[0].payload),
+            (baseline.points[1].n_devices, baseline.points[1].payload),
+            "the degenerate sweep must produce identically-keyed points"
+        );
+        let mut perturbed = baseline.clone();
+        perturbed.points[1].comparison.mechanisms[0]
+            .transmissions
+            .mean += 1.0;
+        let report = diff_results(&baseline, &perturbed, DiffTolerance::default());
+        assert!(
+            !report.ok(),
+            "perturbing the second duplicate must fail the diff: {report:?}"
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].metric, "transmissions.mean");
+        assert_eq!(report.points, 2, "both duplicates compared");
+        // And the unperturbed duplicates still diff clean.
+        let clean = diff_results(&baseline, &baseline.clone(), DiffTolerance::default());
+        assert!(clean.ok(), "{clean:?}");
+    }
+
+    #[test]
+    fn reordered_points_are_structural_not_silent() {
+        // Index alignment means a reordered candidate is a shape change,
+        // reported as such rather than silently re-matched.
+        let mut s = Scenario::builtin("fig6a").unwrap();
+        s.devices = vec![10, 20];
+        s.runs = 2;
+        s.threads = 1;
+        let baseline = run_scenario(&s).unwrap();
+        let mut swapped = baseline.clone();
+        swapped.points.swap(0, 1);
+        let report = diff_results(&baseline, &swapped, DiffTolerance::default());
+        assert!(!report.ok());
+        assert!(
+            report
+                .structural
+                .iter()
+                .any(|m| m.contains("differs in kind")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn churn_metrics_are_compared() {
+        // The churn summaries ride the same zero-tolerance gate as every
+        // other metric.
+        let baseline = tiny_result();
+        let mut perturbed = baseline.clone();
+        perturbed.points[0].comparison.mechanisms[0]
+            .stale_miss_ratio
+            .mean += 1e-12;
+        let report = diff_results(&baseline, &perturbed, DiffTolerance::default());
+        assert!(!report.ok());
+        assert_eq!(report.violations[0].metric, "stale_miss_ratio.mean");
+        let mut perturbed2 = baseline.clone();
+        perturbed2.points[0].comparison.mechanisms[1]
+            .regroup_count
+            .ci95 += 0.5;
+        let report2 = diff_results(&baseline, &perturbed2, DiffTolerance::default());
+        assert_eq!(report2.violations[0].metric, "regroup_count.ci95");
     }
 
     #[test]

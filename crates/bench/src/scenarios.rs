@@ -218,9 +218,37 @@ pub fn fluid_estimates(scenario: &Scenario) -> Vec<f64> {
         .collect()
 }
 
+/// Churn table: plan recomputations and stale-miss ratio per mechanism,
+/// first payload column only (like the plan, the churn trajectory is
+/// payload-independent). Only rendered for scenarios declaring churn.
+pub fn render_churn(scenario: &Scenario, result: &ScenarioResult) -> String {
+    let headers = [
+        "devices",
+        "mechanism",
+        "regroups",
+        "±95%CI",
+        "stale-miss ratio",
+    ];
+    let first_payload = scenario.payloads[0];
+    let mut rows = Vec::new();
+    for point in result.payload_column(first_payload) {
+        for m in &point.comparison.mechanisms {
+            rows.push(vec![
+                point.n_devices.to_string(),
+                m.mechanism.clone(),
+                format!("{:.2}", m.regroup_count.mean),
+                format!("{:.2}", m.regroup_count.ci95),
+                pct(m.stale_miss_ratio.mean),
+            ]);
+        }
+    }
+    render_table(&headers, &rows)
+}
+
 /// Renders the full report for a scenario result: derived caption, the
-/// relative-uptime tables (only meaningful against a baseline), and the
-/// transmission table.
+/// relative-uptime tables (only meaningful against a baseline), the
+/// transmission table, and — for churned scenarios — the re-grouping
+/// table.
 pub fn render_report(scenario: &Scenario, result: &ScenarioResult) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -239,6 +267,19 @@ pub fn render_report(scenario: &Scenario, result: &ScenarioResult) -> String {
     }
     out.push_str("-- multicast transmissions --\n");
     out.push_str(&render_transmissions(scenario, result));
+    if let Some(churn) = &scenario.churn {
+        out.push('\n');
+        out.push_str(&format!(
+            "-- re-grouping under churn ({} epochs, dep {:.0}% / arr {:.0}% / ho {:.0}% per \
+             epoch, policy {:?}) --\n",
+            churn.epochs,
+            churn.departure_rate * 100.0,
+            churn.arrival_rate * 100.0,
+            churn.handover_rate * 100.0,
+            scenario.regroup,
+        ));
+        out.push_str(&render_churn(scenario, result));
+    }
     out
 }
 
@@ -310,6 +351,23 @@ mod tests {
         assert!(report.contains("mix: ericsson-city"), "{report}");
         assert!(report.contains("2 runs"), "{report}");
         assert!(report.contains("fluid model"), "{report}");
+    }
+
+    #[test]
+    fn churn_report_includes_regroup_table() {
+        let mut s = Scenario::builtin("mobility-churn").unwrap();
+        s.devices = vec![25];
+        s.runs = 2;
+        s.threads = 1;
+        let result = run_scenario(&s).unwrap();
+        let report = render_report(&s, &result);
+        assert!(report.contains("re-grouping under churn"), "{report}");
+        assert!(report.contains("stale-miss ratio"), "{report}");
+        assert!(report.contains("6 epochs"), "{report}");
+        // Static scenarios stay churn-table-free.
+        let s2 = tiny_scenario();
+        let r2 = run_scenario(&s2).unwrap();
+        assert!(!render_report(&s2, &r2).contains("re-grouping"));
     }
 
     #[test]

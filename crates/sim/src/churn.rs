@@ -1,0 +1,371 @@
+//! Re-grouping under device churn: plan staleness and recomputation.
+//!
+//! A [`Scenario`](crate::Scenario) may declare a
+//! [`ChurnModel`](nbiot_traffic::ChurnModel): the population then evolves
+//! across campaign epochs *after* the epoch-0 delivery that the classic
+//! metrics measure, and every subsequent epoch re-delivers the content to
+//! whatever fleet is present. A multicast plan pages devices at paging
+//! occasions derived from their planning-time UE identities, so each
+//! epoch a device is either **served** (it existed with the same identity
+//! when the current plan was computed) or **stale-missed** (it arrived or
+//! handed over since — its planned POs are wrong or absent).
+//!
+//! The [`RegroupPolicy`] decides when the mechanism re-plans on the
+//! evolved [`GroupingInput`] — real planning work, including DR-SC's
+//! set-cover solve (`docs/KERNELS.md`), so re-grouping cost is measurable
+//! (`bench_report`'s `regroup_churn_*` stages). A re-plan at an epoch
+//! boundary serves that epoch exactly; skipping it trades signalling for
+//! misses. The outcome feeds two per-mechanism summary metrics:
+//! `regroup_count` (plan recomputations per run) and `stale_miss_ratio`
+//! (missed device-epochs over **all** post-epoch-0 device-epochs —
+//! re-planned epochs miss nothing but still widen the denominator, which
+//! keeps the ratio comparable across policies).
+//!
+//! Zero-churn behaviour is pinned by `tests/churn_invariants.rs`: with
+//! all rates zero the population never changes, no policy ever fires, and
+//! every summary is bit-identical to the static engine.
+
+use nbiot_des::SeedSequence;
+use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams};
+use nbiot_time::UeId;
+use nbiot_traffic::{ChurnEvents, ChurnModel, DeviceId, Population, TrafficMix};
+
+use crate::SimError;
+
+/// When to recompute the grouping plan on the evolved population.
+///
+/// Every policy is a no-op on a quiet epoch (no arrivals, departures or
+/// handovers since the last plan): re-planning an unchanged population
+/// would reproduce the same plan, so the simulator skips it — which is
+/// also what keeps zero-churn runs bit-identical to the static engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum RegroupPolicy {
+    /// Keep the epoch-0 plan for the whole campaign; churned devices ride
+    /// the stale plan and miss.
+    #[default]
+    Never,
+    /// Re-plan at every epoch boundary where the population changed.
+    EveryEpoch,
+    /// Re-plan when the stale fraction of the current population (devices
+    /// the current plan cannot serve) exceeds this threshold.
+    StalenessThreshold(f64),
+}
+
+impl RegroupPolicy {
+    /// Checks a threshold is a finite fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidRegroupThreshold`] otherwise.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let RegroupPolicy::StalenessThreshold(t) = *self {
+            if !t.is_finite() || !(0.0..=1.0).contains(&t) {
+                return Err(SimError::InvalidRegroupThreshold { threshold: t });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-mechanism churn outcome of one run, folded into
+/// [`MechanismSummary`](crate::MechanismSummary).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct ChurnOutcome {
+    /// Plan recomputations across the run's epochs.
+    pub regroups: f64,
+    /// Stale-missed device-epochs over **all** post-epoch-0
+    /// device-epochs — quiet and freshly re-planned epochs count in the
+    /// denominator with zero misses, so the ratio is comparable across
+    /// policies (an `EveryEpoch` run reports 0, a `Never` run the full
+    /// accumulated staleness, over the same base).
+    pub stale_miss_ratio: f64,
+}
+
+/// RNG stream ids of the churn machinery inside one (point × run) item.
+/// The static path uses streams 0 (population), 1 (baseline) and `2 + i`
+/// (mechanism `i`); churn streams branch through [`SeedSequence::child`]
+/// at ids far above any plausible mechanism count so the stream spaces
+/// can never collide.
+const CHURN_EVOLVE_CHILD: u64 = 1 << 40;
+const REGROUP_CHILD_BASE: u64 = (1 << 40) + 1;
+
+/// The evolved population at each epoch boundary, shared by every
+/// mechanism of the run (the fleet does not depend on who is planning).
+pub(crate) struct ChurnTimeline {
+    epochs: Vec<(Population, ChurnEvents)>,
+}
+
+impl ChurnTimeline {
+    /// Evolves `initial` across the model's epochs, drawing from the
+    /// run's dedicated churn streams (`run_seq.child(CHURN).rng(epoch)`).
+    ///
+    /// # Errors
+    ///
+    /// Churn-model validation failures ([`SimError::Traffic`]).
+    pub fn evolve(
+        model: &ChurnModel,
+        mix: &TrafficMix,
+        initial: &Population,
+        run_seq: &SeedSequence,
+    ) -> Result<ChurnTimeline, SimError> {
+        let base_size = initial.len();
+        let mut next_id = base_size as u32;
+        let mut epochs: Vec<(Population, ChurnEvents)> = Vec::with_capacity(model.epochs as usize);
+        for epoch in 1..=u64::from(model.epochs) {
+            let mut rng = run_seq.child(CHURN_EVOLVE_CHILD).rng(epoch);
+            let previous = epochs.last().map_or(initial, |(pop, _)| pop);
+            let step = model.step(mix, previous, base_size, &mut next_id, &mut rng)?;
+            epochs.push(step);
+        }
+        Ok(ChurnTimeline { epochs })
+    }
+}
+
+/// The identity snapshot a plan was computed against: `(id, ue)` pairs in
+/// device order. Device order is id-ascending by construction (survivors
+/// keep their order, arrivals append with fresh higher ids), so staleness
+/// lookups are binary searches.
+struct PlannedFleet {
+    members: Vec<(DeviceId, UeId)>,
+}
+
+impl PlannedFleet {
+    fn snapshot(pop: &Population) -> PlannedFleet {
+        PlannedFleet {
+            members: pop.devices().iter().map(|d| (d.id, d.ue)).collect(),
+        }
+    }
+
+    /// Whether the plan serves this device: same id, same paging identity.
+    fn serves(&self, id: DeviceId, ue: UeId) -> bool {
+        self.members
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .is_ok_and(|i| self.members[i].1 == ue)
+    }
+}
+
+/// The policy's decision trajectory across a run's epochs: which epoch
+/// boundaries re-plan, and the resulting outcome.
+///
+/// Staleness is *identity-based* (a device is served iff it existed with
+/// the same paging identity at the last plan), deliberately independent
+/// of which mechanism planned — so the trajectory is computed **once per
+/// work item** and shared by every mechanism; only the re-planning work
+/// itself ([`replan_mechanism`]) is per-mechanism.
+pub(crate) struct RegroupTrajectory {
+    /// Timeline epoch indices (0-based) whose boundary re-plans.
+    pub regroup_epochs: Vec<usize>,
+    /// The folded churn metrics of the run.
+    pub outcome: ChurnOutcome,
+}
+
+/// Walks the timeline under `policy`: per epoch, count the devices the
+/// current plan cannot serve, decide whether to re-plan, and account the
+/// misses of the epochs that ride a stale plan.
+pub(crate) fn plan_trajectory(
+    timeline: &ChurnTimeline,
+    policy: RegroupPolicy,
+    initial: &Population,
+) -> RegroupTrajectory {
+    let mut planned = PlannedFleet::snapshot(initial);
+    let mut events_since_plan = 0usize;
+    let mut regroup_epochs = Vec::new();
+    let mut stale_misses = 0usize;
+    let mut device_epochs = 0usize;
+    for (epoch, (pop, events)) in timeline.epochs.iter().enumerate() {
+        events_since_plan += events.total();
+        device_epochs += pop.len();
+        let stale = pop
+            .devices()
+            .iter()
+            .filter(|d| !planned.serves(d.id, d.ue))
+            .count();
+        let regroup = events_since_plan > 0
+            && match policy {
+                RegroupPolicy::Never => false,
+                RegroupPolicy::EveryEpoch => true,
+                RegroupPolicy::StalenessThreshold(t) => stale as f64 / pop.len() as f64 > t,
+            };
+        if regroup {
+            regroup_epochs.push(epoch);
+            planned = PlannedFleet::snapshot(pop);
+            events_since_plan = 0;
+        } else {
+            stale_misses += stale;
+        }
+    }
+    RegroupTrajectory {
+        outcome: ChurnOutcome {
+            regroups: regroup_epochs.len() as f64,
+            stale_miss_ratio: if device_epochs == 0 {
+                0.0
+            } else {
+                stale_misses as f64 / device_epochs as f64
+            },
+        },
+        regroup_epochs,
+    }
+}
+
+/// Executes one mechanism's re-planning work at every epoch the
+/// trajectory regroups: the real planner on the evolved
+/// [`GroupingInput`], drawing from the mechanism's dedicated stream
+/// (`run_seq.child(REGROUP_BASE + mechanism).rng(epoch + 1)`) — this is
+/// the set-cover cost the `regroup_count` summary attributes.
+///
+/// # Errors
+///
+/// Grouping-input or plan failures on an evolved population — surfaced
+/// exactly like their static-path counterparts.
+pub(crate) fn replan_mechanism(
+    timeline: &ChurnTimeline,
+    trajectory: &RegroupTrajectory,
+    grouping: GroupingParams,
+    mechanism_index: usize,
+    mechanism: &dyn GroupingMechanism,
+    run_seq: &SeedSequence,
+) -> Result<(), SimError> {
+    for &epoch in &trajectory.regroup_epochs {
+        let input = GroupingInput::from_population(&timeline.epochs[epoch].0, grouping)?;
+        let mut rng = run_seq
+            .child(REGROUP_CHILD_BASE + mechanism_index as u64)
+            .rng(epoch as u64 + 1);
+        let plan = mechanism.plan(&input, &mut rng)?;
+        plan.validate(&input)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_grouping::MechanismKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn initial(n: usize) -> Population {
+        TrafficMix::mobility_churn()
+            .generate(n, &mut StdRng::seed_from_u64(3))
+            .unwrap()
+    }
+
+    fn churny(epochs: u32) -> ChurnModel {
+        ChurnModel {
+            epochs,
+            departure_rate: 0.1,
+            arrival_rate: 0.1,
+            handover_rate: 0.2,
+        }
+    }
+
+    fn outcome_under(policy: RegroupPolicy, model: &ChurnModel) -> ChurnOutcome {
+        let mix = TrafficMix::mobility_churn();
+        let pop = initial(60);
+        let seq = SeedSequence::new(42).child(0);
+        let timeline = ChurnTimeline::evolve(model, &mix, &pop, &seq).unwrap();
+        let trajectory = plan_trajectory(&timeline, policy, &pop);
+        assert_eq!(
+            trajectory.regroup_epochs.len() as f64,
+            trajectory.outcome.regroups,
+            "regroup epoch list and count must agree"
+        );
+        let mechanism = MechanismKind::DrSc.instantiate();
+        replan_mechanism(
+            &timeline,
+            &trajectory,
+            GroupingParams::default(),
+            0,
+            mechanism.as_ref(),
+            &seq,
+        )
+        .unwrap();
+        trajectory.outcome
+    }
+
+    #[test]
+    fn never_policy_accumulates_misses_without_regrouping() {
+        let outcome = outcome_under(RegroupPolicy::Never, &churny(5));
+        assert_eq!(outcome.regroups, 0.0);
+        assert!(
+            outcome.stale_miss_ratio > 0.1,
+            "5 churned epochs must leave stale devices: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn every_epoch_policy_serves_every_epoch() {
+        let outcome = outcome_under(RegroupPolicy::EveryEpoch, &churny(5));
+        assert_eq!(outcome.regroups, 5.0, "every churned epoch re-plans");
+        assert_eq!(outcome.stale_miss_ratio, 0.0, "re-planning serves all");
+    }
+
+    #[test]
+    fn threshold_policy_sits_between_the_extremes() {
+        let never = outcome_under(RegroupPolicy::Never, &churny(6));
+        let always = outcome_under(RegroupPolicy::EveryEpoch, &churny(6));
+        // Per-epoch staleness is ~25-30 % under churny(), so a 50 %
+        // threshold needs ~2 epochs of drift to fire: the policy must
+        // regroup sometimes, but not every epoch.
+        let some = outcome_under(RegroupPolicy::StalenessThreshold(0.5), &churny(6));
+        assert!(
+            some.regroups >= 1.0 && some.regroups < 6.0,
+            "threshold should regroup sometimes but not always: {some:?}"
+        );
+        assert!(
+            some.stale_miss_ratio < never.stale_miss_ratio,
+            "regrouping must reduce misses: {some:?} vs {never:?}"
+        );
+        assert!(some.stale_miss_ratio >= always.stale_miss_ratio);
+    }
+
+    #[test]
+    fn quiet_epochs_never_trigger_any_policy() {
+        let zero = ChurnModel {
+            epochs: 4,
+            departure_rate: 0.0,
+            arrival_rate: 0.0,
+            handover_rate: 0.0,
+        };
+        for policy in [
+            RegroupPolicy::Never,
+            RegroupPolicy::EveryEpoch,
+            RegroupPolicy::StalenessThreshold(0.0),
+        ] {
+            let outcome = outcome_under(policy, &zero);
+            assert_eq!(outcome, ChurnOutcome::default(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn timeline_is_reproducible_and_stream_isolated() {
+        let mix = TrafficMix::mobility_churn();
+        let pop = initial(40);
+        let seq = SeedSequence::new(7).child(3);
+        let a = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq).unwrap();
+        let b = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq).unwrap();
+        for ((pa, ea), (pb, eb)) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(pa.devices(), pb.devices());
+            assert_eq!(ea, eb);
+        }
+        // A different run derives a different fleet trajectory.
+        let c = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq.child(1)).unwrap();
+        assert_ne!(a.epochs[0].0.devices(), c.epochs[0].0.devices());
+    }
+
+    #[test]
+    fn regroup_threshold_validation() {
+        assert!(RegroupPolicy::Never.validate().is_ok());
+        assert!(RegroupPolicy::EveryEpoch.validate().is_ok());
+        assert!(RegroupPolicy::StalenessThreshold(0.5).validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN] {
+            assert!(
+                matches!(
+                    RegroupPolicy::StalenessThreshold(bad).validate(),
+                    Err(SimError::InvalidRegroupThreshold { .. })
+                ),
+                "{bad}"
+            );
+        }
+    }
+}

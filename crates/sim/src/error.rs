@@ -27,6 +27,11 @@ pub enum SimError {
         /// Which list was empty (`"devices"`, `"payloads"`, `"mechanisms"`).
         what: &'static str,
     },
+    /// A re-grouping staleness threshold is not a fraction in `[0, 1]`.
+    InvalidRegroupThreshold {
+        /// The offending threshold.
+        threshold: f64,
+    },
     /// A shard spec addressed a shard outside its own count, or zero shards.
     InvalidShard {
         /// Zero-based shard index.
@@ -89,6 +94,10 @@ impl fmt::Display for SimError {
             SimError::EmptyScenario { what } => {
                 write!(f, "scenario lists no {what}; every sweep axis needs at least one entry")
             }
+            SimError::InvalidRegroupThreshold { threshold } => write!(
+                f,
+                "re-grouping staleness threshold must be a fraction in [0, 1], got {threshold}"
+            ),
             SimError::InvalidShard { index, count } => write!(
                 f,
                 "invalid shard {index}/{count}: the index must be below the count \

@@ -34,9 +34,10 @@ use core::fmt;
 use nbiot_des::{RunningStats, SeedSequence, Summary};
 use nbiot_energy::PowerProfile;
 use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast};
-use nbiot_traffic::TrafficMix;
+use nbiot_traffic::{ChurnModel, TrafficMix};
 use rand::rngs::StdRng;
 
+use crate::churn::{self, ChurnTimeline, RegroupPolicy};
 use crate::{engine, CampaignResult, SimConfig, SimError};
 
 /// Configuration of one experiment (one point of a figure).
@@ -103,6 +104,13 @@ pub struct MechanismSummary {
     pub ra_failures: Summary,
     /// Devices finishing random access after their transmission started.
     pub late_joins: Summary,
+    /// Plan recomputations per run under churn (zero for static
+    /// scenarios; see [`RegroupPolicy`]).
+    pub regroup_count: Summary,
+    /// Stale-missed device-epochs over all post-epoch-0 device-epochs
+    /// (re-planned epochs contribute zero misses to the numerator but
+    /// still count in the denominator; zero for static scenarios).
+    pub stale_miss_ratio: Summary,
 }
 
 /// The result of comparing several mechanisms under one configuration.
@@ -167,6 +175,12 @@ pub struct MechRun {
     pub ra_failures: f64,
     /// Devices finishing random access after their transmission started.
     pub late_joins: f64,
+    /// Plan recomputations across the run's churn epochs (zero when the
+    /// scenario declares no churn).
+    pub regroups: f64,
+    /// Stale-missed device-epochs over all post-epoch-0 device-epochs of
+    /// the run (zero when the scenario declares no churn).
+    pub stale_miss_ratio: f64,
     /// Whether the executed plan was standards-compliant.
     pub compliant: bool,
 }
@@ -290,6 +304,11 @@ pub(crate) struct GridSpec<'a> {
     /// relative metrics are zero (sweeps that only need absolute counts
     /// skip the baseline's cost).
     pub baseline: bool,
+    /// Population churn applied across campaign epochs after the
+    /// epoch-0 delivery (`None` = static population, the classic path).
+    pub churn: Option<&'a ChurnModel>,
+    /// When to re-plan on the evolved population (ignored without churn).
+    pub regroup: RegroupPolicy,
     /// Worker threads (`0` = all cores, `1` = serial).
     pub threads: usize,
 }
@@ -314,6 +333,12 @@ fn execute_per_payload(
 /// One (device point × run) work item: fresh population and grouping
 /// input, shared by the unicast baseline and every mechanism across every
 /// payload variant. Returns rows indexed `[payload][mechanism]`.
+///
+/// When the spec declares churn, the fleet then evolves across the
+/// model's epochs (one shared [`ChurnTimeline`] per item) and each
+/// mechanism's staleness/re-grouping trajectory is evaluated on top —
+/// the classic epoch-0 metrics above are never touched, which is what
+/// keeps zero-churn runs bit-identical to the static engine.
 fn grid_item(
     spec: &GridSpec<'_>,
     mechanisms: &[Box<dyn GroupingMechanism>],
@@ -361,8 +386,31 @@ fn grid_item(
                 mean_energy_mj: result.mean_energy_mj(spec.power),
                 ra_failures: result.ra_failures as f64,
                 late_joins: result.late_joins as f64,
+                regroups: 0.0,
+                stale_miss_ratio: 0.0,
                 compliant: result.standards_compliant,
             });
+        }
+    }
+    if let Some(model) = spec.churn.filter(|m| !m.is_static()) {
+        let timeline = ChurnTimeline::evolve(model, spec.mix, &population, &run_seq)?;
+        // Staleness is identity-based, so the policy trajectory is shared
+        // by every mechanism; only the re-planning work is per-mechanism.
+        let trajectory = churn::plan_trajectory(&timeline, spec.regroup, &population);
+        for (i, mechanism) in mechanisms.iter().enumerate() {
+            churn::replan_mechanism(
+                &timeline,
+                &trajectory,
+                spec.grouping,
+                i,
+                mechanism.as_ref(),
+                &run_seq,
+            )?;
+            // The outcome is payload-independent, like the plan itself.
+            for payload_rows in &mut rows {
+                payload_rows[i].regroups = trajectory.outcome.regroups;
+                payload_rows[i].stale_miss_ratio = trajectory.outcome.stale_miss_ratio;
+            }
         }
     }
     Ok(rows)
@@ -488,6 +536,8 @@ pub fn run_comparison(
         grouping: config.grouping,
         power: &config.power,
         baseline: true,
+        churn: None,
+        regroup: RegroupPolicy::default(),
         threads: config.threads,
     })?;
     Ok(grid
@@ -508,6 +558,8 @@ struct MechStats {
     mean_energy_mj: RunningStats,
     ra_failures: RunningStats,
     late_joins: RunningStats,
+    regroup_count: RunningStats,
+    stale_miss_ratio: RunningStats,
     compliant: bool,
 }
 
@@ -523,6 +575,8 @@ impl MechStats {
         self.mean_energy_mj.push(row.mean_energy_mj);
         self.ra_failures.push(row.ra_failures);
         self.late_joins.push(row.late_joins);
+        self.regroup_count.push(row.regroups);
+        self.stale_miss_ratio.push(row.stale_miss_ratio);
         self.compliant &= row.compliant;
     }
 
@@ -539,6 +593,8 @@ impl MechStats {
             mean_energy_mj: self.mean_energy_mj.summary(),
             ra_failures: self.ra_failures.summary(),
             late_joins: self.late_joins.summary(),
+            regroup_count: self.regroup_count.summary(),
+            stale_miss_ratio: self.stale_miss_ratio.summary(),
         }
     }
 }
@@ -555,6 +611,8 @@ impl Default for MechStats {
             mean_energy_mj: RunningStats::new(),
             ra_failures: RunningStats::new(),
             late_joins: RunningStats::new(),
+            regroup_count: RunningStats::new(),
+            stale_miss_ratio: RunningStats::new(),
             compliant: true,
         }
     }
@@ -598,6 +656,8 @@ pub fn sweep_devices(
         grouping: base.grouping,
         power: &base.power,
         baseline: false,
+        churn: None,
+        regroup: RegroupPolicy::default(),
         threads: base.threads,
     })?;
     Ok(grid
@@ -759,6 +819,8 @@ mod tests {
             grouping: base.grouping,
             power: &base.power,
             baseline: true,
+            churn: None,
+            regroup: RegroupPolicy::default(),
             threads: 1,
         })
         .unwrap();

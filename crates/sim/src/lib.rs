@@ -14,7 +14,10 @@
 //! * [`run_campaign`] — one mechanism on one population, event by event,
 //! * [`Scenario`] / [`run_scenario`] — a declarative experiment suite
 //!   (mix × device sweep × payloads × mechanisms × runs) executed as one
-//!   grid, with a registry of built-in scenarios,
+//!   grid, with a registry of built-in scenarios; a scenario may declare
+//!   a [`ChurnModel`](nbiot_traffic::ChurnModel) plus a [`RegroupPolicy`]
+//!   to evolve the population across campaign epochs and re-plan when the
+//!   grouping goes stale (`docs/SCENARIOS.md`),
 //! * [`ShardSpec`] / [`run_scenario_shard`] / [`merge_archives`] (with the
 //!   `serde` feature) — multi-host sharding of the (point × run) item pool
 //!   into mergeable [`ScenarioArchive`]s, bit-identical to the unsharded
@@ -63,6 +66,7 @@
 #![deny(missing_docs)]
 
 mod campaign;
+mod churn;
 mod config;
 mod engine;
 mod error;
@@ -73,6 +77,7 @@ mod scenario;
 mod shard;
 
 pub use campaign::run_campaign;
+pub use churn::RegroupPolicy;
 pub use config::SimConfig;
 pub use error::SimError;
 pub use experiment::{

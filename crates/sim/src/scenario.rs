@@ -17,10 +17,10 @@ use nbiot_grouping::{GroupingParams, MechanismKind};
 use nbiot_phy::DataSize;
 use nbiot_rrc::InactivityTimer;
 use nbiot_time::SimDuration;
-use nbiot_traffic::TrafficMix;
+use nbiot_traffic::{ChurnModel, TrafficMix};
 
 use crate::experiment::{execute_grid, GridSpec};
-use crate::{ComparisonResult, SimConfig, SimError};
+use crate::{ComparisonResult, RegroupPolicy, SimConfig, SimError};
 
 /// A declarative experiment workload: everything needed to reproduce a
 /// figure or a sensitivity study, as one serializable value.
@@ -54,6 +54,12 @@ pub struct Scenario {
     /// Compare mechanisms against a per-run unicast baseline. Disable for
     /// sweeps that only need absolute counts (saves the baseline's cost).
     pub baseline: bool,
+    /// Population churn across campaign epochs (`None` = static
+    /// population, the paper's evaluation regime). See
+    /// `docs/SCENARIOS.md` for the model.
+    pub churn: Option<ChurnModel>,
+    /// When to re-plan on the churned population (ignored without churn).
+    pub regroup: RegroupPolicy,
     /// Worker threads (`0` = all cores, `1` = serial); results are
     /// bit-identical for every setting.
     pub threads: usize,
@@ -75,6 +81,8 @@ impl Default for Scenario {
             sim: SimConfig::default(),
             power: PowerProfile::default(),
             baseline: true,
+            churn: None,
+            regroup: RegroupPolicy::Never,
             threads: 0,
         }
     }
@@ -83,7 +91,7 @@ impl Default for Scenario {
 impl Scenario {
     /// Names of the registered built-in scenarios, resolvable by
     /// [`Scenario::builtin`] (and the `figures` binary's `--scenario`).
-    pub const REGISTRY: [&'static str; 8] = [
+    pub const REGISTRY: [&'static str; 10] = [
         "fig6a",
         "fig6b",
         "fig7",
@@ -92,6 +100,8 @@ impl Scenario {
         "bursty-alarm",
         "large-n-stress",
         "short-drx",
+        "mobility-churn",
+        "handover-storm",
     ];
 
     /// Resolves a registered built-in scenario by name.
@@ -180,6 +190,50 @@ impl Scenario {
                 mechanisms: MechanismKind::ALL.to_vec(),
                 ..Scenario::default()
             },
+            // Mobility churn: a mobile-majority fleet drifts over six
+            // epochs (moderate arrival/departure/handover rates) and the
+            // mechanisms re-plan only once staleness crosses 15 % — the
+            // plans-go-stale-mid-campaign regime no static scenario
+            // exercises.
+            "mobility-churn" => Scenario {
+                name: "mobility-churn".into(),
+                description: "evolving mobile fleet with staleness-threshold re-grouping".into(),
+                mix: TrafficMix::mobility_churn(),
+                devices: vec![200, 500, 1000],
+                runs: 50,
+                churn: Some(ChurnModel {
+                    epochs: 6,
+                    departure_rate: 0.05,
+                    arrival_rate: 0.05,
+                    handover_rate: 0.08,
+                }),
+                regroup: RegroupPolicy::StalenessThreshold(0.15),
+                ..Scenario::default()
+            },
+            // Handover storm: a vehicular fleet re-registers en masse
+            // every epoch (30 % handover rate) and the mechanisms re-plan
+            // at every boundary under contended random access — maximum
+            // re-grouping pressure.
+            "handover-storm" => Scenario {
+                name: "handover-storm".into(),
+                description: "vehicular fleet re-registering en masse, re-planned every epoch"
+                    .into(),
+                mix: TrafficMix::handover_storm(),
+                devices: vec![200, 500],
+                runs: 50,
+                churn: Some(ChurnModel {
+                    epochs: 4,
+                    departure_rate: 0.02,
+                    arrival_rate: 0.02,
+                    handover_rate: 0.30,
+                }),
+                regroup: RegroupPolicy::EveryEpoch,
+                sim: SimConfig {
+                    ra_contenders: 30,
+                    ..SimConfig::default()
+                },
+                ..Scenario::default()
+            },
             _ => return None,
         };
         Some(s)
@@ -214,6 +268,13 @@ impl Scenario {
                 runs: self.runs,
             });
         }
+        if let Some(churn) = &self.churn {
+            churn.validate()?;
+        }
+        // Validated even without churn: an out-of-range threshold must
+        // not survive into serialized scenarios/archives just because the
+        // policy is currently dormant.
+        self.regroup.validate()?;
         Ok(())
     }
 }
@@ -298,6 +359,8 @@ pub(crate) fn grid_spec<'a>(scenario: &'a Scenario, sims: &'a [SimConfig]) -> Gr
         grouping: scenario.grouping,
         power: &scenario.power,
         baseline: scenario.baseline,
+        churn: scenario.churn.as_ref(),
+        regroup: scenario.regroup,
         threads: scenario.threads,
     }
 }

@@ -24,8 +24,10 @@ use crate::scenario::{assemble_result, grid_spec, payload_sims};
 use crate::{Scenario, ScenarioResult, SimError};
 
 /// Archive format version; bumped whenever [`ScenarioArchive`]'s JSON
-/// shape or the record semantics change incompatibly.
-pub const ARCHIVE_SCHEMA_VERSION: u32 = 1;
+/// shape or the record semantics change incompatibly. Version 2 added the
+/// churn fields: `MechRun::{regroups, stale_miss_ratio}` and the
+/// scenario's `churn`/`regroup` configuration.
+pub const ARCHIVE_SCHEMA_VERSION: u32 = 2;
 
 /// A deterministic partition of the (sweep point × run) item pool:
 /// shard `index` of `count` owns every item with `item % count == index`

@@ -1,0 +1,397 @@
+//! Device churn: population evolution across campaign epochs.
+//!
+//! The paper evaluates its grouping mechanisms over *static* populations:
+//! the group that is planned for is exactly the group that receives the
+//! payload. Real cells churn — devices power down or leave the cell
+//! (departures), fresh devices register (arrivals), and mobile devices
+//! hand over and re-register with a new paging identity (handovers, the
+//! regime of sidelink-aided mobile multicast and grouping-based access
+//! control). A [`ChurnModel`] captures that churn as per-epoch rates and
+//! evolves a [`Population`] deterministically from an RNG stream, so a
+//! churned campaign is exactly as reproducible as a static one.
+//!
+//! What churn breaks is the *plan*: a multicast plan pages devices at
+//! paging occasions derived from their planning-time UE identities, so
+//! an arrival (never planned for) or a handover (planned POs now wrong)
+//! is missed by a stale plan until the mechanism re-plans. The simulator
+//! layer (`nbiot-sim`) owns that staleness accounting and the re-grouping
+//! policies; this module owns only the population process.
+
+use rand::Rng;
+
+use crate::{DeviceId, Population, TrafficError, TrafficMix};
+
+/// Per-epoch population churn rates, applied at every epoch boundary of a
+/// campaign.
+///
+/// Epoch 0 is the initial population; the model then applies `epochs`
+/// boundary steps. Each step, in order:
+///
+/// 1. **departures** — every device independently leaves with probability
+///    [`departure_rate`](ChurnModel::departure_rate) (at least one device
+///    always remains, so a grouping input can still be built);
+/// 2. **handovers** — every surviving device independently re-registers
+///    with a fresh UE identity with probability
+///    [`handover_rate`](ChurnModel::handover_rate), moving its paging
+///    occasions while keeping its group membership;
+/// 3. **arrivals** — one Bernoulli trial per *initial* device slot with
+///    probability [`arrival_rate`](ChurnModel::arrival_rate) admits a new
+///    device freshly sampled from the mix (so the expected arrival count
+///    is `arrival_rate × initial size`, independent of how the population
+///    has drifted).
+///
+/// All randomness comes from the RNG passed to [`ChurnModel::step`];
+/// evolving the same population with the same stream reproduces the same
+/// fleet, which is what keeps churned campaigns bit-identical across
+/// thread and shard counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChurnModel {
+    /// Number of epoch boundaries the population evolves across.
+    pub epochs: u32,
+    /// Per-epoch probability that a device departs (leaves the cell or
+    /// powers down). In `[0, 1]`.
+    pub departure_rate: f64,
+    /// Expected per-epoch arrivals as a fraction of the initial
+    /// population size. In `[0, 1]`.
+    pub arrival_rate: f64,
+    /// Per-epoch probability that a surviving device hands over and
+    /// re-registers under a fresh paging identity. In `[0, 1]`.
+    pub handover_rate: f64,
+}
+
+impl ChurnModel {
+    /// The degenerate model: no epochs, no churn — behaviourally identical
+    /// to a static population.
+    pub const STATIC: ChurnModel = ChurnModel {
+        epochs: 0,
+        departure_rate: 0.0,
+        arrival_rate: 0.0,
+        handover_rate: 0.0,
+    };
+
+    /// Whether this model can never change a population (no epochs, or
+    /// all rates zero).
+    pub fn is_static(&self) -> bool {
+        self.epochs == 0
+            || (self.departure_rate == 0.0 && self.arrival_rate == 0.0 && self.handover_rate == 0.0)
+    }
+
+    /// Checks every rate is a probability (finite, in `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::InvalidChurnRate`] naming the first offending rate.
+    pub fn validate(&self) -> Result<(), TrafficError> {
+        for (what, value) in [
+            ("departure_rate", self.departure_rate),
+            ("arrival_rate", self.arrival_rate),
+            ("handover_rate", self.handover_rate),
+        ] {
+            if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+                return Err(TrafficError::InvalidChurnRate { what, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one epoch boundary to `pop`: departures, then handovers,
+    /// then arrivals (see the type docs for the exact order). `base_size`
+    /// anchors the arrival count (the initial population size);
+    /// `next_id` is the allocator for fresh [`DeviceId`]s and is advanced
+    /// by the number of arrivals, keeping identities unique across the
+    /// whole campaign.
+    ///
+    /// Device order is preserved: survivors keep their relative order and
+    /// arrivals are appended, so an initially id-sorted population stays
+    /// id-sorted.
+    ///
+    /// # Errors
+    ///
+    /// [`ChurnModel::validate`] failures, or [`TrafficError::EmptyMix`]
+    /// when arrivals are requested from a structurally empty mix.
+    pub fn step<R: Rng + ?Sized>(
+        &self,
+        mix: &TrafficMix,
+        pop: &Population,
+        base_size: usize,
+        next_id: &mut u32,
+        rng: &mut R,
+    ) -> Result<(Population, ChurnEvents), TrafficError> {
+        self.validate()?;
+        let mut events = ChurnEvents::default();
+        let mut devices = Vec::with_capacity(pop.len());
+        for device in pop.devices() {
+            if self.departure_rate > 0.0 && rng.gen_bool(self.departure_rate) {
+                events.departures += 1;
+                continue;
+            }
+            let mut device = *device;
+            if self.handover_rate > 0.0 && rng.gen_bool(self.handover_rate) {
+                device.ue = nbiot_time::UeId(rng.gen());
+                events.handovers += 1;
+            }
+            devices.push(device);
+        }
+        // A grouping input needs at least one device: when the whole
+        // population departs in one step, the last device stays put.
+        if devices.is_empty() {
+            if let Some(last) = pop.devices().last() {
+                devices.push(*last);
+                events.departures -= 1;
+            }
+        }
+        if self.arrival_rate > 0.0 {
+            for _ in 0..base_size {
+                if rng.gen_bool(self.arrival_rate) {
+                    devices.push(mix.sample_device(DeviceId(*next_id), rng)?);
+                    *next_id += 1;
+                    events.arrivals += 1;
+                }
+            }
+        }
+        Ok((
+            Population::new(
+                pop.mix_name().to_string(),
+                pop.class_names().to_vec(),
+                devices,
+            ),
+            events,
+        ))
+    }
+}
+
+/// What one [`ChurnModel::step`] did to the population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ChurnEvents {
+    /// Devices that joined the cell this epoch.
+    pub arrivals: usize,
+    /// Devices that left the cell this epoch.
+    pub departures: usize,
+    /// Devices that re-registered under a fresh paging identity.
+    pub handovers: usize,
+}
+
+impl ChurnEvents {
+    /// Whether nothing happened this epoch (the plan stayed exact).
+    pub fn is_quiet(&self) -> bool {
+        self.arrivals == 0 && self.departures == 0 && self.handovers == 0
+    }
+
+    /// Total membership/identity changes this epoch.
+    pub fn total(&self) -> usize {
+        self.arrivals + self.departures + self.handovers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop(n: usize, seed: u64) -> Population {
+        TrafficMix::ericsson_city()
+            .generate(n, &mut StdRng::seed_from_u64(seed))
+            .unwrap()
+    }
+
+    fn churny() -> ChurnModel {
+        ChurnModel {
+            epochs: 4,
+            departure_rate: 0.2,
+            arrival_rate: 0.2,
+            handover_rate: 0.3,
+        }
+    }
+
+    #[test]
+    fn static_model_changes_nothing() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(50, 1);
+        let mut next_id = 50;
+        let (evolved, events) = ChurnModel::STATIC
+            .step(&mix, &p, 50, &mut next_id, &mut StdRng::seed_from_u64(2))
+            .unwrap();
+        assert!(events.is_quiet());
+        assert_eq!(events.total(), 0);
+        assert_eq!(evolved.devices(), p.devices());
+        assert_eq!(next_id, 50);
+        assert!(ChurnModel::STATIC.is_static());
+        assert!(!churny().is_static());
+        // Rates of zero are static even with epochs configured.
+        let zero_rates = ChurnModel {
+            epochs: 5,
+            ..ChurnModel::STATIC
+        };
+        assert!(zero_rates.is_static());
+    }
+
+    #[test]
+    fn step_is_reproducible_from_the_stream() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(80, 3);
+        let run = || {
+            let mut next_id = 80;
+            churny()
+                .step(&mix, &p, 80, &mut next_id, &mut StdRng::seed_from_u64(7))
+                .unwrap()
+        };
+        let (a, ea) = run();
+        let (b, eb) = run();
+        assert_eq!(a.devices(), b.devices());
+        assert_eq!(ea, eb);
+        assert!(ea.total() > 0, "churny rates on 80 devices must churn");
+    }
+
+    #[test]
+    fn departures_shrink_and_arrivals_grow_the_population() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(200, 4);
+        let mut next_id = 200;
+        let depart_only = ChurnModel {
+            epochs: 1,
+            departure_rate: 0.5,
+            arrival_rate: 0.0,
+            handover_rate: 0.0,
+        };
+        let (shrunk, ev) = depart_only
+            .step(&mix, &p, 200, &mut next_id, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        assert_eq!(shrunk.len(), 200 - ev.departures);
+        assert!(ev.departures > 50, "{ev:?}");
+        let arrive_only = ChurnModel {
+            epochs: 1,
+            departure_rate: 0.0,
+            arrival_rate: 0.5,
+            handover_rate: 0.0,
+        };
+        let (grown, ev2) = arrive_only
+            .step(
+                &mix,
+                &shrunk,
+                200,
+                &mut next_id,
+                &mut StdRng::seed_from_u64(10),
+            )
+            .unwrap();
+        assert_eq!(grown.len(), shrunk.len() + ev2.arrivals);
+        assert!(ev2.arrivals > 50, "{ev2:?}");
+        assert_eq!(next_id, 200 + ev2.arrivals as u32);
+    }
+
+    #[test]
+    fn handover_changes_identity_but_not_membership() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(120, 5);
+        let mut next_id = 120;
+        let handover_only = ChurnModel {
+            epochs: 1,
+            departure_rate: 0.0,
+            arrival_rate: 0.0,
+            handover_rate: 0.5,
+        };
+        let (evolved, ev) = handover_only
+            .step(&mix, &p, 120, &mut next_id, &mut StdRng::seed_from_u64(11))
+            .unwrap();
+        assert_eq!(evolved.len(), 120);
+        assert!(ev.handovers > 30, "{ev:?}");
+        let changed = evolved
+            .devices()
+            .iter()
+            .zip(p.devices())
+            .filter(|(after, before)| after.ue != before.ue)
+            .count();
+        assert_eq!(changed, ev.handovers);
+        // Everything but the paging identity is preserved.
+        for (after, before) in evolved.devices().iter().zip(p.devices()) {
+            assert_eq!(after.id, before.id);
+            assert_eq!(after.class, before.class);
+            assert_eq!(after.paging.cycle, before.paging.cycle);
+        }
+    }
+
+    #[test]
+    fn ids_stay_unique_and_sorted_across_epochs() {
+        let mix = TrafficMix::ericsson_city();
+        let mut current = pop(60, 6);
+        let mut next_id = 60;
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..6 {
+            let (evolved, _) = churny()
+                .step(&mix, &current, 60, &mut next_id, &mut rng)
+                .unwrap();
+            current = evolved;
+            let ids: Vec<u32> = current.devices().iter().map(|d| d.id.0).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(ids, sorted, "ids must stay unique and ascending");
+            assert!(!current.is_empty());
+        }
+    }
+
+    #[test]
+    fn total_departure_keeps_one_device() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(10, 7);
+        let mut next_id = 10;
+        let apocalypse = ChurnModel {
+            epochs: 1,
+            departure_rate: 1.0,
+            arrival_rate: 0.0,
+            handover_rate: 0.0,
+        };
+        let (evolved, ev) = apocalypse
+            .step(&mix, &p, 10, &mut next_id, &mut StdRng::seed_from_u64(15))
+            .unwrap();
+        assert_eq!(evolved.len(), 1);
+        assert_eq!(ev.departures, 9);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let model = ChurnModel {
+                epochs: 1,
+                departure_rate: bad,
+                arrival_rate: 0.0,
+                handover_rate: 0.0,
+            };
+            assert!(
+                matches!(
+                    model.validate(),
+                    Err(TrafficError::InvalidChurnRate {
+                        what: "departure_rate",
+                        ..
+                    })
+                ),
+                "{bad}"
+            );
+        }
+        assert!(churny().validate().is_ok());
+    }
+
+    #[test]
+    fn arrivals_are_sampled_from_the_mix_classes() {
+        let mix = TrafficMix::bursty_alarm();
+        let p = mix.generate(100, &mut StdRng::seed_from_u64(8)).unwrap();
+        let mut next_id = 100;
+        let arrive = ChurnModel {
+            epochs: 1,
+            departure_rate: 0.0,
+            arrival_rate: 0.4,
+            handover_rate: 0.0,
+        };
+        let (evolved, ev) = arrive
+            .step(&mix, &p, 100, &mut next_id, &mut StdRng::seed_from_u64(16))
+            .unwrap();
+        assert!(ev.arrivals > 10);
+        for d in &evolved.devices()[100..] {
+            assert!(d.id.0 >= 100, "arrival ids come from the allocator");
+            // Arrivals belong to one of the mix's classes.
+            assert!(d.class.0 < mix.classes().len());
+        }
+    }
+}

@@ -20,6 +20,14 @@ pub enum TrafficError {
     },
     /// A paging configuration inside the mix is invalid.
     InvalidPaging(nbiot_time::TimeError),
+    /// A churn rate is not a probability.
+    InvalidChurnRate {
+        /// Which rate (`"departure_rate"`, `"arrival_rate"`,
+        /// `"handover_rate"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for TrafficError {
@@ -33,6 +41,12 @@ impl fmt::Display for TrafficError {
                 write!(f, "class {class} has no paging cycle options")
             }
             TrafficError::InvalidPaging(e) => write!(f, "invalid paging configuration: {e}"),
+            TrafficError::InvalidChurnRate { what, value } => {
+                write!(
+                    f,
+                    "churn {what} must be a probability in [0, 1], got {value}"
+                )
+            }
         }
     }
 }

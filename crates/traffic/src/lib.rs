@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod error;
 mod mix;
 mod population;
 mod uplink;
 
+pub use churn::{ChurnEvents, ChurnModel};
 pub use error::TrafficError;
 pub use mix::{ClassSpec, TrafficMix};
 pub use population::{ClassId, DeviceId, DeviceProfile, Population};

@@ -284,12 +284,94 @@ impl TrafficMix {
         .expect("built-in mix is valid")
     }
 
+    /// A mobility-heavy mix for the churn scenario family: the population
+    /// is dominated by devices that physically move — vehicle trackers,
+    /// wearables and shared micromobility on short-to-mid reachability
+    /// cycles — over a thin static metering tail. Under a
+    /// [`ChurnModel`](crate::ChurnModel) the mobile majority is exactly
+    /// the cohort that departs, arrives and hands over, so grouping plans
+    /// computed at campaign start go stale mid-campaign (the regime of
+    /// Pizzi et al.'s sidelink-aided mobile multicast).
+    pub fn mobility_churn() -> TrafficMix {
+        let h = SimDuration::from_secs(3600);
+        TrafficMix::new(
+            "mobility-churn",
+            vec![
+                ClassSpec::new(
+                    "vehicle-tracker",
+                    0.35,
+                    PagingCycle::edrx(EdrxCycle::Hf4), // 40.96 s
+                    SimDuration::from_secs(900),
+                ),
+                ClassSpec::new(
+                    "wearable",
+                    0.25,
+                    PagingCycle::edrx(EdrxCycle::Hf16), // 163.84 s
+                    SimDuration::from_secs(1800),
+                ),
+                ClassSpec::new(
+                    "shared-scooter",
+                    0.20,
+                    PagingCycle::Drx(DrxCycle::Rf256), // 2.56 s
+                    SimDuration::from_secs(600),
+                ),
+                // The static anchor: long-cycle meters that never move,
+                // keeping the long-horizon search path exercised.
+                ClassSpec::new(
+                    "parking-sensor",
+                    0.20,
+                    PagingCycle::edrx(EdrxCycle::Hf512), // 5242.88 s
+                    h * 24,
+                ),
+            ],
+        )
+        .expect("built-in mix is valid")
+    }
+
+    /// A handover-storm mix: almost the whole population is vehicular or
+    /// transit-mounted on short reachability cycles, the cohort that
+    /// re-registers en masse when a train passes a cell edge or a road
+    /// closes — the synchronized re-registration burst of grouping-based
+    /// access-control studies (Han & Schotten). Pair with a
+    /// [`ChurnModel`](crate::ChurnModel) carrying a high handover rate.
+    pub fn handover_storm() -> TrafficMix {
+        let h = SimDuration::from_secs(3600);
+        TrafficMix::new(
+            "handover-storm",
+            vec![
+                ClassSpec::new(
+                    "commuter-vehicle",
+                    0.50,
+                    PagingCycle::Drx(DrxCycle::Rf256), // 2.56 s
+                    SimDuration::from_secs(300),
+                ),
+                ClassSpec::new(
+                    "transit-tracker",
+                    0.30,
+                    PagingCycle::edrx(EdrxCycle::Hf2), // 20.48 s
+                    SimDuration::from_secs(600),
+                ),
+                // Fixed roadside infrastructure: present through every
+                // storm, on a mid eDRX cycle.
+                ClassSpec::new(
+                    "roadside-unit",
+                    0.20,
+                    PagingCycle::edrx(EdrxCycle::Hf128), // 1310.72 s
+                    h * 12,
+                ),
+            ],
+        )
+        .expect("built-in mix is valid")
+    }
+
     /// Names of the registered built-in mixes, selectable by
     /// [`TrafficMix::by_name`] (and the figure binaries' `--mix` flag).
-    pub const REGISTRY: [&'static str; 5] = [
+    pub const REGISTRY: [&'static str; 7] = [
         "ericsson-city",
         "clustered-heterogeneous",
         "bursty-alarm",
+        "mobility-churn",
+        "handover-storm",
         "short-drx",
         "uniform-edrx",
     ];
@@ -303,6 +385,8 @@ impl TrafficMix {
             "ericsson-city" => Some(TrafficMix::ericsson_city()),
             "clustered-heterogeneous" => Some(TrafficMix::clustered_heterogeneous()),
             "bursty-alarm" => Some(TrafficMix::bursty_alarm()),
+            "mobility-churn" => Some(TrafficMix::mobility_churn()),
+            "handover-storm" => Some(TrafficMix::handover_storm()),
             "short-drx" => Some(TrafficMix::short_drx()),
             "uniform-edrx" => {
                 let mut mix = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf1024));
@@ -347,6 +431,48 @@ impl TrafficMix {
         .expect("short-drx mix is valid")
     }
 
+    /// Samples one device from the mix under the given identity — the
+    /// per-device half of [`TrafficMix::generate`], also used by
+    /// [`ChurnModel`](crate::ChurnModel) to admit arrivals mid-campaign.
+    ///
+    /// Draw order (class, cycle, UE identity) is the generation order, so
+    /// `generate` remains bit-identical to its historical behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::EmptyMix`] when the mix has no classes.
+    pub fn sample_device<R: Rng + ?Sized>(
+        &self,
+        id: DeviceId,
+        rng: &mut R,
+    ) -> Result<DeviceProfile, TrafficError> {
+        if self.classes.is_empty() {
+            return Err(TrafficError::EmptyMix);
+        }
+        let total_share: f64 = self.classes.iter().map(|c| c.share).sum();
+        let mut x = rng.gen_range(0.0..total_share);
+        let mut class_idx = self.classes.len() - 1;
+        for (ci, c) in self.classes.iter().enumerate() {
+            if x < c.share {
+                class_idx = ci;
+                break;
+            }
+            x -= c.share;
+        }
+        let class = &self.classes[class_idx];
+        let cycle = class.sample_cycle(rng);
+        Ok(DeviceProfile {
+            id,
+            ue: UeId(rng.gen()),
+            class: ClassId(class_idx),
+            paging: PagingConfig {
+                cycle,
+                nb: Default::default(),
+            },
+            report_interval: class.report_interval,
+        })
+    }
+
     /// Generates a population of `n` devices.
     ///
     /// Device class, paging cycle and UE identity are all drawn from `rng`,
@@ -364,30 +490,9 @@ impl TrafficMix {
         if self.classes.is_empty() {
             return Err(TrafficError::EmptyMix);
         }
-        let total_share: f64 = self.classes.iter().map(|c| c.share).sum();
         let mut devices = Vec::with_capacity(n);
         for i in 0..n {
-            let mut x = rng.gen_range(0.0..total_share);
-            let mut class_idx = self.classes.len() - 1;
-            for (ci, c) in self.classes.iter().enumerate() {
-                if x < c.share {
-                    class_idx = ci;
-                    break;
-                }
-                x -= c.share;
-            }
-            let class = &self.classes[class_idx];
-            let cycle = class.sample_cycle(rng);
-            devices.push(DeviceProfile {
-                id: DeviceId(i as u32),
-                ue: UeId(rng.gen()),
-                class: ClassId(class_idx),
-                paging: PagingConfig {
-                    cycle,
-                    nb: Default::default(),
-                },
-                report_interval: class.report_interval,
-            });
+            devices.push(self.sample_device(DeviceId(i as u32), rng)?);
         }
         Ok(Population::new(
             self.name.clone(),
@@ -558,6 +663,48 @@ mod tests {
             short >= 1600,
             "alarm mix should be ≥80% short-cycle devices: {short}/2000"
         );
+    }
+
+    #[test]
+    fn mobility_mix_is_mobile_majority() {
+        // ≈80 % of the mobility-churn population should sit on mobile
+        // classes (tracker/wearable/scooter), the cohort churn targets.
+        let mix = TrafficMix::mobility_churn();
+        let pop = mix.generate(2000, &mut StdRng::seed_from_u64(17)).unwrap();
+        let mobile = pop
+            .devices()
+            .iter()
+            .filter(|d| pop.class_name(d.class) != "parking-sensor")
+            .count();
+        assert!((1450..=1750).contains(&mobile), "mobile {mobile}/2000");
+    }
+
+    #[test]
+    fn handover_storm_mix_is_short_cycle_vehicular() {
+        let mix = TrafficMix::handover_storm();
+        let pop = mix.generate(2000, &mut StdRng::seed_from_u64(19)).unwrap();
+        let short = pop
+            .devices()
+            .iter()
+            .filter(|d| d.paging.cycle.period().as_secs_f64() <= 21.0)
+            .count();
+        assert!(
+            short >= 1400,
+            "storm mix should be ≥70% short-cycle devices: {short}/2000"
+        );
+    }
+
+    #[test]
+    fn sample_device_matches_generate_stream() {
+        // generate() is defined as repeated sample_device() calls; the
+        // refactor must keep historical populations bit-identical.
+        let mix = TrafficMix::ericsson_city();
+        let pop = mix.generate(40, &mut StdRng::seed_from_u64(21)).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for (i, expected) in pop.devices().iter().enumerate() {
+            let sampled = mix.sample_device(DeviceId(i as u32), &mut rng).unwrap();
+            assert_eq!(&sampled, expected, "device {i}");
+        }
     }
 
     #[test]

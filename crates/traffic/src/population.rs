@@ -102,6 +102,11 @@ impl Population {
         self.devices.is_empty()
     }
 
+    /// All class names of the generating mix, in class order.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
     /// Class name lookup.
     ///
     /// # Panics

@@ -70,14 +70,16 @@ pub mod prelude {
     };
     pub use nbiot_sim::{
         run_campaign, run_comparison, run_scenario, sweep_devices, CampaignResult,
-        ComparisonResult, ExperimentConfig, PointResult, Scenario, ScenarioResult, SimConfig,
-        SimError,
+        ComparisonResult, ExperimentConfig, PointResult, RegroupPolicy, Scenario, ScenarioResult,
+        SimConfig, SimError,
     };
     pub use nbiot_time::{
         CycleLadder, DrxCycle, EdrxCycle, PagingConfig, PagingCycle, PagingSchedule, SimDuration,
         SimInstant, TimeWindow, UeId,
     };
-    pub use nbiot_traffic::{ClassSpec, DeviceId, DeviceProfile, Population, TrafficMix};
+    pub use nbiot_traffic::{
+        ChurnEvents, ChurnModel, ClassSpec, DeviceId, DeviceProfile, Population, TrafficMix,
+    };
 }
 
 #[cfg(test)]

@@ -122,6 +122,55 @@ fn shared_populations_match_per_payload_regeneration() {
     }
 }
 
+fn churned_scenario() -> Scenario {
+    let mut s = Scenario::builtin("mobility-churn").expect("registered");
+    s.devices = vec![20, 35];
+    s.runs = 4;
+    s.threads = 1;
+    s
+}
+
+#[test]
+fn churned_scenario_threads_1_vs_8_bit_identical() {
+    // The churn acceptance bar: population evolution, staleness counting
+    // and re-planning all live inside the (point × run) item, so a
+    // churned grid must stay bit-identical for every thread count —
+    // including the new regroup_count / stale_miss_ratio summaries.
+    let serial = run_scenario(&churned_scenario()).unwrap();
+    let churned = serial
+        .points
+        .iter()
+        .flat_map(|p| &p.comparison.mechanisms)
+        .any(|m| m.regroup_count.mean > 0.0 || m.stale_miss_ratio.mean > 0.0);
+    assert!(churned, "the churned workload must actually churn");
+    for threads in [8, 0] {
+        let mut parallel = churned_scenario();
+        parallel.threads = threads;
+        assert_eq!(
+            run_scenario(&parallel).unwrap(),
+            serial,
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn handover_storm_threads_bit_identical() {
+    let mut s = Scenario::builtin("handover-storm").expect("registered");
+    s.devices = vec![25];
+    s.runs = 4;
+    s.threads = 1;
+    let serial = run_scenario(&s).unwrap();
+    s.threads = 8;
+    assert_eq!(run_scenario(&s).unwrap(), serial);
+    // Every-epoch policy under a 30% handover storm: every mechanism
+    // re-plans every epoch and nothing is ever missed.
+    for m in serial.points.iter().flat_map(|p| &p.comparison.mechanisms) {
+        assert_eq!(m.regroup_count.mean, 4.0, "{}", m.mechanism);
+        assert_eq!(m.stale_miss_ratio.mean, 0.0, "{}", m.mechanism);
+    }
+}
+
 #[test]
 fn thread_counts_beyond_runs_still_identical() {
     // More workers than runs: the fan-out clamps and stays correct.

@@ -57,6 +57,57 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn churned_scenarios_shard_and_merge_bit_identically(
+        k in proptest::sample::select(vec![1u32, 3, 7]),
+        threads in proptest::sample::select(vec![1usize, 8]),
+        seed in 0u64..500,
+    ) {
+        // Churn evolution and re-planning draw from per-item RNG streams,
+        // so a churned grid must survive any sharding × thread-count
+        // combination bit-for-bit — including the churn summaries.
+        let mut scenario = Scenario::builtin("mobility-churn").expect("builtin");
+        scenario.devices = vec![15, 24];
+        scenario.runs = 3;
+        scenario.master_seed = seed;
+        scenario.threads = threads;
+
+        let unsharded = run_scenario(&scenario).expect("unsharded churned run");
+        let merged = merge_archives(&shard_archives(&scenario, k)).expect("merge");
+        let result = merged.result().expect("complete");
+        prop_assert_eq!(&result, &unsharded, "k={} threads={}", k, threads);
+    }
+}
+
+#[test]
+fn churned_archive_records_survive_the_json_roundtrip() {
+    // The new MechRun churn fields ride the same shortest-roundtrip float
+    // path as every other record field.
+    let mut scenario = Scenario::builtin("handover-storm").expect("builtin");
+    scenario.devices = vec![18];
+    scenario.runs = 3;
+    scenario.threads = 2;
+    let unsharded = run_scenario(&scenario).unwrap();
+    let parts: Vec<ScenarioArchive> = shard_archives(&scenario, 3)
+        .iter()
+        .map(|archive| {
+            let text = serde_json::to_string(archive).expect("serializable");
+            serde_json::from_str(&text).expect("JSON roundtrip")
+        })
+        .collect();
+    let merged = merge_archives(&parts).unwrap();
+    assert_eq!(merged.result().unwrap(), unsharded);
+    // The records really carry churn numbers (the storm re-plans).
+    assert!(merged
+        .items
+        .iter()
+        .flat_map(|i| i.rows.iter().flatten())
+        .any(|r| r.regroups > 0.0));
+}
+
 #[test]
 fn seven_way_shard_of_tiny_pool_is_bit_identical() {
     // The canonical uneven split pinned as a plain test: a 6-item pool in
