@@ -20,6 +20,10 @@
 #   golden         re-run the fig6b smoke scenario and scenario_diff it
 #                  against the committed golden/fig6b_smoke.json at zero
 #                  tolerance (cross-version conformance gate)
+#   fault-smoke    scenario_run under an injected crash/stall/corrupt
+#                  fault plan, a halt -> resume leg, a forced partial
+#                  merge and a process-worker leg, each checked against
+#                  the golden archive or the degradation contract
 #   bench-gate     bench_report --compare against BENCH_baseline.json
 #
 # Artifacts (merged smoke archive, bench report) land in $CI_ARTIFACT_DIR
@@ -27,7 +31,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test lint fmt docs figures-smoke shard-smoke golden bench-gate)
+STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke bench-gate)
 
 ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
 if [[ -z "$ARTIFACT_DIR" ]]; then
@@ -80,7 +84,7 @@ stage_docs() {
         > "$cmds"
     local bin help flags flag
     for bin in figures fig6a fig6b fig7 all_figures ablations calibrate \
-               bench_report scenario_merge scenario_diff; do
+               bench_report scenario_merge scenario_diff scenario_run; do
         grep -Eq -- "--bin $bin( |\$)" "$cmds" || continue
         help="$(cargo run --release -q -p nbiot-bench --bin "$bin" -- --help 2>&1 || true)"
         # A binary may appear with no flags at all (grep then exits 1
@@ -154,6 +158,78 @@ stage_golden() {
     echo "golden OK (fresh run bit-identical to golden/fig6b_smoke.json)"
 }
 
+stage_fault_smoke() {
+    echo "==> fault smoke: supervised scenario_run under injected faults vs golden"
+    # The process-worker leg re-invokes the figures binary; build it once
+    # up front (cargo run --bin scenario_run alone would not).
+    cargo build --release -q -p nbiot-bench
+    local run=(cargo run --release -q -p nbiot-bench --bin scenario_run --)
+    local diff=(cargo run --release -q -p nbiot-bench --bin scenario_diff --)
+    local args=(--scenario fig6b --runs 3 --devices 40 --threads 2)
+    local rc
+
+    # Leg 1: every injected fault kind on the golden smoke workload —
+    # crash mid-shard, a stall past the timeout, a corrupted checkpoint
+    # write and a transient spawn failure. The retries must recover and
+    # the merged archive must be bit-identical to the committed golden.
+    cat > "$SCRATCH/faults.json" <<'EOF'
+{ "rules": [
+    { "shard": 0, "attempt": 1, "kind": { "Crash": { "after_items": 1 } } },
+    { "shard": 1, "attempt": 1, "kind": "Stall" },
+    { "shard": 1, "attempt": 2, "kind": "SpawnFailure" },
+    { "shard": 2, "attempt": 1, "kind": "CorruptWrite" }
+] }
+EOF
+    "${run[@]}" "${args[@]}" --shards 3 --run-dir "$SCRATCH/ft_run" \
+        --fault-plan "$SCRATCH/faults.json" --timeout-ms 5000 --backoff-ms 0 \
+        --out "$ARTIFACT_DIR/fault_smoke_archive.json" > /dev/null
+    "${diff[@]}" golden/fig6b_smoke.json "$ARTIFACT_DIR/fault_smoke_archive.json"
+    echo "fault smoke leg 1 OK (crash/stall/corrupt/spawn-failure plan recovered)"
+
+    # Leg 2: kill after one completed shard (exit 4), resume from the
+    # same run directory, and still land on the golden bit pattern.
+    rc=0
+    "${run[@]}" "${args[@]}" --shards 3 --run-dir "$SCRATCH/halt_run" \
+        --halt-after 1 > /dev/null || rc=$?
+    [[ "$rc" -eq 4 ]] || { echo "expected halt exit 4, got $rc" >&2; return 1; }
+    "${run[@]}" "${args[@]}" --shards 3 --run-dir "$SCRATCH/halt_run" \
+        --out "$SCRATCH/resumed.json" > /dev/null
+    "${diff[@]}" golden/fig6b_smoke.json "$SCRATCH/resumed.json"
+    echo "fault smoke leg 2 OK (halt -> resume bit-identical)"
+
+    # Leg 3: a shard that fails every attempt must degrade (exit 3) to a
+    # coverage-annotated partial archive naming exactly that shard.
+    cat > "$SCRATCH/always_fail.json" <<'EOF'
+{ "rules": [
+    { "shard": 1, "attempt": 1, "kind": "SpawnFailure" },
+    { "shard": 1, "attempt": 2, "kind": "SpawnFailure" },
+    { "shard": 1, "attempt": 3, "kind": "SpawnFailure" }
+] }
+EOF
+    rc=0
+    "${run[@]}" "${args[@]}" --shards 3 --run-dir "$SCRATCH/partial_run" \
+        --fault-plan "$SCRATCH/always_fail.json" --backoff-ms 0 \
+        --allow-partial > /dev/null || rc=$?
+    [[ "$rc" -eq 3 ]] || { echo "expected degraded exit 3, got $rc" >&2; return 1; }
+    grep -q '"coverage"' "$SCRATCH/partial_run/partial.json"
+    grep -q '"missing"' "$SCRATCH/partial_run/partial.json"
+    # ...and the partial archive must refuse to fold into figure tables.
+    rc=0
+    "${diff[@]}" "$SCRATCH/partial_run/partial.json" \
+        "$SCRATCH/partial_run/partial.json" 2> /dev/null || rc=$?
+    [[ "$rc" -ne 0 ]] || { echo "partial archive folded; it must refuse" >&2; return 1; }
+    echo "fault smoke leg 3 OK (exhausted retries degrade to annotated partial)"
+
+    # Leg 4: process workers — each shard a supervised child re-invoking
+    # the figures binary — must also land on the golden bit pattern.
+    "${run[@]}" "${args[@]}" --shards 2 --run-dir "$SCRATCH/proc_run" \
+        --workers process \
+        --figures-bin "${CARGO_TARGET_DIR:-target}/release/figures" \
+        --out "$SCRATCH/proc_merged.json" > /dev/null
+    "${diff[@]}" golden/fig6b_smoke.json "$SCRATCH/proc_merged.json"
+    echo "fault smoke OK (all four legs)"
+}
+
 stage_bench_gate() {
     echo "==> bench gate: bench_report --compare vs BENCH_baseline.json"
     # The committed baseline was measured on the *full* default workload.
@@ -192,6 +268,7 @@ run_stage() {
         figures-smoke) stage_figures_smoke ;;
         shard-smoke)   stage_shard_smoke ;;
         golden)        stage_golden ;;
+        fault-smoke)   stage_fault_smoke ;;
         bench-gate)    stage_bench_gate ;;
         *)
             echo "unknown stage '$1'; stages: ${STAGES[*]}" >&2
@@ -209,7 +286,7 @@ case "${1:-}" in
         printf '%s\n' "${STAGES[@]}"
         ;;
     --help|-h)
-        sed -n '2,26p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,31p' "$0" | sed 's/^# \{0,1\}//'
         ;;
     "")
         for stage in "${STAGES[@]}"; do

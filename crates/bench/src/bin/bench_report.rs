@@ -49,7 +49,8 @@
 //!     "population_sharing_speedup": 5.0,     // per-mechanism regeneration / once-per-run
 //!     "sweep_parallel_speedup": 5.5,         // serial full device sweep / one (point × run) pool
 //!     "sweep_pipeline_gain": 1.3,            // per-point barriers (PR-1) / one (point × run) pool
-//!     "figure_suite_sharing_speedup": 2.5    // per-payload comparisons / one shared-plan grid
+//!     "figure_suite_sharing_speedup": 2.5,   // per-payload comparisons / one shared-plan grid
+//!     "coordinator_overhead": 1.05           // supervised 2-shard run / direct run_scenario
 //!   }
 //! }
 //! ```
@@ -59,7 +60,8 @@
 
 use std::time::Instant;
 
-use nbiot_bench::{workload, FigureOpts};
+use nbiot_bench::coordinator::{self, RunConfig};
+use nbiot_bench::{fail, fail_usage, workload, FigureOpts};
 use nbiot_des::SeedSequence;
 use nbiot_grouping::set_cover::{self, reference, WindowCover};
 use nbiot_grouping::{GroupingInput, GroupingParams, MechanismKind};
@@ -227,13 +229,22 @@ fn main() {
                 );
                 return;
             }
-            "--out" => out_path = args.next().expect("--out needs a path"),
-            "--compare" => compare = Some(args.next().expect("--compare needs a baseline path")),
+            "--out" => {
+                out_path = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--out needs a path"));
+            }
+            "--compare" => {
+                compare = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage("--compare needs a baseline path")),
+                );
+            }
             "--tolerance-pct" => {
                 tolerance_pct = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--tolerance-pct needs a number (percent)");
+                    .unwrap_or_else(|| fail_usage("--tolerance-pct needs a number (percent)"));
             }
             "--warn-only" => warn_only = true,
             _ => figure_args.push(arg),
@@ -602,6 +613,42 @@ fn main() {
     }
     let figure_suite_sharing_speedup = suite_separate_ms / suite_shared_ms;
 
+    // ---- Stage 8: coordinator overhead — the same suite grid executed
+    // through the fault-tolerant shard coordinator (2 supervised
+    // in-process shards, checkpointing to a scratch run dir) vs the
+    // direct `run_scenario` call of Stage 7. The merged archive must fold
+    // to the exact Stage-7 result; the derived ratio tracks what the
+    // supervision machinery (spawn, checkpoint write + re-validate,
+    // merge) costs on a fault-free run.
+    let coord_dir = std::env::temp_dir().join(format!("bench_report_coord_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&coord_dir);
+    let coord_shards = 2u32;
+    let (coord_outcome, coordinator_ms) = timed(|| {
+        let mut config = RunConfig::new(suite.clone(), coord_shards, &coord_dir);
+        config.backoff_base_ms = 0;
+        coordinator::run(&config).unwrap_or_else(|e| fail(format!("supervised suite run: {e}")))
+    });
+    let merged = coord_outcome
+        .merged
+        .unwrap_or_else(|| fail("supervised suite run produced no merged archive"));
+    assert_eq!(
+        merged.result().expect("complete archive"),
+        suite_result,
+        "supervised sharded run must fold to the direct run's exact result"
+    );
+    let _ = std::fs::remove_dir_all(&coord_dir);
+    let coordinator_overhead = coordinator_ms / suite_shared_ms;
+    stages.push(stage(
+        "coordinator_supervised_suite",
+        coordinator_ms,
+        json!({
+            "shards": coord_shards,
+            "payloads": payloads.len(),
+            "devices": opts.devices,
+            "runs": opts.runs,
+        }),
+    ));
+
     let report = json!({
         "schema_version": 1u64,
         "workload": json!({
@@ -624,10 +671,12 @@ fn main() {
             "sweep_parallel_speedup": sweep_serial_ms / sweep_parallel_ms,
             "sweep_pipeline_gain": sweep_barrier_ms / sweep_parallel_ms,
             "figure_suite_sharing_speedup": figure_suite_sharing_speedup,
+            "coordinator_overhead": coordinator_overhead,
         }),
     });
     let text = serde_json::to_string_pretty(&report).expect("serializable");
-    std::fs::write(&out_path, &text).expect("write benchmark report");
+    std::fs::write(&out_path, &text)
+        .unwrap_or_else(|e| fail(format!("cannot write benchmark report `{out_path}`: {e}")));
     println!("{text}");
     eprintln!(
         "\nbench_report: set-cover bitset speedup {set_cover_speedup:.2}x \
@@ -638,7 +687,8 @@ fn main() {
          (incremental {window_cover_incremental_speedup:.2}x over sweep), \
          parallel comparison speedup {:.2}x, \
          sweep point-parallel speedup {:.2}x (pipeline gain {:.2}x vs per-point barriers), \
-         figure-suite sharing speedup {figure_suite_sharing_speedup:.2}x -> {out_path}",
+         figure-suite sharing speedup {figure_suite_sharing_speedup:.2}x, \
+         coordinator overhead {coordinator_overhead:.2}x -> {out_path}",
         serial_ms / parallel_ms,
         sweep_serial_ms / sweep_parallel_ms,
         sweep_barrier_ms / sweep_parallel_ms,
@@ -647,9 +697,9 @@ fn main() {
     if let Some(baseline_path) = compare {
         let baseline: Value = serde_json::from_str(
             &std::fs::read_to_string(&baseline_path)
-                .unwrap_or_else(|e| panic!("cannot read baseline `{baseline_path}`: {e}")),
+                .unwrap_or_else(|e| fail(format!("cannot read baseline `{baseline_path}`: {e}"))),
         )
-        .unwrap_or_else(|e| panic!("bad baseline JSON in `{baseline_path}`: {e}"));
+        .unwrap_or_else(|e| fail(format!("bad baseline JSON in `{baseline_path}`: {e}")));
         let violations = run_gate(&report, &baseline, tolerance_pct);
         if !violations.is_empty() {
             eprintln!(

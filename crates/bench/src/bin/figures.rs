@@ -24,7 +24,7 @@
 //! into a result bit-identical to the unsharded run, and `scenario_diff`
 //! compares two archives.
 
-use nbiot_bench::{scenarios, FigureOpts};
+use nbiot_bench::{fail, fail_usage, scenarios, FigureOpts, OrFail};
 use nbiot_grouping::MechanismKind;
 use nbiot_sim::{run_scenario_shard, Scenario, ShardSpec};
 use nbiot_traffic::TrafficMix;
@@ -42,30 +42,43 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scenario" => {
-                scenario_spec = Some(
-                    args.next()
-                        .expect("--scenario needs a name or .json/.toml path"),
-                )
+                scenario_spec =
+                    Some(args.next().unwrap_or_else(|| {
+                        fail_usage("--scenario needs a name or .json/.toml path")
+                    }))
             }
             "--shard" => {
-                let spec = args.next().expect("--shard needs index/count, e.g. 0/3");
-                shard = Some(spec.parse().unwrap_or_else(|e| panic!("bad --shard: {e}")));
+                let spec = args
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--shard needs index/count, e.g. 0/3"));
+                shard = Some(
+                    spec.parse()
+                        .unwrap_or_else(|e| fail_usage(format!("bad --shard: {e}"))),
+                );
             }
             "--emit-archive" => {
-                emit_archive = Some(args.next().expect("--emit-archive needs a path"));
+                emit_archive = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage("--emit-archive needs a path")),
+                );
             }
             "--mechanisms" => {
                 let list = args
                     .next()
-                    .expect("--mechanisms needs a comma-separated set");
+                    .unwrap_or_else(|| fail_usage("--mechanisms needs a comma-separated set"));
                 mechanisms = Some(MechanismKind::parse_set(&list).unwrap_or_else(|bad| {
-                    panic!(
+                    fail_usage(format!(
                         "unknown mechanism `{bad}`; known: {}",
                         MechanismKind::ALL.map(|k| k.to_string()).join(", ")
-                    )
+                    ))
                 }));
             }
-            "--dump" => dump = Some(args.next().expect("--dump needs a format: json or toml")),
+            "--dump" => {
+                dump = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail_usage("--dump needs a format: json or toml")),
+                )
+            }
             "--list" => {
                 println!("built-in scenarios:");
                 for name in Scenario::REGISTRY {
@@ -93,8 +106,9 @@ fn main() {
         }
     }
     let opts = FigureOpts::parse(shared_args.into_iter());
-    let spec = scenario_spec.expect("--scenario is required (try --list or --help)");
-    let mut scenario = scenarios::load_scenario(&spec).unwrap_or_else(|e| panic!("{e}"));
+    let spec = scenario_spec
+        .unwrap_or_else(|| fail_usage("--scenario is required (try --list or --help)"));
+    let mut scenario = scenarios::load_scenario(&spec).or_fail();
     opts.apply_to_scenario(&mut scenario);
     if let Some(kinds) = mechanisms {
         scenario.mechanisms = kinds;
@@ -111,7 +125,7 @@ fn main() {
                 "{}",
                 nbiot_bench::toml_lite::to_toml(&value).expect("TOML-writable")
             ),
-            other => panic!("unknown dump format `{other}`; use json or toml"),
+            other => fail_usage(format!("unknown dump format `{other}`; use json or toml")),
         }
         return;
     }
@@ -119,11 +133,11 @@ fn main() {
     if shard.is_some() || emit_archive.is_some() {
         let shard = shard.unwrap_or(ShardSpec::FULL);
         let path = emit_archive.unwrap_or_else(|| {
-            panic!("--shard needs --emit-archive <path>: a partial grid cannot be rendered")
+            fail_usage("--shard needs --emit-archive <path>: a partial grid cannot be rendered")
         });
         let archive = run_scenario_shard(&scenario, shard)
-            .unwrap_or_else(|e| panic!("scenario execution failed: {e}"));
-        scenarios::write_archive(&path, &archive).unwrap_or_else(|e| panic!("{e}"));
+            .unwrap_or_else(|e| fail(format!("scenario execution failed: {e}")));
+        scenarios::write_archive(&path, &archive).or_fail();
         if archive.is_complete() {
             // A 1/1 archive is a whole run: render it like a normal run.
             let result = archive.result().expect("complete archive folds");

@@ -18,13 +18,15 @@
 //! run counts, compliance flips).
 
 use nbiot_bench::diff::{diff_results, diff_to_json, render_diff, DiffTolerance};
-use nbiot_bench::scenarios;
+use nbiot_bench::{fail, fail_usage, scenarios, OrFail};
 use nbiot_sim::ScenarioResult;
 
 fn load_result(path: &str) -> ScenarioResult {
-    let archive = scenarios::load_archive(path).unwrap_or_else(|e| panic!("{e}"));
+    let archive = scenarios::load_archive(path).or_fail();
     archive.result().unwrap_or_else(|e| {
-        panic!("`{path}`: {e} (merge partial shards with scenario_merge first)")
+        fail(format!(
+            "`{path}`: {e} (merge partial shards with scenario_merge first)"
+        ))
     })
 }
 
@@ -39,13 +41,12 @@ fn main() {
                 tolerance.abs = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--abs-tol needs a number");
+                    .unwrap_or_else(|| fail_usage("--abs-tol needs a number"));
             }
             "--rel-tol" => {
-                tolerance.rel = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--rel-tol needs a number (fraction of the baseline)");
+                tolerance.rel = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    fail_usage("--rel-tol needs a number (fraction of the baseline)")
+                });
             }
             "--json" => json = true,
             "--help" | "-h" => {
@@ -57,15 +58,17 @@ fn main() {
                 );
                 return;
             }
-            flag if flag.starts_with("--") => panic!("unknown flag {flag}; try --help"),
+            flag if flag.starts_with("--") => {
+                fail_usage(format!("unknown flag {flag}; try --help"))
+            }
             path => paths.push(path.to_string()),
         }
     }
     let [baseline_path, candidate_path] = paths.as_slice() else {
-        panic!(
+        fail_usage(format!(
             "scenario_diff needs exactly a baseline and a candidate archive (got {}); try --help",
             paths.len()
-        );
+        ));
     };
 
     let baseline = load_result(baseline_path);

@@ -1,0 +1,1053 @@
+//! Fault-tolerant campaign coordination: supervised shard execution with
+//! deterministic fault injection, checkpoint/resume, and partial-merge
+//! degradation — the engine behind the `scenario_run` binary.
+//!
+//! A campaign partitions a scenario's (point × run) item pool into
+//! [`ShardSpec`]s and executes every shard under supervision:
+//!
+//! * each attempt runs either **in-process** (a worker thread computing
+//!   [`run_scenario_shard`]) or as a **child process** (re-invoking
+//!   `figures --shard i/N --emit-archive`), bounded by a per-shard
+//!   timeout;
+//! * a failed, stalled or corrupt attempt is retried with **seeded
+//!   exponential backoff** up to a bounded attempt budget — every backoff
+//!   delay is a pure function of (master seed, shard, attempt), so a
+//!   re-run of the same campaign schedules identically;
+//! * every completed shard archive is **checkpointed** into the run
+//!   directory; a resumed campaign skips shards whose checkpoints pass
+//!   fingerprint + integrity validation and re-executes the rest;
+//! * when a shard exhausts its budget the campaign can **degrade** via
+//!   [`MergePolicy::Partial`] into a coverage-annotated partial archive
+//!   instead of aborting.
+//!
+//! Failure handling is itself testable: a serde-round-trippable
+//! [`FaultPlan`] injects crash-at-item-k, stall-past-timeout,
+//! corrupt-archive-on-write and transient-spawn failures into chosen
+//! (shard, attempt) slots, and [`FaultPlan::sampled`] draws a reproducible
+//! random plan from the same seeded RNG tree the simulator uses. Fault
+//! injection requires the in-process worker mode (a child process cannot
+//! be made to lie on cue); supervision itself covers both modes.
+//!
+//! See `docs/RESILIENCE.md` for the full lifecycle, directory layout and
+//! exit-code contract.
+
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use nbiot_des::SeedSequence;
+use nbiot_sim::{
+    merge_archives_with, run_scenario_shard, scenario_fingerprint, MergePolicy, Scenario,
+    ScenarioArchive, ShardSpec, SimError,
+};
+use rand::Rng;
+
+use crate::scenarios::{load_archive, load_scenario, write_archive};
+
+/// `SeedSequence` child offset for fault-plan sampling — far above the
+/// per-run children (`child(run)`) and the churn stream block
+/// (`child(1 << 40)`), so injected-failure draws can never collide with
+/// simulation draws.
+const FAULT_SEED_CHILD: u64 = 1 << 42;
+/// `SeedSequence` child offset for backoff jitter (same reasoning).
+const BACKOFF_SEED_CHILD: u64 = (1 << 42) + (1 << 41);
+
+/// One injected failure mode for a single (shard, attempt) slot.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// The worker dies after archiving `after_items` items: a truncated
+    /// (but parseable) archive lands in the attempt's scratch file and the
+    /// worker never reports success.
+    Crash {
+        /// How many leading items make it into the truncated archive.
+        after_items: usize,
+    },
+    /// The worker hangs past the coordinator's timeout and never delivers.
+    Stall,
+    /// The worker writes a corrupted archive (a flipped record checksum)
+    /// and *claims success* — only load-time integrity validation can
+    /// catch it.
+    CorruptWrite,
+    /// The worker cannot be started at all this attempt (transient spawn
+    /// failure: fork limits, executable momentarily missing, ...).
+    SpawnFailure,
+}
+
+/// An injected failure bound to one (shard, attempt) slot. Attempts are
+/// 1-based, matching the attempt numbering in [`AttemptReport`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultRule {
+    /// Zero-based shard index the fault applies to.
+    pub shard: u32,
+    /// 1-based attempt number the fault applies to.
+    pub attempt: u32,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A reproducible failure schedule: which (shard, attempt) slots fail and
+/// how. Serde-round-trippable so CI can pin a plan in a JSON file, and
+/// sampleable from the seeded RNG tree so property tests can explore the
+/// failure space deterministically.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// The injected failures. Order is irrelevant; at most one rule per
+    /// (shard, attempt) slot is honored (the first listed wins).
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan injecting no faults at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects no faults.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The fault injected into this (shard, 1-based attempt) slot, if any.
+    pub fn fault_for(&self, shard: u32, attempt: u32) -> Option<&FaultKind> {
+        self.rules
+            .iter()
+            .find(|rule| rule.shard == shard && rule.attempt == attempt)
+            .map(|rule| &rule.kind)
+    }
+
+    /// Draws a reproducible random plan from the seeded RNG tree: each
+    /// (shard, attempt) slot fails with probability `intensity`, with the
+    /// fault kind drawn uniformly. The **final** attempt of every shard is
+    /// always left clean, so a sampled plan is guaranteed to succeed
+    /// within a `max_attempts` retry budget — the property the crash/
+    /// resume determinism tests quantify over. `include_stall` gates the
+    /// slowest fault kind (a stall burns a whole timeout window).
+    pub fn sampled(
+        seed: u64,
+        shards: u32,
+        max_attempts: u32,
+        intensity: f64,
+        include_stall: bool,
+    ) -> FaultPlan {
+        let seq = SeedSequence::new(seed);
+        let mut rules = Vec::new();
+        for shard in 0..shards {
+            let shard_seq = seq.child(FAULT_SEED_CHILD + u64::from(shard));
+            for attempt in 1..max_attempts {
+                let mut rng = shard_seq.rng(u64::from(attempt));
+                if !rng.gen_bool(intensity.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let kind = match rng.gen_range(0..if include_stall { 4 } else { 3 }) {
+                    0 => FaultKind::Crash {
+                        after_items: rng.gen_range(0..4),
+                    },
+                    1 => FaultKind::CorruptWrite,
+                    2 => FaultKind::SpawnFailure,
+                    _ => FaultKind::Stall,
+                };
+                rules.push(FaultRule {
+                    shard,
+                    attempt,
+                    kind,
+                });
+            }
+        }
+        FaultPlan { rules }
+    }
+}
+
+/// How shard attempts are executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerMode {
+    /// A worker thread inside the coordinator process computes
+    /// [`run_scenario_shard`] directly. Supports fault injection.
+    InProcess,
+    /// A supervised child process re-invokes
+    /// `figures --scenario <run_dir>/scenario.json --shard i/N
+    /// --emit-archive <tmp>` — the multi-host execution model, exercised
+    /// locally.
+    Process {
+        /// Path to the `figures` binary.
+        figures_bin: PathBuf,
+    },
+}
+
+/// Everything a campaign needs: the scenario, the partition, the retry
+/// budget, and the failure schedule under test.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The scenario to execute.
+    pub scenario: Scenario,
+    /// How many shards to partition the item pool into (`>= 1`).
+    pub shards: u32,
+    /// Checkpoint/run directory (created if absent). A directory holding
+    /// checkpoints of a *different* scenario is refused.
+    pub run_dir: PathBuf,
+    /// Attempt budget per shard (`>= 1`; 1 = no retries).
+    pub max_attempts: u32,
+    /// Per-attempt timeout: an attempt not delivering within this window
+    /// counts as stalled and is retried.
+    pub timeout: Duration,
+    /// Base of the exponential backoff between attempts, in milliseconds
+    /// (`0` disables backoff; useful in tests).
+    pub backoff_base_ms: u64,
+    /// How shard attempts execute.
+    pub workers: WorkerMode,
+    /// The injected failure schedule (requires [`WorkerMode::InProcess`]).
+    pub fault_plan: FaultPlan,
+    /// With retries exhausted on some shard, degrade to a
+    /// coverage-annotated partial merge instead of skipping the merge.
+    pub allow_partial: bool,
+    /// Stop the campaign (as a simulated kill) after this many *newly*
+    /// completed shards: checkpoints stay on disk, no merge is attempted,
+    /// and a later run with the same config resumes from them.
+    pub halt_after: Option<u32>,
+}
+
+impl RunConfig {
+    /// A config with production-shaped defaults: 3 attempts, a 10-minute
+    /// per-shard timeout, 200 ms backoff base, in-process workers, no
+    /// faults, strict merging.
+    pub fn new(scenario: Scenario, shards: u32, run_dir: impl Into<PathBuf>) -> RunConfig {
+        RunConfig {
+            scenario,
+            shards,
+            run_dir: run_dir.into(),
+            max_attempts: 3,
+            timeout: Duration::from_secs(600),
+            backoff_base_ms: 200,
+            workers: WorkerMode::InProcess,
+            fault_plan: FaultPlan::none(),
+            allow_partial: false,
+            halt_after: None,
+        }
+    }
+
+    /// The deterministic backoff delay after a failed attempt, in
+    /// milliseconds: `base * 2^(attempt-1)` capped at 30 s, plus up to
+    /// 50 % seeded jitter drawn from the scenario's own RNG tree — so
+    /// identical campaigns schedule identically, while distinct shards
+    /// never thundering-herd in lockstep.
+    pub fn backoff_ms(&self, shard: u32, attempt: u32) -> u64 {
+        if self.backoff_base_ms == 0 {
+            return 0;
+        }
+        let exponent = attempt.saturating_sub(1).min(16);
+        let base = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << exponent)
+            .min(30_000);
+        let jitter = SeedSequence::new(self.scenario.master_seed)
+            .child(BACKOFF_SEED_CHILD + u64::from(shard))
+            .rng(u64::from(attempt))
+            .gen_range(0..base / 2 + 1);
+        base + jitter
+    }
+
+    /// Sanity-checks the configuration itself (not the filesystem).
+    fn validate(&self) -> Result<(), CoordError> {
+        if self.shards == 0 {
+            return Err(CoordError::Config("shard count must be at least 1".into()));
+        }
+        if self.max_attempts == 0 {
+            return Err(CoordError::Config(
+                "attempt budget must be at least 1".into(),
+            ));
+        }
+        if !self.fault_plan.is_empty() && !matches!(self.workers, WorkerMode::InProcess) {
+            return Err(CoordError::Config(
+                "fault injection requires in-process workers; a child process cannot be \
+                 made to fail on cue"
+                    .into(),
+            ));
+        }
+        self.scenario.validate().map_err(CoordError::Sim)
+    }
+}
+
+/// What one supervised attempt ended as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AttemptOutcome {
+    /// The attempt delivered a validated archive; its checkpoint is on
+    /// disk.
+    Completed,
+    /// The worker could not be started.
+    SpawnFailed,
+    /// The worker delivered nothing within the timeout and was abandoned
+    /// (child processes are killed; in-process workers are detached and
+    /// their late output lands in an attempt-unique scratch file that is
+    /// never read).
+    Stalled,
+    /// The worker died or reported an execution failure.
+    Crashed,
+    /// The worker claimed success but its archive failed fingerprint or
+    /// integrity validation.
+    CorruptArchive,
+}
+
+/// The record of one supervised attempt.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AttemptReport {
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// One-line human-readable detail (item count, error, ...).
+    pub detail: String,
+    /// Backoff scheduled after this attempt (0 on success, on the final
+    /// attempt, and when backoff is disabled).
+    pub backoff_ms: u64,
+}
+
+/// The record of one shard across the campaign.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardReport {
+    /// Zero-based shard index.
+    pub shard: u32,
+    /// The shard's checkpoint from an earlier run passed validation and
+    /// no attempt was needed.
+    pub from_checkpoint: bool,
+    /// The shard's archive is checkpointed (via attempt or resume).
+    pub completed: bool,
+    /// Every supervised attempt, in order (empty when resumed or skipped).
+    pub attempts: Vec<AttemptReport>,
+}
+
+/// The full campaign record `scenario_run --report` serializes.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario fingerprint (the merge-compatibility key).
+    pub fingerprint: u64,
+    /// Total shard count.
+    pub shards: u32,
+    /// The campaign stopped early via [`RunConfig::halt_after`].
+    pub halted: bool,
+    /// Zero-based indices of checkpointed shards.
+    pub completed: Vec<u32>,
+    /// Zero-based indices of shards that exhausted their attempt budget.
+    pub failed: Vec<u32>,
+    /// Zero-based indices of shards never attempted (halted campaign).
+    pub skipped: Vec<u32>,
+    /// Per-shard attempt logs.
+    pub shard_reports: Vec<ShardReport>,
+}
+
+/// What a campaign produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The campaign record.
+    pub report: RunReport,
+    /// The merged archive: `Some` full archive on total success, `Some`
+    /// coverage-annotated archive on a permitted partial merge, `None`
+    /// when halted or when a failed campaign may not degrade.
+    pub merged: Option<ScenarioArchive>,
+    /// Where the merged (or partial) archive was written.
+    pub merged_path: Option<PathBuf>,
+}
+
+/// Coordinator errors: campaign-level problems, as opposed to per-attempt
+/// failures (which are retried and reported, not raised).
+#[derive(Debug)]
+pub enum CoordError {
+    /// Scenario validation or final-merge failure.
+    Sim(SimError),
+    /// A filesystem operation on the run directory failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        detail: String,
+    },
+    /// The configuration contradicts itself or the run directory.
+    Config(String),
+}
+
+impl core::fmt::Display for CoordError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoordError::Sim(e) => write!(f, "{e}"),
+            CoordError::Io { path, detail } => {
+                write!(
+                    f,
+                    "run-directory I/O failed on `{}`: {detail}",
+                    path.display()
+                )
+            }
+            CoordError::Config(detail) => write!(f, "bad coordinator config: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordError {}
+
+impl From<SimError> for CoordError {
+    fn from(e: SimError) -> Self {
+        CoordError::Sim(e)
+    }
+}
+
+/// The checkpoint path of one shard inside the run directory.
+pub fn checkpoint_path(run_dir: &Path, shard: ShardSpec) -> PathBuf {
+    run_dir.join(format!("shard_{}_of_{}.json", shard.index, shard.count))
+}
+
+fn io_err(path: &Path) -> impl Fn(std::io::Error) -> CoordError + '_ {
+    move |e| CoordError::Io {
+        path: path.to_path_buf(),
+        detail: e.to_string(),
+    }
+}
+
+/// Runs a campaign end-to-end: resume from checkpoints, supervise and
+/// retry every remaining shard, then merge.
+///
+/// Per-attempt failures are **not** errors — they are retried within the
+/// budget and recorded in the report; a shard exhausting its budget shows
+/// up in `report.failed` (with `merged` degraded or absent per
+/// [`RunConfig::allow_partial`]).
+///
+/// # Errors
+///
+/// [`CoordError`] only for campaign-level problems: an invalid config or
+/// scenario, a run directory that belongs to a different scenario or
+/// cannot be read/written, or a final merge that fails structurally.
+pub fn run(config: &RunConfig) -> Result<RunOutcome, CoordError> {
+    config.validate()?;
+    std::fs::create_dir_all(&config.run_dir).map_err(io_err(&config.run_dir))?;
+    let fingerprint = pin_scenario(config)?;
+
+    let mut report = RunReport {
+        scenario: config.scenario.name.clone(),
+        fingerprint,
+        shards: config.shards,
+        halted: false,
+        completed: Vec::new(),
+        failed: Vec::new(),
+        skipped: Vec::new(),
+        shard_reports: Vec::new(),
+    };
+    let mut newly_completed = 0u32;
+    for index in 0..config.shards {
+        if config.halt_after.is_some_and(|n| newly_completed >= n) {
+            report.halted = true;
+        }
+        let spec = ShardSpec {
+            index,
+            count: config.shards,
+        };
+        let mut shard_report = ShardReport {
+            shard: index,
+            from_checkpoint: false,
+            completed: false,
+            attempts: Vec::new(),
+        };
+        let ckpt = checkpoint_path(&config.run_dir, spec);
+        if checkpoint_is_valid(&ckpt, fingerprint, spec) {
+            shard_report.from_checkpoint = true;
+            shard_report.completed = true;
+        } else if report.halted {
+            report.skipped.push(index);
+            report.shard_reports.push(shard_report);
+            continue;
+        } else {
+            // A checkpoint that exists but fails validation is stale or
+            // corrupt: drop it and re-execute.
+            let _ = std::fs::remove_file(&ckpt);
+            for attempt in 1..=config.max_attempts {
+                let fault = config.fault_plan.fault_for(index, attempt);
+                let (outcome, detail) = execute_attempt(config, spec, attempt, fault, &ckpt);
+                let done = outcome == AttemptOutcome::Completed;
+                let backoff_ms = if done || attempt == config.max_attempts {
+                    0
+                } else {
+                    config.backoff_ms(index, attempt)
+                };
+                shard_report.attempts.push(AttemptReport {
+                    attempt,
+                    outcome,
+                    detail,
+                    backoff_ms,
+                });
+                if done {
+                    shard_report.completed = true;
+                    newly_completed += 1;
+                    break;
+                }
+                if backoff_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                }
+            }
+        }
+        if shard_report.completed {
+            report.completed.push(index);
+        } else {
+            report.failed.push(index);
+        }
+        report.shard_reports.push(shard_report);
+    }
+
+    let (merged, merged_path) = if report.halted {
+        (None, None)
+    } else {
+        merge_campaign(config, &report)?
+    };
+    Ok(RunOutcome {
+        report,
+        merged,
+        merged_path,
+    })
+}
+
+/// Writes the campaign's scenario into the run directory (process workers
+/// load it from there) and returns its fingerprint. A run directory
+/// already pinned to a *different* scenario is refused — mixing two
+/// campaigns' checkpoints in one directory is always an operator error.
+fn pin_scenario(config: &RunConfig) -> Result<u64, CoordError> {
+    let fingerprint = scenario_fingerprint(&config.scenario);
+    let path = config.run_dir.join("scenario.json");
+    if path.exists() {
+        let pinned = load_scenario(&path.to_string_lossy()).map_err(CoordError::Config)?;
+        if scenario_fingerprint(&pinned) != fingerprint {
+            return Err(CoordError::Config(format!(
+                "run directory `{}` holds a campaign of a different scenario \
+                 (fingerprint {:#018x}, this campaign is {fingerprint:#018x}); \
+                 use a fresh --run-dir",
+                config.run_dir.display(),
+                scenario_fingerprint(&pinned),
+            )));
+        }
+    } else {
+        let text =
+            serde_json::to_string_pretty(&config.scenario).expect("scenario is serializable");
+        std::fs::write(&path, text).map_err(io_err(&path))?;
+    }
+    Ok(fingerprint)
+}
+
+/// Whether a checkpoint file exists, parses, passes archive integrity
+/// validation, and belongs to this campaign's scenario and shard.
+fn checkpoint_is_valid(path: &Path, fingerprint: u64, spec: ShardSpec) -> bool {
+    path.exists()
+        && load_archive(&path.to_string_lossy())
+            .is_ok_and(|archive| archive.fingerprint == fingerprint && archive.shard == spec)
+}
+
+/// One supervised attempt: run the worker, bound it by the timeout,
+/// validate whatever it delivered, and atomically promote a good archive
+/// to the shard's checkpoint.
+fn execute_attempt(
+    config: &RunConfig,
+    spec: ShardSpec,
+    attempt: u32,
+    fault: Option<&FaultKind>,
+    ckpt: &Path,
+) -> (AttemptOutcome, String) {
+    if matches!(fault, Some(FaultKind::SpawnFailure)) {
+        return (
+            AttemptOutcome::SpawnFailed,
+            "injected transient spawn failure".into(),
+        );
+    }
+    // Attempt-unique scratch file: a stalled worker from an abandoned
+    // attempt can finish late without clobbering a newer attempt's output.
+    let tmp = config
+        .run_dir
+        .join(format!(".shard_{}_attempt_{attempt}.tmp.json", spec.index));
+    let _ = std::fs::remove_file(&tmp);
+    let verdict = match &config.workers {
+        WorkerMode::InProcess => in_process_attempt(config, spec, fault, &tmp),
+        WorkerMode::Process { figures_bin } => subprocess_attempt(config, spec, figures_bin, &tmp),
+    };
+    match verdict {
+        WorkerVerdict::Finished => {
+            // The worker claims success; trust nothing it wrote until the
+            // archive passes fingerprint + integrity validation.
+            let loaded = load_archive(&tmp.to_string_lossy());
+            match loaded {
+                Ok(archive)
+                    if archive.fingerprint == scenario_fingerprint(&config.scenario)
+                        && archive.shard == spec =>
+                {
+                    match std::fs::rename(&tmp, ckpt) {
+                        Ok(()) => (
+                            AttemptOutcome::Completed,
+                            format!("{} items checkpointed", archive.items.len()),
+                        ),
+                        Err(e) => (
+                            AttemptOutcome::Crashed,
+                            format!("cannot promote checkpoint: {e}"),
+                        ),
+                    }
+                }
+                Ok(_) => (
+                    AttemptOutcome::CorruptArchive,
+                    "archive belongs to a different scenario or shard".into(),
+                ),
+                Err(e) => (AttemptOutcome::CorruptArchive, e),
+            }
+        }
+        WorkerVerdict::Failed(detail) => (AttemptOutcome::Crashed, detail),
+        WorkerVerdict::TimedOut => (
+            AttemptOutcome::Stalled,
+            format!("no archive within {} ms", config.timeout.as_millis()),
+        ),
+        WorkerVerdict::SpawnFailed(detail) => (AttemptOutcome::SpawnFailed, detail),
+    }
+}
+
+/// What the worker (thread or child process) reported, before the
+/// coordinator validates anything it wrote.
+enum WorkerVerdict {
+    /// Claims to have written the archive.
+    Finished,
+    /// Reported an execution failure (or died).
+    Failed(String),
+    /// Delivered nothing within the timeout.
+    TimedOut,
+    /// Could not be started.
+    SpawnFailed(String),
+}
+
+/// Runs one attempt on a worker thread, honoring any injected fault. The
+/// thread is detached on timeout — its late result is discarded and its
+/// scratch file is attempt-unique, so it cannot interfere with retries.
+fn in_process_attempt(
+    config: &RunConfig,
+    spec: ShardSpec,
+    fault: Option<&FaultKind>,
+    tmp: &Path,
+) -> WorkerVerdict {
+    let (tx, rx) = mpsc::channel();
+    let scenario = config.scenario.clone();
+    let fault = fault.cloned();
+    let tmp = tmp.to_path_buf();
+    // Long enough that the coordinator's recv_timeout always fires first.
+    let stall_for = config.timeout + config.timeout / 2 + Duration::from_millis(50);
+    std::thread::spawn(move || {
+        let verdict = in_process_body(&scenario, spec, fault.as_ref(), &tmp, stall_for);
+        let _ = tx.send(verdict);
+    });
+    match rx.recv_timeout(config.timeout) {
+        Ok(verdict) => verdict,
+        Err(_) => WorkerVerdict::TimedOut,
+    }
+}
+
+/// The worker-thread body: compute the shard archive, then apply the
+/// injected fault to what (if anything) lands on disk.
+fn in_process_body(
+    scenario: &Scenario,
+    spec: ShardSpec,
+    fault: Option<&FaultKind>,
+    tmp: &Path,
+    stall_for: Duration,
+) -> WorkerVerdict {
+    if matches!(fault, Some(FaultKind::Stall)) {
+        std::thread::sleep(stall_for);
+        return WorkerVerdict::Failed("stalled past the timeout".into());
+    }
+    let mut archive = match run_scenario_shard(scenario, spec) {
+        Ok(archive) => archive,
+        Err(e) => return WorkerVerdict::Failed(format!("shard execution failed: {e}")),
+    };
+    match fault {
+        Some(FaultKind::Crash { after_items }) => {
+            // A worker dying mid-write leaves a truncated archive behind
+            // and never reports success.
+            archive.items.truncate(*after_items);
+            let _ = write_archive(&tmp.to_string_lossy(), &archive);
+            WorkerVerdict::Failed(format!(
+                "injected crash after {} archived items",
+                archive.items.len()
+            ))
+        }
+        Some(FaultKind::CorruptWrite) => {
+            // Flip one record checksum (or the fingerprint of an empty
+            // shard): valid JSON, corrupt content, and the worker *claims
+            // success* — load-time integrity validation must catch it.
+            match archive.items.first_mut() {
+                Some(entry) => entry.checksum ^= 1,
+                None => archive.fingerprint ^= 1,
+            }
+            match write_archive(&tmp.to_string_lossy(), &archive) {
+                Ok(()) => WorkerVerdict::Finished,
+                Err(e) => WorkerVerdict::Failed(e),
+            }
+        }
+        _ => match write_archive(&tmp.to_string_lossy(), &archive) {
+            Ok(()) => WorkerVerdict::Finished,
+            Err(e) => WorkerVerdict::Failed(e),
+        },
+    }
+}
+
+/// Runs one attempt as a supervised child process re-invoking `figures`,
+/// killing it if it overruns the timeout.
+fn subprocess_attempt(
+    config: &RunConfig,
+    spec: ShardSpec,
+    figures_bin: &Path,
+    tmp: &Path,
+) -> WorkerVerdict {
+    use std::process::{Command, Stdio};
+    let scenario_path = config.run_dir.join("scenario.json");
+    let mut child = match Command::new(figures_bin)
+        .arg("--scenario")
+        .arg(&scenario_path)
+        .arg("--shard")
+        .arg(spec.to_string())
+        .arg("--emit-archive")
+        .arg(tmp)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => {
+            return WorkerVerdict::SpawnFailed(format!(
+                "cannot spawn `{}`: {e}",
+                figures_bin.display()
+            ))
+        }
+    };
+    let deadline = Instant::now() + config.timeout;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                let mut stderr = String::new();
+                if let Some(mut pipe) = child.stderr.take() {
+                    use std::io::Read as _;
+                    let _ = pipe.read_to_string(&mut stderr);
+                }
+                return if status.success() {
+                    WorkerVerdict::Finished
+                } else {
+                    let tail = stderr.lines().last().unwrap_or("no stderr").to_string();
+                    WorkerVerdict::Failed(format!("worker exited with {status}: {tail}"))
+                };
+            }
+            Ok(None) if Instant::now() >= deadline => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return WorkerVerdict::TimedOut;
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return WorkerVerdict::Failed(format!("cannot supervise worker: {e}"));
+            }
+        }
+    }
+}
+
+/// Merges whatever the campaign checkpointed: a strict merge when every
+/// shard completed, a coverage-annotated partial merge when permitted,
+/// nothing otherwise.
+fn merge_campaign(
+    config: &RunConfig,
+    report: &RunReport,
+) -> Result<(Option<ScenarioArchive>, Option<PathBuf>), CoordError> {
+    let archives: Vec<ScenarioArchive> = report
+        .completed
+        .iter()
+        .map(|&index| {
+            let spec = ShardSpec {
+                index,
+                count: config.shards,
+            };
+            let path = checkpoint_path(&config.run_dir, spec);
+            load_archive(&path.to_string_lossy()).map_err(|detail| CoordError::Io { path, detail })
+        })
+        .collect::<Result<_, _>>()?;
+    let (policy, file) = if report.failed.is_empty() {
+        (MergePolicy::Strict, "merged.json")
+    } else if config.allow_partial && !archives.is_empty() {
+        (MergePolicy::Partial, "partial.json")
+    } else {
+        return Ok((None, None));
+    };
+    let merged = merge_archives_with(&archives, policy)?;
+    let path = config.run_dir.join(file);
+    write_archive(&path.to_string_lossy(), &merged).map_err(|detail| CoordError::Io {
+        path: path.clone(),
+        detail,
+    })?;
+    Ok((Some(merged), Some(path)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbiot_sim::run_scenario;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tiny() -> Scenario {
+        let mut s = Scenario::builtin("fig6a").expect("builtin");
+        s.devices = vec![10, 16];
+        s.runs = 2;
+        s.threads = 1;
+        s
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "nbiot_coord_{tag}_{}_{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn test_config(tag: &str) -> RunConfig {
+        let mut config = RunConfig::new(tiny(), 3, fresh_dir(tag));
+        config.backoff_base_ms = 0;
+        config.timeout = Duration::from_secs(60);
+        config
+    }
+
+    #[test]
+    fn fault_free_campaign_is_bit_identical_to_run_scenario() {
+        let config = test_config("clean");
+        let outcome = run(&config).expect("campaign");
+        assert_eq!(outcome.report.completed, vec![0, 1, 2]);
+        assert!(outcome.report.failed.is_empty());
+        let merged = outcome.merged.expect("full merge");
+        assert_eq!(
+            merged.result().expect("complete"),
+            run_scenario(&config.scenario).expect("direct")
+        );
+        assert!(outcome.merged_path.expect("path").ends_with("merged.json"));
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+
+    #[test]
+    fn every_fault_kind_is_survived_within_the_retry_budget() {
+        let mut config = test_config("faults");
+        config.timeout = Duration::from_millis(400);
+        config.fault_plan = FaultPlan {
+            rules: vec![
+                FaultRule {
+                    shard: 0,
+                    attempt: 1,
+                    kind: FaultKind::Crash { after_items: 1 },
+                },
+                FaultRule {
+                    shard: 1,
+                    attempt: 1,
+                    kind: FaultKind::Stall,
+                },
+                FaultRule {
+                    shard: 1,
+                    attempt: 2,
+                    kind: FaultKind::SpawnFailure,
+                },
+                FaultRule {
+                    shard: 2,
+                    attempt: 1,
+                    kind: FaultKind::CorruptWrite,
+                },
+            ],
+        };
+        let outcome = run(&config).expect("campaign");
+        let by_shard: Vec<Vec<AttemptOutcome>> = outcome
+            .report
+            .shard_reports
+            .iter()
+            .map(|s| s.attempts.iter().map(|a| a.outcome).collect())
+            .collect();
+        assert_eq!(
+            by_shard[0],
+            vec![AttemptOutcome::Crashed, AttemptOutcome::Completed]
+        );
+        assert_eq!(
+            by_shard[1],
+            vec![
+                AttemptOutcome::Stalled,
+                AttemptOutcome::SpawnFailed,
+                AttemptOutcome::Completed
+            ]
+        );
+        assert_eq!(
+            by_shard[2],
+            vec![AttemptOutcome::CorruptArchive, AttemptOutcome::Completed]
+        );
+        // Recovery is exact, not approximate.
+        let merged = outcome.merged.expect("full merge after retries");
+        assert_eq!(
+            merged.result().expect("complete"),
+            run_scenario(&config.scenario).expect("direct")
+        );
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_an_annotated_partial_merge() {
+        let mut config = test_config("degrade");
+        config.allow_partial = true;
+        config.fault_plan = FaultPlan {
+            rules: (1..=config.max_attempts)
+                .map(|attempt| FaultRule {
+                    shard: 1,
+                    attempt,
+                    kind: FaultKind::SpawnFailure,
+                })
+                .collect(),
+        };
+        let outcome = run(&config).expect("campaign");
+        assert_eq!(outcome.report.failed, vec![1]);
+        let merged = outcome.merged.expect("partial merge");
+        let coverage = merged.coverage.as_ref().expect("coverage annotation");
+        assert_eq!(coverage.missing, vec![1]);
+        assert_eq!(coverage.present, vec![0, 2]);
+        assert!(matches!(
+            merged.result(),
+            Err(SimError::DegradedArchive { ref missing }) if missing == &vec![1]
+        ));
+        assert!(outcome.merged_path.expect("path").ends_with("partial.json"));
+        // Without permission to degrade, the same campaign merges nothing.
+        let mut strict = config.clone();
+        strict.run_dir = fresh_dir("degrade_strict");
+        strict.allow_partial = false;
+        let outcome = run(&strict).expect("campaign");
+        assert_eq!(outcome.report.failed, vec![1]);
+        assert!(outcome.merged.is_none());
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+        std::fs::remove_dir_all(&strict.run_dir).unwrap();
+    }
+
+    #[test]
+    fn halted_campaigns_resume_from_checkpoints_bit_identically() {
+        let mut config = test_config("resume");
+        config.halt_after = Some(1);
+        let first = run(&config).expect("halted campaign");
+        assert!(first.report.halted);
+        assert_eq!(first.report.completed, vec![0]);
+        assert_eq!(first.report.skipped, vec![1, 2]);
+        assert!(first.merged.is_none());
+        // Resume: shard 0 comes from its checkpoint, the rest execute.
+        let mut resumed = config.clone();
+        resumed.halt_after = None;
+        let outcome = run(&resumed).expect("resumed campaign");
+        assert!(outcome.report.shard_reports[0].from_checkpoint);
+        assert!(!outcome.report.shard_reports[1].from_checkpoint);
+        let merged = outcome.merged.expect("full merge");
+        assert_eq!(
+            merged.result().expect("complete"),
+            run_scenario(&config.scenario).expect("direct")
+        );
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_dropped_and_reexecuted_on_resume() {
+        let config = test_config("ckpt_corrupt");
+        run(&config).expect("first campaign");
+        let ckpt = checkpoint_path(&config.run_dir, ShardSpec { index: 1, count: 3 });
+        std::fs::write(&ckpt, "{ definitely not an archive").unwrap();
+        let outcome = run(&config).expect("resumed campaign");
+        let shard1 = &outcome.report.shard_reports[1];
+        assert!(
+            !shard1.from_checkpoint,
+            "corrupt checkpoint must not resume"
+        );
+        assert!(shard1.completed);
+        assert_eq!(
+            outcome.merged.expect("merge").result().expect("complete"),
+            run_scenario(&config.scenario).expect("direct")
+        );
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+
+    #[test]
+    fn run_dir_pinned_to_another_scenario_is_refused() {
+        let config = test_config("pin");
+        run(&config).expect("first campaign");
+        let mut other = config.clone();
+        other.scenario.master_seed ^= 0xBAD;
+        match run(&other) {
+            Err(CoordError::Config(detail)) => {
+                assert!(detail.contains("different scenario"), "{detail}")
+            }
+            other => panic!("expected a config refusal, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+
+    #[test]
+    fn missing_worker_binary_fails_cleanly_not_panics() {
+        let mut config = test_config("nobin");
+        config.max_attempts = 2;
+        config.workers = WorkerMode::Process {
+            figures_bin: PathBuf::from("/nonexistent/figures"),
+        };
+        let outcome = run(&config).expect("campaign completes with failures");
+        assert_eq!(outcome.report.failed, vec![0, 1, 2]);
+        assert!(outcome.merged.is_none());
+        for shard in &outcome.report.shard_reports {
+            assert!(shard
+                .attempts
+                .iter()
+                .all(|a| a.outcome == AttemptOutcome::SpawnFailed));
+        }
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+
+    #[test]
+    fn fault_plans_roundtrip_and_sample_deterministically() {
+        let plan = FaultPlan::sampled(42, 5, 3, 0.7, true);
+        assert_eq!(plan, FaultPlan::sampled(42, 5, 3, 0.7, true));
+        assert_ne!(plan, FaultPlan::sampled(43, 5, 3, 0.7, true));
+        assert!(!plan.is_empty(), "intensity 0.7 over 10 slots");
+        // No rule ever touches a shard's final attempt.
+        assert!(plan.rules.iter().all(|rule| rule.attempt < 3));
+        let text = serde_json::to_string(&plan).expect("serializable");
+        let reloaded: FaultPlan = serde_json::from_str(&text).expect("roundtrip");
+        assert_eq!(reloaded, plan);
+        assert!(FaultPlan::sampled(7, 4, 3, 0.0, true).is_empty());
+        assert!(FaultPlan::sampled(7, 4, 3, 0.9, false)
+            .rules
+            .iter()
+            .all(|rule| rule.kind != FaultKind::Stall));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let config = RunConfig::new(tiny(), 3, fresh_dir("backoff"));
+        for shard in 0..3 {
+            for attempt in 1..=6 {
+                let ms = config.backoff_ms(shard, attempt);
+                assert_eq!(ms, config.backoff_ms(shard, attempt), "deterministic");
+                let base = (config.backoff_base_ms << (attempt - 1)).min(30_000);
+                assert!(ms >= base && ms <= base + base / 2, "jitter in [0, 50%]");
+            }
+        }
+        // Exponential growth between consecutive attempts (below the cap).
+        assert!(config.backoff_ms(0, 2) > config.backoff_ms(0, 1) / 2 * 2 - 1);
+        let mut off = config;
+        off.backoff_base_ms = 0;
+        assert_eq!(off.backoff_ms(0, 5), 0);
+    }
+
+    #[test]
+    fn reports_roundtrip_through_json() {
+        let mut config = test_config("report");
+        config.fault_plan = FaultPlan {
+            rules: vec![FaultRule {
+                shard: 0,
+                attempt: 1,
+                kind: FaultKind::Crash { after_items: 0 },
+            }],
+        };
+        let outcome = run(&config).expect("campaign");
+        let text = serde_json::to_string_pretty(&outcome.report).expect("serializable");
+        let reloaded: RunReport = serde_json::from_str(&text).expect("roundtrip");
+        assert_eq!(reloaded, outcome.report);
+        std::fs::remove_dir_all(&config.run_dir).unwrap();
+    }
+}

@@ -24,9 +24,68 @@
 
 use std::fmt::Write as _;
 
+pub mod coordinator;
 pub mod diff;
 pub mod scenarios;
 pub mod toml_lite;
+
+/// Process exit code for runtime failures (unreadable/corrupt inputs,
+/// failed execution): the generic "something went wrong".
+pub const EXIT_FAILURE: i32 = 1;
+/// Process exit code for command-line usage errors.
+pub const EXIT_USAGE: i32 = 2;
+/// Process exit code for a campaign that exhausted its retry budget and
+/// degraded to a partial merge — distinct from [`EXIT_FAILURE`] so
+/// automation can tell "partial results written" from "nothing happened".
+pub const EXIT_DEGRADED: i32 = 3;
+/// Process exit code for a campaign halted early on request
+/// (`--halt-after`), with checkpoints written but no merge attempted.
+pub const EXIT_HALTED: i32 = 4;
+
+/// Prints a one-line `<binary>: error: <message>` to stderr and exits
+/// with [`EXIT_FAILURE`]. The CLI-facing alternative to panicking: bad
+/// input files and failed runs are operator errors, not bugs, and get an
+/// actionable message instead of a backtrace.
+pub fn fail(message: impl core::fmt::Display) -> ! {
+    fail_with(EXIT_FAILURE, message)
+}
+
+/// Prints a one-line usage error and exits with [`EXIT_USAGE`].
+pub fn fail_usage(message: impl core::fmt::Display) -> ! {
+    fail_with(EXIT_USAGE, message)
+}
+
+/// Prints a one-line error and exits with the given code.
+pub fn fail_with(code: i32, message: impl core::fmt::Display) -> ! {
+    let bin = std::env::args()
+        .next()
+        .as_deref()
+        .map(std::path::Path::new)
+        .and_then(|p| p.file_stem())
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    eprintln!("{bin}: error: {message}");
+    std::process::exit(code);
+}
+
+/// `Result` adapter for CLI entry points: unwraps `Ok`, routes `Err`
+/// through [`fail`] / [`fail_usage`] as a one-line message.
+pub trait OrFail<T> {
+    /// Unwraps or exits with [`EXIT_FAILURE`] and the error message.
+    fn or_fail(self) -> T;
+    /// Unwraps or exits with [`EXIT_USAGE`] and the error message.
+    fn or_fail_usage(self) -> T;
+}
+
+impl<T, E: core::fmt::Display> OrFail<T> for Result<T, E> {
+    fn or_fail(self) -> T {
+        self.unwrap_or_else(|e| fail(e))
+    }
+
+    fn or_fail_usage(self) -> T {
+        self.unwrap_or_else(|e| fail_usage(e))
+    }
+}
 
 /// Which shared flags were explicitly passed on the command line — the
 /// scenario driver only overrides a scenario's own values for these.
@@ -82,10 +141,8 @@ impl FigureOpts {
     /// Parses `--runs`, `--devices`, `--seed`, `--threads` and `--json`
     /// from the process arguments, falling back to defaults.
     ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed values — appropriate for a
-    /// CLI entry point.
+    /// Exits with [`EXIT_USAGE`] and a one-line message on malformed
+    /// values — appropriate for a CLI entry point.
     pub fn from_args() -> FigureOpts {
         Self::parse(std::env::args().skip(1))
     }
@@ -93,9 +150,7 @@ impl FigureOpts {
     /// Parses the shared figure flags from an explicit argument list
     /// (binaries with extra private flags strip them first).
     ///
-    /// # Panics
-    ///
-    /// Same contract as [`FigureOpts::from_args`].
+    /// Same exit contract as [`FigureOpts::from_args`].
     pub fn parse(args: impl Iterator<Item = String>) -> FigureOpts {
         let mut opts = FigureOpts::default();
         let mut args = args;
@@ -105,32 +160,33 @@ impl FigureOpts {
                     opts.runs = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--runs needs a positive integer");
+                        .unwrap_or_else(|| fail_usage("--runs needs a positive integer"));
                     opts.given.runs = true;
                 }
                 "--devices" => {
                     opts.devices = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--devices needs a positive integer");
+                        .unwrap_or_else(|| fail_usage("--devices needs a positive integer"));
                     opts.given.devices = true;
                 }
                 "--seed" => {
                     opts.seed = args
                         .next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--seed needs an integer");
+                        .unwrap_or_else(|| fail_usage("--seed needs an integer"));
                     opts.given.seed = true;
                 }
                 "--threads" => {
-                    opts.threads = args
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--threads needs an integer (0 = all cores)");
+                    opts.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        fail_usage("--threads needs an integer (0 = all cores)")
+                    });
                     opts.given.threads = true;
                 }
                 "--mix" => {
-                    let name = args.next().expect("--mix needs a mix name");
+                    let name = args
+                        .next()
+                        .unwrap_or_else(|| fail_usage("--mix needs a mix name"));
                     opts.mix = Some(resolve_mix(&name).name);
                 }
                 "--json" => opts.json = true,
@@ -144,7 +200,7 @@ impl FigureOpts {
                     );
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other}; try --help"),
+                other => fail_usage(format!("unknown flag {other}; try --help")),
             }
         }
         opts
@@ -185,16 +241,14 @@ impl FigureOpts {
 
 /// Resolves a registered traffic mix by name.
 ///
-/// # Panics
-///
-/// Panics with the list of known mixes on an unknown name — appropriate
-/// for the CLI entry points this backs.
+/// Exits with [`EXIT_USAGE`] and the list of known mixes on an unknown
+/// name — appropriate for the CLI entry points this backs.
 pub fn resolve_mix(name: &str) -> nbiot_traffic::TrafficMix {
     nbiot_traffic::TrafficMix::by_name(name).unwrap_or_else(|| {
-        panic!(
+        fail_usage(format!(
             "unknown traffic mix `{name}`; registered mixes: {}",
             nbiot_traffic::TrafficMix::REGISTRY.join(", ")
-        )
+        ))
     })
 }
 

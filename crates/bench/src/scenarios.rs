@@ -51,12 +51,38 @@ pub fn load_scenario(spec: &str) -> Result<Scenario, String> {
 pub fn load_archive(path: &str) -> Result<ScenarioArchive, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read archive `{path}`: {e}"))?;
-    let archive: ScenarioArchive =
-        serde_json::from_str(&text).map_err(|e| format!("bad archive JSON in `{path}`: {e}"))?;
+    let archive: ScenarioArchive = serde_json::from_str(&text).map_err(|e| {
+        // A clean parse failure on an archive of another era deserves a
+        // better message than "missing field": peek at the generic JSON
+        // for a schema_version that this build simply doesn't speak.
+        match archive_schema_version(&text) {
+            Some(version) if version != nbiot_sim::ARCHIVE_SCHEMA_VERSION => format!(
+                "archive `{path}` has schema version {version}; this build reads version {} — \
+                 regenerate the archive with the current `figures --emit-archive`",
+                nbiot_sim::ARCHIVE_SCHEMA_VERSION
+            ),
+            _ => format!("bad archive JSON in `{path}`: {e}"),
+        }
+    })?;
     archive
         .validate()
         .map_err(|e| format!("invalid archive `{path}`: {e}"))?;
     Ok(archive)
+}
+
+/// Extracts `schema_version` from archive JSON text without assuming any
+/// other part of the shape parses.
+fn archive_schema_version(text: &str) -> Option<u32> {
+    let value: serde::Value = serde_json::from_str(text).ok()?;
+    let entries = value.as_object()?;
+    let version = entries
+        .iter()
+        .find(|(key, _)| key == "schema_version")
+        .map(|(_, v)| v)?;
+    match version {
+        serde::Value::U64(v) => u32::try_from(*v).ok(),
+        _ => None,
+    }
 }
 
 /// Writes a [`ScenarioArchive`] to a JSON file (pretty-printed; floats use
@@ -286,12 +312,11 @@ pub fn render_report(scenario: &Scenario, result: &ScenarioResult) -> String {
 /// Executes a scenario and prints the report (or JSON): the shared body
 /// of the `figures` driver and the legacy figure shims.
 ///
-/// # Panics
-///
-/// Panics on execution failure — appropriate for the CLI entry points
-/// this backs.
+/// Exits with a one-line error on execution failure — appropriate for the
+/// CLI entry points this backs.
 pub fn run_and_print(scenario: &Scenario, json: bool) -> ScenarioResult {
-    let result = run_scenario(scenario).expect("scenario execution failed");
+    let result = run_scenario(scenario)
+        .unwrap_or_else(|e| crate::fail(format!("scenario execution failed: {e}")));
     if json {
         println!(
             "{}",

@@ -55,15 +55,34 @@ pub enum SimError {
         /// The disagreeing count.
         found: u32,
     },
-    /// The same shard index appeared more than once in a merge set.
-    DuplicateShard {
-        /// The repeated zero-based shard index.
+    /// The same shard index appeared more than once in a merge set with
+    /// *diverging* records. Byte-identical duplicates (idempotent
+    /// re-submission after a retry) merge cleanly; divergence means one
+    /// copy is corrupt or came from a non-deterministic worker.
+    ConflictingShard {
+        /// The conflicting zero-based shard index.
         index: u32,
     },
     /// A shard index was absent from a merge set.
     MissingShard {
         /// The absent zero-based shard index.
         index: u32,
+    },
+    /// An archived record's stored checksum does not match its contents:
+    /// the record was corrupted between write and load.
+    RecordChecksum {
+        /// Global item index of the corrupt record.
+        item: usize,
+        /// Checksum recomputed from the record contents.
+        expected: u64,
+        /// Checksum stored in the archive.
+        found: u64,
+    },
+    /// Results were requested from a degraded (partial-merge) archive
+    /// whose coverage annotation names the shards that never completed.
+    DegradedArchive {
+        /// Zero-based indices of the missing shards.
+        missing: Vec<u32>,
     },
     /// Results were requested from a partial archive; merge all shards
     /// first.
@@ -114,12 +133,29 @@ impl fmt::Display for SimError {
                 f,
                 "archive shard-count mismatch: one archive says {found} shards, another {expected}"
             ),
-            SimError::DuplicateShard { index } => {
-                write!(f, "shard {index} appears more than once in the merge set")
-            }
+            SimError::ConflictingShard { index } => write!(
+                f,
+                "shard {index} appears more than once in the merge set with diverging \
+                 records; one copy is corrupt or came from a non-deterministic worker"
+            ),
             SimError::MissingShard { index } => {
                 write!(f, "shard {index} is missing from the merge set")
             }
+            SimError::RecordChecksum {
+                item,
+                expected,
+                found,
+            } => write!(
+                f,
+                "record for item {item} fails its integrity check: stored checksum \
+                 {found:#018x}, contents hash to {expected:#018x} — the archive was \
+                 corrupted after creation"
+            ),
+            SimError::DegradedArchive { missing } => write!(
+                f,
+                "archive is a degraded partial merge missing shard(s) {missing:?}; \
+                 re-run the missing shards and merge again before computing results"
+            ),
             SimError::IncompleteArchive { index, count } => write!(
                 f,
                 "archive holds only shard {index}/{count}; merge all {count} shards before \

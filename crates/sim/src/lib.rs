@@ -88,6 +88,6 @@ pub use result::CampaignResult;
 pub use scenario::{run_scenario, with_ti, PointResult, Scenario, ScenarioResult};
 #[cfg(feature = "serde")]
 pub use shard::{
-    merge_archives, run_scenario_shard, scenario_fingerprint, ArchiveItem, ScenarioArchive,
-    ShardSpec, ARCHIVE_SCHEMA_VERSION,
+    merge_archives, merge_archives_with, record_checksum, run_scenario_shard, scenario_fingerprint,
+    ArchiveItem, MergePolicy, ScenarioArchive, ShardCoverage, ShardSpec, ARCHIVE_SCHEMA_VERSION,
 };

@@ -26,8 +26,10 @@ use crate::{Scenario, ScenarioResult, SimError};
 /// Archive format version; bumped whenever [`ScenarioArchive`]'s JSON
 /// shape or the record semantics change incompatibly. Version 2 added the
 /// churn fields: `MechRun::{regroups, stale_miss_ratio}` and the
-/// scenario's `churn`/`regroup` configuration.
-pub const ARCHIVE_SCHEMA_VERSION: u32 = 2;
+/// scenario's `churn`/`regroup` configuration. Version 3 added per-record
+/// integrity checksums ([`ArchiveItem::checksum`]) and the optional
+/// partial-merge [`ScenarioArchive::coverage`] annotation.
+pub const ARCHIVE_SCHEMA_VERSION: u32 = 3;
 
 /// A deterministic partition of the (sweep point × run) item pool:
 /// shard `index` of `count` owns every item with `item % count == index`
@@ -104,14 +106,47 @@ impl core::str::FromStr for ShardSpec {
     }
 }
 
-/// One work item's archived records: the global item index (`point * runs
-/// + run`) and its raw per-`[payload][mechanism]` observations.
+/// One work item's archived records: the global item index
+/// (`point * runs + run`), its raw per-`[payload][mechanism]`
+/// observations, and an FNV integrity checksum binding the records to
+/// the item index.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ArchiveItem {
     /// Global item index in the scenario's (point × run) pool.
     pub item: usize,
     /// Raw records, indexed `[payload variant][mechanism]`.
     pub rows: ItemRows,
+    /// [`record_checksum`] of (`item`, `rows`), verified at every
+    /// [`ScenarioArchive::validate`] so corruption between write and load
+    /// is caught before it can poison a merge.
+    pub checksum: u64,
+}
+
+impl ArchiveItem {
+    /// Builds a record entry with its checksum computed from the contents.
+    pub fn new(item: usize, rows: ItemRows) -> ArchiveItem {
+        let checksum = record_checksum(item, &rows);
+        ArchiveItem {
+            item,
+            rows,
+            checksum,
+        }
+    }
+}
+
+/// Per-shard completeness annotation carried by a **degraded** archive: a
+/// partial merge ([`MergePolicy::Partial`]) that went ahead with some
+/// shards missing records exactly which shards landed and which did not.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardCoverage {
+    /// Total number of shards the item pool was split into.
+    pub shard_count: u32,
+    /// Sorted zero-based indices of the shards that merged successfully.
+    pub present: Vec<u32>,
+    /// Sorted zero-based indices of the shards that never completed.
+    pub missing: Vec<u32>,
+    /// Fraction of the (point × run) item pool covered by `present`.
+    pub item_coverage: f64,
 }
 
 /// The serde-stable result archive of one (possibly partial) scenario
@@ -129,6 +164,9 @@ pub struct ScenarioArchive {
     pub fingerprint: u64,
     /// Which shard of the item pool this archive holds.
     pub shard: ShardSpec,
+    /// `Some` only on a degraded partial merge: which shards are present
+    /// and which are missing. `None` on worker shards and full merges.
+    pub coverage: Option<ShardCoverage>,
     /// The full scenario configuration that produced the records.
     pub scenario: Scenario,
     /// Records of every item this shard owns, in increasing item order.
@@ -141,20 +179,23 @@ impl ScenarioArchive {
         self.scenario.devices.len() * self.scenario.runs as usize
     }
 
-    /// Whether this archive holds the whole item pool (shard count 1).
+    /// Whether this archive holds the whole item pool (shard count 1 and
+    /// no degraded-coverage annotation).
     pub fn is_complete(&self) -> bool {
-        self.shard.count == 1
+        self.shard.count == 1 && self.coverage.is_none()
     }
 
     /// Checks internal consistency: supported schema version, a valid
     /// shard spec and scenario, a fingerprint matching the embedded
-    /// scenario, exactly the owned item set in order, and records shaped
-    /// `payloads × mechanisms`.
+    /// scenario, exactly the owned item set in order (or, for a degraded
+    /// archive, the union of its present shards' items), per-record
+    /// integrity checksums, and records shaped `payloads × mechanisms`.
     ///
     /// # Errors
     ///
     /// [`SimError::CorruptArchive`] describing the first inconsistency,
-    /// or the underlying shard/scenario validation error.
+    /// [`SimError::RecordChecksum`] for a record that fails its integrity
+    /// check, or the underlying shard/scenario validation error.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.schema_version != ARCHIVE_SCHEMA_VERSION {
             return Err(SimError::CorruptArchive {
@@ -176,7 +217,10 @@ impl ScenarioArchive {
                 ),
             });
         }
-        let expected_items = self.shard.items(self.total_items());
+        let expected_items = match &self.coverage {
+            None => self.shard.items(self.total_items()),
+            Some(coverage) => self.coverage_items(coverage)?,
+        };
         if self.items.len() != expected_items.len()
             || self
                 .items
@@ -192,6 +236,16 @@ impl ScenarioArchive {
                     expected_items
                 ),
             });
+        }
+        for entry in &self.items {
+            let expected = record_checksum(entry.item, &entry.rows);
+            if entry.checksum != expected {
+                return Err(SimError::RecordChecksum {
+                    item: entry.item,
+                    expected,
+                    found: entry.checksum,
+                });
+            }
         }
         let (payloads, mechanisms) = (self.scenario.payloads.len(), self.scenario.mechanisms.len());
         for entry in &self.items {
@@ -209,16 +263,89 @@ impl ScenarioArchive {
         Ok(())
     }
 
+    /// Checks a degraded archive's coverage annotation for internal
+    /// consistency and returns the item set it implies: the sorted union
+    /// of the present shards' owned items.
+    fn coverage_items(&self, coverage: &ShardCoverage) -> Result<Vec<usize>, SimError> {
+        let corrupt = |detail: String| SimError::CorruptArchive { detail };
+        if self.shard != ShardSpec::FULL {
+            return Err(corrupt(format!(
+                "a degraded archive must carry the FULL shard spec, not {}",
+                self.shard
+            )));
+        }
+        let count = coverage.shard_count;
+        let mut claimed = vec![None; count as usize];
+        for (&index, present) in coverage
+            .present
+            .iter()
+            .map(|i| (i, true))
+            .chain(coverage.missing.iter().map(|i| (i, false)))
+        {
+            let slot = claimed
+                .get_mut(index as usize)
+                .ok_or_else(|| corrupt(format!("coverage names shard {index} of {count}")))?;
+            if slot.is_some() {
+                return Err(corrupt(format!("coverage names shard {index} twice")));
+            }
+            *slot = Some(present);
+        }
+        if claimed.iter().any(Option::is_none) {
+            return Err(corrupt(format!(
+                "coverage must account for every one of the {count} shards"
+            )));
+        }
+        if coverage.missing.is_empty() {
+            return Err(corrupt(
+                "an archive with no missing shards must not carry a coverage annotation".into(),
+            ));
+        }
+        if !coverage.present.windows(2).all(|w| w[0] < w[1])
+            || !coverage.missing.windows(2).all(|w| w[0] < w[1])
+        {
+            return Err(corrupt(
+                "coverage shard lists must be sorted and duplicate-free".into(),
+            ));
+        }
+        let total = self.total_items();
+        let mut items: Vec<usize> = coverage
+            .present
+            .iter()
+            .flat_map(|&index| ShardSpec { index, count }.items(total))
+            .collect();
+        items.sort_unstable();
+        let expected_ratio = if total == 0 {
+            1.0
+        } else {
+            items.len() as f64 / total as f64
+        };
+        if coverage.item_coverage.to_bits() != expected_ratio.to_bits() {
+            return Err(corrupt(format!(
+                "coverage ratio {} does not match the present shards' {}/{total} items",
+                coverage.item_coverage,
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
     /// Folds a **complete** archive into the scenario result — the same
     /// item-ordered fold [`run_scenario`](crate::run_scenario) performs,
     /// so the output is bit-identical to the unsharded run.
     ///
     /// # Errors
     ///
-    /// [`SimError::IncompleteArchive`] for a partial archive (merge all
-    /// shards first), or any [`ScenarioArchive::validate`] failure.
+    /// [`SimError::DegradedArchive`] naming exactly the missing shards of
+    /// a coverage-annotated partial merge, [`SimError::IncompleteArchive`]
+    /// for a single-shard partial archive (merge all shards first), or any
+    /// [`ScenarioArchive::validate`] failure.
     pub fn result(&self) -> Result<ScenarioResult, SimError> {
         self.validate()?;
+        if let Some(coverage) = &self.coverage {
+            return Err(SimError::DegradedArchive {
+                missing: coverage.missing.clone(),
+            });
+        }
         if !self.is_complete() {
             return Err(SimError::IncompleteArchive {
                 index: self.shard.index,
@@ -241,6 +368,17 @@ pub fn scenario_fingerprint(scenario: &Scenario) -> u64 {
     canonical.threads = 0;
     let mut hash = FNV_OFFSET;
     hash_value(&serde::Serialize::to_value(&canonical), &mut hash);
+    hash
+}
+
+/// A stable 64-bit integrity checksum of one archived record: FNV-1a over
+/// the item index and the canonical serde rendering of its rows. Binding
+/// the item index in means a record can't silently masquerade as another
+/// item's even if its contents hash alike.
+pub fn record_checksum(item: usize, rows: &ItemRows) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash_bytes(&(item as u64).to_le_bytes(), &mut hash);
+    hash_value(&serde::Serialize::to_value(rows), &mut hash);
     hash
 }
 
@@ -323,31 +461,81 @@ pub fn run_scenario_shard(
         schema_version: ARCHIVE_SCHEMA_VERSION,
         fingerprint: scenario_fingerprint(scenario),
         shard,
+        coverage: None,
         scenario: scenario.clone(),
         items: owned
             .into_iter()
             .zip(rows)
-            .map(|(item, rows)| ArchiveItem { item, rows })
+            .map(|(item, rows)| ArchiveItem::new(item, rows))
             .collect(),
     })
 }
 
+/// How [`merge_archives_with`] treats missing shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MergePolicy {
+    /// Every shard must be present; anything less is an error. This is
+    /// what [`merge_archives`] uses.
+    #[default]
+    Strict,
+    /// Missing shards degrade the merge instead of aborting it: the
+    /// output archive carries a [`ShardCoverage`] annotation naming
+    /// exactly the missing shards and the item coverage ratio. Degraded
+    /// archives refuse [`ScenarioArchive::result`] but survive the same
+    /// serde roundtrip, so a coordinator can publish *something* when a
+    /// shard exhausts its retry budget.
+    Partial,
+}
+
 /// Reassembles a complete set of partial archives (any `K = count` shards,
 /// in any order) into one full archive, whose [`ScenarioArchive::result`]
-/// is bit-identical to the unsharded run.
+/// is bit-identical to the unsharded run. Equivalent to
+/// [`merge_archives_with`] under [`MergePolicy::Strict`].
+///
+/// # Errors
+///
+/// See [`merge_archives_with`].
+pub fn merge_archives(archives: &[ScenarioArchive]) -> Result<ScenarioArchive, SimError> {
+    merge_archives_with(archives, MergePolicy::Strict)
+}
+
+/// Reassembles partial archives under an explicit [`MergePolicy`].
+///
+/// Duplicate submissions of the *same* shard are idempotent: copies whose
+/// records are identical collapse into one (a retried worker re-submitting
+/// the archive it already delivered is not an error). Copies that
+/// *diverge* are rejected — one of them is wrong, and the merge cannot
+/// know which.
+///
+/// Under [`MergePolicy::Strict`] a missing shard aborts the merge; under
+/// [`MergePolicy::Partial`] the merge proceeds and annotates the output
+/// with a [`ShardCoverage`] naming the missing shards. An input that is
+/// itself a degraded coverage archive is refused — resume from the
+/// original per-shard archives instead.
 ///
 /// # Errors
 ///
 /// [`SimError::NoArchives`] for an empty set,
 /// [`SimError::FingerprintMismatch`] when shards come from different
 /// scenario configurations, [`SimError::ShardCountMismatch`] /
-/// [`SimError::DuplicateShard`] / [`SimError::MissingShard`] for an
-/// inconsistent shard set, and [`SimError::CorruptArchive`] when an
-/// archive contradicts its own metadata.
-pub fn merge_archives(archives: &[ScenarioArchive]) -> Result<ScenarioArchive, SimError> {
+/// [`SimError::ConflictingShard`] / [`SimError::MissingShard`] for an
+/// inconsistent shard set, and [`SimError::CorruptArchive`] /
+/// [`SimError::RecordChecksum`] when an archive contradicts its own
+/// metadata or records.
+pub fn merge_archives_with(
+    archives: &[ScenarioArchive],
+    policy: MergePolicy,
+) -> Result<ScenarioArchive, SimError> {
     let first = archives.first().ok_or(SimError::NoArchives)?;
     for archive in archives {
         archive.validate()?;
+        if archive.coverage.is_some() {
+            return Err(SimError::CorruptArchive {
+                detail: "merge input is already a degraded partial-merge archive; merge the \
+                         original per-shard archives instead"
+                    .into(),
+            });
+        }
         if archive.fingerprint != first.fingerprint {
             return Err(SimError::FingerprintMismatch {
                 expected: first.fingerprint,
@@ -361,31 +549,54 @@ pub fn merge_archives(archives: &[ScenarioArchive]) -> Result<ScenarioArchive, S
             });
         }
     }
-    let count = first.shard.count as usize;
-    let mut seen = vec![false; count];
+    let count = first.shard.count;
+    let mut slots: Vec<Option<&ScenarioArchive>> = vec![None; count as usize];
     for archive in archives {
-        let index = archive.shard.index as usize;
-        if seen[index] {
-            return Err(SimError::DuplicateShard {
-                index: archive.shard.index,
-            });
+        let slot = &mut slots[archive.shard.index as usize];
+        match slot {
+            None => *slot = Some(archive),
+            Some(existing) if existing.items == archive.items => {} // idempotent duplicate
+            Some(_) => {
+                return Err(SimError::ConflictingShard {
+                    index: archive.shard.index,
+                });
+            }
         }
-        seen[index] = true;
     }
-    if let Some(index) = seen.iter().position(|present| !present) {
-        return Err(SimError::MissingShard {
-            index: index as u32,
-        });
+    let missing: Vec<u32> = (0..count)
+        .filter(|&index| slots[index as usize].is_none())
+        .collect();
+    if let (MergePolicy::Strict, Some(&index)) = (policy, missing.first()) {
+        return Err(SimError::MissingShard { index });
     }
-    let mut items: Vec<ArchiveItem> = archives
+    let mut items: Vec<ArchiveItem> = slots
         .iter()
+        .flatten()
         .flat_map(|archive| archive.items.iter().cloned())
         .collect();
     items.sort_by_key(|entry| entry.item);
+    let coverage = if missing.is_empty() {
+        None
+    } else {
+        let total = first.total_items();
+        Some(ShardCoverage {
+            shard_count: count,
+            present: (0..count)
+                .filter(|&index| slots[index as usize].is_some())
+                .collect(),
+            missing,
+            item_coverage: if total == 0 {
+                1.0
+            } else {
+                items.len() as f64 / total as f64
+            },
+        })
+    };
     Ok(ScenarioArchive {
         schema_version: ARCHIVE_SCHEMA_VERSION,
         fingerprint: first.fingerprint,
         shard: ShardSpec::FULL,
+        coverage,
         scenario: first.scenario.clone(),
         items,
     })
@@ -503,19 +714,137 @@ mod tests {
     }
 
     #[test]
-    fn merge_rejects_duplicate_and_missing_shards() {
+    fn merge_rejects_missing_shards_and_empty_sets() {
         let scenario = tiny();
         let parts = shards_of(&scenario, 3);
         assert!(matches!(
             merge_archives(&parts[..2]),
             Err(SimError::MissingShard { index: 2 })
         ));
-        let doubled = vec![parts[0].clone(), parts[1].clone(), parts[1].clone()];
-        assert!(matches!(
-            merge_archives(&doubled),
-            Err(SimError::DuplicateShard { index: 1 })
-        ));
         assert!(matches!(merge_archives(&[]), Err(SimError::NoArchives)));
+    }
+
+    #[test]
+    fn identical_duplicate_shards_merge_idempotently() {
+        // A retried worker re-submitting the archive it already delivered
+        // must not poison the merge: byte-identical duplicates collapse.
+        let scenario = tiny();
+        let parts = shards_of(&scenario, 3);
+        let doubled = vec![
+            parts[0].clone(),
+            parts[1].clone(),
+            parts[1].clone(),
+            parts[2].clone(),
+        ];
+        let merged = merge_archives(&doubled).unwrap();
+        assert_eq!(merged.result().unwrap(), run_scenario(&scenario).unwrap());
+        // Even a duplicate produced with a different worker thread count
+        // is the "same" shard: the records are what identity means here.
+        let mut threaded = tiny();
+        threaded.threads = 8;
+        let dup = run_scenario_shard(&threaded, ShardSpec { index: 1, count: 3 }).unwrap();
+        let merged =
+            merge_archives(&[parts[0].clone(), parts[1].clone(), dup, parts[2].clone()]).unwrap();
+        assert_eq!(merged.result().unwrap(), run_scenario(&scenario).unwrap());
+    }
+
+    #[test]
+    fn conflicting_duplicate_shards_are_rejected() {
+        // Two *valid* copies of shard 1 with diverging records: a buggy or
+        // malicious worker mutated a record and recomputed its checksum.
+        // The merge can't tell which copy is right, so it refuses.
+        let scenario = tiny();
+        let parts = shards_of(&scenario, 3);
+        let mut forged = parts[1].clone();
+        forged.items[0].rows[0][0].transmissions += 1.0;
+        forged.items[0] = ArchiveItem::new(forged.items[0].item, forged.items[0].rows.clone());
+        forged.validate().expect("forged copy is internally valid");
+        let set = vec![parts[0].clone(), parts[1].clone(), forged, parts[2].clone()];
+        assert!(matches!(
+            merge_archives(&set),
+            Err(SimError::ConflictingShard { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn corrupted_records_fail_their_checksum_at_load() {
+        let scenario = tiny();
+        let mut archive = run_scenario_shard(&scenario, ShardSpec::FULL).unwrap();
+        archive.items[2].rows[0][0].ra_failures += 1.0;
+        match archive.validate() {
+            Err(SimError::RecordChecksum { item, .. }) => {
+                assert_eq!(item, archive.items[2].item);
+            }
+            other => panic!("expected RecordChecksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_merge_annotates_coverage_and_refuses_results() {
+        let scenario = tiny(); // 2 points x 3 runs = 6 items
+        let parts = shards_of(&scenario, 3);
+        let degraded =
+            merge_archives_with(&[parts[0].clone(), parts[2].clone()], MergePolicy::Partial)
+                .unwrap();
+        degraded.validate().unwrap();
+        assert!(!degraded.is_complete());
+        let coverage = degraded.coverage.as_ref().expect("coverage annotation");
+        assert_eq!(coverage.shard_count, 3);
+        assert_eq!(coverage.present, vec![0, 2]);
+        assert_eq!(coverage.missing, vec![1]);
+        assert_eq!(coverage.item_coverage, 4.0 / 6.0);
+        assert_eq!(
+            degraded.items.iter().map(|e| e.item).collect::<Vec<_>>(),
+            vec![0, 2, 3, 5]
+        );
+        // The degraded archive names exactly the missing shards when asked
+        // for results, and survives a serde roundtrip.
+        assert!(matches!(
+            degraded.result(),
+            Err(SimError::DegradedArchive { ref missing }) if missing == &vec![1]
+        ));
+        let value = serde::Serialize::to_value(&degraded);
+        let reloaded = <ScenarioArchive as serde::Deserialize>::from_value(&value).unwrap();
+        assert_eq!(reloaded, degraded);
+        // A degraded archive cannot be fed back into a merge.
+        assert!(matches!(
+            merge_archives(&[degraded]),
+            Err(SimError::CorruptArchive { .. })
+        ));
+        // With every shard present, Partial degrades to a clean full merge.
+        let full = merge_archives_with(&parts, MergePolicy::Partial).unwrap();
+        assert!(full.coverage.is_none());
+        assert_eq!(full.result().unwrap(), run_scenario(&scenario).unwrap());
+    }
+
+    #[test]
+    fn tampered_coverage_annotations_are_rejected() {
+        let scenario = tiny();
+        let parts = shards_of(&scenario, 3);
+        let degraded = merge_archives_with(&parts[..2], MergePolicy::Partial).unwrap();
+        // Claiming a missing shard as present contradicts the item set.
+        let mut forged = degraded.clone();
+        let cov = forged.coverage.as_mut().unwrap();
+        cov.present = vec![0, 1, 2];
+        cov.missing.clear();
+        assert!(matches!(
+            forged.validate(),
+            Err(SimError::CorruptArchive { .. })
+        ));
+        // An inflated coverage ratio is caught.
+        let mut forged = degraded.clone();
+        forged.coverage.as_mut().unwrap().item_coverage = 1.0;
+        assert!(matches!(
+            forged.validate(),
+            Err(SimError::CorruptArchive { .. })
+        ));
+        // A shard listed both present and missing is caught.
+        let mut forged = degraded;
+        forged.coverage.as_mut().unwrap().missing = vec![0, 2];
+        assert!(matches!(
+            forged.validate(),
+            Err(SimError::CorruptArchive { .. })
+        ));
     }
 
     #[test]

@@ -3,9 +3,12 @@
 //! (point × run) item pool — through a JSON text roundtrip, in any merge
 //! order — reproduces the unsharded `run_scenario` result bit for bit.
 
+use nbiot_bench::coordinator::{self, FaultPlan, RunConfig};
 use nbiot_multicast::prelude::*;
 use nbiot_sim::{merge_archives, run_scenario, run_scenario_shard, ScenarioArchive, ShardSpec};
 use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn shard_archives(scenario: &Scenario, count: u32) -> Vec<ScenarioArchive> {
     (0..count)
@@ -121,6 +124,69 @@ fn seven_way_shard_of_tiny_pool_is_bit_identical() {
     for k in [1u32, 2, 3, 7] {
         let merged = merge_archives(&shard_archives(&scenario, k)).unwrap();
         assert_eq!(merged.result().unwrap(), unsharded, "k={k}");
+    }
+}
+
+/// A scratch run directory unique to this test case (parallel proptest
+/// cases must not share checkpoint state).
+fn fresh_run_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "shard_merge_resume_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn faulted_halted_campaigns_resume_to_bit_identical_merges(
+        shards in 2u32..5,
+        halt_after in 0u32..3,
+        fault_seed in 0u64..1_000,
+        intensity in proptest::sample::select(vec![0.3f64, 0.8]),
+        seed in 0u64..500,
+    ) {
+        // The fault-tolerance contract of `coordinator::run`: under ANY
+        // sampled fault plan whose shards eventually succeed within the
+        // retry budget, and ANY kill point (halt after an arbitrary
+        // prefix of newly completed shards) followed by a resume from the
+        // same run directory, the merged archive folds to the exact
+        // unsharded `run_scenario` result. Stalls are excluded only
+        // because each one burns a real timeout window in debug builds —
+        // crash, corrupt-write and spawn-failure paths all retry here.
+        let mut scenario = Scenario::builtin("fig6a").expect("builtin");
+        scenario.devices = vec![10, 16];
+        scenario.runs = 2;
+        scenario.master_seed = seed;
+        scenario.threads = 1;
+        let unsharded = run_scenario(&scenario).expect("unsharded run");
+
+        let run_dir = fresh_run_dir();
+        let mut config = RunConfig::new(scenario, shards, &run_dir);
+        config.backoff_base_ms = 0;
+        config.fault_plan =
+            FaultPlan::sampled(fault_seed, shards, config.max_attempts, intensity, false);
+        config.halt_after = Some(halt_after);
+
+        let first = coordinator::run(&config).expect("halted campaign");
+        prop_assert!(first.report.halted || first.report.failed.is_empty());
+        prop_assert!(first.merged.is_none() || !first.report.halted);
+
+        // Resume: same directory, same fault plan (checkpointed shards
+        // skip their schedule entirely; the rest retry through it).
+        config.halt_after = None;
+        let resumed = coordinator::run(&config).expect("resumed campaign");
+        prop_assert!(resumed.report.failed.is_empty(), "plan must succeed in budget");
+        let merged = resumed.merged.expect("complete merge after resume");
+        prop_assert!(merged.coverage.is_none());
+        let result = merged.result().expect("merged archive folds");
+        prop_assert_eq!(&result, &unsharded, "shards={} halt_after={}", shards, halt_after);
+        let _ = std::fs::remove_dir_all(&run_dir);
     }
 }
 
