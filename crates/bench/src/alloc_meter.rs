@@ -1,0 +1,113 @@
+//! Optional allocation metering for `bench_report`'s per-stage memory
+//! accounting.
+//!
+//! With the `bench-alloc` feature enabled, building any binary of this
+//! crate installs a counting [`std::alloc::GlobalAlloc`] that tracks the
+//! live allocated bytes and their high-water mark. `bench_report` resets
+//! the mark at each stage boundary and attaches the peak (plus a derived
+//! bytes-per-device figure) to the stage's `mem` block — the memory half
+//! of the massive-n scale-tier accounting.
+//!
+//! Without the feature the probes return `None` and the report simply
+//! omits the `mem` blocks; nothing else changes, and the default build
+//! pays no per-allocation atomics.
+//!
+//! ```text
+//! cargo run --release -p nbiot-bench --features bench-alloc --bin bench_report
+//! ```
+
+/// Resets the high-water mark to the currently live bytes, opening a new
+/// measurement window. No-op without the `bench-alloc` feature.
+pub fn reset_peak() {
+    #[cfg(feature = "bench-alloc")]
+    imp::reset_peak();
+}
+
+/// Peak allocated bytes since the last [`reset_peak`] (including
+/// everything live at that point), or `None` when the crate was built
+/// without the `bench-alloc` feature.
+pub fn peak_bytes() -> Option<u64> {
+    #[cfg(feature = "bench-alloc")]
+    {
+        Some(imp::peak_bytes())
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        None
+    }
+}
+
+#[cfg(feature = "bench-alloc")]
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    /// [`System`], with live-byte and high-water-mark counters.
+    struct CountingAlloc;
+
+    fn add(n: usize) {
+        let now = CURRENT.fetch_add(n, Ordering::Relaxed) + n;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+    }
+
+    // SAFETY: every path delegates directly to `System` with the caller's
+    // layout; the bookkeeping is plain relaxed atomics and never
+    // allocates, so the allocator cannot recurse.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                add(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+                add(new_size);
+            }
+            p
+        }
+    }
+
+    #[global_allocator]
+    static METER: CountingAlloc = CountingAlloc;
+
+    pub fn reset_peak() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn peak_bytes() -> u64 {
+        PEAK.load(Ordering::Relaxed) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn peak_tracks_transient_allocations_when_enabled() {
+        super::reset_peak();
+        let before = super::peak_bytes();
+        {
+            let big = vec![0u8; 1 << 20];
+            std::hint::black_box(&big);
+        }
+        let after = super::peak_bytes();
+        match (before, after) {
+            // Feature on: the dropped megabyte must register in the peak.
+            (Some(b), Some(a)) => assert!(a >= b + (1 << 20), "peak {a} vs {b}"),
+            (None, None) => {}
+            other => panic!("probes disagree on feature state: {other:?}"),
+        }
+    }
+}

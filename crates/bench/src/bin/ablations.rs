@@ -282,7 +282,7 @@ fn nb_density(base: &Scenario) {
                 .generate(n_devices, &mut run_seq.rng(0))
                 .expect("population");
             // Re-point every device at the swept cell-wide nB.
-            let mut devices = pop.devices().to_vec();
+            let mut devices = pop.profiles();
             for d in &mut devices {
                 d.paging.nb = nb;
             }

@@ -6,7 +6,12 @@
 //!
 //! Default workload: 5 mechanisms × 500 devices × 20 runs (override with
 //! `--devices`/`--runs`; `--threads` sets the *parallel* comparison's
-//! worker count, 0 = all cores). `--out <path>` redirects the report.
+//! worker count, 0 = all cores). The massive-n scale-tier stages solve a
+//! `--massive-devices` (default 10^6) frame-cover point and race the
+//! serial vs parallel kernel index build. `--out <path>` redirects the
+//! report. Building with `--features bench-alloc` adds a `mem` block to
+//! every stage (peak allocated bytes in the stage's window, plus
+//! bytes-per-device where the stage has a device count).
 //! The default `BENCH_results.json` is gitignored scratch; the committed
 //! full-workload snapshot is `BENCH_baseline.json` (regenerate it with
 //! `--out BENCH_baseline.json` when a change moves performance).
@@ -35,13 +40,17 @@
 //!                  "seed": 86085268470817, "parallel_threads": 0 },
 //!   "stages": [
 //!     { "name": "population_generation", "wall_clock_ms": 1.2,
-//!       "detail": { ... stage-specific numbers ... } },
-//!     ...
+//!       "detail": { ... stage-specific numbers ... },
+//!       "mem": { "peak_alloc_bytes": 123456, "bytes_per_device": 246.9 } },
+//!     ...                              // "mem" only with --features bench-alloc
 //!   ],
 //!   "derived": {
 //!     "set_cover_speedup": 3.4,        // reference greedy / bitset greedy
 //!     "set_cover_incremental_speedup": 8.0,  // bitset / incremental, 1000 devices
 //!     "set_cover_stress_speedup": 20.0,      // bitset / incremental, 10k devices
+//!     "set_cover_massive_speedup": 30.0,     // bitset / incremental, --massive-devices
+//!     "index_build_parallel_speedup": 2.5,   // serial / 4-worker index build (<= 1 on 1 core)
+//!     "index_build_warm_gain": 1.3,          // cold parallel build / warm-arena rebuild
 //!     "regroup_churn_speedup": 10.0,   // bitset / incremental, churned re-grouping sequence
 //!     "window_cover_speedup": 1.2,     // reference / incremental timeline solver
 //!     "window_cover_incremental_speedup": 5.0, // per-round sweep / incremental
@@ -91,8 +100,36 @@ fn timed_min<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, f64) {
     (out, best)
 }
 
+/// Builds one stage record and closes its memory-measurement window.
+///
+/// Built with `--features bench-alloc`, each stage carries a `mem` block:
+/// the peak allocated bytes since the previous stage record (the window
+/// covers that stage's measurement) and, when the stage's detail names a
+/// device count, the derived bytes-per-device. Without the feature the
+/// block is omitted and the schema is unchanged.
 fn stage(name: &str, wall_clock_ms: f64, detail: Value) -> Value {
-    json!({ "name": name, "wall_clock_ms": wall_clock_ms, "detail": detail })
+    let mut entries = vec![
+        ("name".to_string(), json!(name)),
+        ("wall_clock_ms".to_string(), json!(wall_clock_ms)),
+        ("detail".to_string(), detail),
+    ];
+    if let Some(peak) = nbiot_bench::alloc_meter::peak_bytes() {
+        let devices = entries
+            .iter()
+            .find(|(k, _)| k == "detail")
+            .and_then(|(_, d)| lookup(d, "devices").or_else(|| lookup(d, "devices_each")))
+            .and_then(as_f64);
+        let mem = match devices {
+            Some(n) if n > 0.0 => json!({
+                "peak_alloc_bytes": peak,
+                "bytes_per_device": peak as f64 / n,
+            }),
+            _ => json!({ "peak_alloc_bytes": peak }),
+        };
+        entries.push(("mem".to_string(), mem));
+    }
+    nbiot_bench::alloc_meter::reset_peak();
+    Value::Object(entries)
 }
 
 // ---- the --compare regression gate ----
@@ -212,6 +249,7 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut tolerance_pct = 25.0f64;
     let mut warn_only = false;
+    let mut massive_devices = 1_000_000usize;
     let mut figure_args = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -220,12 +258,15 @@ fn main() {
                 eprintln!(
                     "usage: bench_report [--runs N] [--devices N] [--seed N] [--threads N] \
                      [--mix NAME]\n\
-                     \x20      [--out PATH] [--compare BASELINE.json] [--tolerance-pct P] \
-                     [--warn-only]\n\
+                     \x20      [--massive-devices N] [--out PATH] [--compare BASELINE.json] \
+                     [--tolerance-pct P]\n\
+                     \x20      [--warn-only]\n\
                      runs the fixed macro workload through every pipeline stage and writes\n\
                      a BENCH_results.json report (default workload: 5 mechanisms x 500\n\
-                     devices x 20 runs). --compare turns the run into a regression gate\n\
-                     against a baseline report; --warn-only downgrades it to a report."
+                     devices x 20 runs). --massive-devices sizes the scale-tier kernel\n\
+                     stages (default 1000000). --compare turns the run into a regression\n\
+                     gate against a baseline report; --warn-only downgrades it to a report.\n\
+                     build with --features bench-alloc to add per-stage memory accounting."
                 );
                 return;
             }
@@ -233,6 +274,13 @@ fn main() {
                 out_path = args
                     .next()
                     .unwrap_or_else(|| fail_usage("--out needs a path"));
+            }
+            "--massive-devices" => {
+                massive_devices = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| fail_usage("--massive-devices needs a positive integer"));
             }
             "--compare" => {
                 compare = Some(
@@ -265,6 +313,8 @@ fn main() {
         .map(nbiot_bench::resolve_mix)
         .unwrap_or_else(nbiot_traffic::TrafficMix::ericsson_city);
     let mut stages: Vec<Value> = Vec::new();
+    // Open the first stage's memory window after setup, not at startup.
+    nbiot_bench::alloc_meter::reset_peak();
 
     // ---- Stage 1: population generation ----
     let (populations, pop_ms) = timed(|| {
@@ -432,6 +482,129 @@ fn main() {
             "picks_total": churn_picks_total,
         }),
     ));
+
+    // ---- Stage 3c: the massive-n scale tier — the 10^5-10^6-device
+    // frame-cover point (post-dense-filter shape, so entries scale with
+    // the event count). Single measurement per stage: at this scale a run
+    // is milliseconds-to-seconds and cache noise is irrelevant. The index
+    // build is raced serial vs parallel (4 workers, the acceptance
+    // point); checksum equality locks bit-identity, and the ratio is an
+    // honest measurement — on the 1-core CI container it is ≤ 1 (thread
+    // spawn overhead with no cores to win back; see ROADMAP), which is
+    // exactly what the report should say there.
+    let massive_threads = 4usize;
+    let ((massive_universe, massive_sets), massive_instance_ms) =
+        timed(|| workload::frame_cover_instance_with(massive_devices, 0.0, opts.seed));
+    stages.push(stage(
+        "massive_instance_generation",
+        massive_instance_ms,
+        json!({ "devices": massive_universe, "sets": massive_sets.len() }),
+    ));
+    let mut massive_arena = set_cover::KernelArena::new();
+    let (serial_stats, index_serial_ms) = timed(|| {
+        set_cover::build_cover_index(massive_universe, &massive_sets, 1, &mut massive_arena)
+    });
+    stages.push(stage(
+        "index_build_serial",
+        index_serial_ms,
+        json!({
+            "devices": massive_universe,
+            "sets": massive_sets.len(),
+            "entries": serial_stats.entries,
+            "workers": serial_stats.workers,
+        }),
+    ));
+    // Fresh arena: the parallel build pays its own allocations, exactly
+    // like the serial leg above.
+    drop(massive_arena);
+    let mut massive_arena = set_cover::KernelArena::new();
+    let (parallel_stats, index_parallel_ms) = timed(|| {
+        set_cover::build_cover_index(
+            massive_universe,
+            &massive_sets,
+            massive_threads,
+            &mut massive_arena,
+        )
+    });
+    assert_eq!(
+        parallel_stats.checksum, serial_stats.checksum,
+        "parallel index build must be bit-identical to serial"
+    );
+    stages.push(stage(
+        "index_build_parallel",
+        index_parallel_ms,
+        json!({
+            "devices": massive_universe,
+            "sets": massive_sets.len(),
+            "entries": parallel_stats.entries,
+            "workers": parallel_stats.workers,
+        }),
+    ));
+    // Same build again on the now-sized arena: what the reuse contract
+    // saves once the first instance has been seen.
+    let (warm_stats, index_warm_ms) = timed(|| {
+        set_cover::build_cover_index(
+            massive_universe,
+            &massive_sets,
+            massive_threads,
+            &mut massive_arena,
+        )
+    });
+    assert_eq!(warm_stats.checksum, serial_stats.checksum);
+    stages.push(stage(
+        "index_build_parallel_warm",
+        index_warm_ms,
+        json!({
+            "devices": massive_universe,
+            "sets": massive_sets.len(),
+            "entries": warm_stats.entries,
+            "workers": warm_stats.workers,
+        }),
+    ));
+    let (massive_inc, massive_incremental_ms) = timed(|| {
+        set_cover::greedy_set_cover_with(
+            massive_universe,
+            &massive_sets,
+            massive_threads,
+            &mut massive_arena,
+        )
+        .expect("coverable")
+    });
+    let (massive_bitset, massive_bitset_ms) = timed(|| {
+        set_cover::greedy_set_cover_bitset(massive_universe, &massive_sets).expect("coverable")
+    });
+    assert_eq!(
+        massive_inc, massive_bitset,
+        "solvers must agree pick-for-pick at massive n"
+    );
+    stages.push(stage(
+        "set_cover_massive_incremental",
+        massive_incremental_ms,
+        json!({
+            "devices": massive_universe,
+            "sets": massive_sets.len(),
+            "entries": serial_stats.entries,
+            "picks": massive_inc.len(),
+            "build_threads": massive_threads,
+        }),
+    ));
+    stages.push(stage(
+        "set_cover_massive_bitset",
+        massive_bitset_ms,
+        json!({
+            "devices": massive_universe,
+            "sets": massive_sets.len(),
+            "picks": massive_bitset.len(),
+        }),
+    ));
+    let index_build_parallel_speedup = index_serial_ms / index_parallel_ms;
+    let index_build_warm_gain = index_parallel_ms / index_warm_ms;
+    let set_cover_massive_speedup = massive_bitset_ms / massive_incremental_ms;
+    // The scale tier holds the largest allocations of the whole report
+    // (~hundreds of MB at 10^6 devices); release them before the
+    // campaign stages.
+    drop(massive_arena);
+    drop(massive_sets);
 
     let (events, dense) = workload::window_cover_instance(1_000, 2_600, opts.seed);
     let ti = SimDuration::from_secs(10);
@@ -657,12 +830,17 @@ fn main() {
             "mechanisms": MechanismKind::ALL.len(),
             "seed": opts.seed,
             "parallel_threads": opts.threads,
+            "massive_devices": massive_devices,
+            "massive_build_threads": massive_threads,
         }),
         "stages": Value::Array(stages),
         "derived": json!({
             "set_cover_speedup": set_cover_speedup,
             "set_cover_incremental_speedup": set_cover_incremental_speedup,
             "set_cover_stress_speedup": set_cover_stress_speedup,
+            "set_cover_massive_speedup": set_cover_massive_speedup,
+            "index_build_parallel_speedup": index_build_parallel_speedup,
+            "index_build_warm_gain": index_build_warm_gain,
             "regroup_churn_speedup": regroup_churn_speedup,
             "window_cover_speedup": window_cover_speedup,
             "window_cover_incremental_speedup": window_cover_incremental_speedup,
@@ -682,7 +860,10 @@ fn main() {
         "\nbench_report: set-cover bitset speedup {set_cover_speedup:.2}x \
          (incremental {set_cover_incremental_speedup:.2}x over bitset, \
          {set_cover_stress_speedup:.2}x at 10k devices, \
+         {set_cover_massive_speedup:.2}x at {massive_devices} devices, \
          {regroup_churn_speedup:.2}x on the churned re-grouping sequence), \
+         index build parallel speedup {index_build_parallel_speedup:.2}x \
+         (warm-arena gain {index_build_warm_gain:.2}x), \
          window-cover speedup {window_cover_speedup:.2}x \
          (incremental {window_cover_incremental_speedup:.2}x over sweep), \
          parallel comparison speedup {:.2}x, \

@@ -131,6 +131,21 @@ fn main() {
     }
 
     if shard.is_some() || emit_archive.is_some() {
+        // Archives record every (point × run × mechanism) outcome; at the
+        // massive-n scale tier that is gigabytes of per-run state nobody
+        // can diff or merge. Refuse early, before any simulation runs.
+        if let Some(&largest) = scenario.devices.iter().max() {
+            if largest > scenarios::ARCHIVE_DEVICE_LIMIT {
+                fail_usage(format!(
+                    "--emit-archive refused: scenario `{}` has a {largest}-device point, above \
+                     the {}-device archive limit; run without --emit-archive for summary output \
+                     or cap the grid with --devices <= {}",
+                    scenario.name,
+                    scenarios::ARCHIVE_DEVICE_LIMIT,
+                    scenarios::ARCHIVE_DEVICE_LIMIT
+                ));
+            }
+        }
         let shard = shard.unwrap_or(ShardSpec::FULL);
         let path = emit_archive.unwrap_or_else(|| {
             fail_usage("--shard needs --emit-archive <path>: a partial grid cannot be rendered")

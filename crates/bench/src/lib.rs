@@ -24,6 +24,7 @@
 
 use std::fmt::Write as _;
 
+pub mod alloc_meter;
 pub mod coordinator;
 pub mod diff;
 pub mod scenarios;

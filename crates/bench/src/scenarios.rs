@@ -85,6 +85,16 @@ fn archive_schema_version(text: &str) -> Option<u32> {
     }
 }
 
+/// Largest per-point device count for which `figures --emit-archive` will
+/// write a full per-run archive.
+///
+/// Archives store every (point × run × mechanism) record, so their size
+/// grows with the device grid; at the massive-n scale tier (10^5–10^6
+/// devices) an archive would be gigabytes of redundant per-run state. The
+/// summary path (`figures` without `--emit-archive`, or `bench_report`'s
+/// massive stages) is the supported output above this limit.
+pub const ARCHIVE_DEVICE_LIMIT: usize = 50_000;
+
 /// Writes a [`ScenarioArchive`] to a JSON file (pretty-printed; floats use
 /// shortest-roundtrip formatting, so records survive the text roundtrip
 /// bit-exactly).

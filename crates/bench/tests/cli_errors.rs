@@ -67,6 +67,45 @@ fn figures_rejects_malformed_shard_specs_with_a_usage_error() {
 }
 
 #[test]
+fn figures_refuses_archives_above_the_massive_device_limit() {
+    let dir = scratch("massive_archive");
+    let path = dir.join("massive.json");
+    let out = run(
+        env!("CARGO_BIN_EXE_figures"),
+        &[
+            "--scenario",
+            "massive-n",
+            "--emit-archive",
+            path.to_str().unwrap(),
+        ],
+    );
+    assert_error_line(&out, "figures", 2, "--emit-archive refused");
+    assert!(
+        stderr(&out).contains(&scenarios::ARCHIVE_DEVICE_LIMIT.to_string()),
+        "message names the limit: {}",
+        stderr(&out)
+    );
+    assert!(!path.exists(), "no archive may be written");
+    // Capping the grid back under the limit is the advertised way out.
+    let out = run(
+        env!("CARGO_BIN_EXE_figures"),
+        &[
+            "--scenario",
+            "massive-n",
+            "--devices",
+            "20",
+            "--runs",
+            "1",
+            "--emit-archive",
+            path.to_str().unwrap(),
+        ],
+    );
+    assert!(out.status.success(), "capped grid runs: {}", stderr(&out));
+    assert!(path.exists(), "capped archive written");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn figures_reports_unknown_scenarios_as_data_errors() {
     let out = run(
         env!("CARGO_BIN_EXE_figures"),

@@ -67,8 +67,8 @@ pub fn estimate_dr_sc_transmissions(input: &GroupingInput) -> DrScEstimate {
     let ti = input.params().ti.duration();
     let mut sparse: Vec<f64> = Vec::new(); // per-device coverage probability
     let mut dense = 0usize;
-    for dev in input.devices() {
-        let cycle = dev.paging.cycle.period();
+    for paging in input.paging_configs() {
+        let cycle = paging.cycle.period();
         if cycle <= ti {
             dense += 1;
         } else {

@@ -125,7 +125,7 @@ impl GroupingMechanism for DaSc {
         let window = TimeWindow::new(t.saturating_sub(ti).max(params.start), t);
 
         let mut device_plans = Vec::with_capacity(input.len());
-        for (dev, sched) in input.devices().iter().zip(input.schedules()) {
+        for (dev, sched) in input.iter().zip(input.schedules()) {
             if sched.has_po_in(window) {
                 // Fig. 5, device (c): no adaptation needed.
                 let po = sched.first_po_at_or_after(window.start());
@@ -251,7 +251,7 @@ mod tests {
             3,
             AdaptationGrid::default(),
         );
-        for (dp, dev) in plan.device_plans.iter().zip(input.devices()) {
+        for (dp, dev) in plan.device_plans.iter().zip(input.iter()) {
             if let Some(a) = dp.adaptation {
                 assert!(
                     a.new_cycle.period_frames() < dev.paging.cycle.period_frames(),
@@ -276,7 +276,7 @@ mod tests {
         );
         let t = input.transmission_time().unwrap();
         let w = TimeWindow::new(t - input.params().ti.duration(), t);
-        for (dp, dev) in plan.device_plans.iter().zip(input.devices()) {
+        for (dp, dev) in plan.device_plans.iter().zip(input.iter()) {
             let Some(a) = dp.adaptation else { continue };
             for longer in CycleLadder::cycles().rev() {
                 if longer.period_frames() >= dev.paging.cycle.period_frames() {

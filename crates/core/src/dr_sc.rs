@@ -77,8 +77,8 @@ impl GroupingMechanism for DrSc {
         // first transmission.
         let mut events: Vec<Vec<nbiot_time::SimInstant>> = Vec::with_capacity(input.len());
         let mut dense = Vec::with_capacity(input.len());
-        for (dev, sched) in input.devices().iter().zip(input.schedules()) {
-            let is_dense = dev.paging.cycle.period() <= ti;
+        for (paging, sched) in input.paging_configs().iter().zip(input.schedules()) {
+            let is_dense = paging.cycle.period() <= ti;
             dense.push(is_dense);
             if is_dense {
                 events.push(Vec::new());
@@ -90,12 +90,12 @@ impl GroupingMechanism for DrSc {
             .solve(horizon.start(), &events, &dense)
             .ok_or_else(|| GroupingError::NoUsablePo {
                 device: input
-                    .devices()
+                    .ids()
                     .iter()
                     .zip(&events)
                     .zip(&dense)
                     .find(|((_, e), &d)| e.is_empty() && !d)
-                    .map(|((dev, _), _)| dev.id)
+                    .map(|((&id, _), _)| id)
                     .expect("solver fails only on sparse device without POs"),
                 t: horizon.end(),
             })?;
@@ -103,11 +103,7 @@ impl GroupingMechanism for DrSc {
         let mut transmissions = Vec::with_capacity(slots.len());
         let mut device_plans: Vec<Option<DevicePlan>> = vec![None; input.len()];
         for slot in &slots {
-            let recipients: Vec<_> = slot
-                .covered
-                .iter()
-                .map(|&idx| input.devices()[idx].id)
-                .collect();
+            let recipients: Vec<_> = slot.covered.iter().map(|&idx| input.ids()[idx]).collect();
             // Page every covered device at its own first PO inside the
             // window, then transmit shortly after the last of those pages
             // (capped at the window end, which preserves the first-paged
@@ -122,7 +118,7 @@ impl GroupingMechanism for DrSc {
             for (&idx, &po) in slot.covered.iter().zip(&pages) {
                 debug_assert!(po < transmit_at);
                 device_plans[idx] = Some(DevicePlan {
-                    device: input.devices()[idx].id,
+                    device: input.ids()[idx],
                     page: Some(PageDirective { po }),
                     mltc: None,
                     adaptation: None,

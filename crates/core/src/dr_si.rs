@@ -75,12 +75,12 @@ impl GroupingMechanism for DrSi {
 
         let mut device_plans = Vec::with_capacity(input.len());
         let mut any_mltc = false;
-        for (dev, sched) in input.devices().iter().zip(input.schedules()) {
+        for (&id, sched) in input.ids().iter().zip(input.schedules()) {
             if sched.has_po_in(window) {
                 // Natural PO inside the window: ordinary page, no extension.
                 let po = sched.first_po_at_or_after(window.start());
                 device_plans.push(DevicePlan {
-                    device: dev.id,
+                    device: id,
                     page: Some(PageDirective { po }),
                     mltc: None,
                     adaptation: None,
@@ -98,12 +98,12 @@ impl GroupingMechanism for DrSi {
                     (po < window.start()).then_some(po)
                 }
             }
-            .ok_or(GroupingError::NoUsablePo { device: dev.id, t })?;
+            .ok_or(GroupingError::NoUsablePo { device: id, t })?;
             let wake_at =
                 SimInstant::from_ms(rng.gen_range(window.start().as_ms()..window.end().as_ms()));
             any_mltc = true;
             device_plans.push(DevicePlan {
-                device: dev.id,
+                device: id,
                 page: None,
                 mltc: Some(MltcDirective {
                     po,

@@ -1,8 +1,8 @@
 //! Grouping problem input.
 
 use nbiot_rrc::InactivityTimer;
-use nbiot_time::{CycleLadder, PagingSchedule, SimDuration, SimInstant};
-use nbiot_traffic::{DeviceId, DeviceProfile, Population};
+use nbiot_time::{CycleLadder, PagingConfig, PagingSchedule, SimDuration, SimInstant, UeId};
+use nbiot_traffic::{ClassId, DeviceId, DeviceProfile, Population};
 
 use crate::GroupingError;
 
@@ -32,9 +32,21 @@ impl Default for GroupingParams {
 
 /// A fully resolved grouping problem: the device group, their paging
 /// schedules, and the parameters.
+///
+/// Device attributes are stored **struct-of-arrays** (one column per
+/// attribute, all in device order), mirroring
+/// [`Population`]'s layout: campaign execution walks only the columns it
+/// needs (`ues` for recipient identity, `paging_configs` for PO math) and
+/// building an input from a population is five column clones, not n
+/// struct copies. The row view [`GroupingInput::device`] /
+/// [`GroupingInput::iter`] materializes a [`DeviceProfile`] on demand.
 #[derive(Debug, Clone)]
 pub struct GroupingInput {
-    devices: Vec<DeviceProfile>,
+    ids: Vec<DeviceId>,
+    ues: Vec<UeId>,
+    classes: Vec<ClassId>,
+    pagings: Vec<PagingConfig>,
+    report_intervals: Vec<SimDuration>,
     schedules: Vec<PagingSchedule>,
     params: GroupingParams,
     max_cycle: SimDuration,
@@ -45,7 +57,9 @@ pub struct GroupingInput {
 }
 
 impl GroupingInput {
-    /// Builds the input from a generated population.
+    /// Builds the input from a generated population — a straight clone of
+    /// the population's columns, with schedules resolved from the
+    /// `pagings`/`ues` pair.
     ///
     /// # Errors
     ///
@@ -58,7 +72,25 @@ impl GroupingInput {
         pop: &Population,
         params: GroupingParams,
     ) -> Result<GroupingInput, GroupingError> {
-        Self::from_devices(pop.devices().to_vec(), params)
+        if pop.is_empty() {
+            return Err(GroupingError::EmptyGroup);
+        }
+        Self::validate_ti(&params)?;
+        let schedules = pop.schedules()?;
+        let max_cycle = pop.max_cycle();
+        let ids: Vec<DeviceId> = (0..pop.len()).map(|i| pop.id(i)).collect();
+        let positions = Self::index_positions(&ids);
+        Ok(GroupingInput {
+            ids,
+            ues: pop.ues().to_vec(),
+            classes: pop.classes().to_vec(),
+            pagings: pop.paging_configs().to_vec(),
+            report_intervals: pop.report_intervals().to_vec(),
+            schedules,
+            params,
+            max_cycle,
+            positions,
+        })
     }
 
     /// Builds the input from an explicit device list.
@@ -73,13 +105,7 @@ impl GroupingInput {
         if devices.is_empty() {
             return Err(GroupingError::EmptyGroup);
         }
-        let shortest = SimDuration::from_frames(CycleLadder::FRAMES[0]);
-        if params.ti.duration() < shortest {
-            return Err(GroupingError::TiTooShort {
-                ti_ms: params.ti.duration().as_ms(),
-                shortest_cycle_ms: shortest.as_ms(),
-            });
-        }
+        Self::validate_ti(&params)?;
         let schedules = devices
             .iter()
             .map(|d| d.schedule())
@@ -89,16 +115,49 @@ impl GroupingInput {
             .map(|d| d.paging.cycle.period())
             .max()
             .expect("non-empty");
-        let mut positions: Vec<(DeviceId, usize)> =
-            devices.iter().enumerate().map(|(i, d)| (d.id, i)).collect();
-        positions.sort_unstable();
+        let n = devices.len();
+        let mut ids = Vec::with_capacity(n);
+        let mut ues = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        let mut pagings = Vec::with_capacity(n);
+        let mut report_intervals = Vec::with_capacity(n);
+        for d in devices {
+            ids.push(d.id);
+            ues.push(d.ue);
+            classes.push(d.class);
+            pagings.push(d.paging);
+            report_intervals.push(d.report_interval);
+        }
+        let positions = Self::index_positions(&ids);
         Ok(GroupingInput {
-            devices,
+            ids,
+            ues,
+            classes,
+            pagings,
+            report_intervals,
             schedules,
             params,
             max_cycle,
             positions,
         })
+    }
+
+    fn validate_ti(params: &GroupingParams) -> Result<(), GroupingError> {
+        let shortest = SimDuration::from_frames(CycleLadder::FRAMES[0]);
+        if params.ti.duration() < shortest {
+            return Err(GroupingError::TiTooShort {
+                ti_ms: params.ti.duration().as_ms(),
+                shortest_cycle_ms: shortest.as_ms(),
+            });
+        }
+        Ok(())
+    }
+
+    fn index_positions(ids: &[DeviceId]) -> Vec<(DeviceId, usize)> {
+        let mut positions: Vec<(DeviceId, usize)> =
+            ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        positions.sort_unstable();
+        positions
     }
 
     /// The device-order position of the device with identity `id`, or
@@ -112,9 +171,56 @@ impl GroupingInput {
             .map(|i| self.positions[i].1)
     }
 
-    /// The device group.
-    pub fn devices(&self) -> &[DeviceProfile] {
-        &self.devices
+    /// The device at position `i` (cheap: materialized from the columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn device(&self, i: usize) -> DeviceProfile {
+        DeviceProfile {
+            id: self.ids[i],
+            ue: self.ues[i],
+            class: self.classes[i],
+            paging: self.pagings[i],
+            report_interval: self.report_intervals[i],
+        }
+    }
+
+    /// Iterates the group in device order, materializing each row view.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = DeviceProfile> + '_ {
+        (0..self.len()).map(|i| self.device(i))
+    }
+
+    /// Materializes the whole group as a device list — interop for
+    /// callers that edit rows; hot paths should use the column accessors.
+    pub fn profiles(&self) -> Vec<DeviceProfile> {
+        self.iter().collect()
+    }
+
+    /// Device identities, in device order.
+    pub fn ids(&self) -> &[DeviceId] {
+        &self.ids
+    }
+
+    /// Paging identities, in device order.
+    pub fn ues(&self) -> &[UeId] {
+        &self.ues
+    }
+
+    /// Device classes, in device order.
+    pub fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    /// Paging configurations, in device order.
+    pub fn paging_configs(&self) -> &[PagingConfig] {
+        &self.pagings
+    }
+
+    /// Report intervals, in device order.
+    pub fn report_intervals(&self) -> &[SimDuration] {
+        &self.report_intervals
     }
 
     /// Paging schedules, in device order.
@@ -129,12 +235,12 @@ impl GroupingInput {
 
     /// Number of devices.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.ids.len()
     }
 
     /// `true` when the group is empty (cannot happen post-construction).
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.ids.is_empty()
     }
 
     /// The longest paging cycle in the group (`maxDRX`).
@@ -234,7 +340,7 @@ mod tests {
             transmission_time: Some(minimum + SimDuration::from_secs(60)),
             ..GroupingParams::default()
         };
-        let inp2 = GroupingInput::from_devices(inp.devices().to_vec(), late).unwrap();
+        let inp2 = GroupingInput::from_devices(inp.profiles(), late).unwrap();
         assert_eq!(
             inp2.transmission_time().unwrap(),
             minimum + SimDuration::from_secs(60)
@@ -243,7 +349,7 @@ mod tests {
             transmission_time: Some(SimInstant::from_ms(1)),
             ..GroupingParams::default()
         };
-        let inp3 = GroupingInput::from_devices(inp.devices().to_vec(), early).unwrap();
+        let inp3 = GroupingInput::from_devices(inp.profiles(), early).unwrap();
         assert!(matches!(
             inp3.transmission_time(),
             Err(GroupingError::TransmissionTooEarly { .. })
@@ -253,30 +359,56 @@ mod tests {
     #[test]
     fn schedules_align_with_devices() {
         let inp = input(40);
-        assert_eq!(inp.devices().len(), inp.schedules().len());
+        assert_eq!(inp.len(), inp.schedules().len());
         assert_eq!(inp.len(), 40);
         assert!(!inp.is_empty());
     }
 
     #[test]
+    fn population_and_device_list_construction_agree() {
+        // from_population clones columns; from_devices decomposes rows.
+        // Both must land on the same input.
+        let pop = TrafficMix::ericsson_city()
+            .generate(60, &mut StdRng::seed_from_u64(6))
+            .unwrap();
+        let a = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let b = GroupingInput::from_devices(pop.profiles(), GroupingParams::default()).unwrap();
+        assert_eq!(a.profiles(), b.profiles());
+        assert_eq!(a.schedules(), b.schedules());
+        assert_eq!(a.max_cycle(), b.max_cycle());
+    }
+
+    #[test]
+    fn row_view_matches_columns() {
+        let inp = input(30);
+        for (i, d) in inp.iter().enumerate() {
+            assert_eq!(d.id, inp.ids()[i]);
+            assert_eq!(d.ue, inp.ues()[i]);
+            assert_eq!(d.class, inp.classes()[i]);
+            assert_eq!(d.paging, inp.paging_configs()[i]);
+            assert_eq!(d.report_interval, inp.report_intervals()[i]);
+        }
+    }
+
+    #[test]
     fn position_index_resolves_every_device() {
         let inp = input(40);
-        for (i, dev) in inp.devices().iter().enumerate() {
-            assert_eq!(inp.position_of(dev.id), Some(i));
+        for (i, &id) in inp.ids().iter().enumerate() {
+            assert_eq!(inp.position_of(id), Some(i));
         }
         let absent = nbiot_traffic::DeviceId(u32::MAX);
-        assert!(inp.devices().iter().all(|d| d.id != absent));
+        assert!(inp.ids().iter().all(|&id| id != absent));
         assert_eq!(inp.position_of(absent), None);
     }
 
     #[test]
     fn position_index_survives_permuted_device_order() {
         let inp = input(20);
-        let mut devices = inp.devices().to_vec();
+        let mut devices = inp.profiles();
         devices.reverse();
         let permuted = GroupingInput::from_devices(devices, *inp.params()).unwrap();
-        for (i, dev) in permuted.devices().iter().enumerate() {
-            assert_eq!(permuted.position_of(dev.id), Some(i));
+        for (i, &id) in permuted.ids().iter().enumerate() {
+            assert_eq!(permuted.position_of(id), Some(i));
         }
     }
 }

@@ -272,7 +272,7 @@ mod tests {
 
     fn valid_plan(input: &GroupingInput) -> MulticastPlan {
         let t = SimInstant::from_secs(30);
-        let devices: Vec<DeviceId> = input.devices().iter().map(|d| d.id).collect();
+        let devices: Vec<DeviceId> = input.ids().to_vec();
         MulticastPlan {
             mechanism: "TEST".to_string(),
             standards_compliant: true,

@@ -73,10 +73,10 @@ impl GroupingMechanism for ScPtm {
         let t = SimInstant::from_ms(announce_ms) + self.mcch_period;
 
         let device_plans: Vec<DevicePlan> = input
-            .devices()
+            .ids()
             .iter()
-            .map(|dev| DevicePlan {
-                device: dev.id,
+            .map(|&id| DevicePlan {
+                device: id,
                 page: None,
                 mltc: None,
                 adaptation: None,

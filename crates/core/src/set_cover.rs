@@ -46,6 +46,7 @@
 //!    retained verbatim in [`reference`] for the equivalence tests
 //!    (`tests/setcover_properties.rs`).
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -73,19 +74,34 @@ impl GainQueue {
     /// Seeds the queue with a snapshot of every candidate with a positive
     /// gain.
     fn new(gains: &[u32]) -> GainQueue {
-        let heap = gains
-            .iter()
-            .enumerate()
-            .filter(|&(_, &g)| g > 0)
-            .map(|(i, &g)| (g, Reverse(i as u32)))
-            .collect();
-        GainQueue { heap }
+        let mut queue = GainQueue {
+            heap: BinaryHeap::new(),
+        };
+        Self::seed(&mut queue.heap, gains);
+        queue
+    }
+
+    /// Re-seeds `heap` (retaining its capacity) with a snapshot of every
+    /// candidate with a positive gain — the arena-backed entry point.
+    fn seed(heap: &mut BinaryHeap<(u32, Reverse<u32>)>, gains: &[u32]) {
+        heap.clear();
+        heap.extend(
+            gains
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| g > 0)
+                .map(|(i, &g)| (g, Reverse(i as u32))),
+        );
     }
 
     /// Pushes a fresh snapshot (no-op for exhausted candidates).
     fn push(&mut self, gain: u32, candidate: usize) {
+        Self::push_to(&mut self.heap, gain, candidate);
+    }
+
+    fn push_to(heap: &mut BinaryHeap<(u32, Reverse<u32>)>, gain: u32, candidate: usize) {
         if gain > 0 {
-            self.heap.push((gain, Reverse(candidate as u32)));
+            heap.push((gain, Reverse(candidate as u32)));
         }
     }
 
@@ -93,7 +109,15 @@ impl GainQueue {
     /// not dead) and returns that candidate, or `None` when every
     /// remaining candidate has gain zero.
     fn pop_current(&mut self, gains: &[u32], dead: impl Fn(usize) -> bool) -> Option<usize> {
-        while let Some((gain, Reverse(candidate))) = self.heap.pop() {
+        Self::pop_current_from(&mut self.heap, gains, dead)
+    }
+
+    fn pop_current_from(
+        heap: &mut BinaryHeap<(u32, Reverse<u32>)>,
+        gains: &[u32],
+        dead: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        while let Some((gain, Reverse(candidate))) = heap.pop() {
             let candidate = candidate as usize;
             if !dead(candidate) && gains[candidate] == gain {
                 return Some(candidate);
@@ -101,6 +125,372 @@ impl GainQueue {
         }
         None
     }
+}
+
+/// Reusable scratch for the incremental set-cover kernel: the dedup CSR,
+/// the element→sets inverted index, the per-worker build buffers, and the
+/// solve-phase scratch (gains, coverage tombstones, queue storage).
+///
+/// Every buffer keeps its capacity across calls, so repeated plans within
+/// a run — the per-round re-planning of a churned campaign, or a figure
+/// sweep's device-count ladder — stop allocating once the largest
+/// instance has been seen. Construct one with [`KernelArena::new`] and
+/// thread it through [`greedy_set_cover_with`] / [`build_cover_index`];
+/// [`greedy_set_cover`] uses a thread-local arena internally.
+#[derive(Debug, Default)]
+pub struct KernelArena {
+    // Dedup CSR over the input sets.
+    set_off: Vec<usize>,
+    set_elems: Vec<u32>,
+    // Element → sets inverted index (CSR).
+    elem_off: Vec<u32>,
+    elem_sets: Vec<u32>,
+    // Build scratch: dedup stamps, scatter cursors, per-worker buffers.
+    seen: Vec<u32>,
+    cursor: Vec<u32>,
+    worker_seen: Vec<Vec<u32>>,
+    worker_elems: Vec<Vec<u32>>,
+    worker_lens: Vec<Vec<u32>>,
+    worker_counts: Vec<Vec<u32>>,
+    // Solve scratch.
+    gains: Vec<u32>,
+    covered: Vec<bool>,
+    last_touch: Vec<u32>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<(u32, Reverse<u32>)>,
+}
+
+impl KernelArena {
+    /// An empty arena; buffers grow on first use and are retained after.
+    pub fn new() -> KernelArena {
+        KernelArena::default()
+    }
+}
+
+/// Clears and refills `buf` to `len` copies of `value`, retaining
+/// capacity.
+fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
+
+/// `bounds[k]..bounds[k+1]` item ranges for `workers` contiguous chunks,
+/// balanced by per-item `mass` (empty trailing ranges when there are more
+/// workers than mass). Deterministic in its inputs only.
+fn balanced_bounds(
+    n: usize,
+    workers: usize,
+    total: usize,
+    mass: impl Fn(usize) -> usize,
+) -> Vec<usize> {
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0);
+    let mut acc = 0usize;
+    for i in 0..n {
+        if bounds.len() > workers {
+            break;
+        }
+        acc += mass(i);
+        while bounds.len() <= workers && acc * workers >= total * bounds.len() {
+            bounds.push(i + 1);
+        }
+    }
+    while bounds.len() <= workers {
+        bounds.push(n);
+    }
+    bounds[workers] = n;
+    bounds
+}
+
+/// Resolves the worker count for an index build: `0` = the machine's
+/// available parallelism (capped at 8 — the counting buffers are
+/// universe-sized per worker), any other value is taken as-is; small
+/// instances always build serially (spawn overhead would dominate).
+fn effective_workers(threads: usize, input_entries: usize) -> usize {
+    const SERIAL_CUTOFF: usize = 1 << 14;
+    if input_entries < SERIAL_CUTOFF {
+        return 1;
+    }
+    match threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8),
+        t => t.min(8),
+    }
+    .max(1)
+}
+
+/// Statistics of one [`build_cover_index`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexBuildStats {
+    /// Number of input sets.
+    pub sets: usize,
+    /// Deduped CSR entries (= inverted-index entries).
+    pub entries: usize,
+    /// Workers the build actually ran on (small instances build
+    /// serially regardless of the requested thread count).
+    pub workers: usize,
+    /// FNV-1a digest over `set_off`/`set_elems`/`elem_off`/`elem_sets` —
+    /// the bit-identity witness for parallel-vs-serial build tests.
+    pub checksum: u64,
+}
+
+/// Builds the dedup CSR and the element→sets inverted index into `arena`
+/// and returns build statistics, including a checksum over all four index
+/// arrays. The build is **bit-identical at every thread count** (see
+/// [`greedy_set_cover_with`] for why); `threads` follows
+/// [`greedy_set_cover_with`]'s convention (`0` = auto).
+///
+/// This is the benchmarking/testing entry point for the index build in
+/// isolation; [`greedy_set_cover_with`] runs the same build and then the
+/// greedy rounds.
+///
+/// # Panics
+///
+/// Panics when a set contains an element `>= universe_size`.
+pub fn build_cover_index(
+    universe_size: usize,
+    sets: &[Vec<usize>],
+    threads: usize,
+    arena: &mut KernelArena,
+) -> IndexBuildStats {
+    let workers = build_index_into(universe_size, sets, threads, arena);
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| h = (h ^ v).wrapping_mul(FNV_PRIME);
+    for &o in &arena.set_off {
+        mix(o as u64);
+    }
+    for &e in &arena.set_elems {
+        mix(e as u64);
+    }
+    for &o in &arena.elem_off {
+        mix(o as u64);
+    }
+    for &s in &arena.elem_sets {
+        mix(s as u64);
+    }
+    IndexBuildStats {
+        sets: sets.len(),
+        entries: arena.set_elems.len(),
+        workers,
+        checksum: h,
+    }
+}
+
+/// The index-build core: dedup CSR, then the counting pass, then the
+/// exclusive-prefix-sum scatter. Returns the worker count used.
+///
+/// Parallelization is by **contiguous partitioning** in both directions —
+/// set ranges for dedup/counting, element ranges for the scatter — so the
+/// output arrays are byte-for-byte what the serial build writes: the
+/// partition only changes *which worker* writes an entry, never its
+/// position or value.
+fn build_index_into(
+    universe_size: usize,
+    sets: &[Vec<usize>],
+    threads: usize,
+    arena: &mut KernelArena,
+) -> usize {
+    assert!(
+        universe_size < u32::MAX as usize && sets.len() < u32::MAX as usize,
+        "index build uses u32 entries"
+    );
+    let input_entries: usize = sets.iter().map(|s| s.len()).sum();
+    let workers = effective_workers(threads, input_entries);
+
+    // --- Phase A: dedup each set into a CSR row (repeated elements count
+    // once — the unique-gain semantics of the reference solver). The
+    // index arrays are u32: the CSR is the memory-bandwidth hot spot of
+    // the whole solver, and halving the entry width measurably moves the
+    // build. ---
+    arena.set_off.clear();
+    arena.set_off.reserve(sets.len() + 1);
+    arena.set_off.push(0);
+    arena.set_elems.clear();
+    if workers == 1 {
+        reset(&mut arena.seen, universe_size, u32::MAX);
+        for (i, set) in sets.iter().enumerate() {
+            for &e in set {
+                assert!(
+                    e < universe_size,
+                    "set {i} contains element {e} outside universe 0..{universe_size}"
+                );
+                if arena.seen[e] != i as u32 {
+                    arena.seen[e] = i as u32;
+                    arena.set_elems.push(e as u32);
+                }
+            }
+            arena.set_off.push(arena.set_elems.len());
+        }
+    } else {
+        // Per-worker dedup over contiguous set ranges (balanced by input
+        // mass), each with its own stamp array, then an order-preserving
+        // concatenation: identical CSR to the serial pass.
+        let set_bounds =
+            balanced_bounds(sets.len(), workers, input_entries, |i| sets[i].len().max(1));
+        arena.worker_seen.resize_with(workers, Vec::new);
+        arena.worker_elems.resize_with(workers, Vec::new);
+        arena.worker_lens.resize_with(workers, Vec::new);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, ((seen, elems), lens)) in arena
+                .worker_seen
+                .iter_mut()
+                .zip(arena.worker_elems.iter_mut())
+                .zip(arena.worker_lens.iter_mut())
+                .enumerate()
+            {
+                let range = set_bounds[w]..set_bounds[w + 1];
+                handles.push(scope.spawn(move || {
+                    reset(seen, universe_size, u32::MAX);
+                    elems.clear();
+                    lens.clear();
+                    for i in range {
+                        let before = elems.len();
+                        for &e in &sets[i] {
+                            assert!(
+                                e < universe_size,
+                                "set {i} contains element {e} outside universe 0..{universe_size}"
+                            );
+                            if seen[e] != i as u32 {
+                                seen[e] = i as u32;
+                                elems.push(e as u32);
+                            }
+                        }
+                        lens.push((elems.len() - before) as u32);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("index-build worker");
+            }
+        });
+        for w in 0..workers {
+            for &len in &arena.worker_lens[w] {
+                arena
+                    .set_off
+                    .push(arena.set_off.last().unwrap() + len as usize);
+            }
+        }
+        let total: usize = arena.worker_elems.iter().map(|v| v.len()).sum();
+        arena.set_elems.reserve(total);
+        for w in 0..workers {
+            let part = &arena.worker_elems[w];
+            arena.set_elems.extend_from_slice(part);
+        }
+    }
+    let entries = arena.set_elems.len();
+
+    // --- Phase B: per-worker counting pass over the deduped entries,
+    // folded into the element-offset array. ---
+    reset(&mut arena.elem_off, universe_size + 1, 0u32);
+    if workers == 1 {
+        for &e in &arena.set_elems {
+            arena.elem_off[e as usize + 1] += 1;
+        }
+    } else {
+        arena.worker_counts.resize_with(workers, Vec::new);
+        let chunk = entries.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, counts) in arena.worker_counts.iter_mut().enumerate() {
+                let slice =
+                    &arena.set_elems[(w * chunk).min(entries)..((w + 1) * chunk).min(entries)];
+                handles.push(scope.spawn(move || {
+                    reset(counts, universe_size, 0u32);
+                    for &e in slice {
+                        counts[e as usize] += 1;
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("index-build worker");
+            }
+        });
+        for counts in &arena.worker_counts {
+            for (e, &c) in counts.iter().enumerate() {
+                arena.elem_off[e + 1] += c;
+            }
+        }
+    }
+    // Exclusive prefix sum: elem_off[e] is where element e's set list
+    // starts in elem_sets.
+    for i in 0..universe_size {
+        arena.elem_off[i + 1] += arena.elem_off[i];
+    }
+
+    // --- Phase C: scatter set indices to their prefix-sum positions. ---
+    arena.cursor.clear();
+    arena
+        .cursor
+        .extend_from_slice(&arena.elem_off[..universe_size]);
+    reset(&mut arena.elem_sets, entries, 0u32);
+    if workers == 1 {
+        for (i, w) in arena.set_off.windows(2).enumerate() {
+            for &e in &arena.set_elems[w[0]..w[1]] {
+                let c = &mut arena.cursor[e as usize];
+                arena.elem_sets[*c as usize] = i as u32;
+                *c += 1;
+            }
+        }
+    } else {
+        // Contiguous element ranges (balanced by entry mass): each worker
+        // owns a disjoint slice of `elem_sets`/`cursor` and scans the CSR
+        // in set order, scattering only its own elements — exactly the
+        // positions and values the serial scatter writes.
+        let elem_bounds = balanced_bounds(universe_size, workers, entries, |e| {
+            (arena.elem_off[e + 1] - arena.elem_off[e]) as usize
+        });
+        let set_off = &arena.set_off;
+        let set_elems = &arena.set_elems;
+        let elem_off = &arena.elem_off;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            let mut elems_rest: &mut [u32] = &mut arena.elem_sets;
+            let mut cursor_rest: &mut [u32] = &mut arena.cursor;
+            let mut entry_base = 0usize;
+            let mut elem_base = 0usize;
+            for w in 0..workers {
+                let e_lo = elem_bounds[w];
+                let e_hi = elem_bounds[w + 1];
+                let entry_hi = elem_off[e_hi] as usize;
+                let (out, rest) = elems_rest.split_at_mut(entry_hi - entry_base);
+                elems_rest = rest;
+                let (cur, rest) = cursor_rest.split_at_mut(e_hi - elem_base);
+                cursor_rest = rest;
+                let base = entry_base as u32;
+                entry_base = entry_hi;
+                elem_base = e_hi;
+                handles.push(scope.spawn(move || {
+                    let lo = e_lo as u32;
+                    let hi = e_hi as u32;
+                    for (i, win) in set_off.windows(2).enumerate() {
+                        for &e in &set_elems[win[0]..win[1]] {
+                            if e >= lo && e < hi {
+                                let c = &mut cur[(e - lo) as usize];
+                                out[(*c - base) as usize] = i as u32;
+                                *c += 1;
+                            }
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("index-build worker");
+            }
+        });
+    }
+    workers
+}
+
+thread_local! {
+    /// The default arena behind [`greedy_set_cover`]: repeated solves on
+    /// one thread (a figure sweep, a churn campaign's re-plans) reuse
+    /// capacity without the caller holding an arena.
+    static DEFAULT_ARENA: RefCell<KernelArena> = RefCell::new(KernelArena::new());
 }
 
 /// Greedy (Chvátal) set cover over explicit sets — the incremental-gain
@@ -145,60 +535,67 @@ impl GainQueue {
 /// assert_eq!(picked, vec![3, 4]); // frames 4 and 5
 /// ```
 pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec<usize>> {
+    DEFAULT_ARENA
+        .with(|arena| greedy_set_cover_with(universe_size, sets, 1, &mut arena.borrow_mut()))
+}
+
+/// [`greedy_set_cover`] with explicit scratch and an index-build thread
+/// count — the scale-tier entry point.
+///
+/// `threads` controls only the CSR/inverted-index **build**: `0` picks the
+/// machine's available parallelism (capped at 8), `n >= 1` requests
+/// exactly `n` workers, and small instances always build serially. The
+/// greedy rounds themselves are inherently sequential (each pick depends
+/// on the previous round's gain updates) and always run on one thread.
+/// The picks are **bit-identical at every thread count**: the parallel
+/// build partitions work contiguously (set ranges for dedup/counting,
+/// element ranges for the scatter), so the four index arrays — and hence
+/// every downstream gain and tie-break — are byte-for-byte the serial
+/// build's output (locked by `tests/parallel_determinism.rs`).
+///
+/// All allocations live in `arena` and are reused across calls; see
+/// [`KernelArena`].
+///
+/// # Panics
+///
+/// Panics when a set contains an element `>= universe_size`.
+pub fn greedy_set_cover_with(
+    universe_size: usize,
+    sets: &[Vec<usize>],
+    threads: usize,
+    arena: &mut KernelArena,
+) -> Option<Vec<usize>> {
     if universe_size == 0 {
         return Some(Vec::new());
     }
-    // Dedup each set into a CSR row (the unique-gain semantics of the
-    // reference solver: repeated elements count once). The index arrays
-    // are u32: the CSR is the memory-bandwidth hot spot of the whole
-    // solver, and halving the entry width measurably moves the build.
-    let mut seen = vec![usize::MAX; universe_size];
-    let mut set_off = Vec::with_capacity(sets.len() + 1);
-    let mut set_elems: Vec<u32> = Vec::new();
-    set_off.push(0usize);
-    for (i, set) in sets.iter().enumerate() {
-        for &e in set {
-            assert!(
-                e < universe_size,
-                "set {i} contains element {e} outside universe 0..{universe_size}"
-            );
-            if seen[e] != i {
-                seen[e] = i;
-                set_elems.push(e as u32);
-            }
-        }
-        set_off.push(set_elems.len());
-    }
-    // Element → sets inverted index (CSR): the update fan-out when an
-    // element gets covered.
-    let mut elem_off = vec![0u32; universe_size + 1];
-    for &e in &set_elems {
-        elem_off[e as usize + 1] += 1;
-    }
-    for i in 0..universe_size {
-        elem_off[i + 1] += elem_off[i];
-    }
-    let mut cursor = elem_off[..universe_size].to_vec();
-    let mut elem_sets = vec![0u32; set_elems.len()];
-    for (i, w) in set_off.windows(2).enumerate() {
-        for &e in &set_elems[w[0]..w[1]] {
-            let c = &mut cursor[e as usize];
-            elem_sets[*c as usize] = i as u32;
-            *c += 1;
-        }
-    }
+    build_index_into(universe_size, sets, threads, arena);
 
-    let mut gains: Vec<u32> = set_off.windows(2).map(|w| (w[1] - w[0]) as u32).collect();
-    let mut queue = GainQueue::new(&gains);
-    let mut covered = vec![false; universe_size];
+    let KernelArena {
+        set_off,
+        set_elems,
+        elem_off,
+        elem_sets,
+        gains,
+        covered,
+        last_touch,
+        touched,
+        heap,
+        ..
+    } = arena;
+    gains.clear();
+    gains.extend(set_off.windows(2).map(|w| (w[1] - w[0]) as u32));
+    GainQueue::seed(heap, gains);
+    reset(covered, universe_size, false);
     let mut remaining = universe_size;
     let mut picked = Vec::new();
-    // Per-round dedup of gain-changed sets, stamped by round number.
-    let mut last_touch = vec![usize::MAX; sets.len()];
-    let mut touched: Vec<u32> = Vec::new();
-    let mut round = 0usize;
+    // Per-round dedup of gain-changed sets, stamped by round number
+    // (rounds never reach the u32::MAX sentinel: there are at most
+    // `universe_size < u32::MAX` of them).
+    reset(last_touch, sets.len(), u32::MAX);
+    touched.clear();
+    let mut round = 0u32;
     while remaining > 0 {
-        let best = queue.pop_current(&gains, |_| false)?;
+        let best = GainQueue::pop_current_from(heap, gains, |_| false)?;
         picked.push(best);
         touched.clear();
         for &e in &set_elems[set_off[best]..set_off[best + 1]] {
@@ -219,8 +616,8 @@ pub fn greedy_set_cover(universe_size: usize, sets: &[Vec<usize>]) -> Option<Vec
         // One fresh snapshot per changed set, after all of the round's
         // decrements (the winner itself drops to gain zero and is never
         // re-enqueued).
-        for &s in &touched {
-            queue.push(gains[s as usize], s as usize);
+        for &s in touched.iter() {
+            GainQueue::push_to(heap, gains[s as usize], s as usize);
         }
         round += 1;
     }
@@ -1051,6 +1448,97 @@ mod tests {
                 "bitset, trial {trial}: n={n} sets={sets:?}"
             );
         }
+    }
+
+    /// A deterministic instance big enough to clear the serial cutoff and
+    /// genuinely exercise the parallel build phases.
+    fn large_instance(seed: u64) -> (usize, Vec<Vec<usize>>) {
+        let mut state = seed;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let n = 2_000;
+        let mut sets: Vec<Vec<usize>> = (0..250)
+            .map(|_| (0..80 + next() % 40).map(|_| next() % n).collect())
+            .collect();
+        sets.push((0..n).collect()); // guarantee coverability
+        (n, sets)
+    }
+
+    #[test]
+    fn parallel_index_build_is_bit_identical() {
+        let (n, sets) = large_instance(0x9E37_79B9);
+        let mut serial = KernelArena::new();
+        let base = build_cover_index(n, &sets, 1, &mut serial);
+        assert_eq!(base.workers, 1);
+        assert_eq!(base.sets, sets.len());
+        assert!(
+            base.entries > 1 << 14,
+            "instance too small: {}",
+            base.entries
+        );
+        for threads in [2, 3, 4, 8] {
+            let mut arena = KernelArena::new();
+            let stats = build_cover_index(n, &sets, threads, &mut arena);
+            assert_eq!(stats.workers, threads, "requested workers honoured");
+            assert_eq!(stats.checksum, base.checksum, "{threads} workers");
+            assert_eq!(arena.set_off, serial.set_off, "{threads} workers");
+            assert_eq!(arena.set_elems, serial.set_elems, "{threads} workers");
+            assert_eq!(arena.elem_off, serial.elem_off, "{threads} workers");
+            assert_eq!(arena.elem_sets, serial.elem_sets, "{threads} workers");
+        }
+    }
+
+    #[test]
+    fn small_instances_build_serially_regardless_of_threads() {
+        let sets = vec![vec![0, 1], vec![2]];
+        let mut arena = KernelArena::new();
+        let stats = build_cover_index(3, &sets, 8, &mut arena);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn greedy_with_matches_default_at_every_thread_count() {
+        let (n, sets) = large_instance(0xDEAD_BEEF);
+        let expect = greedy_set_cover(n, &sets);
+        assert!(expect.is_some());
+        for threads in [0, 1, 2, 4, 8] {
+            let mut arena = KernelArena::new();
+            assert_eq!(
+                greedy_set_cover_with(n, &sets, threads, &mut arena),
+                expect,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_reuse_across_different_instances_is_clean() {
+        let mut arena = KernelArena::new();
+        let (n, sets) = large_instance(0x5EED);
+        assert_eq!(
+            greedy_set_cover_with(n, &sets, 4, &mut arena),
+            greedy_set_cover(n, &sets)
+        );
+        // A much smaller, differently-shaped instance on the same (dirty)
+        // arena must match a fresh solve, including the uncoverable and
+        // empty-universe edges.
+        let small = vec![vec![0, 1, 2], vec![0, 1, 2, 3], vec![], vec![4]];
+        assert_eq!(
+            greedy_set_cover_with(5, &small, 4, &mut arena),
+            Some(vec![1, 3])
+        );
+        assert_eq!(greedy_set_cover_with(2, &[vec![0]], 4, &mut arena), None);
+        assert_eq!(greedy_set_cover_with(0, &[], 4, &mut arena), Some(vec![]));
+        // And the big instance again: warm buffers, same picks.
+        assert_eq!(
+            greedy_set_cover_with(n, &sets, 2, &mut arena),
+            greedy_set_cover(n, &sets)
+        );
     }
 
     #[test]

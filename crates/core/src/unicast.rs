@@ -43,10 +43,10 @@ impl GroupingMechanism for Unicast {
         let params = input.params();
         let mut device_plans = Vec::with_capacity(input.len());
         let mut transmissions = Vec::with_capacity(input.len());
-        for (dev, sched) in input.devices().iter().zip(input.schedules()) {
+        for (&id, sched) in input.ids().iter().zip(input.schedules()) {
             let po = sched.first_po_at_or_after(params.start);
             device_plans.push(DevicePlan {
-                device: dev.id,
+                device: id,
                 page: Some(PageDirective { po }),
                 mltc: None,
                 adaptation: None,
@@ -55,7 +55,7 @@ impl GroupingMechanism for Unicast {
             });
             transmissions.push(Transmission {
                 at: po,
-                recipients: vec![dev.id],
+                recipients: vec![id],
             });
         }
         transmissions.sort_by_key(|t| t.at);

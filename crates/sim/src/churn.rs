@@ -133,7 +133,7 @@ struct PlannedFleet {
 impl PlannedFleet {
     fn snapshot(pop: &Population) -> PlannedFleet {
         PlannedFleet {
-            members: pop.devices().iter().map(|d| (d.id, d.ue)).collect(),
+            members: (0..pop.len()).map(|i| (pop.id(i), pop.ues()[i])).collect(),
         }
     }
 
@@ -176,10 +176,8 @@ pub(crate) fn plan_trajectory(
     for (epoch, (pop, events)) in timeline.epochs.iter().enumerate() {
         events_since_plan += events.total();
         device_epochs += pop.len();
-        let stale = pop
-            .devices()
-            .iter()
-            .filter(|d| !planned.serves(d.id, d.ue))
+        let stale = (0..pop.len())
+            .filter(|&i| !planned.serves(pop.id(i), pop.ues()[i]))
             .count();
         let regroup = events_since_plan > 0
             && match policy {
@@ -345,12 +343,12 @@ mod tests {
         let a = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq).unwrap();
         let b = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq).unwrap();
         for ((pa, ea), (pb, eb)) in a.epochs.iter().zip(&b.epochs) {
-            assert_eq!(pa.devices(), pb.devices());
+            assert_eq!(pa, pb);
             assert_eq!(ea, eb);
         }
         // A different run derives a different fleet trajectory.
         let c = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq.child(1)).unwrap();
-        assert_ne!(a.epochs[0].0.devices(), c.epochs[0].0.devices());
+        assert_ne!(a.epochs[0].0, c.epochs[0].0);
     }
 
     #[test]

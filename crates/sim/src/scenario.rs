@@ -91,7 +91,7 @@ impl Default for Scenario {
 impl Scenario {
     /// Names of the registered built-in scenarios, resolvable by
     /// [`Scenario::builtin`] (and the `figures` binary's `--scenario`).
-    pub const REGISTRY: [&'static str; 10] = [
+    pub const REGISTRY: [&'static str; 11] = [
         "fig6a",
         "fig6b",
         "fig7",
@@ -99,6 +99,7 @@ impl Scenario {
         "clustered",
         "bursty-alarm",
         "large-n-stress",
+        "massive-n",
         "short-drx",
         "mobility-churn",
         "handover-storm",
@@ -180,6 +181,26 @@ impl Scenario {
                 description: "large-N stress: 2k-10k devices, ericsson-city".into(),
                 devices: vec![2_000, 5_000, 10_000],
                 runs: 5,
+                ..Scenario::default()
+            },
+            // The million-device scale tier: a city's full metering
+            // deployment on the eDRX-only massive-metering mix. Two runs,
+            // no unicast baseline, summary-level records only — the point
+            // is wall-clock and memory behaviour of the SoA population and
+            // the parallel set-cover index at 10^5-10^6 devices, not tight
+            // confidence intervals.
+            "massive-n" => Scenario {
+                name: "massive-n".into(),
+                description: "massive-N scale tier: 100k-1M devices, eDRX-only metering mix".into(),
+                mix: TrafficMix::massive_metering(),
+                devices: vec![100_000, 1_000_000],
+                mechanisms: vec![
+                    MechanismKind::DrSc,
+                    MechanismKind::DaSc,
+                    MechanismKind::DrSi,
+                ],
+                runs: 2,
+                baseline: false,
                 ..Scenario::default()
             },
             "short-drx" => Scenario {

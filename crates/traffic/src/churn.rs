@@ -120,44 +120,39 @@ impl ChurnModel {
     ) -> Result<(Population, ChurnEvents), TrafficError> {
         self.validate()?;
         let mut events = ChurnEvents::default();
-        let mut devices = Vec::with_capacity(pop.len());
-        for device in pop.devices() {
+        // Survivors stream straight into the evolved population's columns
+        // (no intermediate device Vec); the RNG draw order per device —
+        // departure, then handover + fresh identity — is unchanged, so
+        // evolved fleets stay bit-identical to the historical AoS path.
+        let mut evolved = pop.empty_like(pop.len());
+        for i in 0..pop.len() {
             if self.departure_rate > 0.0 && rng.gen_bool(self.departure_rate) {
                 events.departures += 1;
                 continue;
             }
-            let mut device = *device;
+            let mut device = pop.device(i);
             if self.handover_rate > 0.0 && rng.gen_bool(self.handover_rate) {
                 device.ue = nbiot_time::UeId(rng.gen());
                 events.handovers += 1;
             }
-            devices.push(device);
+            evolved.push(device);
         }
         // A grouping input needs at least one device: when the whole
         // population departs in one step, the last device stays put.
-        if devices.is_empty() {
-            if let Some(last) = pop.devices().last() {
-                devices.push(*last);
-                events.departures -= 1;
-            }
+        if evolved.is_empty() && !pop.is_empty() {
+            evolved.push(pop.device(pop.len() - 1));
+            events.departures -= 1;
         }
         if self.arrival_rate > 0.0 {
             for _ in 0..base_size {
                 if rng.gen_bool(self.arrival_rate) {
-                    devices.push(mix.sample_device(DeviceId(*next_id), rng)?);
+                    evolved.push(mix.sample_device(DeviceId(*next_id), rng)?);
                     *next_id += 1;
                     events.arrivals += 1;
                 }
             }
         }
-        Ok((
-            Population::new(
-                pop.mix_name().to_string(),
-                pop.class_names().to_vec(),
-                devices,
-            ),
-            events,
-        ))
+        Ok((evolved, events))
     }
 }
 
@@ -216,7 +211,7 @@ mod tests {
             .unwrap();
         assert!(events.is_quiet());
         assert_eq!(events.total(), 0);
-        assert_eq!(evolved.devices(), p.devices());
+        assert_eq!(evolved, p);
         assert_eq!(next_id, 50);
         assert!(ChurnModel::STATIC.is_static());
         assert!(!churny().is_static());
@@ -240,7 +235,7 @@ mod tests {
         };
         let (a, ea) = run();
         let (b, eb) = run();
-        assert_eq!(a.devices(), b.devices());
+        assert_eq!(a, b);
         assert_eq!(ea, eb);
         assert!(ea.total() > 0, "churny rates on 80 devices must churn");
     }
@@ -298,14 +293,13 @@ mod tests {
         assert_eq!(evolved.len(), 120);
         assert!(ev.handovers > 30, "{ev:?}");
         let changed = evolved
-            .devices()
             .iter()
-            .zip(p.devices())
+            .zip(p.iter())
             .filter(|(after, before)| after.ue != before.ue)
             .count();
         assert_eq!(changed, ev.handovers);
         // Everything but the paging identity is preserved.
-        for (after, before) in evolved.devices().iter().zip(p.devices()) {
+        for (after, before) in evolved.iter().zip(p.iter()) {
             assert_eq!(after.id, before.id);
             assert_eq!(after.class, before.class);
             assert_eq!(after.paging.cycle, before.paging.cycle);
@@ -323,7 +317,7 @@ mod tests {
                 .step(&mix, &current, 60, &mut next_id, &mut rng)
                 .unwrap();
             current = evolved;
-            let ids: Vec<u32> = current.devices().iter().map(|d| d.id.0).collect();
+            let ids: Vec<u32> = current.iter().map(|d| d.id.0).collect();
             let mut sorted = ids.clone();
             sorted.sort_unstable();
             sorted.dedup();
@@ -388,7 +382,7 @@ mod tests {
             .step(&mix, &p, 100, &mut next_id, &mut StdRng::seed_from_u64(16))
             .unwrap();
         assert!(ev.arrivals > 10);
-        for d in &evolved.devices()[100..] {
+        for d in evolved.iter().skip(100) {
             assert!(d.id.0 >= 100, "arrival ids come from the allocator");
             // Arrivals belong to one of the mix's classes.
             assert!(d.class.0 < mix.classes().len());

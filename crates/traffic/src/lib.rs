@@ -28,7 +28,7 @@
 //! let pop = mix.generate(500, &mut rng)?;
 //! assert_eq!(pop.len(), 500);
 //! // The city mix is eDRX-heavy: most devices sleep for minutes or hours.
-//! let edrx = pop.devices().iter().filter(|d| d.paging.cycle.is_edrx()).count();
+//! let edrx = pop.iter().filter(|d| d.paging.cycle.is_edrx()).count();
 //! assert!(edrx > 400);
 //! # Ok::<(), nbiot_traffic::TrafficError>(())
 //! ```

@@ -364,14 +364,56 @@ impl TrafficMix {
         .expect("built-in mix is valid")
     }
 
+    /// A metering-only mix for the massive-n scale tier: every class sits
+    /// on a long eDRX cycle (87 min down to 22 min), so the number of
+    /// paging occasions per device over a campaign horizon stays small
+    /// (2–16) and engine event counts scale as ~4·n rather than the
+    /// ~280·n a street-light class on Hf2 would impose at n = 10^6. This
+    /// is also the regime the paper's premise names: massive MTC is
+    /// battery-constrained metering, not commandable infrastructure.
+    pub fn massive_metering() -> TrafficMix {
+        let h = SimDuration::from_secs(3600);
+        TrafficMix::new(
+            "massive-metering",
+            vec![
+                ClassSpec::new(
+                    "electricity-meter",
+                    0.55,
+                    PagingCycle::edrx(EdrxCycle::Hf1024), // 10485.76 s
+                    h * 24,
+                ),
+                ClassSpec::new(
+                    "water-meter",
+                    0.25,
+                    PagingCycle::edrx(EdrxCycle::Hf512), // 5242.88 s
+                    h * 24,
+                ),
+                ClassSpec::new(
+                    "gas-meter",
+                    0.12,
+                    PagingCycle::edrx(EdrxCycle::Hf256), // 2621.44 s
+                    h * 24,
+                ),
+                ClassSpec::new(
+                    "heat-allocator",
+                    0.08,
+                    PagingCycle::edrx(EdrxCycle::Hf128), // 1310.72 s
+                    h * 12,
+                ),
+            ],
+        )
+        .expect("built-in mix is valid")
+    }
+
     /// Names of the registered built-in mixes, selectable by
     /// [`TrafficMix::by_name`] (and the figure binaries' `--mix` flag).
-    pub const REGISTRY: [&'static str; 7] = [
+    pub const REGISTRY: [&'static str; 8] = [
         "ericsson-city",
         "clustered-heterogeneous",
         "bursty-alarm",
         "mobility-churn",
         "handover-storm",
+        "massive-metering",
         "short-drx",
         "uniform-edrx",
     ];
@@ -387,6 +429,7 @@ impl TrafficMix {
             "bursty-alarm" => Some(TrafficMix::bursty_alarm()),
             "mobility-churn" => Some(TrafficMix::mobility_churn()),
             "handover-storm" => Some(TrafficMix::handover_storm()),
+            "massive-metering" => Some(TrafficMix::massive_metering()),
             "short-drx" => Some(TrafficMix::short_drx()),
             "uniform-edrx" => {
                 let mut mix = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf1024));
@@ -490,15 +533,20 @@ impl TrafficMix {
         if self.classes.is_empty() {
             return Err(TrafficError::EmptyMix);
         }
-        let mut devices = Vec::with_capacity(n);
-        for i in 0..n {
-            devices.push(self.sample_device(DeviceId(i as u32), rng)?);
-        }
-        Ok(Population::new(
+        // Devices land straight in the population's columns: no
+        // intermediate AoS Vec, so generation allocates the five column
+        // buffers once regardless of n. Draw order per device is
+        // unchanged (class, cycle, UE identity), keeping populations
+        // bit-identical to the historical AoS path.
+        let mut pop = Population::with_capacity(
             self.name.clone(),
             self.classes.iter().map(|c| c.name.clone()).collect(),
-            devices,
-        ))
+            n,
+        );
+        for i in 0..n {
+            pop.push(self.sample_device(DeviceId(i as u32), rng)?);
+        }
+        Ok(pop)
     }
 }
 
@@ -555,7 +603,6 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let pop = mix.generate(10_000, &mut rng).unwrap();
         let alarms = pop
-            .devices()
             .iter()
             .filter(|d| pop.class_name(d.class) == "alarm-actuator")
             .count();
@@ -568,9 +615,9 @@ mod tests {
         let mix = TrafficMix::ericsson_city();
         let a = mix.generate(100, &mut StdRng::seed_from_u64(1)).unwrap();
         let b = mix.generate(100, &mut StdRng::seed_from_u64(1)).unwrap();
-        assert_eq!(a.devices(), b.devices());
+        assert_eq!(a, b);
         let c = mix.generate(100, &mut StdRng::seed_from_u64(2)).unwrap();
-        assert_ne!(a.devices(), c.devices());
+        assert_ne!(a, c);
     }
 
     #[test]
@@ -578,7 +625,6 @@ mod tests {
         let mix = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf16));
         let pop = mix.generate(50, &mut StdRng::seed_from_u64(3)).unwrap();
         assert!(pop
-            .devices()
             .iter()
             .all(|d| d.paging.cycle.period_frames() == EdrxCycle::Hf16.frames()));
     }
@@ -587,7 +633,7 @@ mod tests {
     fn short_drx_mix_has_no_edrx() {
         let mix = TrafficMix::short_drx();
         let pop = mix.generate(200, &mut StdRng::seed_from_u64(4)).unwrap();
-        assert!(pop.devices().iter().all(|d| !d.paging.cycle.is_edrx()));
+        assert!(pop.iter().all(|d| !d.paging.cycle.is_edrx()));
     }
 
     #[test]
@@ -609,8 +655,7 @@ mod tests {
         .unwrap();
         let pop = mix.generate(5000, &mut StdRng::seed_from_u64(5)).unwrap();
         let (hf512, hf1024): (usize, usize) =
-            pop.devices()
-                .iter()
+            pop.iter()
                 .fold((0, 0), |(a, b), d| match d.paging.cycle.period_frames() {
                     524288 => (a + 1, b),
                     1048576 => (a, b + 1),
@@ -628,7 +673,7 @@ mod tests {
             assert_eq!(mix.name, name, "registry name must match the mix name");
             // Every registered mix generates a valid population.
             let pop = mix.generate(50, &mut StdRng::seed_from_u64(7)).unwrap();
-            assert_eq!(pop.devices().len(), 50);
+            assert_eq!(pop.len(), 50);
         }
         assert!(TrafficMix::by_name("no-such-mix").is_none());
     }
@@ -640,7 +685,6 @@ mod tests {
         // The meter cluster's dominant cycle (Hf512) should be the single
         // largest cohort: 0.45 share * 0.85 weight ≈ 38 % of devices.
         let hf512 = pop
-            .devices()
             .iter()
             .filter(|d| d.paging.cycle.period_frames() == EdrxCycle::Hf512.frames())
             .count();
@@ -655,7 +699,6 @@ mod tests {
         let mix = TrafficMix::bursty_alarm();
         let pop = mix.generate(2000, &mut StdRng::seed_from_u64(13)).unwrap();
         let short = pop
-            .devices()
             .iter()
             .filter(|d| d.paging.cycle.period().as_secs_f64() <= 21.0)
             .count();
@@ -672,7 +715,6 @@ mod tests {
         let mix = TrafficMix::mobility_churn();
         let pop = mix.generate(2000, &mut StdRng::seed_from_u64(17)).unwrap();
         let mobile = pop
-            .devices()
             .iter()
             .filter(|d| pop.class_name(d.class) != "parking-sensor")
             .count();
@@ -684,7 +726,6 @@ mod tests {
         let mix = TrafficMix::handover_storm();
         let pop = mix.generate(2000, &mut StdRng::seed_from_u64(19)).unwrap();
         let short = pop
-            .devices()
             .iter()
             .filter(|d| d.paging.cycle.period().as_secs_f64() <= 21.0)
             .count();
@@ -695,15 +736,32 @@ mod tests {
     }
 
     #[test]
+    fn massive_metering_mix_is_long_cycle_only() {
+        // The scale-tier mix must keep paging occasions per device small:
+        // every class sits on an eDRX cycle of at least Hf128 (~22 min).
+        let mix = TrafficMix::massive_metering();
+        let pop = mix.generate(2000, &mut StdRng::seed_from_u64(23)).unwrap();
+        assert!(pop
+            .iter()
+            .all(|d| d.paging.cycle.period_frames() >= EdrxCycle::Hf128.frames()));
+        // Dominated by the longest cycle, like a real metering estate.
+        let hf1024 = pop
+            .iter()
+            .filter(|d| d.paging.cycle.period_frames() == EdrxCycle::Hf1024.frames())
+            .count();
+        assert!((900..=1300).contains(&hf1024), "hf1024 {hf1024}/2000");
+    }
+
+    #[test]
     fn sample_device_matches_generate_stream() {
         // generate() is defined as repeated sample_device() calls; the
         // refactor must keep historical populations bit-identical.
         let mix = TrafficMix::ericsson_city();
         let pop = mix.generate(40, &mut StdRng::seed_from_u64(21)).unwrap();
         let mut rng = StdRng::seed_from_u64(21);
-        for (i, expected) in pop.devices().iter().enumerate() {
+        for (i, expected) in pop.iter().enumerate() {
             let sampled = mix.sample_device(DeviceId(i as u32), &mut rng).unwrap();
-            assert_eq!(&sampled, expected, "device {i}");
+            assert_eq!(sampled, expected, "device {i}");
         }
     }
 
@@ -714,7 +772,7 @@ mod tests {
         // between except a thin environmental class.
         let mix = TrafficMix::ericsson_city();
         let pop = mix.generate(2000, &mut StdRng::seed_from_u64(9)).unwrap();
-        let (short, long): (usize, usize) = pop.devices().iter().fold((0, 0), |(s, l), d| {
+        let (short, long): (usize, usize) = pop.iter().fold((0, 0), |(s, l), d| {
             let secs = d.paging.cycle.period().as_secs_f64();
             if secs <= 41.0 {
                 (s + 1, l)

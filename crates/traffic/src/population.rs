@@ -1,4 +1,24 @@
 //! Generated device populations.
+//!
+//! # Data layout
+//!
+//! [`Population`] stores its devices in **struct-of-arrays** form: one
+//! parallel column per device attribute (`ues`, `classes`, `pagings`,
+//! `report_intervals`) plus an interned class-name table shared by every
+//! device of a class. The columnar core is what makes the massive-n tier
+//! (10^5–10^6 devices) affordable: hot loops touch only the column they
+//! need (e.g. schedule resolution reads `pagings`/`ues` and never drags
+//! class names or report intervals through the cache), and cloning a
+//! population for a churn epoch is a handful of `memcpy`s instead of n
+//! struct moves. The row view [`DeviceProfile`] is retained as a cheap
+//! by-value accessor ([`Population::device`], [`Population::iter`]); it
+//! materializes on demand from the columns and costs only register work.
+//!
+//! Device ids are *not* stored as a column: for generated populations they
+//! are the row index. Churn can break that (departures compact rows,
+//! arrivals append fresh ids), so a population carries an optional `ids`
+//! column that is only allocated once the identity map diverges from the
+//! row index ([`Population::push`] handles the transition).
 
 use core::fmt;
 
@@ -30,7 +50,7 @@ impl fmt::Display for DeviceId {
 #[cfg_attr(feature = "serde", serde(transparent))]
 pub struct ClassId(pub usize);
 
-/// One generated device.
+/// One generated device — the row view over [`Population`]'s columns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceProfile {
@@ -59,27 +79,83 @@ impl DeviceProfile {
 }
 
 /// A generated population of devices, tied to the mix it came from.
+///
+/// Struct-of-arrays storage (see the module docs): parallel columns plus
+/// an interned class-name table. The row view is [`Population::device`] /
+/// [`Population::iter`]; the columns are exposed directly
+/// ([`Population::ues`], [`Population::paging_configs`], …) for hot loops
+/// that need only one attribute.
 #[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Population {
     mix_name: String,
     class_names: Vec<String>,
-    devices: Vec<DeviceProfile>,
+    /// Identity column; `None` while every device's id equals its row
+    /// index (the generated-population common case), allocated lazily the
+    /// first time an id diverges.
+    ids: Option<Vec<DeviceId>>,
+    ues: Vec<UeId>,
+    classes: Vec<ClassId>,
+    pagings: Vec<PagingConfig>,
+    report_intervals: Vec<SimDuration>,
 }
 
 impl Population {
-    /// Creates a population (normally via
-    /// [`crate::TrafficMix::generate`]).
+    /// Creates a population from an explicit device list (normally via
+    /// [`crate::TrafficMix::generate`], which builds the columns
+    /// directly).
     pub fn new(
         mix_name: String,
         class_names: Vec<String>,
         devices: Vec<DeviceProfile>,
     ) -> Population {
+        let mut pop = Population::with_capacity(mix_name, class_names, devices.len());
+        for d in devices {
+            pop.push(d);
+        }
+        pop
+    }
+
+    /// Creates an empty population with pre-sized columns.
+    pub fn with_capacity(
+        mix_name: String,
+        class_names: Vec<String>,
+        capacity: usize,
+    ) -> Population {
         Population {
             mix_name,
             class_names,
-            devices,
+            ids: None,
+            ues: Vec::with_capacity(capacity),
+            classes: Vec::with_capacity(capacity),
+            pagings: Vec::with_capacity(capacity),
+            report_intervals: Vec::with_capacity(capacity),
         }
+    }
+
+    /// An empty population sharing this one's mix and class table — the
+    /// builder churn evolution fills epoch by epoch.
+    pub fn empty_like(&self, capacity: usize) -> Population {
+        Population::with_capacity(self.mix_name.clone(), self.class_names.clone(), capacity)
+    }
+
+    /// Appends one device row across the columns. The identity column
+    /// stays elided while `device.id` equals the row index.
+    pub fn push(&mut self, device: DeviceProfile) {
+        let row = self.ues.len();
+        match &mut self.ids {
+            Some(ids) => ids.push(device.id),
+            None if device.id.index() != row => {
+                let mut ids: Vec<DeviceId> = (0..row as u32).map(DeviceId).collect();
+                ids.push(device.id);
+                self.ids = Some(ids);
+            }
+            None => {}
+        }
+        self.ues.push(device.ue);
+        self.classes.push(device.class);
+        self.pagings.push(device.paging);
+        self.report_intervals.push(device.report_interval);
     }
 
     /// Name of the generating mix.
@@ -87,19 +163,71 @@ impl Population {
         &self.mix_name
     }
 
-    /// The devices.
-    pub fn devices(&self) -> &[DeviceProfile] {
-        &self.devices
+    /// The device at row `i` (cheap: materialized from the columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn device(&self, i: usize) -> DeviceProfile {
+        DeviceProfile {
+            id: self.id(i),
+            ue: self.ues[i],
+            class: self.classes[i],
+            paging: self.pagings[i],
+            report_interval: self.report_intervals[i],
+        }
+    }
+
+    /// The identity of the device at row `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> DeviceId {
+        match &self.ids {
+            Some(ids) => ids[i],
+            None => DeviceId(i as u32),
+        }
+    }
+
+    /// Iterates the devices in row order, materializing each row view.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = DeviceProfile> + '_ {
+        (0..self.len()).map(|i| self.device(i))
+    }
+
+    /// Materializes the whole population as a device list — interop for
+    /// callers (tests, ablations) that want to edit rows; hot paths should
+    /// use [`Population::iter`] or the column accessors instead.
+    pub fn profiles(&self) -> Vec<DeviceProfile> {
+        self.iter().collect()
+    }
+
+    /// Paging-identity column, in row order.
+    pub fn ues(&self) -> &[UeId] {
+        &self.ues
+    }
+
+    /// Class column, in row order.
+    pub fn classes(&self) -> &[ClassId] {
+        &self.classes
+    }
+
+    /// Paging-configuration column, in row order.
+    pub fn paging_configs(&self) -> &[PagingConfig] {
+        &self.pagings
+    }
+
+    /// Report-interval column, in row order.
+    pub fn report_intervals(&self) -> &[SimDuration] {
+        &self.report_intervals
     }
 
     /// Number of devices.
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.ues.len()
     }
 
     /// `true` for an empty population.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.ues.is_empty()
     }
 
     /// All class names of the generating mix, in class order.
@@ -120,20 +248,25 @@ impl Population {
     ///
     /// Returns [`SimDuration::ZERO`] for an empty population.
     pub fn max_cycle(&self) -> SimDuration {
-        self.devices
+        self.pagings
             .iter()
-            .map(|d| d.paging.cycle.period())
+            .map(|p| p.cycle.period())
             .max()
             .unwrap_or(SimDuration::ZERO)
     }
 
-    /// Resolves all paging schedules, in device order.
+    /// Resolves all paging schedules, in device order — a pure
+    /// `pagings`/`ues` column walk.
     ///
     /// # Errors
     ///
     /// Propagates the first schedule-resolution failure.
     pub fn schedules(&self) -> Result<Vec<PagingSchedule>, TimeError> {
-        self.devices.iter().map(|d| d.schedule()).collect()
+        self.pagings
+            .iter()
+            .zip(&self.ues)
+            .map(|(paging, &ue)| PagingSchedule::new(paging, ue))
+            .collect()
     }
 
     /// The sub-population belonging to the named class — the typical
@@ -142,17 +275,17 @@ impl Population {
     ///
     /// Returns an empty population for an unknown class name.
     pub fn filter_by_class(&self, name: &str) -> Population {
-        let devices = self
-            .devices
-            .iter()
-            .filter(|d| self.class_names[d.class.0] == name)
-            .copied()
-            .collect();
-        Population {
-            mix_name: format!("{}:{name}", self.mix_name),
-            class_names: self.class_names.clone(),
-            devices,
+        let mut sub = Population::with_capacity(
+            format!("{}:{name}", self.mix_name),
+            self.class_names.clone(),
+            0,
+        );
+        for i in 0..self.len() {
+            if self.class_names[self.classes[i].0] == name {
+                sub.push(self.device(i));
+            }
         }
+        sub
     }
 
     /// Splits the population into one sub-population per (non-empty)
@@ -169,8 +302,8 @@ impl Population {
     /// classes).
     pub fn class_counts(&self) -> Vec<(String, usize)> {
         let mut counts = vec![0usize; self.class_names.len()];
-        for d in &self.devices {
-            counts[d.class.0] += 1;
+        for class in &self.classes {
+            counts[class.0] += 1;
         }
         self.class_names.iter().cloned().zip(counts).collect()
     }
@@ -221,14 +354,62 @@ mod tests {
         let p = pop(300);
         let schedules = p.schedules().unwrap();
         assert_eq!(schedules.len(), 300);
+        // The column walk must match the per-row resolution.
+        for (i, sched) in schedules.iter().enumerate() {
+            assert_eq!(sched, &p.device(i).schedule().unwrap());
+        }
     }
 
     #[test]
     fn device_ids_are_sequential() {
         let p = pop(50);
-        for (i, d) in p.devices().iter().enumerate() {
+        for (i, d) in p.iter().enumerate() {
             assert_eq!(d.id.index(), i);
+            assert_eq!(p.id(i), d.id);
         }
+    }
+
+    #[test]
+    fn row_view_matches_columns() {
+        let p = pop(80);
+        for (i, d) in p.iter().enumerate() {
+            assert_eq!(d.ue, p.ues()[i]);
+            assert_eq!(d.class, p.classes()[i]);
+            assert_eq!(d.paging, p.paging_configs()[i]);
+            assert_eq!(d.report_interval, p.report_intervals()[i]);
+        }
+        assert_eq!(p.profiles().len(), 80);
+    }
+
+    #[test]
+    fn aos_and_columnar_construction_agree() {
+        // Population::new (AoS entry) and push-by-push construction must
+        // land on the same columns.
+        let p = pop(60);
+        let rebuilt = Population::new(
+            p.mix_name().to_string(),
+            p.class_names().to_vec(),
+            p.profiles(),
+        );
+        assert_eq!(rebuilt, p);
+    }
+
+    #[test]
+    fn id_column_materializes_on_divergence() {
+        // Pushing rows whose ids match the row index keeps the identity
+        // column elided; the first divergent id materializes it without
+        // losing earlier identities.
+        let src = pop(10);
+        let mut p = src.empty_like(4);
+        p.push(src.device(0));
+        p.push(src.device(1));
+        let mut stray = src.device(7); // id 7 at row 2: diverges
+        stray.id = DeviceId(7);
+        p.push(stray);
+        assert_eq!(p.id(0), DeviceId(0));
+        assert_eq!(p.id(1), DeviceId(1));
+        assert_eq!(p.id(2), DeviceId(7));
+        assert_eq!(p.device(2).ue, src.device(7).ue);
     }
 
     #[test]
@@ -245,10 +426,10 @@ mod tests {
         let meters = p.filter_by_class("electricity-meter");
         assert!(!meters.is_empty());
         assert!(meters.len() < p.len());
-        for d in meters.devices() {
+        for d in meters.iter() {
             assert_eq!(p.class_name(d.class), "electricity-meter");
             // Original identity preserved.
-            assert_eq!(p.devices()[d.id.index()].id, d.id);
+            assert_eq!(p.device(d.id.index()).id, d.id);
         }
         assert!(p.filter_by_class("no-such-class").is_empty());
     }
@@ -260,7 +441,7 @@ mod tests {
         let total: usize = parts.iter().map(|(_, sub)| sub.len()).sum();
         assert_eq!(total, p.len());
         for (name, sub) in &parts {
-            assert!(sub.devices().iter().all(|d| p.class_name(d.class) == name));
+            assert!(sub.iter().all(|d| p.class_name(d.class) == name));
         }
     }
 

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut events = Vec::new();
     let mut dense = Vec::new();
     println!("12-device timeline (TI = {ti}):");
-    for device in population.devices() {
+    for device in population.iter() {
         let schedule = device.schedule()?;
         let is_dense = device.paging.cycle.period() <= ti;
         dense.push(is_dense);

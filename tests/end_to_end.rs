@@ -22,10 +22,7 @@ fn class_filtered_campaign_runs_end_to_end() {
         .unwrap();
     let meters = pop.filter_by_class("electricity-meter");
     assert!(!meters.is_empty());
-    assert!(meters
-        .devices()
-        .iter()
-        .any(|d| d.id.index() >= meters.len()));
+    assert!(meters.iter().any(|d| d.id.index() >= meters.len()));
     let input = GroupingInput::from_population(&meters, GroupingParams::default()).unwrap();
     for kind in MechanismKind::ALL {
         let mut rng = StdRng::seed_from_u64(7);

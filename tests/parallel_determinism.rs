@@ -1,9 +1,19 @@
 //! The parallel experiment harness must be a pure wall-clock optimization:
 //! every `ComparisonResult`/`SweepPoint` field bit-identical for every
-//! thread count, and errors surfaced identically.
+//! thread count, and errors surfaced identically. The same contract holds
+//! one layer down: the SoA `Population` columns must reproduce the
+//! historical AoS device stream bit-for-bit, and the parallel set-cover
+//! index build must be pick-identical to the serial build at every
+//! thread count.
 
+use nbiot_multicast::grouping::set_cover::{
+    build_cover_index, greedy_set_cover, greedy_set_cover_with, KernelArena,
+};
 use nbiot_multicast::prelude::*;
 use nbiot_sim::sweep_devices;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn base_config() -> ExperimentConfig {
     ExperimentConfig {
@@ -168,6 +178,243 @@ fn handover_storm_threads_bit_identical() {
     for m in serial.points.iter().flat_map(|p| &p.comparison.mechanisms) {
         assert_eq!(m.regroup_count.mean, 4.0, "{}", m.mechanism);
         assert_eq!(m.stale_miss_ratio.mean, 0.0, "{}", m.mechanism);
+    }
+}
+
+// ---- SoA Population vs the historical AoS device stream ----
+
+/// The historical array-of-structs generation path: one `DeviceProfile`
+/// per draw, in draw order. The SoA columns must reproduce this stream
+/// bit-for-bit through every row accessor.
+fn aos_generate(mix: &TrafficMix, n: usize, rng: &mut StdRng) -> Vec<DeviceProfile> {
+    (0..n)
+        .map(|i| mix.sample_device(DeviceId(i as u32), rng).unwrap())
+        .collect()
+}
+
+/// The historical AoS churn epoch, reproducing `ChurnModel::step`'s
+/// documented draw order: per survivor a departure draw then a handover
+/// draw (+ fresh identity), last-device rescue on total departure, then
+/// one arrival draw per `base_size` slot.
+fn aos_churn_step(
+    model: &ChurnModel,
+    mix: &TrafficMix,
+    devices: &[DeviceProfile],
+    base_size: usize,
+    next_id: &mut u32,
+    rng: &mut StdRng,
+) -> Vec<DeviceProfile> {
+    let mut evolved = Vec::new();
+    for &device in devices {
+        if model.departure_rate > 0.0 && rng.gen_bool(model.departure_rate) {
+            continue;
+        }
+        let mut device = device;
+        if model.handover_rate > 0.0 && rng.gen_bool(model.handover_rate) {
+            device.ue = UeId(rng.gen());
+        }
+        evolved.push(device);
+    }
+    if evolved.is_empty() && !devices.is_empty() {
+        evolved.push(devices[devices.len() - 1]);
+    }
+    if model.arrival_rate > 0.0 {
+        for _ in 0..base_size {
+            if rng.gen_bool(model.arrival_rate) {
+                evolved.push(mix.sample_device(DeviceId(*next_id), rng).unwrap());
+                *next_id += 1;
+            }
+        }
+    }
+    evolved
+}
+
+/// Asserts the SoA population equals the AoS device list row by row,
+/// through both the row view and every column accessor.
+fn assert_population_matches_aos(pop: &Population, aos: &[DeviceProfile]) {
+    assert_eq!(pop.len(), aos.len());
+    for (i, want) in aos.iter().enumerate() {
+        assert_eq!(pop.device(i), *want, "row {i}");
+        assert_eq!(pop.id(i), want.id, "id column, row {i}");
+        assert_eq!(pop.ues()[i], want.ue, "ue column, row {i}");
+        assert_eq!(pop.classes()[i], want.class, "class column, row {i}");
+        assert_eq!(
+            pop.paging_configs()[i],
+            want.paging,
+            "paging column, row {i}"
+        );
+        assert_eq!(
+            pop.report_intervals()[i],
+            want.report_interval,
+            "interval column, row {i}"
+        );
+    }
+    let via_iter: Vec<DeviceProfile> = pop.iter().collect();
+    assert_eq!(via_iter, aos, "iter() view");
+    assert_eq!(pop.profiles(), aos, "profiles() view");
+}
+
+fn any_mix() -> impl Strategy<Value = TrafficMix> {
+    (0..TrafficMix::REGISTRY.len())
+        .prop_map(|i| TrafficMix::by_name(TrafficMix::REGISTRY[i]).expect("registered"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn soa_generation_matches_aos_stream(
+        mix in any_mix(),
+        n in 0usize..120,
+        seed in 0u64..u64::MAX,
+    ) {
+        let aos = aos_generate(&mix, n, &mut StdRng::seed_from_u64(seed));
+        let pop = mix.generate(n, &mut StdRng::seed_from_u64(seed)).unwrap();
+        assert_population_matches_aos(&pop, &aos);
+    }
+
+    #[test]
+    fn soa_churn_step_matches_aos_stream(
+        mix in any_mix(),
+        n in 1usize..80,
+        seed in 0u64..u64::MAX,
+        departure_pct in 0u32..90,
+        arrival_pct in 0u32..90,
+        handover_pct in 0u32..90,
+        epochs in 1usize..4,
+    ) {
+        let model = ChurnModel {
+            epochs: epochs as u32,
+            departure_rate: f64::from(departure_pct) / 100.0,
+            arrival_rate: f64::from(arrival_pct) / 100.0,
+            handover_rate: f64::from(handover_pct) / 100.0,
+        };
+        let mut soa_rng = StdRng::seed_from_u64(seed);
+        let mut aos_rng = StdRng::seed_from_u64(seed);
+        let mut pop = mix.generate(n, &mut soa_rng).unwrap();
+        let mut aos = aos_generate(&mix, n, &mut aos_rng);
+        let (mut soa_next, mut aos_next) = (n as u32, n as u32);
+        for epoch in 0..epochs {
+            let (evolved, _) = model.step(&mix, &pop, n, &mut soa_next, &mut soa_rng).unwrap();
+            pop = evolved;
+            aos = aos_churn_step(&model, &mix, &aos, n, &mut aos_next, &mut aos_rng);
+            prop_assert_eq!(soa_next, aos_next, "id allocator, epoch {}", epoch);
+            assert_population_matches_aos(&pop, &aos);
+        }
+    }
+
+}
+
+#[cfg(feature = "serde")]
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn soa_population_roundtrips_through_serde(
+        mix in any_mix(),
+        n in 0usize..60,
+        seed in 0u64..u64::MAX,
+        churned in 0u32..2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pop = mix.generate(n, &mut rng).unwrap();
+        if churned == 1 && n > 0 {
+            // A churned population exercises the lazily-allocated id
+            // column (arrivals diverge ids from row indices).
+            let model = ChurnModel { epochs: 1, departure_rate: 0.3, arrival_rate: 0.3, handover_rate: 0.2 };
+            let mut next_id = n as u32;
+            pop = model.step(&mix, &pop, n, &mut next_id, &mut rng).unwrap().0;
+        }
+        let text = serde_json::to_string(&pop).expect("serializable");
+        let back: Population = serde_json::from_str(&text).expect("parses");
+        prop_assert_eq!(&back, &pop);
+        // The roundtrip must also preserve the row view exactly.
+        assert_population_matches_aos(&back, &pop.profiles());
+    }
+}
+
+// ---- parallel vs serial set-cover index build ----
+
+/// A frame-cover-shaped instance big enough to clear the kernel's serial
+/// cutoff (> 2^14 index entries), so `threads > 1` really exercises the
+/// parallel counting + scatter phases.
+fn large_cover_instance(seed: u64) -> (usize, Vec<Vec<usize>>) {
+    let universe = 3_000;
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut sets: Vec<Vec<usize>> = (0..220)
+        .map(|_| {
+            let len = 60 + next() % 60;
+            (0..len).map(|_| next() % universe).collect()
+        })
+        .collect();
+    // One guaranteed-coverable tail so greedy always completes.
+    sets.push((0..universe).collect());
+    (universe, sets)
+}
+
+#[test]
+fn index_build_threads_1_4_8_bit_identical_and_pick_identical() {
+    for seed in [1u64, 7, 42] {
+        let (universe, sets) = large_cover_instance(seed);
+        let entries: usize = sets.iter().map(Vec::len).sum();
+        assert!(entries > 1 << 14, "instance must clear the serial cutoff");
+        let mut arena = KernelArena::new();
+        let serial_stats = build_cover_index(universe, &sets, 1, &mut arena);
+        let serial_picks = greedy_set_cover_with(universe, &sets, 1, &mut arena);
+        assert!(serial_picks.is_some(), "instance is coverable");
+        for threads in [4usize, 8] {
+            let mut arena = KernelArena::new();
+            let stats = build_cover_index(universe, &sets, threads, &mut arena);
+            assert!(stats.workers > 1, "threads={threads} must fan out");
+            assert_eq!(
+                stats.checksum, serial_stats.checksum,
+                "index checksum, threads={threads}, seed={seed}"
+            );
+            assert_eq!(
+                greedy_set_cover_with(universe, &sets, threads, &mut arena),
+                serial_picks,
+                "picks, threads={threads}, seed={seed}"
+            );
+        }
+        // The 1-thread arena path must also agree with the historical
+        // public entry point.
+        assert_eq!(greedy_set_cover(universe, &sets), serial_picks);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn index_build_pick_identity_on_random_instances(
+        sets in proptest::collection::vec(
+            proptest::collection::vec(0usize..60, 0..15),
+            1..40
+        ),
+    ) {
+        // Small instances route through the serial cutoff; the contract —
+        // identical stats checksum and identical picks for threads
+        // {1, 4, 8} — must hold regardless of which path runs.
+        let universe = 60;
+        let mut arena = KernelArena::new();
+        let baseline_stats = build_cover_index(universe, &sets, 1, &mut arena);
+        let baseline_picks = greedy_set_cover_with(universe, &sets, 1, &mut arena);
+        for threads in [4usize, 8] {
+            let mut arena = KernelArena::new();
+            let stats = build_cover_index(universe, &sets, threads, &mut arena);
+            prop_assert_eq!(stats.checksum, baseline_stats.checksum);
+            prop_assert_eq!(
+                greedy_set_cover_with(universe, &sets, threads, &mut arena),
+                baseline_picks.clone()
+            );
+        }
+        prop_assert_eq!(greedy_set_cover(universe, &sets), baseline_picks);
     }
 }
 

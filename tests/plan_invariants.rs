@@ -86,7 +86,7 @@ proptest! {
         let plan = DaSc::new().plan(&input, &mut rng).unwrap();
         let t = plan.single_transmission_time().unwrap();
         let w = TimeWindow::ending_at(t, params.ti.duration());
-        for (dp, dev) in plan.device_plans.iter().zip(input.devices()) {
+        for (dp, dev) in plan.device_plans.iter().zip(input.iter()) {
             if let Some(a) = dp.adaptation {
                 prop_assert!(a.new_cycle.period_frames() < dev.paging.cycle.period_frames());
                 prop_assert!(w.contains(a.landing_po));
