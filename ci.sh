@@ -24,18 +24,30 @@
 #                  fault plan, a halt -> resume leg, a forced partial
 #                  merge and a process-worker leg, each checked against
 #                  the golden archive or the degradation contract
+#   anytime-smoke  tabu-budget sweep (planning-pareto): threads {1,8}
+#                  bit-identity, cover cost monotone non-increasing in
+#                  budget, zero-tolerance diff vs golden/anytime_smoke.json
 #   bench-gate     bench_report --compare against BENCH_baseline.json
 #   massive-smoke  scale tier: reduced 10^5-device massive-n point diffed
 #                  against golden/massive_smoke.json at zero tolerance
 #                  (summary-level only; the archive guard is exercised
 #                  too), plus the bench_report massive stages
 #
+# Extra stages outside the per-PR matrix (dispatch with --stage):
+#   nightly        full paper-suite scenario diffed summary-level against
+#                  golden/paper_suite.json at zero tolerance (the
+#                  schedule-triggered workflow job)
+#   base-diff      rebuild the fig6b smoke archive on the PR head AND on
+#                  the merge-base revision, scenario_diff --json between
+#                  them into $CI_ARTIFACT_DIR; metric drift is
+#                  report-only, only structural mismatch fails
+#
 # Artifacts (merged smoke archive, bench report) land in $CI_ARTIFACT_DIR
 # when set (the workflow uploads them), otherwise in a temp directory.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke bench-gate massive-smoke)
+STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke anytime-smoke bench-gate massive-smoke)
 
 ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
 if [[ -z "$ARTIFACT_DIR" ]]; then
@@ -234,6 +246,110 @@ EOF
     echo "fault smoke OK (all four legs)"
 }
 
+stage_anytime_smoke() {
+    echo "==> anytime smoke: tabu budget sweep (monotone cover cost, thread bit-identity, golden)"
+    # The committed golden locks the exact archive of the planning-pareto
+    # smoke workload (the anytime tabu budget ladder over one DR-SC
+    # instance family). Regenerate deliberately with:
+    #   cargo run --release -q -p nbiot-bench --bin figures -- \
+    #       --scenario planning-pareto --runs 2 --devices 1000 --threads 1 \
+    #       --emit-archive golden/anytime_smoke.json
+    local args=(--scenario planning-pareto --runs 2 --devices 1000)
+    local t1="$SCRATCH/anytime_t1.json" t8="$SCRATCH/anytime_t8.json"
+    local report="$SCRATCH/anytime_report.txt"
+
+    # Leg 1: the anytime search is deterministic at every thread count —
+    # the budget knob is iterations, never wall-clock.
+    run_figures "${args[@]}" --threads 1 --emit-archive "$t1" > "$report"
+    run_figures "${args[@]}" --threads 8 --emit-archive "$t8" > /dev/null
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- "$t1" "$t8"
+    echo "anytime smoke leg 1 OK (threads 1 and 8 bit-identical)"
+
+    # Leg 2: the anytime contract — mean cover cost is monotone
+    # non-increasing as the tabu budget grows (scenario mechanism order
+    # is the budget ladder; the budget-0 row is the greedy anchor).
+    # Reads the "cover final" column (field 6) of the Pareto table; the
+    # transmissions table's tabu rows have fewer fields and are skipped.
+    awk '/DR-SC-tabu\(/ && NF == 8 {
+             cost = $6 + 0
+             if (prev != "" && cost > prev + 1e-9) {
+                 printf "cover cost rose with budget: %s -> %s at %s\n", prev, cost, $2 > "/dev/stderr"
+                 exit 1
+             }
+             prev = cost
+         }' "$report"
+    echo "anytime smoke leg 2 OK (cover cost monotone non-increasing in budget)"
+
+    # Leg 3: zero-tolerance conformance against the committed golden.
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- \
+        golden/anytime_smoke.json "$t1"
+    echo "anytime smoke OK (fresh sweep bit-identical to golden/anytime_smoke.json)"
+}
+
+stage_nightly() {
+    echo "==> nightly: full paper-suite vs committed golden (summary-level, zero tolerance)"
+    # The schedule-triggered full-suite gate: the complete paper-suite
+    # scenario (every payload, default run count) must reproduce the
+    # committed summary bit-for-bit. Summary-level like the massive
+    # gate — the raw archive of the full suite is large and adds nothing
+    # over the folded summaries. Regenerate deliberately with:
+    #   cargo run --release -q -p nbiot-bench --bin figures -- \
+    #       --scenario paper-suite --json > golden/paper_suite.json
+    local fresh="$SCRATCH/paper_suite_fresh.json"
+    run_figures --scenario paper-suite --json > "$fresh"
+    diff -u golden/paper_suite.json "$fresh"
+    echo "nightly OK (full paper-suite summary bit-identical to golden/paper_suite.json)"
+}
+
+stage_base_diff() {
+    echo "==> base-vs-PR diff: fig6b smoke archive on PR head vs merge-base"
+    local base_ref="${BASE_REF:-origin/main}"
+    local base_sha=""
+    base_sha="$(git merge-base HEAD "$base_ref" 2>/dev/null || true)"
+    if [[ -z "$base_sha" ]]; then
+        base_sha="$(git rev-parse HEAD~1 2>/dev/null || true)"
+    fi
+    if [[ -z "$base_sha" ]]; then
+        echo "base-diff skipped (no base revision reachable from HEAD)"
+        return 0
+    fi
+    local args=(--scenario fig6b --runs 3 --devices 40 --threads 2)
+    run_figures "${args[@]}" --emit-archive "$SCRATCH/head_archive.json" > /dev/null
+
+    # The base archive is produced by the base revision's own binary, in
+    # a detached worktree with its own target dir (the head target cache
+    # stays untouched).
+    git worktree add --detach "$SCRATCH/base_tree" "$base_sha" > /dev/null 2>&1
+    (cd "$SCRATCH/base_tree" && \
+        CARGO_TARGET_DIR="$SCRATCH/base_target" \
+        cargo run --release -q -p nbiot-bench --bin figures -- \
+            "${args[@]}" --emit-archive "$SCRATCH/base_archive.json" > /dev/null)
+    git worktree remove --force "$SCRATCH/base_tree" > /dev/null 2>&1 || true
+
+    # A deliberate archive-schema bump makes the two artifacts
+    # incomparable by this build's loader; that change is gated by the
+    # golden stages, so the cross-revision diff reports and steps aside
+    # instead of blocking every schema-migration PR.
+    local head_schema base_schema
+    head_schema="$(grep -o '"schema_version"[: ]*[0-9]*' "$SCRATCH/head_archive.json" | head -1)"
+    base_schema="$(grep -o '"schema_version"[: ]*[0-9]*' "$SCRATCH/base_archive.json" | head -1)"
+    local out="$ARTIFACT_DIR/base_vs_pr_diff.json"
+    if [[ "$head_schema" != "$base_schema" ]]; then
+        printf '{ "skipped": "archive schema changed between base and head (%s vs %s)" }\n' \
+            "${base_schema##* }" "${head_schema##* }" > "$out"
+        echo "base-diff OK (schema bump ${base_schema##* } -> ${head_schema##* }; diff skipped, see golden stages)"
+        return 0
+    fi
+
+    # Metric drift between revisions is the artifact's payload
+    # (report-only); only a structural mismatch — the candidate no longer
+    # measuring what the base measured — fails the job.
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- \
+        --json --structural-only \
+        "$SCRATCH/base_archive.json" "$SCRATCH/head_archive.json" > "$out"
+    echo "base-diff OK (diff artifact at $out; structure matches base $base_sha)"
+}
+
 stage_bench_gate() {
     echo "==> bench gate: bench_report --compare vs BENCH_baseline.json"
     # The committed baseline was measured on the *full* default workload.
@@ -316,8 +432,11 @@ run_stage() {
         shard-smoke)   stage_shard_smoke ;;
         golden)        stage_golden ;;
         fault-smoke)   stage_fault_smoke ;;
+        anytime-smoke) stage_anytime_smoke ;;
         bench-gate)    stage_bench_gate ;;
         massive-smoke) stage_massive_smoke ;;
+        nightly)       stage_nightly ;;
+        base-diff)     stage_base_diff ;;
         *)
             echo "unknown stage '$1'; stages: ${STAGES[*]}" >&2
             exit 2
@@ -334,7 +453,7 @@ case "${1:-}" in
         printf '%s\n' "${STAGES[@]}"
         ;;
     --help|-h)
-        sed -n '2,34p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,46p' "$0" | sed 's/^# \{0,1\}//'
         ;;
     "")
         for stage in "${STAGES[@]}"; do

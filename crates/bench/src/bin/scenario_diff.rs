@@ -33,6 +33,7 @@ fn load_result(path: &str) -> ScenarioResult {
 fn main() {
     let mut tolerance = DiffTolerance::default();
     let mut json = false;
+    let mut structural_only = false;
     let mut paths: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,12 +50,15 @@ fn main() {
                 });
             }
             "--json" => json = true,
+            "--structural-only" => structural_only = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: scenario_diff [--abs-tol X] [--rel-tol X] [--json] \
-                     <baseline.json> <candidate.json>\n\
+                     [--structural-only] <baseline.json> <candidate.json>\n\
                      compares two full scenario archives; default tolerances are zero\n\
-                     (bit-exact); exits 1 on any delta beyond tolerance"
+                     (bit-exact); exits 1 on any delta beyond tolerance\n\
+                     --structural-only: metric deltas are report-only — exit 1 only on\n\
+                     shape mismatches (missing points/mechanisms, run counts, compliance)"
                 );
                 return;
             }
@@ -83,7 +87,27 @@ fn main() {
     } else {
         print!("{}", render_diff(&report));
     }
-    if !report.ok() {
+    // Base-vs-PR artifact diffs run with --structural-only: two archives
+    // built from different code revisions are *expected* to drift on
+    // metrics (that drift is the report's payload), but a shape mismatch
+    // means the candidate no longer measures what the base measured.
+    let failed = if structural_only {
+        if !report.structural.is_empty() {
+            true
+        } else {
+            if !report.violations.is_empty() {
+                eprintln!(
+                    "scenario_diff: {} metric delta(s) beyond tolerance (report-only \
+                     under --structural-only)",
+                    report.violations.len()
+                );
+            }
+            false
+        }
+    } else {
+        !report.ok()
+    };
+    if failed {
         std::process::exit(1);
     }
 }

@@ -93,7 +93,7 @@ impl DiffReport {
 
 /// The compared metrics of one mechanism summary: (path, value) pairs for
 /// the mean and 95 % CI half-width of every reported statistic.
-fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 22] {
+fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 30] {
     [
         ("rel_light_sleep.mean", m.rel_light_sleep.mean),
         ("rel_light_sleep.ci95", m.rel_light_sleep.ci95),
@@ -117,6 +117,14 @@ fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 22] {
         ("regroup_count.ci95", m.regroup_count.ci95),
         ("stale_miss_ratio.mean", m.stale_miss_ratio.mean),
         ("stale_miss_ratio.ci95", m.stale_miss_ratio.ci95),
+        ("cover_cost_initial.mean", m.cover_cost_initial.mean),
+        ("cover_cost_initial.ci95", m.cover_cost_initial.ci95),
+        ("cover_cost_final.mean", m.cover_cost_final.mean),
+        ("cover_cost_final.ci95", m.cover_cost_final.ci95),
+        ("improve_moves.mean", m.improve_moves.mean),
+        ("improve_moves.ci95", m.improve_moves.ci95),
+        ("improve_budget.mean", m.improve_budget.mean),
+        ("improve_budget.ci95", m.improve_budget.ci95),
     ]
 }
 

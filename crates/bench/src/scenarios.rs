@@ -281,10 +281,57 @@ pub fn render_churn(scenario: &Scenario, result: &ScenarioResult) -> String {
     render_table(&headers, &rows)
 }
 
+/// Whether a scenario exercises the plan-improvement layer: an anytime
+/// `DR-SC-tabu(N)` mechanism in the set, or the LNS `Repair` re-grouping
+/// policy. Only such scenarios carry non-zero improvement metrics.
+pub fn has_improvement(scenario: &Scenario) -> bool {
+    scenario
+        .mechanisms
+        .iter()
+        .any(|m| matches!(m, MechanismKind::DrScTabu(_)))
+        || scenario.regroup == nbiot_sim::RegroupPolicy::Repair
+}
+
+/// Anytime-planning Pareto table: the budget each mechanism spent vs the
+/// cover cost it bought, one row per (device point × mechanism), first
+/// payload only (the plan is payload-independent). Zero-budget rows are
+/// the greedy anchors of the front; reading down a device point shows
+/// cover cost against planning budget.
+pub fn render_pareto(scenario: &Scenario, result: &ScenarioResult) -> String {
+    let headers = [
+        "devices",
+        "mechanism",
+        "budget spent",
+        "moves",
+        "cover initial",
+        "cover final",
+        "transmissions",
+        "±95%CI",
+    ];
+    let first_payload = scenario.payloads[0];
+    let mut rows = Vec::new();
+    for point in result.payload_column(first_payload) {
+        for m in &point.comparison.mechanisms {
+            rows.push(vec![
+                point.n_devices.to_string(),
+                m.mechanism.clone(),
+                format!("{:.1}", m.improve_budget.mean),
+                format!("{:.1}", m.improve_moves.mean),
+                format!("{:.1}", m.cover_cost_initial.mean),
+                format!("{:.1}", m.cover_cost_final.mean),
+                format!("{:.1}", m.transmissions.mean),
+                format!("{:.1}", m.transmissions.ci95),
+            ]);
+        }
+    }
+    render_table(&headers, &rows)
+}
+
 /// Renders the full report for a scenario result: derived caption, the
 /// relative-uptime tables (only meaningful against a baseline), the
-/// transmission table, and — for churned scenarios — the re-grouping
-/// table.
+/// transmission table, the anytime-planning Pareto table (when the
+/// scenario [`has_improvement`]), and — for churned scenarios — the
+/// re-grouping table.
 pub fn render_report(scenario: &Scenario, result: &ScenarioResult) -> String {
     let mut out = String::new();
     out.push_str(&format!(
@@ -303,6 +350,11 @@ pub fn render_report(scenario: &Scenario, result: &ScenarioResult) -> String {
     }
     out.push_str("-- multicast transmissions --\n");
     out.push_str(&render_transmissions(scenario, result));
+    if has_improvement(scenario) {
+        out.push('\n');
+        out.push_str("-- anytime planning Pareto front (budget spent vs cover cost) --\n");
+        out.push_str(&render_pareto(scenario, result));
+    }
     if let Some(churn) = &scenario.churn {
         out.push('\n');
         out.push_str(&format!(
@@ -403,6 +455,28 @@ mod tests {
         let s2 = tiny_scenario();
         let r2 = run_scenario(&s2).unwrap();
         assert!(!render_report(&s2, &r2).contains("re-grouping"));
+    }
+
+    #[test]
+    fn pareto_table_renders_for_improvement_scenarios_only() {
+        let mut s = Scenario::builtin("planning-pareto").unwrap();
+        s.devices = vec![30];
+        s.runs = 2;
+        s.threads = 1;
+        assert!(has_improvement(&s));
+        let result = run_scenario(&s).unwrap();
+        let report = render_report(&s, &result);
+        assert!(report.contains("anytime planning Pareto front"), "{report}");
+        let table = render_pareto(&s, &result);
+        assert!(table.contains("budget spent"), "{table}");
+        // The budget-0 row is the greedy anchor: zero budget spent, and
+        // a cover no better than its own initial cost.
+        assert!(table.contains("DR-SC-tabu(0)"), "{table}");
+        // Plain greedy scenarios carry no Pareto table at all.
+        let s2 = tiny_scenario();
+        assert!(!has_improvement(&s2));
+        let r2 = run_scenario(&s2).unwrap();
+        assert!(!render_report(&s2, &r2).contains("Pareto"));
     }
 
     #[test]

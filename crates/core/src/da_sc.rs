@@ -103,8 +103,8 @@ impl DaSc {
 }
 
 impl GroupingMechanism for DaSc {
-    fn name(&self) -> &'static str {
-        "DA-SC"
+    fn name(&self) -> String {
+        "DA-SC".to_string()
     }
 
     fn is_standards_compliant(&self) -> bool {
@@ -170,13 +170,14 @@ impl GroupingMechanism for DaSc {
 
         let recipients = device_plans.iter().map(|p| p.device).collect();
         Ok(MulticastPlan {
-            mechanism: self.name().to_string(),
+            mechanism: self.name(),
             standards_compliant: true,
             requires_connection: true,
             transmissions: vec![Transmission { at: t, recipients }],
             device_plans,
             horizon: TimeWindow::new(params.start, t),
             control_monitoring: None,
+            improvement: None,
         })
     }
 }

@@ -2,13 +2,70 @@
 
 use rand::RngCore;
 
-use nbiot_time::{SimDuration, TimeWindow};
+use nbiot_time::{SimDuration, SimInstant, TimeWindow};
 
+use crate::improve::{improve_cover, ImprovementStats};
 use crate::set_cover::WindowCover;
 use crate::{
     DevicePlan, GroupingError, GroupingInput, GroupingMechanism, MulticastPlan, PageDirective,
     Transmission,
 };
+
+/// Per-device PO events over the search horizon: sparse devices (cycle
+/// greater than `TI`) get their enumerated occasions, dense devices get an
+/// empty list plus a `true` flag (they have a PO in every window).
+fn po_events(input: &GroupingInput, ti: SimDuration) -> (Vec<Vec<SimInstant>>, Vec<bool>) {
+    let horizon = input.search_horizon();
+    let mut events: Vec<Vec<SimInstant>> = Vec::with_capacity(input.len());
+    let mut dense = Vec::with_capacity(input.len());
+    for (paging, sched) in input.paging_configs().iter().zip(input.schedules()) {
+        let is_dense = paging.cycle.period() <= ti;
+        dense.push(is_dense);
+        if is_dense {
+            events.push(Vec::new());
+        } else {
+            events.push(sched.pos_in(horizon));
+        }
+    }
+    (events, dense)
+}
+
+/// The error [`WindowCover::solve`] failure maps to: some sparse device
+/// has no paging occasion inside the horizon.
+fn no_usable_po(
+    input: &GroupingInput,
+    events: &[Vec<SimInstant>],
+    dense: &[bool],
+) -> GroupingError {
+    GroupingError::NoUsablePo {
+        device: input
+            .ids()
+            .iter()
+            .zip(events)
+            .zip(dense)
+            .find(|((_, e), &d)| e.is_empty() && !d)
+            .map(|((&id, _), _)| id)
+            .expect("solver fails only on sparse device without POs"),
+        t: input.search_horizon().end(),
+    }
+}
+
+/// FNV-1a over the anchor-window set-cover instance. [`DrScTabu`] seeds
+/// the tabu search from the instance rather than the caller's RNG so
+/// every budget rung of the anytime ladder replays the same iteration
+/// sequence — the guarantee behind budget-monotone cover cost.
+fn instance_seed(n_sparse: usize, sets: &[Vec<usize>]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = (h ^ n_sparse as u64).wrapping_mul(PRIME);
+    for set in sets {
+        h = (h ^ set.len() as u64).wrapping_mul(PRIME);
+        for &e in set {
+            h = (h ^ e as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
 
 /// The DR-SC mechanism: respect every device's DRX cycle and cover the
 /// group with (usually several) multicast transmissions chosen by greedy
@@ -56,8 +113,8 @@ impl DrSc {
 }
 
 impl GroupingMechanism for DrSc {
-    fn name(&self) -> &'static str {
-        "DR-SC"
+    fn name(&self) -> String {
+        "DR-SC".to_string()
     }
 
     fn is_standards_compliant(&self) -> bool {
@@ -75,30 +132,10 @@ impl GroupingMechanism for DrSc {
         // Enumerate PO events only for sparse devices (cycle > TI); devices
         // with cycle <= TI ("dense") have a PO in every window and ride the
         // first transmission.
-        let mut events: Vec<Vec<nbiot_time::SimInstant>> = Vec::with_capacity(input.len());
-        let mut dense = Vec::with_capacity(input.len());
-        for (paging, sched) in input.paging_configs().iter().zip(input.schedules()) {
-            let is_dense = paging.cycle.period() <= ti;
-            dense.push(is_dense);
-            if is_dense {
-                events.push(Vec::new());
-            } else {
-                events.push(sched.pos_in(horizon));
-            }
-        }
+        let (events, dense) = po_events(input, ti);
         let slots = WindowCover::new(ti)
             .solve(horizon.start(), &events, &dense)
-            .ok_or_else(|| GroupingError::NoUsablePo {
-                device: input
-                    .ids()
-                    .iter()
-                    .zip(&events)
-                    .zip(&dense)
-                    .find(|((_, e), &d)| e.is_empty() && !d)
-                    .map(|((&id, _), _)| id)
-                    .expect("solver fails only on sparse device without POs"),
-                t: horizon.end(),
-            })?;
+            .ok_or_else(|| no_usable_po(input, &events, &dense))?;
 
         let mut transmissions = Vec::with_capacity(slots.len());
         let mut device_plans: Vec<Option<DevicePlan>> = vec![None; input.len()];
@@ -138,13 +175,239 @@ impl GroupingMechanism for DrSc {
             .collect();
         let end = transmissions.last().map(|t| t.at).unwrap_or(horizon.end());
         Ok(MulticastPlan {
-            mechanism: self.name().to_string(),
+            mechanism: self.name(),
             standards_compliant: true,
             requires_connection: true,
             transmissions,
             device_plans,
             horizon: TimeWindow::new(params.start, end.max(horizon.end())),
             control_monitoring: None,
+            improvement: None,
+        })
+    }
+}
+
+/// Default improvement budget for `DR-SC-tabu` when none is given (the
+/// `MechanismKind::ALL` entry and `by_name("dr-sc-tabu")`).
+pub const DEFAULT_TABU_BUDGET: u32 = 64;
+
+/// DR-SC with an anytime tabu-improvement pass over the greedy cover.
+///
+/// Planning runs the same greedy [`WindowCover`] as [`DrSc`], then spends
+/// `budget` destroy-and-repair iterations of [`crate::improve`] trying to
+/// shrink the window set — fewer windows means fewer transmissions, the
+/// paper's Fig. 7 bandwidth cost. The improvement search works on the
+/// *full* anchor-window instance (every sparse PO anchors a candidate
+/// window covering all devices with a PO inside it), which is a strictly
+/// richer neighborhood than the greedy solver's newly-covered slots.
+///
+/// `budget == 0` delegates to [`DrSc`] and relabels: the plan content is
+/// bit-identical to plain DR-SC (locked by proptest). With `budget > 0`
+/// the plan carries [`ImprovementStats`] in
+/// [`MulticastPlan::improvement`], and quality is monotone non-increasing
+/// in the budget for a fixed input (the anytime contract — see
+/// `docs/KERNELS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrScTabu {
+    /// Delay between the last covered PO and the transmission (same role
+    /// as [`DrSc::guard`]).
+    pub guard: SimDuration,
+    /// Maximum improvement iterations (deterministic move count, no
+    /// wall-clock anywhere).
+    pub budget: u32,
+}
+
+impl Default for DrScTabu {
+    fn default() -> Self {
+        DrScTabu::new(DEFAULT_TABU_BUDGET)
+    }
+}
+
+impl DrScTabu {
+    /// Creates the mechanism with the default 1 s guard and the given
+    /// improvement budget.
+    pub fn new(budget: u32) -> DrScTabu {
+        DrScTabu {
+            guard: DrSc::default().guard,
+            budget,
+        }
+    }
+
+    /// Relabels a greedy plan as this mechanism's output with zero-work
+    /// improvement stats (the `budget == 0` / nothing-to-improve path).
+    fn relabel(&self, mut plan: MulticastPlan, budget_spent: u32) -> MulticastPlan {
+        let cost = plan.transmission_count() as u32;
+        plan.mechanism = self.name();
+        plan.improvement = Some(ImprovementStats {
+            initial_cost: cost,
+            final_cost: cost,
+            moves_accepted: 0,
+            budget_spent,
+        });
+        plan
+    }
+}
+
+impl GroupingMechanism for DrScTabu {
+    fn name(&self) -> String {
+        format!("DR-SC-tabu({})", self.budget)
+    }
+
+    fn is_standards_compliant(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &self,
+        input: &GroupingInput,
+        rng: &mut dyn RngCore,
+    ) -> Result<MulticastPlan, GroupingError> {
+        let greedy = DrSc { guard: self.guard };
+        if self.budget == 0 {
+            return Ok(self.relabel(greedy.plan(input, rng)?, 0));
+        }
+        let params = input.params();
+        let ti = params.ti.duration();
+        let horizon = input.search_horizon();
+        let (events, dense) = po_events(input, ti);
+        let n_sparse = dense.iter().filter(|&&d| !d).count();
+        if n_sparse == 0 {
+            // All-dense groups are a single window already — optimal.
+            return Ok(self.relabel(greedy.plan(input, rng)?, 0));
+        }
+        let slots = WindowCover::new(ti)
+            .solve(horizon.start(), &events, &dense)
+            .ok_or_else(|| no_usable_po(input, &events, &dense))?;
+
+        // Materialize the anchor-window set-cover instance over sparse
+        // devices: every distinct sparse PO instant anchors a candidate
+        // window covering the sparse devices with a PO in [a, a + TI).
+        let mut orig_of = Vec::with_capacity(n_sparse);
+        let mut sparse_of = vec![usize::MAX; input.len()];
+        for (d, &is_dense) in dense.iter().enumerate() {
+            if !is_dense {
+                sparse_of[d] = orig_of.len();
+                orig_of.push(d);
+            }
+        }
+        let mut flat: Vec<(SimInstant, usize)> = Vec::new();
+        for (d, evs) in events.iter().enumerate() {
+            if !dense[d] {
+                flat.extend(evs.iter().map(|&t| (t, sparse_of[d])));
+            }
+        }
+        flat.sort_unstable();
+        let mut anchors: Vec<SimInstant> = flat.iter().map(|&(t, _)| t).collect();
+        anchors.dedup();
+        let mut sets: Vec<Vec<usize>> = Vec::with_capacity(anchors.len());
+        let mut seen = vec![usize::MAX; n_sparse];
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for (i, &a) in anchors.iter().enumerate() {
+            let end = a + ti;
+            while flat[lo].0 < a {
+                lo += 1;
+            }
+            hi = hi.max(lo);
+            while hi < flat.len() && flat[hi].0 < end {
+                hi += 1;
+            }
+            let mut set = Vec::new();
+            for &(_, d) in &flat[lo..hi] {
+                if seen[d] != i {
+                    seen[d] = i;
+                    set.push(d);
+                }
+            }
+            sets.push(set);
+        }
+
+        // The greedy slots are the initial solution: each slot is anchored
+        // at a sparse PO, so its window is one of the candidate sets.
+        let picks: Vec<usize> = slots
+            .iter()
+            .map(|s| {
+                anchors
+                    .binary_search(&s.window_start)
+                    .expect("greedy slots anchor at sparse POs")
+            })
+            .collect();
+        // Every rung of the anytime budget ladder must share one seed so a
+        // larger budget replays a smaller budget's iteration sequence as a
+        // prefix (best-found cover cost monotone non-increasing in budget).
+        // Mechanisms draw from independent RNG streams, so the seed comes
+        // from the set-cover instance itself, not from `rng`.
+        let seed = instance_seed(n_sparse, &sets);
+        let (best, stats) = improve_cover(n_sparse, &sets, &picks, self.budget, seed);
+
+        // Rebuild the plan: selected windows in time order, each sparse
+        // device assigned to the earliest one containing a PO of its own;
+        // dense devices ride the first transmission, as in DR-SC.
+        let mut sel = best;
+        sel.sort_unstable();
+        let mut assigned = vec![false; n_sparse];
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); sel.len()];
+        for (w, &a) in sel.iter().enumerate() {
+            for &d in &sets[a] {
+                if !assigned[d] {
+                    assigned[d] = true;
+                    groups[w].push(d);
+                }
+            }
+        }
+        debug_assert!(assigned.iter().all(|&c| c), "improved cover is complete");
+        let first_nonempty = groups
+            .iter()
+            .position(|g| !g.is_empty())
+            .expect("n_sparse > 0");
+        let mut transmissions = Vec::new();
+        let mut device_plans: Vec<Option<DevicePlan>> = vec![None; input.len()];
+        for (w, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let window_start = anchors[sel[w]];
+            let mut members: Vec<usize> = group.iter().map(|&d| orig_of[d]).collect();
+            if w == first_nonempty {
+                members.extend((0..input.len()).filter(|&d| dense[d]));
+            }
+            members.sort_unstable();
+            let pages: Vec<SimInstant> = members
+                .iter()
+                .map(|&idx| input.schedules()[idx].first_po_at_or_after(window_start))
+                .collect();
+            let last_po = pages.iter().copied().max().expect("non-empty window");
+            let transmit_at = (last_po + self.guard).min(window_start + ti);
+            for (&idx, &po) in members.iter().zip(&pages) {
+                debug_assert!(po < transmit_at);
+                device_plans[idx] = Some(DevicePlan {
+                    device: input.ids()[idx],
+                    page: Some(PageDirective { po }),
+                    mltc: None,
+                    adaptation: None,
+                    connect_at: Some(po),
+                    receives_at: transmit_at,
+                });
+            }
+            transmissions.push(Transmission {
+                at: transmit_at,
+                recipients: members.iter().map(|&idx| input.ids()[idx]).collect(),
+            });
+        }
+        transmissions.sort_by_key(|t| t.at);
+        let device_plans: Vec<DevicePlan> = device_plans
+            .into_iter()
+            .map(|p| p.expect("every device rides a selected window"))
+            .collect();
+        let end = transmissions.last().map(|t| t.at).unwrap_or(horizon.end());
+        Ok(MulticastPlan {
+            mechanism: self.name(),
+            standards_compliant: true,
+            requires_connection: true,
+            transmissions,
+            device_plans,
+            horizon: TimeWindow::new(params.start, end.max(horizon.end())),
+            control_monitoring: None,
+            improvement: Some(stats),
         })
     }
 }
@@ -245,6 +508,61 @@ mod tests {
             counts.push(plan.transmission_count());
         }
         assert!(counts[1] <= counts[0], "{counts:?}");
+    }
+
+    fn tabu_plan_for(
+        mix: TrafficMix,
+        n: usize,
+        seed: u64,
+        budget: u32,
+    ) -> (GroupingInput, MulticastPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = mix.generate(n, &mut rng).unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let plan = DrScTabu::new(budget).plan(&input, &mut rng).unwrap();
+        (input, plan)
+    }
+
+    #[test]
+    fn tabu_budget_zero_matches_greedy_content() {
+        let (_, greedy) = plan_for(TrafficMix::ericsson_city(), 120, 3);
+        let (input, tabu) = tabu_plan_for(TrafficMix::ericsson_city(), 120, 3, 0);
+        tabu.validate(&input).unwrap();
+        assert_eq!(tabu.mechanism, "DR-SC-tabu(0)");
+        assert_eq!(tabu.transmissions, greedy.transmissions);
+        assert_eq!(tabu.device_plans, greedy.device_plans);
+        assert_eq!(tabu.horizon, greedy.horizon);
+        let stats = tabu.improvement.unwrap();
+        assert_eq!(stats.initial_cost, stats.final_cost);
+        assert_eq!(stats.moves_accepted, 0);
+    }
+
+    #[test]
+    fn tabu_plan_is_valid_and_never_worse() {
+        for seed in [3u64, 5, 9] {
+            let (_, greedy) = plan_for(TrafficMix::ericsson_city(), 150, seed);
+            let (input, tabu) = tabu_plan_for(TrafficMix::ericsson_city(), 150, seed, 64);
+            tabu.validate(&input).unwrap();
+            assert!(tabu.transmission_count() <= greedy.transmission_count());
+            let stats = tabu.improvement.unwrap();
+            assert!(stats.final_cost <= stats.initial_cost);
+            assert_eq!(stats.initial_cost as usize, greedy.transmission_count());
+        }
+    }
+
+    #[test]
+    fn tabu_is_deterministic() {
+        let (_, a) = tabu_plan_for(TrafficMix::ericsson_city(), 90, 8, 32);
+        let (_, b) = tabu_plan_for(TrafficMix::ericsson_city(), 90, 8, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tabu_all_dense_short_circuits() {
+        let (input, plan) = tabu_plan_for(TrafficMix::short_drx(), 40, 4, 64);
+        plan.validate(&input).unwrap();
+        assert_eq!(plan.transmission_count(), 1);
+        assert_eq!(plan.improvement.unwrap().budget_spent, 0);
     }
 
     #[test]

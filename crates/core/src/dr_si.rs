@@ -53,8 +53,8 @@ impl DrSi {
 }
 
 impl GroupingMechanism for DrSi {
-    fn name(&self) -> &'static str {
-        "DR-SI"
+    fn name(&self) -> String {
+        "DR-SI".to_string()
     }
 
     fn is_standards_compliant(&self) -> bool {
@@ -118,7 +118,7 @@ impl GroupingMechanism for DrSi {
 
         let recipients = device_plans.iter().map(|p| p.device).collect();
         Ok(MulticastPlan {
-            mechanism: self.name().to_string(),
+            mechanism: self.name(),
             // The flag reflects the signalling actually used: a group whose
             // POs all fall inside the window needs no extension.
             standards_compliant: !any_mltc,
@@ -127,6 +127,7 @@ impl GroupingMechanism for DrSi {
             device_plans,
             horizon: TimeWindow::new(params.start, t),
             control_monitoring: None,
+            improvement: None,
         })
     }
 }

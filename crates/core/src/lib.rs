@@ -63,18 +63,21 @@ mod da_sc;
 mod dr_sc;
 mod dr_si;
 mod error;
+pub mod improve;
 mod input;
 mod mechanism;
 mod plan;
 mod recommend;
+pub mod repair;
 mod scptm;
 pub mod set_cover;
 mod unicast;
 
 pub use da_sc::{AdaptationGrid, DaSc};
-pub use dr_sc::DrSc;
+pub use dr_sc::{DrSc, DrScTabu, DEFAULT_TABU_BUDGET};
 pub use dr_si::{DrSi, NotifyPolicy};
 pub use error::{GroupingError, PlanViolation};
+pub use improve::ImprovementStats;
 pub use input::{GroupingInput, GroupingParams};
 pub use mechanism::{GroupingMechanism, MechanismKind};
 pub use plan::{
@@ -82,5 +85,6 @@ pub use plan::{
     PageDirective, Transmission,
 };
 pub use recommend::{recommend, Recommendation, SelectionPolicy};
+pub use repair::repair_plan;
 pub use scptm::ScPtm;
 pub use unicast::Unicast;

@@ -13,8 +13,9 @@ use crate::{GroupingError, GroupingInput, MulticastPlan};
 /// Randomness (e.g. DR-SI's T322 draws) comes exclusively from the passed
 /// RNG, keeping plans reproducible.
 pub trait GroupingMechanism {
-    /// Short display name (e.g. `"DR-SC"`).
-    fn name(&self) -> &'static str;
+    /// Short display name (e.g. `"DR-SC"`). Owned because parameterized
+    /// mechanisms (e.g. `DR-SC-tabu(64)`) bake their settings into it.
+    fn name(&self) -> String;
 
     /// Whether the mechanism uses only 3GPP-standard signalling.
     fn is_standards_compliant(&self) -> bool;
@@ -38,6 +39,9 @@ pub trait GroupingMechanism {
 pub enum MechanismKind {
     /// DRX Respecting, Standards Compliant (greedy set cover).
     DrSc,
+    /// DR-SC plus an anytime tabu-improvement pass with the given
+    /// iteration budget (`DR-SC-tabu(64)`; budget 0 is plain greedy).
+    DrScTabu(u32),
     /// DRX Adjusting, Standards Compliant (DRX adaptation).
     DaSc,
     /// DRX Respecting, Standards Incompliant (paging extension + T322).
@@ -56,9 +60,11 @@ impl MechanismKind {
         MechanismKind::DrSi,
     ];
 
-    /// All built-in mechanisms including baselines.
-    pub const ALL: [MechanismKind; 5] = [
+    /// All built-in mechanisms including baselines (the tabu entry uses
+    /// [`crate::DEFAULT_TABU_BUDGET`]).
+    pub const ALL: [MechanismKind; 6] = [
         MechanismKind::DrSc,
+        MechanismKind::DrScTabu(crate::DEFAULT_TABU_BUDGET),
         MechanismKind::DaSc,
         MechanismKind::DrSi,
         MechanismKind::Unicast,
@@ -67,10 +73,23 @@ impl MechanismKind {
 
     /// Resolves a mechanism from its display name (`"DR-SC"`, `"DA-SC"`,
     /// `"DR-SI"`, `"Unicast"`, `"SC-PTM"`), case-insensitively.
+    /// `"DR-SC-tabu(N)"` resolves for any budget `N`; a bare
+    /// `"DR-SC-tabu"` gets [`crate::DEFAULT_TABU_BUDGET`].
     ///
     /// Returns `None` for unknown names; CLI callers that surface errors
     /// should list [`MechanismKind::ALL`].
     pub fn by_name(name: &str) -> Option<MechanismKind> {
+        let lower = name.trim().to_ascii_lowercase();
+        if let Some(rest) = lower.strip_prefix("dr-sc-tabu") {
+            return match rest {
+                "" => Some(MechanismKind::DrScTabu(crate::DEFAULT_TABU_BUDGET)),
+                _ => rest
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .and_then(|n| n.parse().ok())
+                    .map(MechanismKind::DrScTabu),
+            };
+        }
         MechanismKind::ALL
             .into_iter()
             .find(|k| k.to_string().eq_ignore_ascii_case(name))
@@ -94,6 +113,7 @@ impl MechanismKind {
     pub fn instantiate(self) -> Box<dyn GroupingMechanism> {
         match self {
             MechanismKind::DrSc => Box::new(crate::DrSc::default()),
+            MechanismKind::DrScTabu(budget) => Box::new(crate::DrScTabu::new(budget)),
             MechanismKind::DaSc => Box::new(crate::DaSc::default()),
             MechanismKind::DrSi => Box::new(crate::DrSi::default()),
             MechanismKind::Unicast => Box::new(crate::Unicast),
@@ -104,14 +124,14 @@ impl MechanismKind {
 
 impl fmt::Display for MechanismKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            MechanismKind::DrSc => "DR-SC",
-            MechanismKind::DaSc => "DA-SC",
-            MechanismKind::DrSi => "DR-SI",
-            MechanismKind::Unicast => "Unicast",
-            MechanismKind::ScPtm => "SC-PTM",
-        };
-        f.write_str(name)
+        match self {
+            MechanismKind::DrSc => f.write_str("DR-SC"),
+            MechanismKind::DrScTabu(budget) => write!(f, "DR-SC-tabu({budget})"),
+            MechanismKind::DaSc => f.write_str("DA-SC"),
+            MechanismKind::DrSi => f.write_str("DR-SI"),
+            MechanismKind::Unicast => f.write_str("Unicast"),
+            MechanismKind::ScPtm => f.write_str("SC-PTM"),
+        }
     }
 }
 
@@ -140,6 +160,24 @@ mod tests {
     }
 
     #[test]
+    fn tabu_budget_parses_for_any_value() {
+        assert_eq!(
+            MechanismKind::by_name("DR-SC-tabu(128)"),
+            Some(MechanismKind::DrScTabu(128))
+        );
+        assert_eq!(
+            MechanismKind::by_name("dr-sc-tabu(0)"),
+            Some(MechanismKind::DrScTabu(0))
+        );
+        assert_eq!(
+            MechanismKind::by_name("DR-SC-tabu"),
+            Some(MechanismKind::DrScTabu(crate::DEFAULT_TABU_BUDGET))
+        );
+        assert_eq!(MechanismKind::by_name("DR-SC-tabu(x)"), None);
+        assert_eq!(MechanismKind::by_name("DR-SC-tabu(3"), None);
+    }
+
+    #[test]
     fn parse_set_preserves_order_and_reports_bad_names() {
         assert_eq!(
             MechanismKind::parse_set("dr-si, Unicast,DR-SC"),
@@ -158,6 +196,9 @@ mod tests {
     #[test]
     fn compliance_flags_match_paper() {
         assert!(MechanismKind::DrSc.instantiate().is_standards_compliant());
+        assert!(MechanismKind::DrScTabu(64)
+            .instantiate()
+            .is_standards_compliant());
         assert!(MechanismKind::DaSc.instantiate().is_standards_compliant());
         assert!(!MechanismKind::DrSi.instantiate().is_standards_compliant());
         assert!(MechanismKind::Unicast

@@ -117,6 +117,10 @@ pub struct MulticastPlan {
     pub horizon: TimeWindow,
     /// Extra periodic control monitoring (SC-PTM only).
     pub control_monitoring: Option<ControlMonitoring>,
+    /// Anytime-improvement metrics when the plan went through a
+    /// [`crate::improve`] pass (`DR-SC-tabu` and LNS repair); `None` for
+    /// one-shot constructive plans.
+    pub improvement: Option<crate::ImprovementStats>,
 }
 
 impl MulticastPlan {
@@ -296,6 +300,7 @@ mod tests {
                 .collect(),
             horizon: TimeWindow::new(SimInstant::ZERO, t),
             control_monitoring: None,
+            improvement: None,
         }
     }
 

@@ -52,8 +52,8 @@ impl ScPtm {
 }
 
 impl GroupingMechanism for ScPtm {
-    fn name(&self) -> &'static str {
-        "SC-PTM"
+    fn name(&self) -> String {
+        "SC-PTM".to_string()
     }
 
     fn is_standards_compliant(&self) -> bool {
@@ -86,7 +86,7 @@ impl GroupingMechanism for ScPtm {
             .collect();
         let recipients = device_plans.iter().map(|p| p.device).collect();
         Ok(MulticastPlan {
-            mechanism: self.name().to_string(),
+            mechanism: self.name(),
             standards_compliant: true,
             requires_connection: false,
             transmissions: vec![Transmission { at: t, recipients }],
@@ -96,6 +96,7 @@ impl GroupingMechanism for ScPtm {
                 period: self.mcch_period,
                 per_occasion: self.mcch_occasion,
             }),
+            improvement: None,
         })
     }
 }

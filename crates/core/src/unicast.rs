@@ -27,8 +27,8 @@ impl Unicast {
 }
 
 impl GroupingMechanism for Unicast {
-    fn name(&self) -> &'static str {
-        "Unicast"
+    fn name(&self) -> String {
+        "Unicast".to_string()
     }
 
     fn is_standards_compliant(&self) -> bool {
@@ -61,13 +61,14 @@ impl GroupingMechanism for Unicast {
         transmissions.sort_by_key(|t| t.at);
         let end = transmissions.last().map(|t| t.at).unwrap_or(params.start);
         Ok(MulticastPlan {
-            mechanism: self.name().to_string(),
+            mechanism: self.name(),
             standards_compliant: true,
             requires_connection: true,
             transmissions,
             device_plans,
             horizon: TimeWindow::new(params.start, end),
             control_monitoring: None,
+            improvement: None,
         })
     }
 }

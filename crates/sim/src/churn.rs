@@ -26,7 +26,7 @@
 //! every summary is bit-identical to the static engine.
 
 use nbiot_des::SeedSequence;
-use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams};
+use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams, MulticastPlan};
 use nbiot_time::UeId;
 use nbiot_traffic::{ChurnEvents, ChurnModel, DeviceId, Population, TrafficMix};
 
@@ -50,6 +50,15 @@ pub enum RegroupPolicy {
     /// Re-plan when the stale fraction of the current population (devices
     /// the current plan cannot serve) exceeds this threshold.
     StalenessThreshold(f64),
+    /// Patch the stale plan at every changed epoch boundary with the LNS
+    /// repair pass ([`nbiot_grouping::repair_plan`]) instead of
+    /// re-planning from scratch: kept windows stay, arrivals are attached
+    /// or get freshly solved windows. Mechanisms whose plan shape is not
+    /// repairable (adaptation, `mltc`, connectionless) fall back to a
+    /// full re-plan. Serves every epoch, like [`RegroupPolicy::EveryEpoch`],
+    /// at a fraction of the planning cost (`bench_report`'s
+    /// `regroup_churn[repair]` stage).
+    Repair,
 }
 
 impl RegroupPolicy {
@@ -80,6 +89,36 @@ pub(crate) struct ChurnOutcome {
     /// policies (an `EveryEpoch` run reports 0, a `Never` run the full
     /// accumulated staleness, over the same base).
     pub stale_miss_ratio: f64,
+}
+
+/// Summed plan-improvement economics of one run's planning work (epoch-0
+/// plan plus every regroup-epoch plan), folded into the four
+/// `cover_cost_*`/`improve_*` fields of
+/// [`MechanismSummary`](crate::MechanismSummary). Plans without an
+/// improvement record (greedy, baselines) contribute zeros, so the sums
+/// are exactly the tabu/repair work the run performed.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct RegroupWork {
+    /// Summed `initial_cost` (plan cost before improvement/repair).
+    pub cover_cost_initial: f64,
+    /// Summed `final_cost` (plan cost after improvement/repair).
+    pub cover_cost_final: f64,
+    /// Summed accepted improvement moves / attached arrivals.
+    pub improve_moves: f64,
+    /// Summed spent iteration budget / freshly re-planned leftovers.
+    pub improve_budget: f64,
+}
+
+impl RegroupWork {
+    /// Accumulates one plan's improvement record (no-op when absent).
+    pub fn absorb(&mut self, plan: &MulticastPlan) {
+        if let Some(stats) = plan.improvement {
+            self.cover_cost_initial += f64::from(stats.initial_cost);
+            self.cover_cost_final += f64::from(stats.final_cost);
+            self.improve_moves += f64::from(stats.moves_accepted);
+            self.improve_budget += f64::from(stats.budget_spent);
+        }
+    }
 }
 
 /// RNG stream ids of the churn machinery inside one (point × run) item.
@@ -182,7 +221,7 @@ pub(crate) fn plan_trajectory(
         let regroup = events_since_plan > 0
             && match policy {
                 RegroupPolicy::Never => false,
-                RegroupPolicy::EveryEpoch => true,
+                RegroupPolicy::EveryEpoch | RegroupPolicy::Repair => true,
                 RegroupPolicy::StalenessThreshold(t) => stale as f64 / pop.len() as f64 > t,
             };
         if regroup {
@@ -206,11 +245,24 @@ pub(crate) fn plan_trajectory(
     }
 }
 
+/// One mechanism's identity within a run's re-planning pass: which
+/// planner, its index (selecting the dedicated RNG stream), and the
+/// epoch-0 plan the first [`RegroupPolicy::Repair`] patch starts from.
+pub(crate) struct ReplanTarget<'a> {
+    pub index: usize,
+    pub mechanism: &'a dyn GroupingMechanism,
+    pub epoch0_plan: &'a MulticastPlan,
+}
+
 /// Executes one mechanism's re-planning work at every epoch the
-/// trajectory regroups: the real planner on the evolved
-/// [`GroupingInput`], drawing from the mechanism's dedicated stream
-/// (`run_seq.child(REGROUP_BASE + mechanism).rng(epoch + 1)`) — this is
-/// the set-cover cost the `regroup_count` summary attributes.
+/// trajectory regroups: under [`RegroupPolicy::Repair`] the stale plan is
+/// patched via [`nbiot_grouping::repair_plan`] (falling back to a full
+/// re-plan for non-repairable shapes); every other policy runs the real
+/// planner on the evolved [`GroupingInput`], drawing from the mechanism's
+/// dedicated stream (`run_seq.child(REGROUP_BASE + mechanism).rng(epoch +
+/// 1)`) — this is the set-cover cost the `regroup_count` summary
+/// attributes. Returns the summed improvement/repair economics of the
+/// regroup-epoch plans (the epoch-0 plan is absorbed by the caller).
 ///
 /// # Errors
 ///
@@ -220,19 +272,37 @@ pub(crate) fn replan_mechanism(
     timeline: &ChurnTimeline,
     trajectory: &RegroupTrajectory,
     grouping: GroupingParams,
-    mechanism_index: usize,
-    mechanism: &dyn GroupingMechanism,
+    target: &ReplanTarget<'_>,
     run_seq: &SeedSequence,
-) -> Result<(), SimError> {
+    policy: RegroupPolicy,
+) -> Result<RegroupWork, SimError> {
+    let mut work = RegroupWork::default();
+    // The plan the next repair patches: epoch-0's until the first regroup.
+    let mut current: Option<MulticastPlan> = None;
     for &epoch in &trajectory.regroup_epochs {
         let input = GroupingInput::from_population(&timeline.epochs[epoch].0, grouping)?;
-        let mut rng = run_seq
-            .child(REGROUP_CHILD_BASE + mechanism_index as u64)
-            .rng(epoch as u64 + 1);
-        let plan = mechanism.plan(&input, &mut rng)?;
+        let repaired = if policy == RegroupPolicy::Repair {
+            let stale = current.as_ref().unwrap_or(target.epoch0_plan);
+            nbiot_grouping::repair_plan(stale, &input).transpose()?
+        } else {
+            None
+        };
+        let plan = match repaired {
+            Some(plan) => plan,
+            None => {
+                let mut rng = run_seq
+                    .child(REGROUP_CHILD_BASE + target.index as u64)
+                    .rng(epoch as u64 + 1);
+                target.mechanism.plan(&input, &mut rng)?
+            }
+        };
         plan.validate(&input)?;
+        work.absorb(&plan);
+        if policy == RegroupPolicy::Repair {
+            current = Some(plan);
+        }
     }
-    Ok(())
+    Ok(work)
 }
 
 #[cfg(test)]
@@ -257,7 +327,7 @@ mod tests {
         }
     }
 
-    fn outcome_under(policy: RegroupPolicy, model: &ChurnModel) -> ChurnOutcome {
+    fn run_under(policy: RegroupPolicy, model: &ChurnModel) -> (ChurnOutcome, RegroupWork) {
         let mix = TrafficMix::mobility_churn();
         let pop = initial(60);
         let seq = SeedSequence::new(42).child(0);
@@ -269,16 +339,28 @@ mod tests {
             "regroup epoch list and count must agree"
         );
         let mechanism = MechanismKind::DrSc.instantiate();
-        replan_mechanism(
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let epoch0 = mechanism
+            .plan(&input, &mut seq.rng(0))
+            .expect("epoch-0 plan");
+        let work = replan_mechanism(
             &timeline,
             &trajectory,
             GroupingParams::default(),
-            0,
-            mechanism.as_ref(),
+            &ReplanTarget {
+                index: 0,
+                mechanism: mechanism.as_ref(),
+                epoch0_plan: &epoch0,
+            },
             &seq,
+            policy,
         )
         .unwrap();
-        trajectory.outcome
+        (trajectory.outcome, work)
+    }
+
+    fn outcome_under(policy: RegroupPolicy, model: &ChurnModel) -> ChurnOutcome {
+        run_under(policy, model).0
     }
 
     #[test]
@@ -329,10 +411,27 @@ mod tests {
             RegroupPolicy::Never,
             RegroupPolicy::EveryEpoch,
             RegroupPolicy::StalenessThreshold(0.0),
+            RegroupPolicy::Repair,
         ] {
-            let outcome = outcome_under(policy, &zero);
+            let (outcome, work) = run_under(policy, &zero);
             assert_eq!(outcome, ChurnOutcome::default(), "{policy:?}");
+            assert_eq!(work, RegroupWork::default(), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn repair_policy_serves_every_epoch_and_accounts_its_work() {
+        let (outcome, work) = run_under(RegroupPolicy::Repair, &churny(5));
+        let (every, _) = run_under(RegroupPolicy::EveryEpoch, &churny(5));
+        assert_eq!(outcome, every, "repair decides exactly like EveryEpoch");
+        // DR-SC plans are repairable, and 5 churned epochs patch real
+        // arrivals: the repair economics must show up in the totals.
+        assert!(work.cover_cost_initial > 0.0, "{work:?}");
+        assert!(work.cover_cost_final > 0.0, "{work:?}");
+        assert!(
+            work.improve_moves + work.improve_budget > 0.0,
+            "churned epochs must attach or re-plan arrivals: {work:?}"
+        );
     }
 
     #[test]
@@ -355,6 +454,7 @@ mod tests {
     fn regroup_threshold_validation() {
         assert!(RegroupPolicy::Never.validate().is_ok());
         assert!(RegroupPolicy::EveryEpoch.validate().is_ok());
+        assert!(RegroupPolicy::Repair.validate().is_ok());
         assert!(RegroupPolicy::StalenessThreshold(0.5).validate().is_ok());
         for bad in [-0.1, 1.5, f64::NAN] {
             assert!(

@@ -33,11 +33,13 @@ use core::fmt;
 
 use nbiot_des::{RunningStats, SeedSequence, Summary};
 use nbiot_energy::PowerProfile;
-use nbiot_grouping::{GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, Unicast};
+use nbiot_grouping::{
+    GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, MulticastPlan, Unicast,
+};
 use nbiot_traffic::{ChurnModel, TrafficMix};
 use rand::rngs::StdRng;
 
-use crate::churn::{self, ChurnTimeline, RegroupPolicy};
+use crate::churn::{self, ChurnTimeline, RegroupPolicy, RegroupWork};
 use crate::{engine, CampaignResult, SimConfig, SimError};
 
 /// Configuration of one experiment (one point of a figure).
@@ -111,6 +113,19 @@ pub struct MechanismSummary {
     /// (re-planned epochs contribute zero misses to the numerator but
     /// still count in the denominator; zero for static scenarios).
     pub stale_miss_ratio: Summary,
+    /// Summed pre-improvement plan cost (transmissions before the tabu
+    /// pass, or before a churn repair) across the run's planning work:
+    /// the epoch-0 plan plus every regroup-epoch plan. Zero for plans
+    /// without an improvement record (plain greedy, baselines).
+    pub cover_cost_initial: Summary,
+    /// Summed post-improvement plan cost over the same planning work —
+    /// `cover_cost_initial − cover_cost_final` is the run's improvement.
+    pub cover_cost_final: Summary,
+    /// Summed accepted tabu moves / repair-attached arrivals per run.
+    pub improve_moves: Summary,
+    /// Summed spent tabu iteration budget / repair-replanned leftovers
+    /// per run (the anytime knob actually consumed, not the cap).
+    pub improve_budget: Summary,
 }
 
 /// The result of comparing several mechanisms under one configuration.
@@ -181,6 +196,15 @@ pub struct MechRun {
     /// Stale-missed device-epochs over all post-epoch-0 device-epochs of
     /// the run (zero when the scenario declares no churn).
     pub stale_miss_ratio: f64,
+    /// Summed pre-improvement plan cost across the run's planning work
+    /// (epoch-0 plan + regroup-epoch plans; zero without improvement).
+    pub cover_cost_initial: f64,
+    /// Summed post-improvement plan cost over the same planning work.
+    pub cover_cost_final: f64,
+    /// Summed accepted tabu moves / repair-attached arrivals.
+    pub improve_moves: f64,
+    /// Summed spent tabu iteration budget / repair-replanned leftovers.
+    pub improve_budget: f64,
     /// Whether the executed plan was standards-compliant.
     pub compliant: bool,
 }
@@ -316,18 +340,21 @@ pub(crate) struct GridSpec<'a> {
 /// Plans once, then executes the plan under every payload variant with a
 /// cloned post-plan RNG — bit-identical to planning from scratch per
 /// variant, since planning is deterministic in (input, RNG stream).
+/// Returns the plan too: churn repair patches it, and its improvement
+/// record feeds the `cover_cost_*`/`improve_*` metrics.
 fn execute_per_payload(
     mechanism: &dyn GroupingMechanism,
     input: &GroupingInput,
     sims: &[SimConfig],
     rng: &mut StdRng,
-) -> Result<Vec<CampaignResult>, SimError> {
+) -> Result<(MulticastPlan, Vec<CampaignResult>), SimError> {
     let plan = mechanism.plan(input, rng)?;
     plan.validate(input)?;
-    Ok(sims
+    let results = sims
         .iter()
         .map(|sim| engine::execute(input, &plan, sim, &mut rng.clone()))
-        .collect())
+        .collect();
+    Ok((plan, results))
 }
 
 /// One (device point × run) work item: fresh population and grouping
@@ -361,12 +388,13 @@ fn grid_item(
     let mut rows: Vec<Vec<MechRun>> = (0..spec.sims.len())
         .map(|_| Vec::with_capacity(spec.kinds.len()))
         .collect();
+    let mut plans: Vec<MulticastPlan> = Vec::with_capacity(spec.kinds.len());
     for (i, (kind, mechanism)) in spec.kinds.iter().zip(mechanisms).enumerate() {
-        let results = match &baselines {
+        let (plan, results) = match &baselines {
             // The baseline already executed unicast on this population;
             // reuse it (and leave the mechanism's RNG stream untouched,
             // matching what a dedicated unicast row would observe).
-            Some(base) if *kind == MechanismKind::Unicast => base.clone(),
+            Some((bplan, base)) if *kind == MechanismKind::Unicast => (bplan.clone(), base.clone()),
             _ => execute_per_payload(
                 mechanism.as_ref(),
                 &input,
@@ -374,8 +402,12 @@ fn grid_item(
                 &mut run_seq.rng(2 + i as u64),
             )?,
         };
+        // The plan (and hence its improvement record) is shared by every
+        // payload variant.
+        let mut work = RegroupWork::default();
+        work.absorb(&plan);
         for (p, result) in results.iter().enumerate() {
-            let baseline = baselines.as_ref().map_or(result, |b| &b[p]);
+            let baseline = baselines.as_ref().map_or(result, |(_, b)| &b[p]);
             let rel = result.mean_relative_vs(baseline);
             rows[p].push(MechRun {
                 rel_light_sleep: rel.light_sleep,
@@ -388,9 +420,14 @@ fn grid_item(
                 late_joins: result.late_joins as f64,
                 regroups: 0.0,
                 stale_miss_ratio: 0.0,
+                cover_cost_initial: work.cover_cost_initial,
+                cover_cost_final: work.cover_cost_final,
+                improve_moves: work.improve_moves,
+                improve_budget: work.improve_budget,
                 compliant: result.standards_compliant,
             });
         }
+        plans.push(plan);
     }
     if let Some(model) = spec.churn.filter(|m| !m.is_static()) {
         let timeline = ChurnTimeline::evolve(model, spec.mix, &population, &run_seq)?;
@@ -398,18 +435,26 @@ fn grid_item(
         // by every mechanism; only the re-planning work is per-mechanism.
         let trajectory = churn::plan_trajectory(&timeline, spec.regroup, &population);
         for (i, mechanism) in mechanisms.iter().enumerate() {
-            churn::replan_mechanism(
+            let work = churn::replan_mechanism(
                 &timeline,
                 &trajectory,
                 spec.grouping,
-                i,
-                mechanism.as_ref(),
+                &churn::ReplanTarget {
+                    index: i,
+                    mechanism: mechanism.as_ref(),
+                    epoch0_plan: &plans[i],
+                },
                 &run_seq,
+                spec.regroup,
             )?;
             // The outcome is payload-independent, like the plan itself.
             for payload_rows in &mut rows {
                 payload_rows[i].regroups = trajectory.outcome.regroups;
                 payload_rows[i].stale_miss_ratio = trajectory.outcome.stale_miss_ratio;
+                payload_rows[i].cover_cost_initial += work.cover_cost_initial;
+                payload_rows[i].cover_cost_final += work.cover_cost_final;
+                payload_rows[i].improve_moves += work.improve_moves;
+                payload_rows[i].improve_budget += work.improve_budget;
             }
         }
     }
@@ -560,6 +605,10 @@ struct MechStats {
     late_joins: RunningStats,
     regroup_count: RunningStats,
     stale_miss_ratio: RunningStats,
+    cover_cost_initial: RunningStats,
+    cover_cost_final: RunningStats,
+    improve_moves: RunningStats,
+    improve_budget: RunningStats,
     compliant: bool,
 }
 
@@ -577,6 +626,10 @@ impl MechStats {
         self.late_joins.push(row.late_joins);
         self.regroup_count.push(row.regroups);
         self.stale_miss_ratio.push(row.stale_miss_ratio);
+        self.cover_cost_initial.push(row.cover_cost_initial);
+        self.cover_cost_final.push(row.cover_cost_final);
+        self.improve_moves.push(row.improve_moves);
+        self.improve_budget.push(row.improve_budget);
         self.compliant &= row.compliant;
     }
 
@@ -595,6 +648,10 @@ impl MechStats {
             late_joins: self.late_joins.summary(),
             regroup_count: self.regroup_count.summary(),
             stale_miss_ratio: self.stale_miss_ratio.summary(),
+            cover_cost_initial: self.cover_cost_initial.summary(),
+            cover_cost_final: self.cover_cost_final.summary(),
+            improve_moves: self.improve_moves.summary(),
+            improve_budget: self.improve_budget.summary(),
         }
     }
 }
@@ -613,6 +670,10 @@ impl Default for MechStats {
             late_joins: RunningStats::new(),
             regroup_count: RunningStats::new(),
             stale_miss_ratio: RunningStats::new(),
+            cover_cost_initial: RunningStats::new(),
+            cover_cost_final: RunningStats::new(),
+            improve_moves: RunningStats::new(),
+            improve_budget: RunningStats::new(),
             compliant: true,
         }
     }

@@ -91,7 +91,7 @@ impl Default for Scenario {
 impl Scenario {
     /// Names of the registered built-in scenarios, resolvable by
     /// [`Scenario::builtin`] (and the `figures` binary's `--scenario`).
-    pub const REGISTRY: [&'static str; 11] = [
+    pub const REGISTRY: [&'static str; 13] = [
         "fig6a",
         "fig6b",
         "fig7",
@@ -103,6 +103,8 @@ impl Scenario {
         "short-drx",
         "mobility-churn",
         "handover-storm",
+        "planning-pareto",
+        "churn-repair",
     ];
 
     /// Resolves a registered built-in scenario by name.
@@ -253,6 +255,49 @@ impl Scenario {
                     ra_contenders: 30,
                     ..SimConfig::default()
                 },
+                ..Scenario::default()
+            },
+            // Plan quality vs. planning budget: plain greedy against the
+            // anytime tabu pass at a budget sweep, no baseline (the Pareto
+            // axes are transmissions and improve_budget). Budget 0 is the
+            // bit-identity anchor — it must reproduce greedy exactly.
+            "planning-pareto" => Scenario {
+                name: "planning-pareto".into(),
+                description: "cover cost vs anytime tabu budget (Pareto front over budgets)".into(),
+                mechanisms: vec![
+                    MechanismKind::DrSc,
+                    MechanismKind::DrScTabu(0),
+                    MechanismKind::DrScTabu(16),
+                    MechanismKind::DrScTabu(64),
+                    MechanismKind::DrScTabu(256),
+                ],
+                runs: 25,
+                baseline: false,
+                ..Scenario::default()
+            },
+            // LNS repair under churn: same drifting fleet as
+            // mobility-churn, but stale plans are patched instead of
+            // re-planned. DA-SC exercises the non-repairable fallback
+            // (adaptation plans always re-plan fully).
+            "churn-repair" => Scenario {
+                name: "churn-repair".into(),
+                description: "evolving fleet with LNS plan repair instead of full re-planning"
+                    .into(),
+                mix: TrafficMix::mobility_churn(),
+                devices: vec![200, 500],
+                mechanisms: vec![
+                    MechanismKind::DrSc,
+                    MechanismKind::DrScTabu(64),
+                    MechanismKind::DaSc,
+                ],
+                runs: 50,
+                churn: Some(ChurnModel {
+                    epochs: 6,
+                    departure_rate: 0.05,
+                    arrival_rate: 0.05,
+                    handover_rate: 0.08,
+                }),
+                regroup: RegroupPolicy::Repair,
                 ..Scenario::default()
             },
             _ => return None,

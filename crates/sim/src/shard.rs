@@ -28,8 +28,12 @@ use crate::{Scenario, ScenarioResult, SimError};
 /// churn fields: `MechRun::{regroups, stale_miss_ratio}` and the
 /// scenario's `churn`/`regroup` configuration. Version 3 added per-record
 /// integrity checksums ([`ArchiveItem::checksum`]) and the optional
-/// partial-merge [`ScenarioArchive::coverage`] annotation.
-pub const ARCHIVE_SCHEMA_VERSION: u32 = 3;
+/// partial-merge [`ScenarioArchive::coverage`] annotation. Version 4
+/// added the plan-improvement economics:
+/// `MechRun::{cover_cost_initial, cover_cost_final, improve_moves,
+/// improve_budget}` and the `DR-SC-tabu(N)` mechanism / `Repair` regroup
+/// policy they measure.
+pub const ARCHIVE_SCHEMA_VERSION: u32 = 4;
 
 /// A deterministic partition of the (sweep point × run) item pool:
 /// shard `index` of `count` owns every item with `item % count == index`
