@@ -27,6 +27,11 @@
 #   anytime-smoke  tabu-budget sweep (planning-pareto): threads {1,8}
 #                  bit-identity, cover cost monotone non-increasing in
 #                  budget, zero-tolerance diff vs golden/anytime_smoke.json
+#   service-smoke  groupingd event-log replay: JSONL serve transcript
+#                  diffed against golden/service_smoke.json at zero
+#                  tolerance, a snapshot -> restore -> continue leg that
+#                  must reproduce the transcript tail, and a --threads 8
+#                  bit-identity leg
 #   bench-gate     bench_report --compare against BENCH_baseline.json
 #   massive-smoke  scale tier: reduced 10^5-device massive-n point diffed
 #                  against golden/massive_smoke.json at zero tolerance
@@ -47,7 +52,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke anytime-smoke bench-gate massive-smoke)
+STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke anytime-smoke service-smoke bench-gate massive-smoke)
 
 ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
 if [[ -z "$ARTIFACT_DIR" ]]; then
@@ -100,7 +105,7 @@ stage_docs() {
         > "$cmds"
     local bin help flags flag
     for bin in figures fig6a fig6b fig7 all_figures ablations calibrate \
-               bench_report scenario_merge scenario_diff scenario_run; do
+               bench_report scenario_merge scenario_diff scenario_run groupingd; do
         grep -Eq -- "--bin $bin( |\$)" "$cmds" || continue
         help="$(cargo run --release -q -p nbiot-bench --bin "$bin" -- --help 2>&1 || true)"
         # A binary may appear with no flags at all (grep then exits 1
@@ -286,6 +291,48 @@ stage_anytime_smoke() {
     echo "anytime smoke OK (fresh sweep bit-identical to golden/anytime_smoke.json)"
 }
 
+stage_service_smoke() {
+    echo "==> service smoke: groupingd replay vs golden transcript (zero tolerance)"
+    # The committed golden locks the exact JSONL serve transcript of the
+    # smoke event log (one line per served campaign plus the summary
+    # line) under the repair policy. Any change to the service engine,
+    # repair kernels, or RNG serve streams fails here until the golden is
+    # regenerated deliberately:
+    #   cargo run --release -q -p nbiot-bench --bin groupingd -- --synth \
+    #       --mix mobility-churn --devices 80 --epochs 6 --mechanism dr-sc \
+    #       --seed 42 --emit-events "$SCRATCH/service_events.json"
+    #   cargo run --release -q -p nbiot-bench --bin groupingd -- \
+    #       --events "$SCRATCH/service_events.json" --policy repair \
+    #       --seed 42 > golden/service_smoke.json
+    local d=(cargo run --release -q -p nbiot-bench --bin groupingd --)
+    local events="$SCRATCH/service_events.json"
+    "${d[@]}" --synth --mix mobility-churn --devices 80 --epochs 6 \
+        --mechanism dr-sc --seed 42 --emit-events "$events" 2> /dev/null
+    "${d[@]}" --events "$events" --policy repair --seed 42 > "$SCRATCH/service_full.jsonl"
+    diff -u golden/service_smoke.json "$SCRATCH/service_full.jsonl"
+    echo "service smoke leg 1 OK (replay bit-identical to golden/service_smoke.json)"
+
+    # Leg 2: snapshot -> restore -> continue. A checkpoint written ~60%
+    # through the log must resume into exactly the tail of the
+    # uninterrupted transcript (the replay-equivalence contract).
+    local records every
+    records="$(grep -c '"epoch"' "$events")"
+    every=$(( records * 3 / 5 ))
+    "${d[@]}" --events "$events" --policy repair --seed 42 \
+        --snapshot-every "$every" --snapshot-out "$SCRATCH/service_snap.json" > /dev/null
+    "${d[@]}" --events "$events" --policy repair --seed 42 \
+        --restore "$SCRATCH/service_snap.json" > "$SCRATCH/service_resumed.jsonl"
+    tail -n "$(wc -l < "$SCRATCH/service_resumed.jsonl")" "$SCRATCH/service_full.jsonl" \
+        | diff -u - "$SCRATCH/service_resumed.jsonl"
+    echo "service smoke leg 2 OK (restore-midway transcript matches the uninterrupted tail)"
+
+    # Leg 3: the configured thread count never changes the transcript.
+    "${d[@]}" --events "$events" --policy repair --seed 42 --threads 8 \
+        > "$SCRATCH/service_t8.jsonl"
+    diff -u "$SCRATCH/service_full.jsonl" "$SCRATCH/service_t8.jsonl"
+    echo "service smoke OK (all three legs)"
+}
+
 stage_nightly() {
     echo "==> nightly: full paper-suite vs committed golden (summary-level, zero tolerance)"
     # The schedule-triggered full-suite gate: the complete paper-suite
@@ -433,6 +480,7 @@ run_stage() {
         golden)        stage_golden ;;
         fault-smoke)   stage_fault_smoke ;;
         anytime-smoke) stage_anytime_smoke ;;
+        service-smoke) stage_service_smoke ;;
         bench-gate)    stage_bench_gate ;;
         massive-smoke) stage_massive_smoke ;;
         nightly)       stage_nightly ;;
@@ -453,7 +501,7 @@ case "${1:-}" in
         printf '%s\n' "${STAGES[@]}"
         ;;
     --help|-h)
-        sed -n '2,46p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,51p' "$0" | sed 's/^# \{0,1\}//'
         ;;
     "")
         for stage in "${STAGES[@]}"; do

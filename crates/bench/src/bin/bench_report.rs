@@ -76,8 +76,10 @@ use nbiot_grouping::set_cover::{self, reference, WindowCover};
 use nbiot_grouping::{
     improve, repair_plan, GroupingInput, GroupingParams, MechanismKind, MulticastPlan,
 };
+use nbiot_service::{EventLog, GroupingService, ServeAction, ServiceConfig};
 use nbiot_sim::{
-    run_campaign, run_comparison, run_scenario, ExperimentConfig, Scenario, SimConfig,
+    run_campaign, run_comparison, run_scenario, ExperimentConfig, RegroupPolicy, Scenario,
+    SimConfig,
 };
 use nbiot_time::SimDuration;
 use serde_json::{json, Value};
@@ -611,6 +613,82 @@ fn main() {
         }),
     ));
 
+    // ---- Stage 3b3: sustained-load service replay — the `groupingd`
+    // engine end to end. One churned event log (fleet events + a
+    // campaign request per epoch) is replayed through `GroupingService`
+    // twice: under the `repair` policy (LNS patches through the
+    // persistent arena) and under `every-epoch` full re-planning. The
+    // ratio is the online price of `RegroupPolicy::Repair` including
+    // all engine bookkeeping, not just the kernel race of Stage 3b2.
+    let service_devices = 1_000usize;
+    let service_model = nbiot_traffic::ChurnModel {
+        epochs: 8,
+        departure_rate: 0.05,
+        arrival_rate: 0.05,
+        handover_rate: 0.10,
+    };
+    let service_log = EventLog::synthesize(
+        &nbiot_traffic::TrafficMix::mobility_churn(),
+        service_devices,
+        &service_model,
+        "dr-sc",
+        opts.seed,
+    )
+    .expect("event log");
+    let service_cfg = |policy| ServiceConfig {
+        policy,
+        seed: opts.seed,
+        threads: 1,
+        ..ServiceConfig::default()
+    };
+    let (repair_serves, service_repair_ms) = timed_min(3, || {
+        let mut svc = GroupingService::new(service_cfg(RegroupPolicy::Repair), &service_log)
+            .expect("service");
+        svc.replay(&service_log).expect("replay")
+    });
+    let (full_serves, service_full_ms) = timed_min(3, || {
+        let mut svc = GroupingService::new(service_cfg(RegroupPolicy::EveryEpoch), &service_log)
+            .expect("service");
+        svc.replay(&service_log).expect("replay")
+    });
+    assert_eq!(
+        repair_serves.len(),
+        full_serves.len(),
+        "both policies must serve every campaign request"
+    );
+    let repair_share = repair_serves
+        .iter()
+        .filter(|s| s.action == ServeAction::Repair)
+        .count() as f64
+        / repair_serves.len().max(1) as f64;
+    let max_stale_fraction = repair_serves
+        .iter()
+        .map(|s| s.stale_fraction)
+        .fold(0.0f64, f64::max);
+    let service_replay_repair_speedup = service_full_ms / service_repair_ms;
+    stages.push(stage(
+        "service_replay_repair",
+        service_repair_ms,
+        json!({
+            "devices": service_devices,
+            "records": service_log.records.len(),
+            "serves": repair_serves.len(),
+            "repair_share": repair_share,
+            "max_stale_fraction": max_stale_fraction,
+            "serves_per_sec": repair_serves.len() as f64 / (service_repair_ms / 1000.0),
+        }),
+    ));
+    stages.push(stage(
+        "service_replay_full",
+        service_full_ms,
+        json!({
+            "devices": service_devices,
+            "records": service_log.records.len(),
+            "serves": full_serves.len(),
+            "serves_per_sec": full_serves.len() as f64 / (service_full_ms / 1000.0),
+        }),
+    ));
+
     // ---- Stage 3c: the massive-n scale tier — the 10^5-10^6-device
     // frame-cover point (post-dense-filter shape, so entries scale with
     // the event count). Single measurement per stage: at this scale a run
@@ -979,6 +1057,7 @@ fn main() {
             "regroup_churn_speedup": regroup_churn_speedup,
             "tabu_cover_gain": tabu_cover_gain,
             "repair_vs_full_replan_speedup": repair_vs_full_replan_speedup,
+            "service_replay_repair_speedup": service_replay_repair_speedup,
             "window_cover_speedup": window_cover_speedup,
             "window_cover_incremental_speedup": window_cover_incremental_speedup,
             "comparison_parallel_speedup": serial_ms / parallel_ms,
@@ -1000,7 +1079,8 @@ fn main() {
          {set_cover_massive_speedup:.2}x at {massive_devices} devices, \
          {regroup_churn_speedup:.2}x on the churned re-grouping sequence), \
          tabu cover gain {tabu_cover_gain:.3}x at budget {tabu_budget}, \
-         churn repair {repair_vs_full_replan_speedup:.2}x over full re-planning, \
+         churn repair {repair_vs_full_replan_speedup:.2}x over full re-planning \
+         (service replay {service_replay_repair_speedup:.2}x), \
          index build parallel speedup {index_build_parallel_speedup:.2}x \
          (warm-arena gain {index_build_warm_gain:.2}x), \
          window-cover speedup {window_cover_speedup:.2}x \

@@ -289,3 +289,121 @@ fn strict_merge_names_missing_shards_and_partial_degrades() {
     assert_error_line(&refold, "scenario_diff", 1, "degraded");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+// ---- groupingd ----
+
+/// A small synthesized event log shared by the groupingd legs.
+fn groupingd_fixture() -> &'static (PathBuf, PathBuf) {
+    static FIXTURE: OnceLock<(PathBuf, PathBuf)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = scratch("groupingd_fixture");
+        let events = dir.join("events.json");
+        let snapshot = dir.join("snapshot.json");
+        let synth = run(
+            env!("CARGO_BIN_EXE_groupingd"),
+            &[
+                "--synth",
+                "--devices",
+                "30",
+                "--epochs",
+                "2",
+                "--seed",
+                "5",
+                "--emit-events",
+                events.to_str().unwrap(),
+            ],
+        );
+        assert!(synth.status.success(), "synth: {}", stderr(&synth));
+        let replay = run(
+            env!("CARGO_BIN_EXE_groupingd"),
+            &[
+                "--events",
+                events.to_str().unwrap(),
+                "--seed",
+                "5",
+                "--snapshot-every",
+                "20",
+                "--snapshot-out",
+                snapshot.to_str().unwrap(),
+            ],
+        );
+        assert!(replay.status.success(), "replay: {}", stderr(&replay));
+        (events, snapshot)
+    })
+}
+
+#[test]
+fn groupingd_requires_an_event_log() {
+    let out = run(env!("CARGO_BIN_EXE_groupingd"), &[]);
+    assert_error_line(&out, "groupingd", 2, "--events");
+}
+
+#[test]
+fn groupingd_rejects_unknown_policies_with_a_usage_error() {
+    let (events, _) = groupingd_fixture();
+    let out = run(
+        env!("CARGO_BIN_EXE_groupingd"),
+        &[
+            "--events",
+            events.to_str().unwrap(),
+            "--policy",
+            "sometimes",
+        ],
+    );
+    assert_error_line(&out, "groupingd", 2, "sometimes");
+}
+
+#[test]
+fn groupingd_reports_truncated_event_logs_as_data_errors() {
+    let (events, _) = groupingd_fixture();
+    let dir = scratch("truncated_log");
+    let truncated = dir.join("truncated.json");
+    let text = std::fs::read_to_string(events).unwrap();
+    std::fs::write(&truncated, &text[..text.len() / 2]).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_groupingd"),
+        &["--events", truncated.to_str().unwrap()],
+    );
+    assert_error_line(&out, "groupingd", 1, "corrupt event log");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn groupingd_rejects_foreign_fingerprint_snapshots() {
+    let (events, snapshot) = groupingd_fixture();
+    // The snapshot was taken under --seed 5; restoring under a different
+    // seed is a different service identity.
+    let out = run(
+        env!("CARGO_BIN_EXE_groupingd"),
+        &[
+            "--events",
+            events.to_str().unwrap(),
+            "--seed",
+            "6",
+            "--restore",
+            snapshot.to_str().unwrap(),
+        ],
+    );
+    assert_error_line(&out, "groupingd", 1, "fingerprint");
+}
+
+#[test]
+fn groupingd_names_foreign_snapshot_schema_versions() {
+    let (events, _) = groupingd_fixture();
+    let dir = scratch("snapshot_schema");
+    let future = dir.join("future.json");
+    std::fs::write(&future, r#"{ "schema_version": 99 }"#).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_groupingd"),
+        &[
+            "--events",
+            events.to_str().unwrap(),
+            "--seed",
+            "5",
+            "--restore",
+            future.to_str().unwrap(),
+        ],
+    );
+    assert_error_line(&out, "groupingd", 1, "reads version 1");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,7 +9,9 @@
 //! shifted baseline.
 
 use nbiot_bench::workload;
+use nbiot_des::SeedSequence;
 use nbiot_grouping::set_cover::{greedy_set_cover, greedy_set_cover_bitset, reference};
+use nbiot_grouping::{repair_plan, GroupingInput, GroupingParams, MechanismKind};
 
 /// The default `FigureOpts::seed` used by `bench_report` and the figure
 /// binaries.
@@ -40,6 +42,77 @@ fn frame_cover_1000_pick_sequence_is_pinned() {
         fnv1a_picks(&picks),
         0xb4e7_b6f5_4665_d2cb,
         "full pick sequence moved"
+    );
+}
+
+#[test]
+fn bench_repair_chain_is_pinned() {
+    // The exact geometry of bench_report's Stage 3b2 (`replan_churn_*`):
+    // a 2000-device mobility-churn fleet evolved for 6 epochs at
+    // departure/arrival/handover rates 0.05/0.05/0.08, with the repair
+    // chain patching the epoch-0 DR-SC plan epoch by epoch. Pinning the
+    // per-epoch transmission counts and plan digests means any change to
+    // the LNS repair semantics — removal selection, re-insertion order,
+    // slot reuse — fails here instead of silently re-baselining the
+    // `repair_vs_full_replan_speedup` number.
+    let params = GroupingParams::default();
+    let model = nbiot_traffic::ChurnModel {
+        epochs: 6,
+        departure_rate: 0.05,
+        arrival_rate: 0.05,
+        handover_rate: 0.08,
+    };
+    let mix = nbiot_traffic::TrafficMix::mobility_churn();
+    let seq = SeedSequence::new(BENCH_SEED).child(4_000);
+    let pop0 = mix.generate(2_000, &mut seq.rng(0)).expect("population");
+    let input0 = GroupingInput::from_population(&pop0, params).expect("input");
+    let plan0 = MechanismKind::DrSc
+        .instantiate()
+        .plan(&input0, &mut seq.rng(100))
+        .expect("plan");
+
+    let mut prev = pop0;
+    let mut next_id = 2_000u32;
+    let mut current = plan0;
+    let mut transmissions = Vec::new();
+    let mut digests = Vec::new();
+    for epoch in 0..model.epochs {
+        let (pop, _) = model
+            .step(
+                &mix,
+                &prev,
+                2_000,
+                &mut next_id,
+                &mut seq.rng(1 + epoch as u64),
+            )
+            .expect("churn step");
+        let input = GroupingInput::from_population(&pop, params).expect("input");
+        current = repair_plan(&current, &input)
+            .expect("DR-SC plans are repairable")
+            .expect("repair");
+        current.validate(&input).expect("repaired plan is feasible");
+        transmissions.push(current.transmission_count());
+        digests.push(nbiot_sim::value_digest(&serde::Serialize::to_value(
+            &current,
+        )));
+        prev = pop;
+    }
+    assert_eq!(
+        transmissions,
+        vec![249, 250, 263, 273, 278, 287],
+        "repair-chain transmission counts moved"
+    );
+    assert_eq!(
+        digests,
+        vec![
+            0x92e3_c078_0401_8109,
+            0xcf76_ecc4_7df7_393b,
+            0x6fb7_f942_7638_d6f8,
+            0x4a4d_c4a1_cd3d_f0d9,
+            0x6016_96c1_894f_8f94,
+            0xf78e_cf75_effc_23cf,
+        ],
+        "repair-chain plan digests moved"
     );
 }
 

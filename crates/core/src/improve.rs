@@ -27,8 +27,39 @@
 //! returns the input picks byte-for-byte (locked by proptest), which is
 //! what makes `DR-SC-tabu(0)` bit-identical to plain DR-SC.
 
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+
+/// The anytime knob: how much work one improvement run may spend.
+///
+/// [`Budget::Iterations`] is the deterministic mode every golden and
+/// bit-identity contract uses. [`Budget::WallClock`] trades that away for
+/// a real-time bound: the search runs destroy-and-repair iterations until
+/// the deadline passes, so the iteration count — and therefore the result
+/// — depends on the host's speed and load. **Wall-clock runs are
+/// non-deterministic by design and must never feed goldens, archives or
+/// regression baselines**; they exist for interactive/service callers
+/// that want "the best plan you can find in 50 ms".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Budget {
+    /// A fixed number of destroy-and-repair iterations. `Iterations(0)`
+    /// returns the initial solution byte-for-byte; results are
+    /// bit-identical across hosts, threads and repeated runs.
+    Iterations(u32),
+    /// Iterate until this many milliseconds of wall-clock time have
+    /// elapsed (checked before each iteration; `WallClock(0)` returns the
+    /// initial solution). Non-deterministic — see the type docs.
+    WallClock(u64),
+}
+
+impl Budget {
+    /// Whether this budget allows no work at all (the identity run).
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Budget::Iterations(0) | Budget::WallClock(0))
+    }
+}
 
 /// How many iterations a removed set stays tabu.
 ///
@@ -77,6 +108,32 @@ pub fn improve_cover(
     budget: u32,
     seed: u64,
 ) -> (Vec<usize>, ImprovementStats) {
+    improve_cover_with(
+        universe_size,
+        sets,
+        initial,
+        Budget::Iterations(budget),
+        seed,
+    )
+}
+
+/// [`improve_cover`] with an explicit [`Budget`] mode.
+///
+/// `Budget::Iterations(n)` is byte-identical to `improve_cover(..., n,
+/// ...)` (locked by unit test); `Budget::WallClock(ms)` runs until the
+/// deadline and is non-deterministic — see the [`Budget`] docs for what
+/// that excludes it from.
+///
+/// # Panics
+///
+/// Panics (debug builds) when `initial` does not cover the universe.
+pub fn improve_cover_with(
+    universe_size: usize,
+    sets: &[Vec<usize>],
+    initial: &[usize],
+    budget: Budget,
+    seed: u64,
+) -> (Vec<usize>, ImprovementStats) {
     let initial_cost = initial.len() as u32;
     let mut stats = ImprovementStats {
         initial_cost,
@@ -84,9 +141,17 @@ pub fn improve_cover(
         moves_accepted: 0,
         budget_spent: 0,
     };
-    if budget == 0 || initial.len() <= 1 || universe_size == 0 {
+    if budget.is_zero() || initial.len() <= 1 || universe_size == 0 {
         return (initial.to_vec(), stats);
     }
+    let iter_limit = match budget {
+        Budget::Iterations(n) => n,
+        Budget::WallClock(_) => u32::MAX,
+    };
+    let deadline = match budget {
+        Budget::Iterations(_) => None,
+        Budget::WallClock(ms) => Some(Instant::now() + Duration::from_millis(ms)),
+    };
 
     // Normalize away duplicate elements within a set: the solution state
     // below counts cover *multiplicity*, and a set listing an element
@@ -152,7 +217,16 @@ pub fn improve_cover(
     let mut pass = 0u32;
     let mut rng = StdRng::seed_from_u64(seed);
 
-    for iter in 0..budget {
+    // The loop over `iter` is shaped exactly like the historical
+    // `for iter in 0..budget`: iteration mode must replay it
+    // byte-for-byte, wall-clock mode merely adds the deadline check
+    // before each iteration.
+    for iter in 0..iter_limit {
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
         stats.budget_spent = iter + 1;
         // Destroy: seeded victim choice among current picks.
         let victim_pos = (rng.next_u64() % picks.len() as u64) as usize;
@@ -360,5 +434,46 @@ mod tests {
         let (picks, stats) = improve_cover(2, &sets, &[0], 16, 1);
         assert_eq!(picks, vec![0]);
         assert_eq!(stats.budget_spent, 0);
+    }
+
+    #[test]
+    fn iteration_budget_mode_is_byte_identical_to_the_plain_entry() {
+        let (n, sets, initial) = trap_instance();
+        for budget in [0u32, 1, 3, 8, 32, 64] {
+            for seed in [7u64, 42, 9] {
+                let plain = improve_cover(n, &sets, &initial, budget, seed);
+                let via_enum =
+                    improve_cover_with(n, &sets, &initial, Budget::Iterations(budget), seed);
+                assert_eq!(plain, via_enum, "budget {budget} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn wall_clock_zero_is_identity() {
+        let (n, sets, initial) = trap_instance();
+        let (picks, stats) = improve_cover_with(n, &sets, &initial, Budget::WallClock(0), 42);
+        assert_eq!(picks, initial);
+        assert_eq!(stats.budget_spent, 0);
+        assert!(Budget::WallClock(0).is_zero());
+        assert!(Budget::Iterations(0).is_zero());
+        assert!(!Budget::WallClock(1).is_zero());
+        assert!(!Budget::Iterations(1).is_zero());
+    }
+
+    #[test]
+    fn wall_clock_budget_keeps_feasibility_and_never_worsens() {
+        // Wall-clock results are host-dependent, so assert only the
+        // invariants: full coverage, final cost ≤ initial cost, and a
+        // consistent stats block.
+        let (n, sets, initial) = trap_instance();
+        let (picks, stats) = improve_cover_with(n, &sets, &initial, Budget::WallClock(20), 42);
+        assert!(covers(n, &sets, &picks));
+        assert!(stats.final_cost <= stats.initial_cost);
+        assert_eq!(picks.len() as u32, stats.final_cost);
+        assert!(
+            stats.budget_spent >= 1,
+            "20ms allows at least one iteration"
+        );
     }
 }

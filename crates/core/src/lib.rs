@@ -77,7 +77,7 @@ pub use da_sc::{AdaptationGrid, DaSc};
 pub use dr_sc::{DrSc, DrScTabu, DEFAULT_TABU_BUDGET};
 pub use dr_si::{DrSi, NotifyPolicy};
 pub use error::{GroupingError, PlanViolation};
-pub use improve::ImprovementStats;
+pub use improve::{Budget, ImprovementStats};
 pub use input::{GroupingInput, GroupingParams};
 pub use mechanism::{GroupingMechanism, MechanismKind};
 pub use plan::{
@@ -85,6 +85,6 @@ pub use plan::{
     PageDirective, Transmission,
 };
 pub use recommend::{recommend, Recommendation, SelectionPolicy};
-pub use repair::repair_plan;
+pub use repair::{repair_plan, repair_plan_with};
 pub use scptm::ScPtm;
 pub use unicast::Unicast;

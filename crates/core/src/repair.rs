@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use nbiot_time::{SimInstant, TimeWindow};
 
 use crate::improve::ImprovementStats;
-use crate::set_cover::WindowCover;
+use crate::set_cover::{KernelArena, WindowCover};
 use crate::{DevicePlan, GroupingError, GroupingInput, MulticastPlan, PageDirective, Transmission};
 
 /// Repairs `old` — a plan for an earlier fleet — into a valid plan for
@@ -56,6 +56,27 @@ pub fn repair_plan(
     old: &MulticastPlan,
     input: &GroupingInput,
 ) -> Option<Result<MulticastPlan, GroupingError>> {
+    crate::set_cover::DEFAULT_ARENA
+        .with(|arena| repair_plan_with(old, input, &mut arena.borrow_mut()))
+}
+
+/// [`repair_plan`] with caller-owned kernel scratch.
+///
+/// The leftover re-solve runs through [`WindowCover::solve_in`] on
+/// `arena`, so a long-lived caller (the grouping service patching plans
+/// request after request) reuses the solver buffers across repairs
+/// instead of re-allocating them. Output is **bit-identical** to
+/// [`repair_plan`], which itself delegates here through a thread-local
+/// arena.
+///
+/// # Errors
+///
+/// Same conditions as [`repair_plan`].
+pub fn repair_plan_with(
+    old: &MulticastPlan,
+    input: &GroupingInput,
+    arena: &mut KernelArena,
+) -> Option<Result<MulticastPlan, GroupingError>> {
     if old.control_monitoring.is_some() || !old.requires_connection || !old.standards_compliant {
         return None;
     }
@@ -66,12 +87,13 @@ pub fn repair_plan(
     {
         return None;
     }
-    Some(repair_page_connect(old, input))
+    Some(repair_page_connect(old, input, arena))
 }
 
 fn repair_page_connect(
     old: &MulticastPlan,
     input: &GroupingInput,
+    arena: &mut KernelArena,
 ) -> Result<MulticastPlan, GroupingError> {
     let params = input.params();
     let ti = params.ti.duration();
@@ -165,7 +187,7 @@ fn repair_page_connect(
             }
         }
         let slots = WindowCover::new(ti)
-            .solve(horizon.start(), &events, &dense)
+            .solve_in(horizon.start(), &events, &dense, arena)
             .ok_or_else(|| GroupingError::NoUsablePo {
                 device: leftover
                     .iter()
@@ -231,8 +253,8 @@ fn repair_page_connect(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DrSc, GroupingMechanism, GroupingParams, ScPtm};
-    use nbiot_traffic::TrafficMix;
+    use crate::{DaSc, DrSc, GroupingMechanism, GroupingParams, ScPtm};
+    use nbiot_traffic::{ChurnModel, Population, TrafficMix};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -240,6 +262,23 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let pop = TrafficMix::ericsson_city().generate(n, &mut rng).unwrap();
         GroupingInput::from_population(&pop, GroupingParams::default()).unwrap()
+    }
+
+    /// A (stale plan, churned input) pair: plan on the initial fleet,
+    /// evolve it one churn epoch, return the plan plus the input for the
+    /// evolved fleet and the churned population's size.
+    fn churned_pair(n: usize, seed: u64, model: ChurnModel) -> (MulticastPlan, GroupingInput) {
+        let mix = TrafficMix::mobility_churn();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = mix.generate(n, &mut rng).unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let plan = DrSc::new().plan(&input, &mut rng).unwrap();
+        let mut next_id = n as u32;
+        let (evolved, events): (Population, _) =
+            model.step(&mix, &pop, n, &mut next_id, &mut rng).unwrap();
+        assert!(!events.is_quiet(), "fixture must actually churn");
+        let churned = GroupingInput::from_population(&evolved, GroupingParams::default()).unwrap();
+        (plan, churned)
     }
 
     #[test]
@@ -264,5 +303,110 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let plan = ScPtm::default().plan(&input, &mut rng).unwrap();
         assert!(repair_plan(&plan, &input).is_none());
+    }
+
+    #[test]
+    fn adaptation_plans_are_not_repairable() {
+        // DA-SC device plans carry DRX adaptations; the repair only knows
+        // page-and-connect shapes, so it must decline and let the caller
+        // re-plan fully.
+        let input = input_for(30, 5);
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = DaSc::new().plan(&input, &mut rng).unwrap();
+        assert!(plan.device_plans.iter().any(|dp| dp.adaptation.is_some()));
+        assert!(repair_plan(&plan, &input).is_none());
+    }
+
+    #[test]
+    fn non_compliant_and_connectionless_shapes_are_not_repairable() {
+        let input = input_for(40, 6);
+        let mut rng = StdRng::seed_from_u64(6);
+        let plan = DrSc::new().plan(&input, &mut rng).unwrap();
+        let mut non_compliant = plan.clone();
+        non_compliant.standards_compliant = false;
+        assert!(repair_plan(&non_compliant, &input).is_none());
+        let mut connectionless = plan.clone();
+        connectionless.requires_connection = false;
+        assert!(repair_plan(&connectionless, &input).is_none());
+        let mut monitored = plan;
+        monitored.control_monitoring = Some(crate::ControlMonitoring {
+            period: nbiot_time::SimDuration::ZERO,
+            per_occasion: nbiot_time::SimDuration::ZERO,
+        });
+        assert!(repair_plan(&monitored, &input).is_none());
+    }
+
+    #[test]
+    fn churned_fleet_reattaches_arrivals_to_kept_windows() {
+        let model = ChurnModel {
+            epochs: 1,
+            departure_rate: 0.15,
+            arrival_rate: 0.2,
+            handover_rate: 0.1,
+        };
+        let (plan, churned) = churned_pair(300, 8, model);
+        let repaired = repair_plan(&plan, &churned).expect("repairable").unwrap();
+        repaired.validate(&churned).unwrap();
+        let stats = repaired.improvement.unwrap();
+        assert!(
+            stats.moves_accepted > 0,
+            "expected some arrivals to attach to kept windows: {stats:?}"
+        );
+        // Every kept transmission sits at one of the old plan's instants.
+        let old_instants: Vec<_> = plan.transmissions.iter().map(|tx| tx.at).collect();
+        let kept = repaired
+            .transmissions
+            .iter()
+            .filter(|tx| old_instants.contains(&tx.at))
+            .count();
+        assert!(kept > 0, "churn at these rates must keep some windows");
+        // Attached devices page inside the window of the serving
+        // transmission — the reattach invariant.
+        for dp in &repaired.device_plans {
+            let po = dp.page.expect("page-and-connect shape").po;
+            assert!(po < dp.receives_at);
+        }
+    }
+
+    #[test]
+    fn unreachable_arrivals_fall_through_to_fresh_windows() {
+        // Heavy departures destroy most windows, heavy arrivals then
+        // overflow what's left: some arrivals must take the leftover
+        // (fresh greedy solve) path rather than attach.
+        let model = ChurnModel {
+            epochs: 1,
+            departure_rate: 0.9,
+            arrival_rate: 0.8,
+            handover_rate: 0.0,
+        };
+        let (plan, churned) = churned_pair(200, 9, model);
+        let repaired = repair_plan(&plan, &churned).expect("repairable").unwrap();
+        repaired.validate(&churned).unwrap();
+        let stats = repaired.improvement.unwrap();
+        assert!(
+            stats.budget_spent > 0,
+            "expected leftover re-planned arrivals: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn caller_owned_arena_repair_is_bit_identical_across_reuse() {
+        // One arena serving repair after repair (the service's steady
+        // state) must reproduce the thread-local path bit-for-bit.
+        let mut arena = KernelArena::new();
+        for seed in [8u64, 9, 21] {
+            let model = ChurnModel {
+                epochs: 1,
+                departure_rate: 0.3,
+                arrival_rate: 0.4,
+                handover_rate: 0.1,
+            };
+            let (plan, churned) = churned_pair(150, seed, model);
+            let fresh = repair_plan(&plan, &churned).expect("repairable").unwrap();
+            let reused = repair_plan_with(&plan, &churned, &mut arena)
+                .expect("repairable")
+                .unwrap();
+            assert_eq!(fresh, reused, "seed {seed}");
+        }
     }
 }

@@ -158,6 +158,13 @@ pub struct KernelArena {
     last_touch: Vec<u32>,
     touched: Vec<u32>,
     heap: BinaryHeap<(u32, Reverse<u32>)>,
+    // Window-cover front-end scratch: the flat time-sorted event list and
+    // the per-device coverage flags behind [`WindowCover::solve_in`], so a
+    // long-lived caller (the grouping service's repair path) stops
+    // allocating them once the largest instance has been seen.
+    wc_flat: Vec<(SimInstant, usize)>,
+    wc_covered: Vec<bool>,
+    wc_count: Vec<u32>,
 }
 
 impl KernelArena {
@@ -487,10 +494,11 @@ fn build_index_into(
 }
 
 thread_local! {
-    /// The default arena behind [`greedy_set_cover`]: repeated solves on
-    /// one thread (a figure sweep, a churn campaign's re-plans) reuse
-    /// capacity without the caller holding an arena.
-    static DEFAULT_ARENA: RefCell<KernelArena> = RefCell::new(KernelArena::new());
+    /// The default arena behind [`greedy_set_cover`] (and
+    /// [`crate::repair_plan`]): repeated solves on one thread (a figure
+    /// sweep, a churn campaign's re-plans) reuse capacity without the
+    /// caller holding an arena.
+    pub(crate) static DEFAULT_ARENA: RefCell<KernelArena> = RefCell::new(KernelArena::new());
 }
 
 /// Greedy (Chvátal) set cover over explicit sets — the incremental-gain
@@ -716,17 +724,6 @@ enum Strategy {
     Incremental,
 }
 
-/// Reusable buffers for the sweep engine: sized once per call, reused
-/// across greedy rounds so the rounds allocate nothing.
-#[derive(Debug, Default)]
-struct SolveScratch {
-    /// Flat, time-sorted `(po, device)` events over uncovered sparse
-    /// devices; compacted in place as devices get covered.
-    flat: Vec<(SimInstant, usize)>,
-    /// Per-device occurrence count inside the sliding window.
-    count: Vec<u32>,
-}
-
 impl WindowCover {
     /// Creates a solver for windows of inactivity-timer length `ti`.
     pub fn new(ti: SimDuration) -> WindowCover {
@@ -762,7 +759,27 @@ impl WindowCover {
         events: &[Vec<SimInstant>],
         dense: &[bool],
     ) -> Option<Vec<CoverSlot>> {
-        self.solve_with(horizon_start, events, dense, Strategy::Auto)
+        self.solve_with(horizon_start, events, dense, Strategy::Auto, None)
+    }
+
+    /// [`WindowCover::solve`] with caller-owned scratch: the flat event
+    /// list, coverage flags and sweep counters live in `arena` and keep
+    /// their capacity across calls, so a long-lived caller (the grouping
+    /// service patching plans request after request) stops allocating the
+    /// front-end buffers once the largest fleet has been seen. Output is
+    /// **bit-identical** to [`WindowCover::solve`] (locked by unit test).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `events` and `dense` have different lengths.
+    pub fn solve_in(
+        &self,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+        arena: &mut KernelArena,
+    ) -> Option<Vec<CoverSlot>> {
+        self.solve_with(horizon_start, events, dense, Strategy::Auto, Some(arena))
     }
 
     /// [`WindowCover::solve`] forced onto the per-round two-pointer
@@ -779,7 +796,7 @@ impl WindowCover {
         events: &[Vec<SimInstant>],
         dense: &[bool],
     ) -> Option<Vec<CoverSlot>> {
-        self.solve_with(horizon_start, events, dense, Strategy::Sweep)
+        self.solve_with(horizon_start, events, dense, Strategy::Sweep, None)
     }
 
     /// [`WindowCover::solve`] forced onto the incremental-gain engine —
@@ -796,7 +813,7 @@ impl WindowCover {
         events: &[Vec<SimInstant>],
         dense: &[bool],
     ) -> Option<Vec<CoverSlot>> {
-        self.solve_with(horizon_start, events, dense, Strategy::Incremental)
+        self.solve_with(horizon_start, events, dense, Strategy::Incremental, None)
     }
 
     fn solve_with(
@@ -805,6 +822,7 @@ impl WindowCover {
         events: &[Vec<SimInstant>],
         dense: &[bool],
         strategy: Strategy,
+        arena: Option<&mut KernelArena>,
     ) -> Option<Vec<CoverSlot>> {
         assert_eq!(events.len(), dense.len(), "events/dense length mismatch");
         let n = events.len();
@@ -817,8 +835,20 @@ impl WindowCover {
             }
         }
 
+        // Front-end buffers: borrowed from the arena when the caller holds
+        // one, call-local otherwise. Both paths clear and refill, so the
+        // solve is bit-identical either way.
+        let mut local_flat: Vec<(SimInstant, usize)> = Vec::new();
+        let mut local_covered: Vec<bool> = Vec::new();
+        let mut local_count: Vec<u32> = Vec::new();
+        let (flat, covered, count) = match arena {
+            Some(a) => (&mut a.wc_flat, &mut a.wc_covered, &mut a.wc_count),
+            None => (&mut local_flat, &mut local_covered, &mut local_count),
+        };
+
         // Flat, time-sorted (po, device) list over sparse devices only.
-        let mut flat: Vec<(SimInstant, usize)> = Vec::with_capacity(
+        flat.clear();
+        flat.reserve(
             events
                 .iter()
                 .zip(dense)
@@ -834,7 +864,7 @@ impl WindowCover {
         flat.sort_unstable();
 
         let uncovered_sparse = dense.iter().filter(|&&d| !d).count();
-        let mut covered = vec![false; n];
+        reset(covered, n, false);
         let mut slots: Vec<CoverSlot> = if uncovered_sparse == 0 {
             Vec::new()
         } else {
@@ -843,16 +873,16 @@ impl WindowCover {
             // array, so compute it once and hand it down.
             let ends = match strategy {
                 Strategy::Sweep => None,
-                Strategy::Incremental => Some(self.window_ends(&flat)),
+                Strategy::Incremental => Some(self.window_ends(flat)),
                 Strategy::Auto => {
-                    let ends = self.window_ends(&flat);
+                    let ends = self.window_ends(flat);
                     self.incremental_pays_off(&ends, uncovered_sparse)
                         .then_some(ends)
                 }
             };
             match ends {
-                Some(ends) => self.rounds_incremental(&flat, ends, &mut covered, uncovered_sparse),
-                None => self.rounds_sweep(flat, &mut covered, uncovered_sparse),
+                Some(ends) => self.rounds_incremental(flat, ends, covered, uncovered_sparse),
+                None => self.rounds_sweep(flat, count, covered, uncovered_sparse),
             }
         };
 
@@ -1055,17 +1085,15 @@ impl WindowCover {
     /// round, spent events compacted away.
     fn rounds_sweep(
         &self,
-        flat: Vec<(SimInstant, usize)>,
+        flat: &mut Vec<(SimInstant, usize)>,
+        count: &mut Vec<u32>,
         covered: &mut [bool],
         mut uncovered_sparse: usize,
     ) -> Vec<CoverSlot> {
-        let mut scratch = SolveScratch {
-            flat,
-            count: vec![0; covered.len()],
-        };
+        reset(count, covered.len(), 0);
         let mut slots = Vec::new();
         while uncovered_sparse > 0 {
-            let slot = self.greedy_round(&mut scratch, covered);
+            let slot = self.greedy_round(flat, count, covered);
             uncovered_sparse -= slot.covered.len();
             slots.push(slot);
         }
@@ -1076,8 +1104,12 @@ impl WindowCover {
     /// events picks the best window anchor, then the newly covered devices
     /// are extracted and their events compacted away. Allocates only the
     /// returned slot's `covered` list.
-    fn greedy_round(&self, scratch: &mut SolveScratch, covered: &mut [bool]) -> CoverSlot {
-        let SolveScratch { flat, count } = scratch;
+    fn greedy_round(
+        &self,
+        flat: &mut Vec<(SimInstant, usize)>,
+        count: &mut [u32],
+        covered: &mut [bool],
+    ) -> CoverSlot {
         // The sweep below is self-cleaning: every event is counted once
         // when the right pointer passes it and discounted once when it
         // becomes the anchor, so `count` is all-zero between rounds.
@@ -1707,6 +1739,42 @@ mod tests {
             assert_eq!(
                 solver.solve(ms(0), &events, &dense),
                 oracle,
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_backed_solve_is_bit_identical_across_reuse() {
+        // One arena serving solve after solve (the grouping service's
+        // repair path) must reproduce the allocating entry point exactly,
+        // including across instances of different sizes so stale capacity
+        // can never leak into a later solve.
+        let mut arena = KernelArena::new();
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..30 {
+            let n = 1 + (next() % 40) as usize;
+            let ti = SimDuration::from_ms(50 + next() % 400);
+            let events: Vec<Vec<SimInstant>> = (0..n)
+                .map(|_| {
+                    let mut v: Vec<SimInstant> =
+                        (0..1 + next() % 4).map(|_| ms(next() % 4_000)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let dense: Vec<bool> = (0..n).map(|_| next() % 5 == 0).collect();
+            let solver = WindowCover::new(ti);
+            assert_eq!(
+                solver.solve_in(ms(0), &events, &dense, &mut arena),
+                solver.solve(ms(0), &events, &dense),
                 "trial {trial}"
             );
         }

@@ -1,0 +1,211 @@
+//! The replayable service input: epoch-stamped event logs.
+
+use nbiot_des::SeedSequence;
+use nbiot_grouping::MechanismKind;
+use nbiot_traffic::{ChurnModel, FleetEvent, TrafficMix};
+
+use crate::ServiceError;
+
+/// One thing the outside world tells the service.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ServiceEvent {
+    /// The fleet changed: a registration, departure or handover.
+    Fleet(FleetEvent),
+    /// A multicast campaign wants a plan for the current fleet, computed
+    /// by the named mechanism (any spelling
+    /// [`MechanismKind::by_name`] accepts).
+    CampaignRequest {
+        /// Requested mechanism name.
+        mechanism: String,
+    },
+    /// A snapshot point: the driver should persist the service state
+    /// here ([`GroupingService::snapshot`](crate::GroupingService::snapshot)).
+    /// The engine itself treats this as a no-op, so logs with and
+    /// without snapshot marks replay identically.
+    Snapshot,
+}
+
+/// One event with the campaign epoch it happened in.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventRecord {
+    /// Epoch stamp; must be monotone non-decreasing across a log.
+    pub epoch: u32,
+    /// The event itself.
+    pub event: ServiceEvent,
+}
+
+/// A replayable service run: the fleet's traffic-mix header plus the
+/// ordered event stream.
+///
+/// A log is the *complete* input of a service run — replaying the same
+/// log through [`GroupingService`](crate::GroupingService) with the same
+/// [`ServiceConfig`](crate::ServiceConfig) reproduces every fleet state
+/// and every served plan bit-identically, offline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EventLog {
+    /// Name of the traffic mix the fleet is drawn from.
+    pub mix_name: String,
+    /// Class-name table shared by every device of the fleet.
+    pub class_names: Vec<String>,
+    /// The ordered event stream.
+    pub records: Vec<EventRecord>,
+}
+
+impl EventLog {
+    /// Synthesizes a deterministic log from a churn process: epoch 0
+    /// registers `devices` freshly generated devices and requests one
+    /// campaign; each of the model's epochs then appends its recorded
+    /// fleet events ([`ChurnModel::step_recorded`]) followed by another
+    /// campaign request for `mechanism`.
+    ///
+    /// All randomness branches from `seed` via [`SeedSequence`] (stream 0
+    /// for the initial population, child 1 stream `epoch` for each churn
+    /// step), so the log is a pure function of its arguments.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownMechanism`] for an unrecognized mechanism
+    /// name, and generation/churn failures ([`ServiceError::Traffic`]).
+    pub fn synthesize(
+        mix: &TrafficMix,
+        devices: usize,
+        model: &ChurnModel,
+        mechanism: &str,
+        seed: u64,
+    ) -> Result<EventLog, ServiceError> {
+        if MechanismKind::by_name(mechanism).is_none() {
+            return Err(ServiceError::UnknownMechanism {
+                name: mechanism.to_string(),
+            });
+        }
+        let seq = SeedSequence::new(seed);
+        let pop = mix.generate(devices, &mut seq.child(0).rng(0))?;
+        let mut records: Vec<EventRecord> = pop
+            .iter()
+            .map(|device| EventRecord {
+                epoch: 0,
+                event: ServiceEvent::Fleet(FleetEvent::Register(device)),
+            })
+            .collect();
+        records.push(EventRecord {
+            epoch: 0,
+            event: ServiceEvent::CampaignRequest {
+                mechanism: mechanism.to_string(),
+            },
+        });
+        let mut current = pop.clone();
+        let mut next_id = devices as u32;
+        for epoch in 1..=model.epochs {
+            let mut rng = seq.child(1).rng(u64::from(epoch));
+            let (evolved, _, log) =
+                model.step_recorded(mix, &current, devices, &mut next_id, &mut rng)?;
+            records.extend(log.into_iter().map(|event| EventRecord {
+                epoch,
+                event: ServiceEvent::Fleet(event),
+            }));
+            records.push(EventRecord {
+                epoch,
+                event: ServiceEvent::CampaignRequest {
+                    mechanism: mechanism.to_string(),
+                },
+            });
+            current = evolved;
+        }
+        Ok(EventLog {
+            mix_name: pop.mix_name().to_string(),
+            class_names: pop.class_names().to_vec(),
+            records,
+        })
+    }
+
+    /// Renders the log as pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("event logs always serialize")
+    }
+
+    /// Parses a log from JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::CorruptLog`] describing the first parse failure
+    /// (truncated text, missing fields, shape mismatches).
+    pub fn from_json(text: &str) -> Result<EventLog, ServiceError> {
+        serde_json::from_str(text).map_err(|e| ServiceError::CorruptLog {
+            detail: e.to_string(),
+        })
+    }
+
+    /// Number of campaign requests in the log.
+    pub fn campaign_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.event, ServiceEvent::CampaignRequest { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ChurnModel {
+        ChurnModel {
+            epochs: 3,
+            departure_rate: 0.15,
+            arrival_rate: 0.15,
+            handover_rate: 0.25,
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let mix = TrafficMix::mobility_churn();
+        let a = EventLog::synthesize(&mix, 30, &model(), "dr-sc", 5).unwrap();
+        let b = EventLog::synthesize(&mix, 30, &model(), "dr-sc", 5).unwrap();
+        assert_eq!(a, b);
+        let c = EventLog::synthesize(&mix, 30, &model(), "dr-sc", 6).unwrap();
+        assert_ne!(a, c, "a different seed must synthesize a different log");
+    }
+
+    #[test]
+    fn synthesis_shape_matches_the_churn_process() {
+        let mix = TrafficMix::mobility_churn();
+        let log = EventLog::synthesize(&mix, 25, &model(), "dr-sc", 9).unwrap();
+        assert_eq!(log.mix_name, "mobility-churn");
+        assert!(!log.class_names.is_empty());
+        // One campaign per epoch including epoch 0.
+        assert_eq!(log.campaign_count(), 4);
+        // The first 25 records register the initial fleet at epoch 0.
+        assert!(log.records[..25].iter().all(
+            |r| r.epoch == 0 && matches!(r.event, ServiceEvent::Fleet(FleetEvent::Register(_)))
+        ));
+        // Epoch stamps are monotone.
+        assert!(log.records.windows(2).all(|w| w[0].epoch <= w[1].epoch));
+        assert_eq!(log.records.last().unwrap().epoch, 3);
+    }
+
+    #[test]
+    fn unknown_mechanism_is_rejected_up_front() {
+        let mix = TrafficMix::mobility_churn();
+        let err = EventLog::synthesize(&mix, 10, &model(), "mr-tc", 1).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownMechanism { name } if name == "mr-tc"));
+    }
+
+    #[test]
+    fn logs_round_trip_through_json() {
+        let mix = TrafficMix::handover_storm();
+        let log = EventLog::synthesize(&mix, 20, &model(), "dr-sc-tabu(16)", 3).unwrap();
+        let text = log.to_json_pretty();
+        let back = EventLog::from_json(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn truncated_json_reports_a_corrupt_log() {
+        let mix = TrafficMix::mobility_churn();
+        let log = EventLog::synthesize(&mix, 10, &model(), "dr-sc", 2).unwrap();
+        let text = log.to_json_pretty();
+        let err = EventLog::from_json(&text[..text.len() / 2]).unwrap_err();
+        assert!(matches!(err, ServiceError::CorruptLog { .. }), "{err}");
+    }
+}

@@ -62,6 +62,34 @@ pub enum RegroupPolicy {
 }
 
 impl RegroupPolicy {
+    /// Parses a policy from its CLI spelling: `never`, `every-epoch`,
+    /// `repair`, or `staleness:T` with a decimal threshold (e.g.
+    /// `staleness:0.25`). Returns `None` for anything else. The threshold
+    /// is parsed but not range-checked — call [`RegroupPolicy::validate`]
+    /// afterwards.
+    pub fn by_name(name: &str) -> Option<RegroupPolicy> {
+        match name {
+            "never" => Some(RegroupPolicy::Never),
+            "every-epoch" => Some(RegroupPolicy::EveryEpoch),
+            "repair" => Some(RegroupPolicy::Repair),
+            _ => name
+                .strip_prefix("staleness:")
+                .and_then(|t| t.parse().ok())
+                .map(RegroupPolicy::StalenessThreshold),
+        }
+    }
+
+    /// The CLI spelling [`RegroupPolicy::by_name`] parses, round-trippable
+    /// for valid policies.
+    pub fn name(&self) -> String {
+        match *self {
+            RegroupPolicy::Never => "never".into(),
+            RegroupPolicy::EveryEpoch => "every-epoch".into(),
+            RegroupPolicy::StalenessThreshold(t) => format!("staleness:{t}"),
+            RegroupPolicy::Repair => "repair".into(),
+        }
+    }
+
     /// Checks a threshold is a finite fraction in `[0, 1]`.
     ///
     /// # Errors
@@ -165,22 +193,64 @@ impl ChurnTimeline {
 /// device order. Device order is id-ascending by construction (survivors
 /// keep their order, arrivals append with fresh higher ids), so staleness
 /// lookups are binary searches.
-struct PlannedFleet {
+///
+/// This is the staleness primitive shared by the batch simulator (the
+/// [`RegroupPolicy`] trajectory walk) and the long-lived grouping service
+/// (`nbiot-service`), which snapshots the fleet at plan time and asks
+/// [`PlannedFleet::serves`] per device on later requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedFleet {
     members: Vec<(DeviceId, UeId)>,
 }
 
 impl PlannedFleet {
-    fn snapshot(pop: &Population) -> PlannedFleet {
+    /// Captures the identity snapshot of `pop` in device order.
+    pub fn snapshot(pop: &Population) -> PlannedFleet {
         PlannedFleet {
             members: (0..pop.len()).map(|i| (pop.id(i), pop.ues()[i])).collect(),
         }
     }
 
+    /// Rebuilds a snapshot from stored `(id, ue)` pairs (a service
+    /// snapshot restoring its plan state). Pairs must be id-ascending —
+    /// the order [`PlannedFleet::snapshot`] records — or staleness
+    /// lookups would miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when ids are not strictly ascending.
+    pub fn from_members(members: Vec<(DeviceId, UeId)>) -> PlannedFleet {
+        debug_assert!(
+            members.windows(2).all(|w| w[0].0 < w[1].0),
+            "planned-fleet members must be id-ascending"
+        );
+        PlannedFleet { members }
+    }
+
+    /// The `(id, ue)` pairs in device order.
+    pub fn members(&self) -> &[(DeviceId, UeId)] {
+        &self.members
+    }
+
     /// Whether the plan serves this device: same id, same paging identity.
-    fn serves(&self, id: DeviceId, ue: UeId) -> bool {
+    pub fn serves(&self, id: DeviceId, ue: UeId) -> bool {
         self.members
             .binary_search_by_key(&id, |&(k, _)| k)
             .is_ok_and(|i| self.members[i].1 == ue)
+    }
+
+    /// The fraction of `pop`'s devices this snapshot cannot serve
+    /// (departed-then-readmitted ids, handovers, and arrivals all count) —
+    /// the staleness measure [`RegroupPolicy::StalenessThreshold`]
+    /// compares against. Returns `0.0` for an empty population.
+    pub fn stale_fraction(&self, pop: &Population) -> f64 {
+        if pop.is_empty() {
+            return 0.0;
+        }
+        let missed = (0..pop.len())
+            .filter(|&i| !self.serves(pop.id(i), pop.ues()[i]))
+            .count();
+        missed as f64 / pop.len() as f64
     }
 }
 
@@ -448,6 +518,49 @@ mod tests {
         // A different run derives a different fleet trajectory.
         let c = ChurnTimeline::evolve(&churny(3), &mix, &pop, &seq.child(1)).unwrap();
         assert_ne!(a.epochs[0].0, c.epochs[0].0);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for policy in [
+            RegroupPolicy::Never,
+            RegroupPolicy::EveryEpoch,
+            RegroupPolicy::Repair,
+            RegroupPolicy::StalenessThreshold(0.25),
+        ] {
+            assert_eq!(RegroupPolicy::by_name(&policy.name()), Some(policy));
+        }
+        assert_eq!(RegroupPolicy::by_name("staleness:"), None);
+        assert_eq!(RegroupPolicy::by_name("sometimes"), None);
+        // Out-of-range thresholds parse but fail validation.
+        let wild = RegroupPolicy::by_name("staleness:7.5").unwrap();
+        assert!(wild.validate().is_err());
+    }
+
+    #[test]
+    fn planned_fleet_staleness_tracks_identity_changes() {
+        let pop = initial(30);
+        let planned = PlannedFleet::snapshot(&pop);
+        assert_eq!(planned.members().len(), 30);
+        assert_eq!(planned.stale_fraction(&pop), 0.0);
+        let rebuilt = PlannedFleet::from_members(planned.members().to_vec());
+        assert_eq!(rebuilt, planned);
+        // A handover makes exactly one device stale.
+        let mut moved = pop.clone();
+        moved.set_ue(4, nbiot_time::UeId(0x5EED));
+        assert!(!planned.serves(moved.id(4), moved.ues()[4]));
+        assert!((planned.stale_fraction(&moved) - 1.0 / 30.0).abs() < 1e-12);
+        // A departure shrinks the fleet without going stale; an arrival
+        // the plan never saw is stale.
+        let mut shrunk = pop.clone();
+        shrunk.remove_row(7);
+        assert_eq!(planned.stale_fraction(&shrunk), 0.0);
+        let mut grown = pop.clone();
+        grown.push(nbiot_traffic::DeviceProfile {
+            id: nbiot_traffic::DeviceId(99),
+            ..pop.device(0)
+        });
+        assert!((planned.stale_fraction(&grown) - 1.0 / 31.0).abs() < 1e-12);
     }
 
     #[test]

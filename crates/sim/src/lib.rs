@@ -77,7 +77,7 @@ mod scenario;
 mod shard;
 
 pub use campaign::run_campaign;
-pub use churn::RegroupPolicy;
+pub use churn::{PlannedFleet, RegroupPolicy};
 pub use config::SimConfig;
 pub use error::SimError;
 pub use experiment::{
@@ -89,5 +89,6 @@ pub use scenario::{run_scenario, with_ti, PointResult, Scenario, ScenarioResult}
 #[cfg(feature = "serde")]
 pub use shard::{
     merge_archives, merge_archives_with, record_checksum, run_scenario_shard, scenario_fingerprint,
-    ArchiveItem, MergePolicy, ScenarioArchive, ShardCoverage, ShardSpec, ARCHIVE_SCHEMA_VERSION,
+    value_digest, ArchiveItem, MergePolicy, ScenarioArchive, ShardCoverage, ShardSpec,
+    ARCHIVE_SCHEMA_VERSION,
 };

@@ -386,6 +386,18 @@ pub fn record_checksum(item: usize, rows: &ItemRows) -> u64 {
     hash
 }
 
+/// A stable 64-bit FNV-1a digest over the canonical byte rendering of a
+/// serde value tree — the integrity primitive behind
+/// [`scenario_fingerprint`] and [`record_checksum`], exported so other
+/// persisted formats (the grouping service's snapshots) checksum their
+/// state with the exact same walk and stay comparable across schema
+/// layers.
+pub fn value_digest(value: &serde::Value) -> u64 {
+    let mut hash = FNV_OFFSET;
+    hash_value(value, &mut hash);
+    hash
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 

@@ -17,9 +17,76 @@
 //! layer (`nbiot-sim`) owns that staleness accounting and the re-grouping
 //! policies; this module owns only the population process.
 
+use nbiot_time::UeId;
 use rand::Rng;
 
-use crate::{DeviceId, Population, TrafficError, TrafficMix};
+use crate::{DeviceId, DeviceProfile, Population, TrafficError, TrafficMix};
+
+/// One observable fleet-membership change — the churn vocabulary as a
+/// replayable event.
+///
+/// [`ChurnModel::step_recorded`] emits these alongside the evolved
+/// population, and [`FleetEvent::apply`] replays them onto a population
+/// one at a time. The two views are equivalent by construction: applying
+/// a step's events to the pre-step population yields a fleet
+/// *bit-identical* to the evolved population the step returned (locked by
+/// tests here and by the service-level replay-equivalence proptests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum FleetEvent {
+    /// A new device registered with the cell (a churn arrival).
+    Register(DeviceProfile),
+    /// The device departed the cell (powered down or left coverage).
+    Depart(DeviceId),
+    /// The device handed over and re-registered under a fresh paging
+    /// identity, moving its paging occasions.
+    Handover {
+        /// Which device re-registered.
+        device: DeviceId,
+        /// Its new paging identity.
+        ue: UeId,
+    },
+}
+
+impl FleetEvent {
+    /// Replays this event onto `pop`.
+    ///
+    /// Ordering follows the churn process: departures and handovers
+    /// address devices already present, registrations append. Arrivals
+    /// recorded by [`ChurnModel::step_recorded`] always carry fresh ids,
+    /// so replaying a recorded stream never collides.
+    ///
+    /// # Errors
+    ///
+    /// [`TrafficError::UnknownDevice`] when a departure or handover names
+    /// a device not in `pop`; [`TrafficError::DuplicateDevice`] when a
+    /// registration re-uses an id already present.
+    pub fn apply(&self, pop: &mut Population) -> Result<(), TrafficError> {
+        match *self {
+            FleetEvent::Register(device) => {
+                if pop.position_of(device.id).is_some() {
+                    return Err(TrafficError::DuplicateDevice { device: device.id });
+                }
+                pop.push(device);
+                Ok(())
+            }
+            FleetEvent::Depart(device) => match pop.position_of(device) {
+                Some(row) => {
+                    pop.remove_row(row);
+                    Ok(())
+                }
+                None => Err(TrafficError::UnknownDevice { device }),
+            },
+            FleetEvent::Handover { device, ue } => match pop.position_of(device) {
+                Some(row) => {
+                    pop.set_ue(row, ue);
+                    Ok(())
+                }
+                None => Err(TrafficError::UnknownDevice { device }),
+            },
+        }
+    }
+}
 
 /// Per-epoch population churn rates, applied at every epoch boundary of a
 /// campaign.
@@ -118,8 +185,36 @@ impl ChurnModel {
         next_id: &mut u32,
         rng: &mut R,
     ) -> Result<(Population, ChurnEvents), TrafficError> {
+        let (evolved, events, _) = self.step_recorded(mix, pop, base_size, next_id, rng)?;
+        Ok((evolved, events))
+    }
+
+    /// Like [`ChurnModel::step`], additionally recording each change as a
+    /// [`FleetEvent`] in the order it happened (departures/handovers in
+    /// device order, then arrivals).
+    ///
+    /// The RNG draw order is exactly [`ChurnModel::step`]'s — per
+    /// surviving device: departure, then handover + fresh identity; then
+    /// one arrival trial per initial slot — so the evolved population is
+    /// bit-identical to the unrecorded path, and replaying the returned
+    /// events onto a clone of `pop` with [`FleetEvent::apply`] reproduces
+    /// it bit-identically too (including the keep-one rule: the retained
+    /// device's departure is *not* recorded).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ChurnModel::step`].
+    pub fn step_recorded<R: Rng + ?Sized>(
+        &self,
+        mix: &TrafficMix,
+        pop: &Population,
+        base_size: usize,
+        next_id: &mut u32,
+        rng: &mut R,
+    ) -> Result<(Population, ChurnEvents, Vec<FleetEvent>), TrafficError> {
         self.validate()?;
         let mut events = ChurnEvents::default();
+        let mut log = Vec::new();
         // Survivors stream straight into the evolved population's columns
         // (no intermediate device Vec); the RNG draw order per device —
         // departure, then handover + fresh identity — is unchanged, so
@@ -128,31 +223,42 @@ impl ChurnModel {
         for i in 0..pop.len() {
             if self.departure_rate > 0.0 && rng.gen_bool(self.departure_rate) {
                 events.departures += 1;
+                log.push(FleetEvent::Depart(pop.id(i)));
                 continue;
             }
             let mut device = pop.device(i);
             if self.handover_rate > 0.0 && rng.gen_bool(self.handover_rate) {
-                device.ue = nbiot_time::UeId(rng.gen());
+                device.ue = UeId(rng.gen());
                 events.handovers += 1;
+                log.push(FleetEvent::Handover {
+                    device: device.id,
+                    ue: device.ue,
+                });
             }
             evolved.push(device);
         }
         // A grouping input needs at least one device: when the whole
-        // population departs in one step, the last device stays put.
+        // population departs in one step, the last device stays put. Its
+        // departure is necessarily the last event recorded so far
+        // (departed devices draw nothing else, arrivals come later).
         if evolved.is_empty() && !pop.is_empty() {
             evolved.push(pop.device(pop.len() - 1));
             events.departures -= 1;
+            let undone = log.pop();
+            debug_assert_eq!(undone, Some(FleetEvent::Depart(pop.id(pop.len() - 1))));
         }
         if self.arrival_rate > 0.0 {
             for _ in 0..base_size {
                 if rng.gen_bool(self.arrival_rate) {
-                    evolved.push(mix.sample_device(DeviceId(*next_id), rng)?);
+                    let device = mix.sample_device(DeviceId(*next_id), rng)?;
+                    evolved.push(device);
+                    log.push(FleetEvent::Register(device));
                     *next_id += 1;
                     events.arrivals += 1;
                 }
             }
         }
-        Ok((evolved, events))
+        Ok((evolved, events, log))
     }
 }
 
@@ -342,6 +448,96 @@ mod tests {
             .unwrap();
         assert_eq!(evolved.len(), 1);
         assert_eq!(ev.departures, 9);
+    }
+
+    #[test]
+    fn recorded_step_matches_step_bit_for_bit() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(150, 21);
+        let mut id_a = 150;
+        let (plain, ev_plain) = churny()
+            .step(&mix, &p, 150, &mut id_a, &mut StdRng::seed_from_u64(22))
+            .unwrap();
+        let mut id_b = 150;
+        let (recorded, ev_rec, log) = churny()
+            .step_recorded(&mix, &p, 150, &mut id_b, &mut StdRng::seed_from_u64(22))
+            .unwrap();
+        assert_eq!(plain, recorded);
+        assert_eq!(ev_plain, ev_rec);
+        assert_eq!(id_a, id_b);
+        assert_eq!(log.len(), ev_rec.total());
+    }
+
+    #[test]
+    fn replaying_recorded_events_reproduces_the_evolved_fleet() {
+        let mix = TrafficMix::ericsson_city();
+        let mut current = pop(90, 23);
+        let mut next_id = 90;
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..5 {
+            let (evolved, _, log) = churny()
+                .step_recorded(&mix, &current, 90, &mut next_id, &mut rng)
+                .unwrap();
+            let mut replayed = current.clone();
+            for event in &log {
+                event.apply(&mut replayed).unwrap();
+            }
+            assert_eq!(replayed, evolved, "replay must be bit-identical");
+            current = evolved;
+        }
+    }
+
+    #[test]
+    fn apocalypse_recording_drops_the_retained_departure() {
+        let mix = TrafficMix::ericsson_city();
+        let p = pop(10, 25);
+        let mut next_id = 10;
+        let apocalypse = ChurnModel {
+            epochs: 1,
+            departure_rate: 1.0,
+            arrival_rate: 0.0,
+            handover_rate: 0.0,
+        };
+        let (evolved, ev, log) = apocalypse
+            .step_recorded(&mix, &p, 10, &mut next_id, &mut StdRng::seed_from_u64(26))
+            .unwrap();
+        assert_eq!(evolved.len(), 1);
+        assert_eq!(ev.departures, 9);
+        assert_eq!(log.len(), 9, "the kept device's departure is unrecorded");
+        assert!(log.iter().all(|e| *e != FleetEvent::Depart(DeviceId(9))));
+        let mut replayed = p.clone();
+        for event in &log {
+            event.apply(&mut replayed).unwrap();
+        }
+        assert_eq!(replayed, evolved);
+    }
+
+    #[test]
+    fn apply_rejects_unknown_and_duplicate_devices() {
+        let mut p = pop(5, 27);
+        let err = FleetEvent::Depart(DeviceId(42)).apply(&mut p).unwrap_err();
+        assert!(matches!(
+            err,
+            TrafficError::UnknownDevice {
+                device: DeviceId(42)
+            }
+        ));
+        let err = FleetEvent::Handover {
+            device: DeviceId(42),
+            ue: nbiot_time::UeId(1),
+        }
+        .apply(&mut p)
+        .unwrap_err();
+        assert!(matches!(err, TrafficError::UnknownDevice { .. }));
+        let dup = p.device(0);
+        let err = FleetEvent::Register(dup).apply(&mut p).unwrap_err();
+        assert!(matches!(
+            err,
+            TrafficError::DuplicateDevice {
+                device: DeviceId(0)
+            }
+        ));
+        assert_eq!(p.len(), 5, "failed events must not mutate the fleet");
     }
 
     #[test]

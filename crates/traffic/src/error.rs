@@ -28,6 +28,16 @@ pub enum TrafficError {
         /// The offending value.
         value: f64,
     },
+    /// A fleet event addressed a device that is not in the population.
+    UnknownDevice {
+        /// The missing device.
+        device: crate::DeviceId,
+    },
+    /// A registration re-used a device id already in the population.
+    DuplicateDevice {
+        /// The colliding device.
+        device: crate::DeviceId,
+    },
 }
 
 impl fmt::Display for TrafficError {
@@ -46,6 +56,12 @@ impl fmt::Display for TrafficError {
                     f,
                     "churn {what} must be a probability in [0, 1], got {value}"
                 )
+            }
+            TrafficError::UnknownDevice { device } => {
+                write!(f, "fleet event addresses unknown device {device}")
+            }
+            TrafficError::DuplicateDevice { device } => {
+                write!(f, "registration re-uses device id {device}")
             }
         }
     }

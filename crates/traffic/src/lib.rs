@@ -42,7 +42,7 @@ mod mix;
 mod population;
 mod uplink;
 
-pub use churn::{ChurnEvents, ChurnModel};
+pub use churn::{ChurnEvents, ChurnModel, FleetEvent};
 pub use error::TrafficError;
 pub use mix::{ClassSpec, TrafficMix};
 pub use population::{ClassId, DeviceId, DeviceProfile, Population};

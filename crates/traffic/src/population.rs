@@ -158,6 +158,56 @@ impl Population {
         self.report_intervals.push(device.report_interval);
     }
 
+    /// Removes the device at row `i`, shifting later rows down, and
+    /// returns the removed row view.
+    ///
+    /// The identity column is materialized first (later rows keep their
+    /// ids while their row indices shift) and re-elided afterwards when
+    /// every remaining id equals its row index again — so a population
+    /// edited row by row stays *bit-identical* to one built fresh from
+    /// the surviving devices, which is what the service replay-equivalence
+    /// contract compares.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn remove_row(&mut self, i: usize) -> DeviceProfile {
+        let removed = self.device(i);
+        if self.ids.is_none() {
+            self.ids = Some((0..self.ues.len() as u32).map(DeviceId).collect());
+        }
+        let ids = self.ids.as_mut().expect("materialized above");
+        ids.remove(i);
+        self.ues.remove(i);
+        self.classes.remove(i);
+        self.pagings.remove(i);
+        self.report_intervals.remove(i);
+        if ids.iter().enumerate().all(|(row, id)| id.index() == row) {
+            self.ids = None;
+        }
+        removed
+    }
+
+    /// Replaces the paging identity of the device at row `i` (a handover:
+    /// the device re-registers under a fresh identity, moving its paging
+    /// occasions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn set_ue(&mut self, i: usize, ue: UeId) {
+        self.ues[i] = ue;
+    }
+
+    /// The row currently holding device `id`, or `None` when no such
+    /// device is present.
+    pub fn position_of(&self, id: DeviceId) -> Option<usize> {
+        match &self.ids {
+            Some(ids) => ids.iter().position(|&d| d == id),
+            None => (id.index() < self.len()).then(|| id.index()),
+        }
+    }
+
     /// Name of the generating mix.
     pub fn mix_name(&self) -> &str {
         &self.mix_name
@@ -410,6 +460,59 @@ mod tests {
         assert_eq!(p.id(1), DeviceId(1));
         assert_eq!(p.id(2), DeviceId(7));
         assert_eq!(p.device(2).ue, src.device(7).ue);
+    }
+
+    #[test]
+    fn remove_row_keeps_later_identities_and_reelides() {
+        let src = pop(6);
+        let mut p = src.clone();
+        // Removing a middle row shifts rows but not identities.
+        let removed = p.remove_row(2);
+        assert_eq!(removed, src.device(2));
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.id(2), DeviceId(3));
+        assert_eq!(p.device(2), src.device(3));
+        assert_eq!(p.position_of(DeviceId(2)), None);
+        assert_eq!(p.position_of(DeviceId(5)), Some(4));
+        // Removing the now-divergent suffix re-elides the identity column:
+        // the population becomes bit-identical to a fresh build over the
+        // surviving prefix.
+        for row in (2..p.len()).rev() {
+            p.remove_row(row);
+        }
+        let fresh = Population::new(
+            src.mix_name().to_string(),
+            src.class_names().to_vec(),
+            vec![src.device(0), src.device(1)],
+        );
+        assert_eq!(p, fresh);
+    }
+
+    #[test]
+    fn remove_last_row_stays_canonical() {
+        let src = pop(4);
+        let mut p = src.clone();
+        p.remove_row(3);
+        let fresh = Population::new(
+            src.mix_name().to_string(),
+            src.class_names().to_vec(),
+            (0..3).map(|i| src.device(i)).collect(),
+        );
+        assert_eq!(p, fresh);
+    }
+
+    #[test]
+    fn set_ue_and_position_of_agree_with_row_views() {
+        let src = pop(8);
+        let mut p = src.clone();
+        let new_ue = nbiot_time::UeId(0xDEAD_BEEF);
+        p.set_ue(5, new_ue);
+        assert_eq!(p.device(5).ue, new_ue);
+        assert_eq!(p.device(5).id, src.device(5).id);
+        for i in 0..p.len() {
+            assert_eq!(p.position_of(p.id(i)), Some(i));
+        }
+        assert_eq!(p.position_of(DeviceId(99)), None);
     }
 
     #[test]

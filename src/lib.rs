@@ -22,6 +22,7 @@
 //! | device classes, population generation | [`traffic`] (`nbiot-traffic`) |
 //! | **the paper's mechanisms: DR-SC, DA-SC, DR-SI (+ baselines)** | [`grouping`] (`nbiot-grouping`) |
 //! | campaign/experiment execution | [`sim`] (`nbiot-sim`) |
+//! | event-driven grouping service: replayable logs, snapshots | [`service`] (`nbiot-service`, with the `serde` feature) |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,8 @@ pub use nbiot_energy as energy;
 pub use nbiot_grouping as grouping;
 pub use nbiot_phy as phy;
 pub use nbiot_rrc as rrc;
+#[cfg(feature = "serde")]
+pub use nbiot_service as service;
 pub use nbiot_sim as sim;
 pub use nbiot_time as time;
 pub use nbiot_traffic as traffic;
@@ -67,6 +70,11 @@ pub mod prelude {
     pub use nbiot_rrc::{
         DrxPhase, DrxStateMachine, EstablishmentCause, InactivityTimer, PagingMessage,
         RandomAccess, RandomAccessConfig, SignallingCosts,
+    };
+    #[cfg(feature = "serde")]
+    pub use nbiot_service::{
+        EventLog, EventRecord, GroupingService, ServeSummary, ServiceConfig, ServiceError,
+        ServiceEvent, ServiceSnapshot,
     };
     pub use nbiot_sim::{
         run_campaign, run_comparison, run_scenario, sweep_devices, CampaignResult,
