@@ -32,6 +32,9 @@
 #                  tolerance, a snapshot -> restore -> continue leg that
 #                  must reproduce the transcript tail, and a --threads 8
 #                  bit-identity leg
+#   weighted-smoke airtime-weighted cover: reduced weighted-airtime point
+#                  at threads {1,8} (bit-identity), then zero-tolerance
+#                  diff against golden/weighted_smoke.json
 #   bench-gate     bench_report --compare against BENCH_baseline.json
 #   massive-smoke  scale tier: reduced 10^5-device massive-n point diffed
 #                  against golden/massive_smoke.json at zero tolerance
@@ -52,7 +55,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke anytime-smoke service-smoke bench-gate massive-smoke)
+STAGES=(build test lint fmt docs figures-smoke shard-smoke golden fault-smoke anytime-smoke service-smoke weighted-smoke bench-gate massive-smoke)
 
 ARTIFACT_DIR="${CI_ARTIFACT_DIR:-}"
 if [[ -z "$ARTIFACT_DIR" ]]; then
@@ -397,6 +400,33 @@ stage_base_diff() {
     echo "base-diff OK (diff artifact at $out; structure matches base $base_sha)"
 }
 
+stage_weighted_smoke() {
+    echo "==> weighted smoke: airtime-weighted cover vs golden (thread bit-identity, zero tolerance)"
+    # The committed golden locks the exact archive of the reduced
+    # weighted-airtime point: DR-SC and DR-SC-weighted side by side on the
+    # heterogeneous CE0/CE1/CE2 mix, including the `plan_airtime_ms` and
+    # `airtime_vs_count_ratio` summaries. Any change to the weighted
+    # kernel's ratio key, tie law, or the best-of-two fallback fails here
+    # until the golden is regenerated deliberately:
+    #   cargo run --release -q -p nbiot-bench --bin figures -- \
+    #       --scenario weighted-airtime --runs 2 --devices 60 --threads 1 \
+    #       --emit-archive golden/weighted_smoke.json
+    local args=(--scenario weighted-airtime --runs 2 --devices 60)
+    local t1="$SCRATCH/weighted_t1.json" t8="$SCRATCH/weighted_t8.json"
+
+    # Leg 1: the weighted cover is deterministic at every thread count —
+    # the fixed-point ratio key is the tie law, never scheduling order.
+    run_figures "${args[@]}" --threads 1 --emit-archive "$t1" > /dev/null
+    run_figures "${args[@]}" --threads 8 --emit-archive "$t8" > /dev/null
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- "$t1" "$t8"
+    echo "weighted smoke leg 1 OK (threads 1 and 8 bit-identical)"
+
+    # Leg 2: zero-tolerance conformance against the committed golden.
+    cargo run --release -q -p nbiot-bench --bin scenario_diff -- \
+        golden/weighted_smoke.json "$t1"
+    echo "weighted smoke OK (fresh run bit-identical to golden/weighted_smoke.json)"
+}
+
 stage_bench_gate() {
     echo "==> bench gate: bench_report --compare vs BENCH_baseline.json"
     # The committed baseline was measured on the *full* default workload.
@@ -481,6 +511,7 @@ run_stage() {
         fault-smoke)   stage_fault_smoke ;;
         anytime-smoke) stage_anytime_smoke ;;
         service-smoke) stage_service_smoke ;;
+        weighted-smoke) stage_weighted_smoke ;;
         bench-gate)    stage_bench_gate ;;
         massive-smoke) stage_massive_smoke ;;
         nightly)       stage_nightly ;;
@@ -501,7 +532,7 @@ case "${1:-}" in
         printf '%s\n' "${STAGES[@]}"
         ;;
     --help|-h)
-        sed -n '2,51p' "$0" | sed 's/^# \{0,1\}//'
+        sed -n '2,54p' "$0" | sed 's/^# \{0,1\}//'
         ;;
     "")
         for stage in "${STAGES[@]}"; do

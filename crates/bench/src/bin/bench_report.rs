@@ -48,6 +48,7 @@
 //!     "set_cover_speedup": 3.4,        // reference greedy / bitset greedy
 //!     "set_cover_incremental_speedup": 8.0,  // bitset / incremental, 1000 devices
 //!     "set_cover_stress_speedup": 20.0,      // bitset / incremental, 10k devices
+//!     "weighted_airtime_gain": 3.4,    // count-greedy airtime / weighted airtime, 10k devices
 //!     "set_cover_massive_speedup": 30.0,     // bitset / incremental, --massive-devices
 //!     "index_build_parallel_speedup": 2.5,   // serial / 4-worker index build (<= 1 on 1 core)
 //!     "index_build_warm_gain": 1.3,          // cold parallel build / warm-arena rebuild
@@ -102,6 +103,19 @@ fn timed_min<T>(reps: u32, mut f: impl FnMut() -> T) -> (T, f64) {
         best = best.min(start.elapsed().as_secs_f64() * 1000.0);
     }
     (out, best)
+}
+
+/// Events per second from a count and an elapsed wall-clock in
+/// milliseconds. A zero (or pathological negative) elapsed reports 0.0
+/// instead of the bare division's inf/NaN — sub-millisecond stages on a
+/// coarse clock must not poison the JSON report (`inf` is not even valid
+/// JSON).
+fn per_sec(count: usize, elapsed_ms: f64) -> f64 {
+    if elapsed_ms <= 0.0 {
+        0.0
+    } else {
+        count as f64 / (elapsed_ms / 1000.0)
+    }
 }
 
 /// Builds one stage record and closes its memory-measurement window.
@@ -444,6 +458,66 @@ fn main() {
         json!({ "devices": universe10k, "sets": sets10k.len(), "picks": stress_bitset.len() }),
     ));
 
+    // ---- Stage 3a1: the airtime-weighted cover kernel — cost-aware
+    // Chvátal greedy on the umbrella-vs-pieces instance whose costs are
+    // the CE0/CE1/CE2 block airtimes (see `workload::weighted_cover_instance`).
+    // The derived `weighted_airtime_gain` (count-greedy plan airtime /
+    // weighted plan airtime, measured at the 10k-device stress point) is
+    // an acceptance invariant: the weighted kernel must never pay more
+    // airtime than the count-greedy on the instance built to separate
+    // them, so the report hard-fails if the gain ever drops below 1.
+    let plan_airtime =
+        |picks: &[usize], costs: &[u32]| picks.iter().map(|&s| u64::from(costs[s])).sum::<u64>();
+    let (wn, wsets, wcosts) = workload::weighted_cover_instance(1_000, opts.seed);
+    let mut weighted_arena = set_cover::KernelArena::new();
+    let (weighted_picks, weighted_ms) = timed_min(5, || {
+        set_cover::greedy_set_cover_weighted(wn, &wsets, &wcosts, 1, &mut weighted_arena)
+            .expect("coverable")
+    });
+    assert_eq!(
+        Some(weighted_picks.clone()),
+        reference::greedy_set_cover_weighted(wn, &wsets, &wcosts),
+        "weighted kernel must agree with the oracle pick-for-pick"
+    );
+    let count_picks = set_cover::greedy_set_cover(wn, &wsets).expect("coverable");
+    stages.push(stage(
+        "set_cover_weighted",
+        weighted_ms,
+        json!({
+            "devices": wn,
+            "sets": wsets.len(),
+            "picks": weighted_picks.len(),
+            "plan_airtime": plan_airtime(&weighted_picks, &wcosts),
+            "count_greedy_airtime": plan_airtime(&count_picks, &wcosts),
+        }),
+    ));
+
+    let (wn10k, wsets10k, wcosts10k) = workload::weighted_cover_instance(10_000, opts.seed);
+    let (stress_weighted, weighted_stress_ms) = timed_min(3, || {
+        set_cover::greedy_set_cover_weighted(wn10k, &wsets10k, &wcosts10k, 1, &mut weighted_arena)
+            .expect("coverable")
+    });
+    let stress_count = set_cover::greedy_set_cover(wn10k, &wsets10k).expect("coverable");
+    let stress_weighted_airtime = plan_airtime(&stress_weighted, &wcosts10k);
+    let stress_count_airtime = plan_airtime(&stress_count, &wcosts10k);
+    let weighted_airtime_gain = stress_count_airtime as f64 / stress_weighted_airtime as f64;
+    assert!(
+        weighted_airtime_gain >= 1.0,
+        "the weighted kernel must never pay more airtime than count-greedy \
+         on the stress instance ({stress_weighted_airtime} vs {stress_count_airtime} subframes)"
+    );
+    stages.push(stage(
+        "set_cover_weighted_stress",
+        weighted_stress_ms,
+        json!({
+            "devices": wn10k,
+            "sets": wsets10k.len(),
+            "picks": stress_weighted.len(),
+            "plan_airtime": stress_weighted_airtime,
+            "count_greedy_airtime": stress_count_airtime,
+        }),
+    ));
+
     // ---- Stage 3a2: the anytime tabu pass over the greedy stress cover
     // — the plan-improvement kernel spending a deterministic iteration
     // budget on the 10k-device instance. Strict improvement here is an
@@ -675,7 +749,7 @@ fn main() {
             "serves": repair_serves.len(),
             "repair_share": repair_share,
             "max_stale_fraction": max_stale_fraction,
-            "serves_per_sec": repair_serves.len() as f64 / (service_repair_ms / 1000.0),
+            "serves_per_sec": per_sec(repair_serves.len(), service_repair_ms),
         }),
     ));
     stages.push(stage(
@@ -685,7 +759,7 @@ fn main() {
             "devices": service_devices,
             "records": service_log.records.len(),
             "serves": full_serves.len(),
-            "serves_per_sec": full_serves.len() as f64 / (service_full_ms / 1000.0),
+            "serves_per_sec": per_sec(full_serves.len(), service_full_ms),
         }),
     ));
 
@@ -1051,6 +1125,7 @@ fn main() {
             "set_cover_speedup": set_cover_speedup,
             "set_cover_incremental_speedup": set_cover_incremental_speedup,
             "set_cover_stress_speedup": set_cover_stress_speedup,
+            "weighted_airtime_gain": weighted_airtime_gain,
             "set_cover_massive_speedup": set_cover_massive_speedup,
             "index_build_parallel_speedup": index_build_parallel_speedup,
             "index_build_warm_gain": index_build_warm_gain,

@@ -93,7 +93,7 @@ impl DiffReport {
 
 /// The compared metrics of one mechanism summary: (path, value) pairs for
 /// the mean and 95 % CI half-width of every reported statistic.
-fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 30] {
+fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 34] {
     [
         ("rel_light_sleep.mean", m.rel_light_sleep.mean),
         ("rel_light_sleep.ci95", m.rel_light_sleep.ci95),
@@ -103,6 +103,10 @@ fn summary_metrics(m: &MechanismSummary) -> [(&'static str, f64); 30] {
         ("transmissions.ci95", m.transmissions.ci95),
         ("transmissions_ratio.mean", m.transmissions_ratio.mean),
         ("transmissions_ratio.ci95", m.transmissions_ratio.ci95),
+        ("plan_airtime_ms.mean", m.plan_airtime_ms.mean),
+        ("plan_airtime_ms.ci95", m.plan_airtime_ms.ci95),
+        ("airtime_vs_count_ratio.mean", m.airtime_vs_count_ratio.mean),
+        ("airtime_vs_count_ratio.ci95", m.airtime_vs_count_ratio.ci95),
         ("mean_wait_s.mean", m.mean_wait_s.mean),
         ("mean_wait_s.ci95", m.mean_wait_s.ci95),
         ("mean_connected_s.mean", m.mean_connected_s.mean),

@@ -423,6 +423,57 @@ pub mod workload {
         sequence
     }
 
+    /// A cost-aware cover instance for the airtime-weighted kernel:
+    /// `n_devices` devices in blocks of 16, each block coverable either by
+    /// one "umbrella" window priced at the CE2 block airtime (368
+    /// subframes) or by four 4-device "piece" windows priced at CE0 (27
+    /// subframes each), with CE1-priced (104) half-block windows in
+    /// between for texture. Count-greedy always takes the umbrella (raw
+    /// gain 16 beats 8 and 4); the weighted kernel takes the pieces
+    /// (gain/cost 4/27 beats 8/104 beats 16/368), paying 108 subframes per
+    /// block instead of 368. This is exactly the coverage-class economics
+    /// `DrScWeighted` exploits: a deep device in a window prices the whole
+    /// window at the deep repetition count, so covering shallow devices
+    /// through cheap shallow windows wins airtime.
+    ///
+    /// The candidate order is deterministically shuffled so lowest-index
+    /// tie-breaking never accidentally favors one structure.
+    ///
+    /// Returns `(universe_size, sets, costs)` for
+    /// [`nbiot_grouping::set_cover::greedy_set_cover_weighted`].
+    pub fn weighted_cover_instance(
+        n_devices: usize,
+        seed: u64,
+    ) -> (usize, Vec<Vec<usize>>, Vec<u32>) {
+        // The three NPDSCH block airtimes of the default coverage ladder
+        // (repetitions 1/8/32 — see `nbiot_phy::transfer`).
+        const CE0: u32 = 27;
+        const CE1: u32 = 104;
+        const CE2: u32 = 368;
+        let mut rng = SeedSequence::new(seed).rng(3);
+        let mut candidates: Vec<(Vec<usize>, u32)> = Vec::new();
+        let mut start = 0;
+        while start < n_devices {
+            let end = (start + 16).min(n_devices);
+            candidates.push(((start..end).collect(), CE2));
+            for half in (start..end).step_by(8) {
+                candidates.push(((half..(half + 8).min(end)).collect(), CE1));
+            }
+            for piece in (start..end).step_by(4) {
+                candidates.push(((piece..(piece + 4).min(end)).collect(), CE0));
+            }
+            start = end;
+        }
+        // Fisher-Yates on the (set, cost) pairs.
+        for i in (1..candidates.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            candidates.swap(i, j);
+        }
+        let costs = candidates.iter().map(|(_, c)| *c).collect();
+        let sets = candidates.into_iter().map(|(s, _)| s).collect();
+        (n_devices, sets, costs)
+    }
+
     /// A sparse PO timeline for [`nbiot_grouping::set_cover::WindowCover`]:
     /// `n_devices` devices with periodic occasions over the DR-SC horizon.
     ///
@@ -525,6 +576,29 @@ mod tests {
         let oracle =
             nbiot_grouping::set_cover::reference::window_cover_solve(ti, zero, &events, &dense);
         assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn weighted_instance_separates_the_kernels() {
+        let (n, sets, costs) = workload::weighted_cover_instance(256, 7);
+        let mut arena = nbiot_grouping::set_cover::KernelArena::default();
+        let weighted =
+            nbiot_grouping::set_cover::greedy_set_cover_weighted(n, &sets, &costs, 1, &mut arena)
+                .expect("umbrella-vs-pieces instances always cover");
+        let oracle =
+            nbiot_grouping::set_cover::reference::greedy_set_cover_weighted(n, &sets, &costs)
+                .unwrap();
+        assert_eq!(weighted, oracle, "kernel must agree with the oracle");
+        let count = nbiot_grouping::set_cover::greedy_set_cover(n, &sets).unwrap();
+        let airtime = |picks: &[usize]| picks.iter().map(|&s| u64::from(costs[s])).sum::<u64>();
+        // Count-greedy takes the CE2 umbrellas (368/block); the weighted
+        // kernel covers each block with four CE0 pieces (108/block).
+        assert!(
+            airtime(&weighted) < airtime(&count),
+            "weighted {} must beat count {}",
+            airtime(&weighted),
+            airtime(&count)
+        );
     }
 
     #[test]

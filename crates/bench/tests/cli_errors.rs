@@ -106,6 +106,38 @@ fn figures_refuses_archives_above_the_massive_device_limit() {
 }
 
 #[test]
+fn figures_rejects_scenario_files_with_an_empty_device_sweep() {
+    // Start from the real template so the fixture tracks the scenario
+    // schema, then empty the devices axis.
+    let dump = run(
+        env!("CARGO_BIN_EXE_figures"),
+        &["--scenario", "fig7", "--dump", "toml"],
+    );
+    assert!(dump.status.success(), "dump: {}", stderr(&dump));
+    let template = stdout(&dump);
+    assert!(template.contains("devices"), "template: {template}");
+    let emptied: String = template
+        .lines()
+        .map(|l| {
+            if l.trim_start().starts_with("devices") {
+                "devices = []\n".to_string()
+            } else {
+                format!("{l}\n")
+            }
+        })
+        .collect();
+    let dir = scratch("empty_sweep");
+    let path = dir.join("empty_sweep.toml");
+    std::fs::write(&path, emptied).unwrap();
+    let out = run(
+        env!("CARGO_BIN_EXE_figures"),
+        &["--scenario", path.to_str().unwrap()],
+    );
+    assert_error_line(&out, "figures", 1, "no devices");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn figures_reports_unknown_scenarios_as_data_errors() {
     let out = run(
         env!("CARGO_BIN_EXE_figures"),

@@ -10,7 +10,9 @@
 
 use nbiot_bench::workload;
 use nbiot_des::SeedSequence;
-use nbiot_grouping::set_cover::{greedy_set_cover, greedy_set_cover_bitset, reference};
+use nbiot_grouping::set_cover::{
+    greedy_set_cover, greedy_set_cover_bitset, greedy_set_cover_weighted, reference, KernelArena,
+};
 use nbiot_grouping::{repair_plan, GroupingInput, GroupingParams, MechanismKind};
 
 /// The default `FigureOpts::seed` used by `bench_report` and the figure
@@ -42,6 +44,39 @@ fn frame_cover_1000_pick_sequence_is_pinned() {
         fnv1a_picks(&picks),
         0xb4e7_b6f5_4665_d2cb,
         "full pick sequence moved"
+    );
+}
+
+#[test]
+fn weighted_cover_1000_pick_sequence_is_pinned() {
+    // The airtime-weighted kernel on `bench_report`'s `set_cover_weighted`
+    // instance: the truncated fixed-point gain/cost key IS the tie law, so
+    // any change to the ratio arithmetic, heap laziness, or the instance
+    // generator moves this sequence.
+    let (n, sets, costs) = workload::weighted_cover_instance(1_000, BENCH_SEED);
+    let mut arena = KernelArena::new();
+    let picks = greedy_set_cover_weighted(n, &sets, &costs, 1, &mut arena)
+        .expect("umbrella-vs-pieces instances always cover");
+    assert_eq!(
+        &picks[..12],
+        &[2, 4, 5, 6, 7, 8, 9, 10, 11, 13, 14, 16],
+        "first weighted rounds moved"
+    );
+    assert_eq!(picks.len(), 250, "weighted round count moved");
+    assert_eq!(
+        fnv1a_picks(&picks),
+        0x801a_b659_463e_0a13,
+        "full weighted pick sequence moved"
+    );
+
+    // Unit costs degenerate the ratio key to the raw gain: the weighted
+    // kernel must reproduce the unweighted pick sequence bit-identically
+    // on the very same instance.
+    let unit = vec![1u32; sets.len()];
+    assert_eq!(
+        greedy_set_cover_weighted(n, &sets, &unit, 1, &mut arena),
+        greedy_set_cover(n, &sets),
+        "unit-cost weighted picks must be bit-identical to unweighted"
     );
 }
 

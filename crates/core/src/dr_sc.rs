@@ -2,10 +2,11 @@
 
 use rand::RngCore;
 
+use nbiot_phy::{CoverageClass, NpdschConfig};
 use nbiot_time::{SimDuration, SimInstant, TimeWindow};
 
 use crate::improve::{improve_cover, ImprovementStats};
-use crate::set_cover::WindowCover;
+use crate::set_cover::{CoverSlot, WindowCover, DEFAULT_ARENA};
 use crate::{
     DevicePlan, GroupingError, GroupingInput, GroupingMechanism, MulticastPlan, PageDirective,
     Transmission,
@@ -136,54 +137,254 @@ impl GroupingMechanism for DrSc {
         let slots = WindowCover::new(ti)
             .solve(horizon.start(), &events, &dense)
             .ok_or_else(|| no_usable_po(input, &events, &dense))?;
+        Ok(plan_from_slots(input, &slots, self.guard, self.name()))
+    }
+}
 
-        let mut transmissions = Vec::with_capacity(slots.len());
-        let mut device_plans: Vec<Option<DevicePlan>> = vec![None; input.len()];
-        for slot in &slots {
-            let recipients: Vec<_> = slot.covered.iter().map(|&idx| input.ids()[idx]).collect();
-            // Page every covered device at its own first PO inside the
-            // window, then transmit shortly after the last of those pages
-            // (capped at the window end, which preserves the first-paged
-            // device's inactivity timer).
-            let pages: Vec<nbiot_time::SimInstant> = slot
-                .covered
-                .iter()
-                .map(|&idx| input.schedules()[idx].first_po_at_or_after(slot.window_start))
-                .collect();
-            let last_po = pages.iter().copied().max().expect("non-empty slot");
-            let transmit_at = (last_po + self.guard).min(slot.transmit_at);
-            for (&idx, &po) in slot.covered.iter().zip(&pages) {
-                debug_assert!(po < transmit_at);
-                device_plans[idx] = Some(DevicePlan {
-                    device: input.ids()[idx],
-                    page: Some(PageDirective { po }),
-                    mltc: None,
-                    adaptation: None,
-                    connect_at: Some(po),
-                    receives_at: transmit_at,
-                });
-            }
-            transmissions.push(Transmission {
-                at: transmit_at,
-                recipients,
+/// Builds the DR-SC-family plan from a solved cover: every covered device
+/// is paged at its own first PO inside its slot's window, the slot
+/// transmits `guard` after the last of those pages (capped at the window
+/// end, which preserves the first-paged device's inactivity timer), and
+/// transmissions are emitted in time order. Shared by [`DrSc`] and
+/// [`DrScWeighted`] so the weighted variant differs from plain DR-SC
+/// *only* in which windows the cover picked.
+fn plan_from_slots(
+    input: &GroupingInput,
+    slots: &[CoverSlot],
+    guard: SimDuration,
+    mechanism: String,
+) -> MulticastPlan {
+    let params = input.params();
+    let horizon = input.search_horizon();
+    let mut transmissions = Vec::with_capacity(slots.len());
+    let mut device_plans: Vec<Option<DevicePlan>> = vec![None; input.len()];
+    for slot in slots {
+        let recipients: Vec<_> = slot.covered.iter().map(|&idx| input.ids()[idx]).collect();
+        let pages: Vec<nbiot_time::SimInstant> = slot
+            .covered
+            .iter()
+            .map(|&idx| input.schedules()[idx].first_po_at_or_after(slot.window_start))
+            .collect();
+        let last_po = pages.iter().copied().max().expect("non-empty slot");
+        let transmit_at = (last_po + guard).min(slot.transmit_at);
+        for (&idx, &po) in slot.covered.iter().zip(&pages) {
+            debug_assert!(po < transmit_at);
+            device_plans[idx] = Some(DevicePlan {
+                device: input.ids()[idx],
+                page: Some(PageDirective { po }),
+                mltc: None,
+                adaptation: None,
+                connect_at: Some(po),
+                receives_at: transmit_at,
             });
         }
-        transmissions.sort_by_key(|t| t.at);
-        let device_plans: Vec<DevicePlan> = device_plans
-            .into_iter()
-            .map(|p| p.expect("cover reaches every device"))
-            .collect();
-        let end = transmissions.last().map(|t| t.at).unwrap_or(horizon.end());
-        Ok(MulticastPlan {
-            mechanism: self.name(),
-            standards_compliant: true,
-            requires_connection: true,
-            transmissions,
-            device_plans,
-            horizon: TimeWindow::new(params.start, end.max(horizon.end())),
-            control_monitoring: None,
-            improvement: None,
-        })
+        transmissions.push(Transmission {
+            at: transmit_at,
+            recipients,
+        });
+    }
+    transmissions.sort_by_key(|t| t.at);
+    let device_plans: Vec<DevicePlan> = device_plans
+        .into_iter()
+        .map(|p| p.expect("cover reaches every device"))
+        .collect();
+    let end = transmissions.last().map(|t| t.at).unwrap_or(horizon.end());
+    MulticastPlan {
+        mechanism,
+        standards_compliant: true,
+        requires_connection: true,
+        transmissions,
+        device_plans,
+        horizon: TimeWindow::new(params.start, end.max(horizon.end())),
+        control_monitoring: None,
+        improvement: None,
+    }
+}
+
+/// Airtime refinement pass: folds a whole slot into another picked window
+/// whenever every member of the donor slot also has a paging occasion
+/// strictly inside the recipient's window. Greedy cover can leave such
+/// redundancies behind (a device assigned to an early high-gain window may
+/// have a later PO inside a window picked afterwards). Each fold deletes
+/// one transmission and can only reduce the plan's block airtime: the
+/// merged window is priced at the *deeper* of the two member sets, so the
+/// cheaper window's block is saved in full.
+fn fold_redundant_slots(input: &GroupingInput, slots: &mut Vec<CoverSlot>) {
+    let schedules = input.schedules();
+    let mut i = 0;
+    while i < slots.len() {
+        let mut folded = false;
+        for j in 0..slots.len() {
+            if i == j {
+                continue;
+            }
+            let (start, end) = (slots[j].window_start, slots[j].transmit_at);
+            // Strict `< end` keeps the page before the transmission even
+            // when the folded member becomes the window's last page.
+            let fits = slots[i]
+                .covered
+                .iter()
+                .all(|&d| schedules[d].first_po_at_or_after(start) < end);
+            if fits {
+                let donor = slots.remove(i);
+                let j = if j > i { j - 1 } else { j };
+                slots[j].covered.extend(donor.covered);
+                slots[j].covered.sort_unstable();
+                folded = true;
+                break;
+            }
+        }
+        if !folded {
+            i += 1;
+        }
+    }
+}
+
+/// Airtime-weighted DR-SC: the cover kernel picks windows by
+/// newly-covered devices **per subframe of airtime** instead of per
+/// transmission.
+///
+/// Every candidate anchor window is priced at the NPDSCH block airtime of
+/// its *deepest-coverage* member ([`NpdschConfig::block_airtime_subframes`]
+/// with that member's [`CoverageClass`]): a CE2 member forces 32
+/// repetitions on the whole transmission, so a window that avoids deep
+/// devices is up to ~20x cheaper per block. On homogeneous populations
+/// (every device CE0) all windows cost the same and the pick sequence is
+/// bit-identical to [`DrSc`]'s cover kernel on the anchor instance; the
+/// mechanism only diverges — and starts saving airtime — on heterogeneous
+/// coverage mixes such as `heterogeneous-coverage`.
+///
+/// Because a window is priced at its *deepest* member, bundling shallow
+/// devices into an already-deep window is free, and on some instances the
+/// plain count-greedy cover exploits that better than ratio-greedy does
+/// (ratio-greedy splits covers into extra cheap windows whose base cost
+/// adds up). The mechanism therefore solves **both** covers, folds
+/// redundant slots out of each ([`fold_redundant_slots`]), prices each
+/// finished plan by its transmissions' deepest-recipient airtime, and
+/// keeps the cheaper one — so it is never worse than [`DrSc`] on total
+/// airtime, by construction (ties keep the weighted cover).
+///
+/// Everything downstream of window choice (paging directives, guard
+/// timing, transmission ordering) is byte-for-byte the DR-SC logic
+/// ([`plan_from_slots`]), and the mechanism stays standards-compliant:
+/// it is still plain paging plus in-window multicast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrScWeighted {
+    /// Delay between the last covered PO and the transmission (same role
+    /// as [`DrSc::guard`]).
+    pub guard: SimDuration,
+    /// The NPDSCH scheduling shape whose per-class block airtime prices
+    /// the windows. Only `coverage` is varied per window; the MCS and gap
+    /// fields come from this base config.
+    pub npdsch: NpdschConfig,
+}
+
+impl Default for DrScWeighted {
+    fn default() -> Self {
+        DrScWeighted {
+            guard: DrSc::default().guard,
+            npdsch: NpdschConfig::default(),
+        }
+    }
+}
+
+impl DrScWeighted {
+    /// Creates the mechanism with the default 1 s guard and default
+    /// NPDSCH shape.
+    pub fn new() -> DrScWeighted {
+        DrScWeighted::default()
+    }
+
+    /// Block airtime (in subframes) per coverage class under the base
+    /// NPDSCH shape, indexed by `CoverageClass as usize`.
+    fn airtime_table(&self) -> [u32; 3] {
+        let mut table = [0u32; 3];
+        for c in CoverageClass::ALL {
+            let cfg = NpdschConfig {
+                coverage: c,
+                ..self.npdsch
+            };
+            table[c as usize] = u32::try_from(cfg.block_airtime_subframes())
+                .expect("block airtime fits u32 for any standard shape");
+        }
+        table
+    }
+
+    /// Prices a finished cover: each slot costs one block at the deepest
+    /// coverage class among its *newly covered* devices (the slot's
+    /// actual recipients), which is what the transmission will pay.
+    fn cover_airtime(&self, slots: &[CoverSlot], coverages: &[CoverageClass]) -> u64 {
+        let table = self.airtime_table();
+        slots
+            .iter()
+            .map(|slot| {
+                let deepest = slot
+                    .covered
+                    .iter()
+                    .map(|&d| coverages[d])
+                    .max()
+                    .unwrap_or_default();
+                u64::from(table[deepest as usize])
+            })
+            .sum()
+    }
+}
+
+impl GroupingMechanism for DrScWeighted {
+    fn name(&self) -> String {
+        "DR-SC-weighted".to_string()
+    }
+
+    fn is_standards_compliant(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &self,
+        input: &GroupingInput,
+        _rng: &mut dyn RngCore,
+    ) -> Result<MulticastPlan, GroupingError> {
+        let ti = input.params().ti.duration();
+        let horizon = input.search_horizon();
+        let (events, dense) = po_events(input, ti);
+        let table = self.airtime_table();
+        let coverages = input.coverages();
+        let window_cost = |members: &[usize]| {
+            let deepest = members
+                .iter()
+                .map(|&d| coverages[d])
+                .max()
+                .unwrap_or_default();
+            table[deepest as usize]
+        };
+        let cover = WindowCover::new(ti);
+        let weighted = DEFAULT_ARENA
+            .with(|arena| {
+                cover.solve_weighted(
+                    horizon.start(),
+                    &events,
+                    &dense,
+                    window_cost,
+                    &mut arena.borrow_mut(),
+                )
+            })
+            .ok_or_else(|| no_usable_po(input, &events, &dense))?;
+        let counted = cover
+            .solve(horizon.start(), &events, &dense)
+            .expect("count cover is feasible whenever the weighted cover is");
+        let mut weighted = weighted;
+        let mut counted = counted;
+        fold_redundant_slots(input, &mut weighted);
+        fold_redundant_slots(input, &mut counted);
+        // Keep whichever refined cover transmits cheaper; ties keep the
+        // weighted one (it optimized for exactly this objective).
+        let slots =
+            if self.cover_airtime(&counted, coverages) < self.cover_airtime(&weighted, coverages) {
+                counted
+            } else {
+                weighted
+            };
+        Ok(plan_from_slots(input, &slots, self.guard, self.name()))
     }
 }
 
@@ -575,5 +776,86 @@ mod tests {
         let plan = DrSc::new().plan(&input, &mut rng).unwrap();
         plan.validate(&input).unwrap();
         assert_eq!(plan.transmission_count(), 1);
+    }
+
+    fn weighted_plan_for(mix: TrafficMix, n: usize, seed: u64) -> (GroupingInput, MulticastPlan) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pop = mix.generate(n, &mut rng).unwrap();
+        let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        let plan = DrScWeighted::new().plan(&input, &mut rng).unwrap();
+        (input, plan)
+    }
+
+    /// Total NPDSCH block airtime of a plan: each transmission is priced
+    /// at its deepest recipient's coverage class (one block per tx).
+    fn plan_block_airtime(input: &GroupingInput, plan: &MulticastPlan) -> u64 {
+        let table = DrScWeighted::default().airtime_table();
+        let idx_of: std::collections::HashMap<_, _> = input
+            .ids()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
+        plan.transmissions
+            .iter()
+            .map(|tx| {
+                let deepest = tx
+                    .recipients
+                    .iter()
+                    .map(|id| input.coverages()[idx_of[id]])
+                    .max()
+                    .unwrap();
+                u64::from(table[deepest as usize])
+            })
+            .sum()
+    }
+
+    #[test]
+    fn weighted_plan_is_valid_on_heterogeneous_coverage() {
+        let (input, plan) = weighted_plan_for(TrafficMix::heterogeneous_coverage(), 200, 12);
+        plan.validate(&input).unwrap();
+        assert_eq!(plan.mechanism, "DR-SC-weighted");
+        assert!(plan.standards_compliant);
+    }
+
+    #[test]
+    fn weighted_is_deterministic() {
+        let (_, a) = weighted_plan_for(TrafficMix::heterogeneous_coverage(), 150, 13);
+        let (_, b) = weighted_plan_for(TrafficMix::heterogeneous_coverage(), 150, 13);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_never_needs_more_transmissions_on_uniform_coverage() {
+        // All-Normal populations make every window cost the same, so the
+        // weighted cover picks the same number of windows as plain DR-SC
+        // (window starts may differ on gain ties; see `solve_weighted`)
+        // and the fold pass can only delete transmissions from there.
+        for seed in [3u64, 7, 14] {
+            let (_, greedy) = plan_for(TrafficMix::ericsson_city(), 120, seed);
+            let (input, weighted) = weighted_plan_for(TrafficMix::ericsson_city(), 120, seed);
+            weighted.validate(&input).unwrap();
+            assert!(weighted.transmission_count() <= greedy.transmission_count());
+        }
+    }
+
+    #[test]
+    fn weighted_never_costs_more_airtime_on_heterogeneous_mix() {
+        for seed in [2u64, 6, 15] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pop = TrafficMix::heterogeneous_coverage()
+                .generate(300, &mut rng)
+                .unwrap();
+            let input = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+            let greedy = DrSc::new().plan(&input, &mut rng).unwrap();
+            let weighted = DrScWeighted::new().plan(&input, &mut rng).unwrap();
+            weighted.validate(&input).unwrap();
+            let greedy_air = plan_block_airtime(&input, &greedy);
+            let weighted_air = plan_block_airtime(&input, &weighted);
+            assert!(
+                weighted_air <= greedy_air,
+                "seed {seed}: weighted {weighted_air} > greedy {greedy_air} subframes"
+            );
+        }
     }
 }

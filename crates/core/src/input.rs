@@ -1,5 +1,6 @@
 //! Grouping problem input.
 
+use nbiot_phy::CoverageClass;
 use nbiot_rrc::InactivityTimer;
 use nbiot_time::{CycleLadder, PagingConfig, PagingSchedule, SimDuration, SimInstant, UeId};
 use nbiot_traffic::{ClassId, DeviceId, DeviceProfile, Population};
@@ -47,6 +48,10 @@ pub struct GroupingInput {
     classes: Vec<ClassId>,
     pagings: Vec<PagingConfig>,
     report_intervals: Vec<SimDuration>,
+    /// Coverage-enhancement class per device, resolved from the
+    /// population's class-level table — the airtime weight column the
+    /// cost-aware DR-SC variant prices windows with.
+    coverages: Vec<CoverageClass>,
     schedules: Vec<PagingSchedule>,
     params: GroupingParams,
     max_cycle: SimDuration,
@@ -86,6 +91,7 @@ impl GroupingInput {
             classes: pop.classes().to_vec(),
             pagings: pop.paging_configs().to_vec(),
             report_intervals: pop.report_intervals().to_vec(),
+            coverages: pop.classes().iter().map(|&c| pop.coverage_of(c)).collect(),
             schedules,
             params,
             max_cycle,
@@ -129,12 +135,14 @@ impl GroupingInput {
             report_intervals.push(d.report_interval);
         }
         let positions = Self::index_positions(&ids);
+        let coverages = vec![CoverageClass::default(); ids.len()];
         Ok(GroupingInput {
             ids,
             ues,
             classes,
             pagings,
             report_intervals,
+            coverages,
             schedules,
             params,
             max_cycle,
@@ -221,6 +229,14 @@ impl GroupingInput {
     /// Report intervals, in device order.
     pub fn report_intervals(&self) -> &[SimDuration] {
         &self.report_intervals
+    }
+
+    /// Coverage-enhancement classes, in device order. All
+    /// [`CoverageClass::Normal`] for inputs built from explicit device
+    /// lists ([`GroupingInput::from_devices`]) — only populations carry a
+    /// class-level coverage table.
+    pub fn coverages(&self) -> &[CoverageClass] {
+        &self.coverages
     }
 
     /// Paging schedules, in device order.
@@ -388,6 +404,27 @@ mod tests {
             assert_eq!(d.paging, inp.paging_configs()[i]);
             assert_eq!(d.report_interval, inp.report_intervals()[i]);
         }
+    }
+
+    #[test]
+    fn coverages_resolve_from_class_table() {
+        let pop = TrafficMix::heterogeneous_coverage()
+            .generate(200, &mut StdRng::seed_from_u64(8))
+            .unwrap();
+        let inp = GroupingInput::from_population(&pop, GroupingParams::default()).unwrap();
+        assert_eq!(inp.coverages().len(), inp.len());
+        for (i, d) in inp.iter().enumerate() {
+            assert_eq!(inp.coverages()[i], pop.coverage_of(d.class), "device {i}");
+        }
+        // Some depth must actually appear in the heterogeneous mix.
+        assert!(inp.coverages().iter().any(|&c| c != CoverageClass::Normal));
+        // Device-list construction has no class table: all CE0.
+        let from_rows =
+            GroupingInput::from_devices(pop.profiles(), GroupingParams::default()).unwrap();
+        assert!(from_rows
+            .coverages()
+            .iter()
+            .all(|&c| c == CoverageClass::Normal));
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod set_cover;
 mod unicast;
 
 pub use da_sc::{AdaptationGrid, DaSc};
-pub use dr_sc::{DrSc, DrScTabu, DEFAULT_TABU_BUDGET};
+pub use dr_sc::{DrSc, DrScTabu, DrScWeighted, DEFAULT_TABU_BUDGET};
 pub use dr_si::{DrSi, NotifyPolicy};
 pub use error::{GroupingError, PlanViolation};
 pub use improve::{Budget, ImprovementStats};

@@ -42,6 +42,9 @@ pub enum MechanismKind {
     /// DR-SC plus an anytime tabu-improvement pass with the given
     /// iteration budget (`DR-SC-tabu(64)`; budget 0 is plain greedy).
     DrScTabu(u32),
+    /// Airtime-weighted DR-SC: the cover is priced by per-window NPDSCH
+    /// block airtime (deepest coverage class among the members).
+    DrScWeighted,
     /// DRX Adjusting, Standards Compliant (DRX adaptation).
     DaSc,
     /// DRX Respecting, Standards Incompliant (paging extension + T322).
@@ -62,17 +65,19 @@ impl MechanismKind {
 
     /// All built-in mechanisms including baselines (the tabu entry uses
     /// [`crate::DEFAULT_TABU_BUDGET`]).
-    pub const ALL: [MechanismKind; 6] = [
+    pub const ALL: [MechanismKind; 7] = [
         MechanismKind::DrSc,
         MechanismKind::DrScTabu(crate::DEFAULT_TABU_BUDGET),
+        MechanismKind::DrScWeighted,
         MechanismKind::DaSc,
         MechanismKind::DrSi,
         MechanismKind::Unicast,
         MechanismKind::ScPtm,
     ];
 
-    /// Resolves a mechanism from its display name (`"DR-SC"`, `"DA-SC"`,
-    /// `"DR-SI"`, `"Unicast"`, `"SC-PTM"`), case-insensitively.
+    /// Resolves a mechanism from its display name (`"DR-SC"`,
+    /// `"DR-SC-weighted"`, `"DA-SC"`, `"DR-SI"`, `"Unicast"`, `"SC-PTM"`),
+    /// case-insensitively.
     /// `"DR-SC-tabu(N)"` resolves for any budget `N`; a bare
     /// `"DR-SC-tabu"` gets [`crate::DEFAULT_TABU_BUDGET`].
     ///
@@ -114,6 +119,7 @@ impl MechanismKind {
         match self {
             MechanismKind::DrSc => Box::new(crate::DrSc::default()),
             MechanismKind::DrScTabu(budget) => Box::new(crate::DrScTabu::new(budget)),
+            MechanismKind::DrScWeighted => Box::new(crate::DrScWeighted::default()),
             MechanismKind::DaSc => Box::new(crate::DaSc::default()),
             MechanismKind::DrSi => Box::new(crate::DrSi::default()),
             MechanismKind::Unicast => Box::new(crate::Unicast),
@@ -127,6 +133,7 @@ impl fmt::Display for MechanismKind {
         match self {
             MechanismKind::DrSc => f.write_str("DR-SC"),
             MechanismKind::DrScTabu(budget) => write!(f, "DR-SC-tabu({budget})"),
+            MechanismKind::DrScWeighted => f.write_str("DR-SC-weighted"),
             MechanismKind::DaSc => f.write_str("DA-SC"),
             MechanismKind::DrSi => f.write_str("DR-SI"),
             MechanismKind::Unicast => f.write_str("Unicast"),
@@ -197,6 +204,9 @@ mod tests {
     fn compliance_flags_match_paper() {
         assert!(MechanismKind::DrSc.instantiate().is_standards_compliant());
         assert!(MechanismKind::DrScTabu(64)
+            .instantiate()
+            .is_standards_compliant());
+        assert!(MechanismKind::DrScWeighted
             .instantiate()
             .is_standards_compliant());
         assert!(MechanismKind::DaSc.instantiate().is_standards_compliant());

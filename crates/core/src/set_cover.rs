@@ -127,6 +127,69 @@ impl GainQueue {
     }
 }
 
+/// Lazy max-*ratio* priority queue — [`GainQueue`]'s weighted sibling,
+/// keyed on the deterministic fixed-point ratio `(gain << 32) / cost`.
+///
+/// Costs are static over a solve and gains only decrease, so the ratio is
+/// monotone non-increasing and the same lazy-snapshot argument applies.
+/// One gain decrement moves the key by `2^32 / cost >= 1` (costs are
+/// `u32`, so the quotient never truncates to zero), hence a snapshot key
+/// equals the live key **iff** the gain is unchanged — the staleness test
+/// needs no separate gain comparison. The fixed-point key *is* the ratio
+/// law: two candidates tie exactly when their truncated keys agree, and
+/// ties break towards the lowest index via `Reverse(candidate)`. With unit
+/// costs the key degenerates to `gain << 32`, strictly monotone in the
+/// gain, so the pick sequence is bit-identical to [`GainQueue`]'s
+/// (proptest-locked in `tests/setcover_properties.rs`).
+struct RatioQueue;
+
+impl RatioQueue {
+    /// The deterministic fixed-point ratio key. `cost` must be nonzero
+    /// (asserted by the solver entry points).
+    #[inline]
+    fn key(gain: u32, cost: u32) -> u64 {
+        ((gain as u64) << 32) / cost as u64
+    }
+
+    /// Re-seeds `heap` (retaining its capacity) with a snapshot of every
+    /// candidate with a positive gain.
+    fn seed(heap: &mut BinaryHeap<(u64, Reverse<u32>)>, gains: &[u32], costs: &[u32]) {
+        heap.clear();
+        heap.extend(
+            gains
+                .iter()
+                .zip(costs)
+                .enumerate()
+                .filter(|&(_, (&g, _))| g > 0)
+                .map(|(i, (&g, &c))| (Self::key(g, c), Reverse(i as u32))),
+        );
+    }
+
+    /// Pushes a fresh snapshot (no-op for exhausted candidates).
+    fn push_to(heap: &mut BinaryHeap<(u64, Reverse<u32>)>, gain: u32, cost: u32, candidate: usize) {
+        if gain > 0 {
+            heap.push((Self::key(gain, cost), Reverse(candidate as u32)));
+        }
+    }
+
+    /// Pops snapshots until one carries the candidate's live key and
+    /// returns that candidate, or `None` when every remaining candidate
+    /// has gain zero.
+    fn pop_current_from(
+        heap: &mut BinaryHeap<(u64, Reverse<u32>)>,
+        gains: &[u32],
+        costs: &[u32],
+    ) -> Option<usize> {
+        while let Some((key, Reverse(candidate))) = heap.pop() {
+            let candidate = candidate as usize;
+            if gains[candidate] > 0 && Self::key(gains[candidate], costs[candidate]) == key {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+}
+
 /// Reusable scratch for the incremental set-cover kernel: the dedup CSR,
 /// the element→sets inverted index, the per-worker build buffers, and the
 /// solve-phase scratch (gains, coverage tombstones, queue storage).
@@ -158,6 +221,11 @@ pub struct KernelArena {
     last_touch: Vec<u32>,
     touched: Vec<u32>,
     heap: BinaryHeap<(u32, Reverse<u32>)>,
+    // Weighted-solve scratch: the u64 ratio-keyed heap (the unweighted
+    // heap stays u32-keyed — see `GainQueue`'s size note) and the
+    // per-anchor cost column of the window front-end.
+    wheap: BinaryHeap<(u64, Reverse<u32>)>,
+    wcosts: Vec<u32>,
     // Window-cover front-end scratch: the flat time-sorted event list and
     // the per-device coverage flags behind [`WindowCover::solve_in`], so a
     // long-lived caller (the grouping service's repair path) stops
@@ -632,6 +700,104 @@ pub fn greedy_set_cover_with(
     Some(picked)
 }
 
+/// Weighted-gain greedy set cover: each round picks the set maximizing
+/// `gain / cost` — Chvátal's cost-aware rule, the `H(n)`-approximate
+/// greedy for *minimum-cost* set cover — instead of the raw gain.
+///
+/// `costs[i]` is the static, positive cost of picking set `i` (for DR-SC
+/// anchor windows: the coverage-class block airtime of the window's
+/// deepest device). Ratios are compared through the deterministic
+/// fixed-point key `(gain << 32) / cost`; candidates whose truncated keys
+/// agree tie, and ties break towards the lowest set index. Gains are
+/// maintained exactly through the same inverted-index machinery as
+/// [`greedy_set_cover_with`], and winners pop from a lazy max-ratio
+/// snapshot heap (costs are static and gains only decrease, so stale
+/// snapshots are upper bounds — the same argument as the unweighted
+/// queue). Total work is `O(L log L)` for summed set size `L`.
+///
+/// **Unit costs reproduce [`greedy_set_cover`]'s pick sequence
+/// bit-identically**: with `cost == 1` the key is `gain << 32`, strictly
+/// monotone in the gain, so every argmax and tie-break coincides
+/// (proptest-locked in `tests/setcover_properties.rs` and pinned in the
+/// bench crate's `kernel_regression.rs`).
+///
+/// Returns the picked set indices in selection order, or `None` when the
+/// union of all sets does not cover the universe.
+///
+/// # Panics
+///
+/// Panics when `costs.len() != sets.len()`, when any cost is zero, or
+/// when a set contains an element `>= universe_size`.
+pub fn greedy_set_cover_weighted(
+    universe_size: usize,
+    sets: &[Vec<usize>],
+    costs: &[u32],
+    threads: usize,
+    arena: &mut KernelArena,
+) -> Option<Vec<usize>> {
+    assert_eq!(
+        costs.len(),
+        sets.len(),
+        "one cost per candidate set required"
+    );
+    assert!(
+        costs.iter().all(|&c| c > 0),
+        "set costs must be positive (a zero cost breaks the ratio key)"
+    );
+    if universe_size == 0 {
+        return Some(Vec::new());
+    }
+    build_index_into(universe_size, sets, threads, arena);
+
+    let KernelArena {
+        set_off,
+        set_elems,
+        elem_off,
+        elem_sets,
+        gains,
+        covered,
+        last_touch,
+        touched,
+        wheap,
+        ..
+    } = arena;
+    gains.clear();
+    gains.extend(set_off.windows(2).map(|w| (w[1] - w[0]) as u32));
+    RatioQueue::seed(wheap, gains, costs);
+    reset(covered, universe_size, false);
+    let mut remaining = universe_size;
+    let mut picked = Vec::new();
+    reset(last_touch, sets.len(), u32::MAX);
+    touched.clear();
+    let mut round = 0u32;
+    while remaining > 0 {
+        let best = RatioQueue::pop_current_from(wheap, gains, costs)?;
+        picked.push(best);
+        touched.clear();
+        for &e in &set_elems[set_off[best]..set_off[best + 1]] {
+            let e = e as usize;
+            if !covered[e] {
+                covered[e] = true;
+                remaining -= 1;
+                for &s in &elem_sets[elem_off[e] as usize..elem_off[e + 1] as usize] {
+                    let s = s as usize;
+                    gains[s] -= 1;
+                    if last_touch[s] != round {
+                        last_touch[s] = round;
+                        touched.push(s as u32);
+                    }
+                }
+            }
+        }
+        for &s in touched.iter() {
+            let s = s as usize;
+            RatioQueue::push_to(wheap, gains[s], costs[s], s);
+        }
+        round += 1;
+    }
+    Some(picked)
+}
+
 /// Greedy (Chvátal) set cover over packed-`u64` bitset rows — the eager
 /// per-round re-sweep kernel (the PR-1 fast path), retained for
 /// benchmarking against [`greedy_set_cover`] and as a second independent
@@ -814,6 +980,156 @@ impl WindowCover {
         dense: &[bool],
     ) -> Option<Vec<CoverSlot>> {
         self.solve_with(horizon_start, events, dense, Strategy::Incremental, None)
+    }
+
+    /// Cost-aware cover: anchors every candidate window at a distinct
+    /// sparse PO (the same anchor-window instance the tabu improver
+    /// searches), prices each window through `window_cost`, and solves
+    /// with [`greedy_set_cover_weighted`] — each round picks the window
+    /// maximizing newly-covered devices *per unit cost* instead of the
+    /// raw count.
+    ///
+    /// `window_cost` receives the window's member devices as indices into
+    /// `events` (sparse members only, in PO-time order) and must return a
+    /// positive cost; for DR-SC it returns the coverage-class block
+    /// airtime of the deepest member. Dense devices ride the first
+    /// selected transmission exactly as in [`WindowCover::solve`] — their
+    /// cost contribution is constant across any cover, so they never
+    /// influence the argmax and are excluded from the priced instance.
+    ///
+    /// Returns the selected transmissions in selection (greedy) order, or
+    /// `None` when some non-dense device has no PO events. The candidate
+    /// instance is the *static* anchor-window instance — the same one
+    /// [`crate::DrScTabu`] materializes and searches — so with a constant
+    /// `window_cost` the pick sequence is bit-identical to running the
+    /// unweighted kernel on that instance (the ratio key degenerates to
+    /// `gain << 32`). It is *not* slot-for-slot identical to
+    /// [`WindowCover::solve`]: the unweighted engines drop covered
+    /// devices' events between rounds and therefore re-anchor
+    /// gain-tied windows at a surviving (uncovered) PO, while the static
+    /// instance keeps every anchor alive. The covered POs are the same;
+    /// only tie-round `window_start`s can differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `events` and `dense` have different lengths, or when
+    /// `window_cost` returns zero.
+    pub fn solve_weighted(
+        &self,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+        mut window_cost: impl FnMut(&[usize]) -> u32,
+        arena: &mut KernelArena,
+    ) -> Option<Vec<CoverSlot>> {
+        assert_eq!(events.len(), dense.len(), "events/dense length mismatch");
+        let n = events.len();
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        for (evs, &is_dense) in events.iter().zip(dense) {
+            if evs.is_empty() && !is_dense {
+                return None;
+            }
+        }
+
+        // Materialize the anchor-window instance over sparse devices:
+        // every distinct sparse PO instant anchors a candidate window
+        // covering the sparse devices with a PO in `[a, a + TI)`.
+        let mut orig_of: Vec<usize> = Vec::new();
+        let mut sparse_of = vec![usize::MAX; n];
+        for (d, &is_dense) in dense.iter().enumerate() {
+            if !is_dense {
+                sparse_of[d] = orig_of.len();
+                orig_of.push(d);
+            }
+        }
+        let n_sparse = orig_of.len();
+        let mut covered = vec![false; n];
+        let mut slots: Vec<CoverSlot> = Vec::new();
+        if n_sparse > 0 {
+            let mut flat: Vec<(SimInstant, usize)> = Vec::new();
+            for (d, evs) in events.iter().enumerate() {
+                if !dense[d] {
+                    flat.extend(evs.iter().map(|&t| (t, sparse_of[d])));
+                }
+            }
+            flat.sort_unstable();
+            let mut anchors: Vec<SimInstant> = flat.iter().map(|&(t, _)| t).collect();
+            anchors.dedup();
+            let mut sets: Vec<Vec<usize>> = Vec::with_capacity(anchors.len());
+            let mut costs = std::mem::take(&mut arena.wcosts);
+            costs.clear();
+            let mut members_orig: Vec<usize> = Vec::new();
+            let mut seen = vec![usize::MAX; n_sparse];
+            let (mut lo, mut hi) = (0usize, 0usize);
+            for (i, &a) in anchors.iter().enumerate() {
+                let end = a + self.ti;
+                while flat[lo].0 < a {
+                    lo += 1;
+                }
+                hi = hi.max(lo);
+                while hi < flat.len() && flat[hi].0 < end {
+                    hi += 1;
+                }
+                let mut set = Vec::new();
+                members_orig.clear();
+                for &(_, d) in &flat[lo..hi] {
+                    if seen[d] != i {
+                        seen[d] = i;
+                        set.push(d);
+                        members_orig.push(orig_of[d]);
+                    }
+                }
+                let cost = window_cost(&members_orig);
+                assert!(cost > 0, "window cost must be positive");
+                costs.push(cost);
+                sets.push(set);
+            }
+            let picks = greedy_set_cover_weighted(n_sparse, &sets, &costs, 1, arena);
+            arena.wcosts = costs;
+            for pick in picks? {
+                let window_start = anchors[pick];
+                let mut newly: Vec<usize> = sets[pick]
+                    .iter()
+                    .map(|&d| orig_of[d])
+                    .filter(|&d| !covered[d])
+                    .collect();
+                newly.sort_unstable();
+                debug_assert!(!newly.is_empty(), "weighted pick covers nothing");
+                for &d in &newly {
+                    covered[d] = true;
+                }
+                slots.push(CoverSlot {
+                    window_start,
+                    transmit_at: window_start + self.ti,
+                    covered: newly,
+                });
+            }
+        }
+
+        // Dense devices ride the first transmission; if there is none
+        // (everyone is dense), create one window at the earliest possible
+        // position — identical to [`WindowCover::solve`].
+        let dense_devices: Vec<usize> = (0..n).filter(|&d| dense[d] && !covered[d]).collect();
+        if !dense_devices.is_empty() {
+            for &d in &dense_devices {
+                covered[d] = true;
+            }
+            if let Some(first) = slots.first_mut() {
+                first.covered.extend(dense_devices);
+                first.covered.sort_unstable();
+            } else {
+                let window_start = horizon_start;
+                slots.push(CoverSlot {
+                    window_start,
+                    transmit_at: window_start + self.ti,
+                    covered: dense_devices,
+                });
+            }
+        }
+        debug_assert!(covered.iter().all(|&c| c));
+        Some(slots)
     }
 
     fn solve_with(
@@ -1211,6 +1527,62 @@ pub mod reference {
                 covered[e] = true;
             }
             remaining -= gain;
+            round += 1;
+        }
+        Some(picked)
+    }
+
+    /// Reference weighted-gain greedy set cover: a full re-scan of every
+    /// set per round, picking the maximum fixed-point ratio key
+    /// `(gain << 32) / cost` with ties towards the lowest index — the
+    /// oracle for [`super::greedy_set_cover_weighted`]'s incremental
+    /// maintenance. The truncated key *is* the tie law; a rational
+    /// comparison would order some pairs differently and is deliberately
+    /// not used.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `costs.len() != sets.len()` or any cost is zero.
+    pub fn greedy_set_cover_weighted(
+        universe_size: usize,
+        sets: &[Vec<usize>],
+        costs: &[u32],
+    ) -> Option<Vec<usize>> {
+        assert_eq!(costs.len(), sets.len());
+        assert!(costs.iter().all(|&c| c > 0));
+        let mut covered = vec![false; universe_size];
+        let mut remaining = universe_size;
+        let mut picked = Vec::new();
+        let mut seen = vec![usize::MAX; universe_size];
+        let mut unique_gain = |set: &[usize], covered: &[bool], tag: usize| {
+            let mut gain: u32 = 0;
+            for &e in set {
+                if !covered[e] && seen[e] != tag {
+                    seen[e] = tag;
+                    gain += 1;
+                }
+            }
+            gain
+        };
+        let mut round = 0usize;
+        while remaining > 0 {
+            let mut best: Option<(u64, u32, usize)> = None; // (key, gain, set)
+            for (i, set) in sets.iter().enumerate() {
+                let gain = unique_gain(set, &covered, round * sets.len() + i);
+                if gain == 0 {
+                    continue;
+                }
+                let key = ((gain as u64) << 32) / costs[i] as u64;
+                if best.is_none_or(|(bk, _, _)| key > bk) {
+                    best = Some((key, gain, i));
+                }
+            }
+            let (_, gain, idx) = best?;
+            picked.push(idx);
+            for &e in &sets[idx] {
+                covered[e] = true;
+            }
+            remaining -= gain as usize;
             round += 1;
         }
         Some(picked)
@@ -1820,5 +2192,367 @@ mod tests {
             WindowCover::new(ti).solve_incremental(ms(0), &[vec![]], &[false]),
             None
         );
+    }
+
+    /// Deterministic LCG over random instances plus random positive costs.
+    fn random_weighted_instance(
+        next: &mut impl FnMut() -> usize,
+        trial: usize,
+    ) -> (usize, Vec<Vec<usize>>, Vec<u32>) {
+        let n = 1 + next() % 80;
+        let n_sets = 1 + next() % 40;
+        let mut sets: Vec<Vec<usize>> = (0..n_sets)
+            .map(|_| (0..1 + next() % 10).map(|_| next() % n).collect())
+            .collect();
+        if trial.is_multiple_of(2) {
+            sets.push((0..n).collect()); // force coverability half the time
+        }
+        let costs: Vec<u32> = sets.iter().map(|_| 1 + (next() % 64) as u32).collect();
+        (n, sets, costs)
+    }
+
+    #[test]
+    fn weighted_with_unit_costs_is_bit_identical_to_unweighted() {
+        // The core invariant: `gain/1` keys sort exactly like `gain` keys
+        // (the fixed-point key degenerates to `gain << 32`), so every
+        // round's pick — including tie rounds — must coincide.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut arena = KernelArena::new();
+        for trial in 0..50 {
+            let (n, sets, _) = random_weighted_instance(&mut next, trial);
+            let unit = vec![1u32; sets.len()];
+            assert_eq!(
+                greedy_set_cover_weighted(n, &sets, &unit, 1, &mut arena),
+                greedy_set_cover(n, &sets),
+                "trial {trial}: n={n} sets={sets:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_solver_matches_reference_oracle() {
+        let mut state = 0xABCD_EF01_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut arena = KernelArena::new();
+        for trial in 0..50 {
+            let (n, sets, costs) = random_weighted_instance(&mut next, trial);
+            assert_eq!(
+                greedy_set_cover_weighted(n, &sets, &costs, 1, &mut arena),
+                reference::greedy_set_cover_weighted(n, &sets, &costs),
+                "trial {trial}: n={n} sets={sets:?} costs={costs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_equal_ratio_tie_storm_breaks_to_lowest_index() {
+        // Every candidate has the identical ratio key in every round:
+        // 64 singleton sets at equal cost, plus scaled duplicates
+        // (gain 2 / cost 14 truncates to the same key as 1 / 7). The
+        // selection must walk indices in ascending order regardless.
+        let n = 64;
+        let mut sets: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let mut costs = vec![7u32; n];
+        let mut arena = KernelArena::new();
+        let picks = greedy_set_cover_weighted(n, &sets, &costs, 1, &mut arena).unwrap();
+        assert_eq!(picks, (0..n).collect::<Vec<_>>());
+        // Scaled pairs: {2k, 2k+1} at cost 14 ties the singletons exactly
+        // ((2<<32)/14 == (1<<32)/7) but sits at a higher index, so the
+        // pair never wins a round and the pick order is unchanged.
+        for k in 0..n / 2 {
+            sets.push(vec![2 * k, 2 * k + 1]);
+            costs.push(14);
+        }
+        let stormed = greedy_set_cover_weighted(n, &sets, &costs, 1, &mut arena).unwrap();
+        assert_eq!(stormed, (0..n).collect::<Vec<_>>());
+        assert_eq!(
+            stormed,
+            reference::greedy_set_cover_weighted(n, &sets, &costs).unwrap()
+        );
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_cover_over_raw_gain() {
+        // Count-greedy grabs the 3-element set; ratio-greedy covers the
+        // same universe with the two cheap sets (total cost 2 vs 100).
+        let sets = vec![vec![0, 1, 2], vec![0, 1], vec![2]];
+        let costs = vec![100, 1, 1];
+        let mut arena = KernelArena::new();
+        assert_eq!(greedy_set_cover(3, &sets), Some(vec![0]));
+        assert_eq!(
+            greedy_set_cover_weighted(3, &sets, &costs, 1, &mut arena),
+            Some(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn weighted_uncoverable_and_empty_edges() {
+        let mut arena = KernelArena::new();
+        assert_eq!(
+            greedy_set_cover_weighted(2, &[vec![0]], &[3], 1, &mut arena),
+            None
+        );
+        assert_eq!(
+            greedy_set_cover_weighted(0, &[], &[], 1, &mut arena),
+            Some(vec![])
+        );
+        // Empty sets never enter the heap whatever their cost.
+        assert_eq!(
+            greedy_set_cover_weighted(1, &[vec![], vec![0]], &[1, 9], 1, &mut arena),
+            Some(vec![1])
+        );
+    }
+
+    #[test]
+    fn weighted_threads_are_bit_identical() {
+        let (n, sets) = large_instance(0x00C0_FFEE);
+        let costs: Vec<u32> = (0..sets.len()).map(|i| 1 + (i % 32) as u32).collect();
+        let mut arena = KernelArena::new();
+        let base = greedy_set_cover_weighted(n, &sets, &costs, 1, &mut arena);
+        assert!(base.is_some());
+        for threads in [2, 4, 8] {
+            let mut fresh = KernelArena::new();
+            assert_eq!(
+                greedy_set_cover_weighted(n, &sets, &costs, threads, &mut fresh),
+                base,
+                "threads={threads}"
+            );
+        }
+    }
+
+    /// Naive weighted-window oracle: the same static anchor instance,
+    /// solved by per-round full rescan with the documented fixed-point
+    /// key and lowest-anchor tie law.
+    fn naive_weighted_window(
+        ti: SimDuration,
+        horizon_start: SimInstant,
+        events: &[Vec<SimInstant>],
+        dense: &[bool],
+        cost: &dyn Fn(&[usize]) -> u32,
+    ) -> Option<Vec<CoverSlot>> {
+        let n = events.len();
+        if n == 0 {
+            return Some(Vec::new());
+        }
+        for (evs, &is_dense) in events.iter().zip(dense) {
+            if evs.is_empty() && !is_dense {
+                return None;
+            }
+        }
+        let mut flat: Vec<(SimInstant, usize)> = events
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| !dense[d])
+            .flat_map(|(d, evs)| evs.iter().map(move |&t| (t, d)))
+            .collect();
+        flat.sort_unstable();
+        let mut anchors: Vec<SimInstant> = flat.iter().map(|&(t, _)| t).collect();
+        anchors.dedup();
+        let windows: Vec<(SimInstant, Vec<usize>, u32)> = anchors
+            .iter()
+            .map(|&a| {
+                let mut members: Vec<usize> = flat
+                    .iter()
+                    .filter(|&&(t, _)| t >= a && t < a + ti)
+                    .map(|&(_, d)| d)
+                    .collect();
+                let mut dedup = Vec::new();
+                for d in members.drain(..) {
+                    if !dedup.contains(&d) {
+                        dedup.push(d);
+                    }
+                }
+                let c = cost(&dedup);
+                (a, dedup, c)
+            })
+            .collect();
+        let mut covered = vec![false; n];
+        let mut slots = Vec::new();
+        while flat.iter().any(|&(_, d)| !covered[d]) {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, (_, members, c)) in windows.iter().enumerate() {
+                let gain = members.iter().filter(|&&d| !covered[d]).count() as u64;
+                if gain == 0 {
+                    continue;
+                }
+                let key = (gain << 32) / *c as u64;
+                if best.is_none_or(|(bk, _)| key > bk) {
+                    best = Some((key, i));
+                }
+            }
+            let (_, w) = best.expect("some window gains");
+            let mut newly: Vec<usize> = windows[w]
+                .1
+                .iter()
+                .copied()
+                .filter(|&d| !covered[d])
+                .collect();
+            newly.sort_unstable();
+            for &d in &newly {
+                covered[d] = true;
+            }
+            slots.push(CoverSlot {
+                window_start: windows[w].0,
+                transmit_at: windows[w].0 + ti,
+                covered: newly,
+            });
+        }
+        let dense_devices: Vec<usize> = (0..n).filter(|&d| dense[d]).collect();
+        if !dense_devices.is_empty() {
+            if let Some(first) = slots.first_mut() {
+                first.covered.extend(dense_devices);
+                first.covered.sort_unstable();
+            } else {
+                slots.push(CoverSlot {
+                    window_start: horizon_start,
+                    transmit_at: horizon_start + ti,
+                    covered: dense_devices,
+                });
+            }
+        }
+        Some(slots)
+    }
+
+    #[test]
+    fn solve_weighted_matches_naive_oracle() {
+        // Random dense/sparse mixtures with per-device weights (window
+        // cost = heaviest member, the DR-SC airtime shape) AND with unit
+        // costs, both compared slot-for-slot against the rescan oracle.
+        let mut arena = KernelArena::new();
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..40 {
+            let n = 1 + (next() % 30) as usize;
+            let ti = SimDuration::from_ms(50 + next() % 500);
+            let events: Vec<Vec<SimInstant>> = (0..n)
+                .map(|_| {
+                    let mut v: Vec<SimInstant> =
+                        (0..1 + next() % 5).map(|_| ms(next() % 5_000)).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect();
+            let dense: Vec<bool> = (0..n).map(|_| next() % 4 == 0).collect();
+            let weights: Vec<u32> = (0..n).map(|_| 1 + (next() % 32) as u32).collect();
+            let solver = WindowCover::new(ti);
+            let airtime =
+                |members: &[usize]| members.iter().map(|&d| weights[d]).max().unwrap_or(1);
+            assert_eq!(
+                solver.solve_weighted(ms(0), &events, &dense, airtime, &mut arena),
+                naive_weighted_window(ti, ms(0), &events, &dense, &airtime),
+                "weighted, trial {trial}"
+            );
+            assert_eq!(
+                solver.solve_weighted(ms(0), &events, &dense, |_| 1, &mut arena),
+                naive_weighted_window(ti, ms(0), &events, &dense, &|_| 1),
+                "unit-cost, trial {trial}"
+            );
+        }
+        // Edge parity with `solve`: empty instance, all-dense synthesis,
+        // uncoverable sparse device (none of these involve anchor ties).
+        let ti = SimDuration::from_ms(100);
+        let solver = WindowCover::new(ti);
+        assert_eq!(
+            solver.solve_weighted(ms(0), &[], &[], |_| 1, &mut arena),
+            Some(vec![])
+        );
+        let events = vec![vec![ms(5)], vec![ms(20)]];
+        assert_eq!(
+            solver.solve_weighted(ms(0), &events, &[true, true], |_| 1, &mut arena),
+            solver.solve(ms(0), &events, &[true, true])
+        );
+        assert_eq!(
+            solver.solve_weighted(ms(0), &[vec![]], &[false], |_| 1, &mut arena),
+            None
+        );
+    }
+
+    #[test]
+    fn solve_weighted_routes_shallow_devices_around_deep_windows() {
+        // Devices 2 and 3 are "deep" (any window containing one costs 32);
+        // 0 and 1 are cheap. Count-greedy's gain ties resolve to the two
+        // early mixed windows ({0,2} then {1,3}): two deep transmissions,
+        // static cost 64. Ratio-greedy takes the late cheap window {0,1}
+        // first, then folds both deep devices into ONE deep window at
+        // t=1000: static cost 33.
+        let ti = SimDuration::from_ms(100);
+        let events = vec![
+            vec![ms(10), ms(400)],   // 0: shallow
+            vec![ms(200), ms(410)],  // 1: shallow
+            vec![ms(60), ms(1000)],  // 2: deep
+            vec![ms(260), ms(1010)], // 3: deep
+        ];
+        let dense = [false; 4];
+        let cost = |members: &[usize]| {
+            if members.iter().any(|&d| d >= 2) {
+                32
+            } else {
+                1
+            }
+        };
+        let solver = WindowCover::new(ti);
+        let mut arena = KernelArena::new();
+        let unweighted = solver.solve(ms(0), &events, &dense).unwrap();
+        let weighted = solver
+            .solve_weighted(ms(0), &events, &dense, cost, &mut arena)
+            .unwrap();
+        assert_eq!(
+            unweighted
+                .iter()
+                .map(|s| s.covered.clone())
+                .collect::<Vec<_>>(),
+            vec![vec![0, 2], vec![1, 3]]
+        );
+        assert_eq!(
+            weighted
+                .iter()
+                .map(|s| s.covered.clone())
+                .collect::<Vec<_>>(),
+            vec![vec![0, 1], vec![2, 3]]
+        );
+        // Price each plan by window membership (every device with a PO in
+        // the slot's window, covered or not — the static window cost).
+        let static_cost = |slots: &[CoverSlot]| -> u32 {
+            slots
+                .iter()
+                .map(|s| {
+                    let members: Vec<usize> = (0..events.len())
+                        .filter(|&d| {
+                            events[d]
+                                .iter()
+                                .any(|&t| t >= s.window_start && t < s.transmit_at)
+                        })
+                        .collect();
+                    cost(&members)
+                })
+                .sum()
+        };
+        assert_eq!(static_cost(&unweighted), 64);
+        assert_eq!(static_cost(&weighted), 33);
+        // And the weighted slots still cover everyone exactly once.
+        let mut seen = vec![0u32; events.len()];
+        for s in &weighted {
+            for &d in &s.covered {
+                seen[d] += 1;
+            }
+        }
+        assert_eq!(seen, vec![1, 1, 1, 1]);
     }
 }

@@ -292,7 +292,14 @@ pub(crate) fn plan_trajectory(
             && match policy {
                 RegroupPolicy::Never => false,
                 RegroupPolicy::EveryEpoch | RegroupPolicy::Repair => true,
-                RegroupPolicy::StalenessThreshold(t) => stale as f64 / pop.len() as f64 > t,
+                // A fully-departed fleet has nothing left to serve: its
+                // staleness is defined as 0.0, not the 0/0 NaN the bare
+                // division produced (NaN compared false only by IEEE
+                // accident, and any later `>=`/`partial_cmp` refactor
+                // would have silently changed the decision).
+                RegroupPolicy::StalenessThreshold(t) => {
+                    !pop.is_empty() && stale as f64 / pop.len() as f64 > t
+                }
             };
         if regroup {
             regroup_epochs.push(epoch);
@@ -486,6 +493,39 @@ mod tests {
             let (outcome, work) = run_under(policy, &zero);
             assert_eq!(outcome, ChurnOutcome::default(), "{policy:?}");
             assert_eq!(work, RegroupWork::default(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn fully_departed_fleet_defines_staleness_as_zero() {
+        // ChurnModel::step keeps one survivor by construction, so the
+        // empty-fleet epoch is synthesized directly: every device left
+        // and nobody arrived. The threshold policy's staleness ratio on
+        // an empty population used to be the 0/0 NaN (which compared
+        // false only by IEEE accident); it is defined as 0.0 now, so the
+        // empty epochs must neither fire a regroup nor poison the
+        // outcome.
+        let pop = initial(30);
+        let gone = ChurnEvents {
+            arrivals: 0,
+            departures: pop.len(),
+            handovers: 0,
+        };
+        let timeline = ChurnTimeline {
+            epochs: vec![(pop.empty_like(0), gone); 3],
+        };
+        for threshold in [0.0, 0.5, 1.0] {
+            let t = plan_trajectory(
+                &timeline,
+                RegroupPolicy::StalenessThreshold(threshold),
+                &pop,
+            );
+            assert_eq!(t.outcome.regroups, 0.0, "threshold {threshold}");
+            assert!(
+                t.outcome.stale_miss_ratio.is_finite(),
+                "threshold {threshold}"
+            );
+            assert_eq!(t.outcome.stale_miss_ratio, 0.0, "threshold {threshold}");
         }
     }
 

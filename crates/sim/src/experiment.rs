@@ -36,6 +36,7 @@ use nbiot_energy::PowerProfile;
 use nbiot_grouping::{
     GroupingInput, GroupingMechanism, GroupingParams, MechanismKind, MulticastPlan, Unicast,
 };
+use nbiot_phy::{CoverageClass, NpdschConfig};
 use nbiot_traffic::{ChurnModel, TrafficMix};
 use rand::rngs::StdRng;
 
@@ -96,6 +97,16 @@ pub struct MechanismSummary {
     pub transmissions: Summary,
     /// Transmissions as a fraction of the group size (the Fig. 7 ratio).
     pub transmissions_ratio: Summary,
+    /// Total on-air payload time of the epoch-0 plan in milliseconds:
+    /// every transmission pays the full transfer at its deepest
+    /// recipient's coverage class (the repetition level the whole group
+    /// must be served at).
+    pub plan_airtime_ms: Summary,
+    /// Plan airtime over the count-based estimate (transmissions × the
+    /// normal-coverage transfer time): 1.0 on homogeneous CE0 fleets,
+    /// grows as deep-coverage recipients inflate transmissions, and 0.0
+    /// for degenerate plans with no transmissions.
+    pub airtime_vs_count_ratio: Summary,
     /// Mean device wait before its transmission, in seconds.
     pub mean_wait_s: Summary,
     /// Mean absolute per-device connected-mode uptime, in seconds.
@@ -180,6 +191,13 @@ pub struct MechRun {
     pub rel_connected: f64,
     /// Payload transmissions in this run.
     pub transmissions: f64,
+    /// Total on-air payload time of the epoch-0 plan, in milliseconds
+    /// (deepest-recipient coverage pricing; see
+    /// [`MechanismSummary::plan_airtime_ms`]).
+    pub plan_airtime_ms: f64,
+    /// Plan airtime over the count-based estimate; 0.0 when the plan has
+    /// no transmissions.
+    pub airtime_vs_count_ratio: f64,
     /// Mean device wait before its transmission, in seconds.
     pub mean_wait_s: f64,
     /// Mean absolute per-device connected-mode uptime, in seconds.
@@ -357,6 +375,56 @@ fn execute_per_payload(
     Ok((plan, results))
 }
 
+/// Per-transmission deepest-recipient coverage histogram of a plan,
+/// indexed by `CoverageClass as usize`. A transmission is served at the
+/// repetition level of its worst-coverage recipient, so this histogram is
+/// the only plan-dependent input the airtime metrics need — the payload
+/// then scales each class's transfer time independently.
+fn coverage_histogram(plan: &MulticastPlan, input: &GroupingInput) -> [u64; 3] {
+    let coverage_of: std::collections::HashMap<_, _> = input
+        .ids()
+        .iter()
+        .copied()
+        .zip(input.coverages().iter().copied())
+        .collect();
+    let mut hist = [0u64; 3];
+    for tx in &plan.transmissions {
+        let deepest = tx
+            .recipients
+            .iter()
+            .filter_map(|id| coverage_of.get(id))
+            .max()
+            .copied()
+            .unwrap_or_default();
+        hist[deepest as usize] += 1;
+    }
+    hist
+}
+
+/// Computes `(plan_airtime_ms, airtime_vs_count_ratio)` for one payload
+/// variant from a plan's coverage histogram. The ratio guards its
+/// denominator: a plan with no transmissions (or a zero-duration
+/// transfer) reports 0.0 instead of NaN/inf.
+fn airtime_metrics(hist: &[u64; 3], sim: &SimConfig) -> (f64, f64) {
+    let mut per_class_ms = [0u64; 3];
+    for c in CoverageClass::ALL {
+        let cfg = NpdschConfig {
+            coverage: c,
+            ..sim.npdsch
+        };
+        per_class_ms[c as usize] = cfg.plan_transfer(sim.payload).duration.as_ms();
+    }
+    let airtime_ms: u64 = hist.iter().zip(per_class_ms).map(|(&n, ms)| n * ms).sum();
+    let transmissions: u64 = hist.iter().sum();
+    let count_estimate_ms = transmissions * per_class_ms[CoverageClass::Normal as usize];
+    let ratio = if count_estimate_ms == 0 {
+        0.0
+    } else {
+        airtime_ms as f64 / count_estimate_ms as f64
+    };
+    (airtime_ms as f64, ratio)
+}
+
 /// One (device point × run) work item: fresh population and grouping
 /// input, shared by the unicast baseline and every mechanism across every
 /// payload variant. Returns rows indexed `[payload][mechanism]`.
@@ -406,13 +474,17 @@ fn grid_item(
         // payload variant.
         let mut work = RegroupWork::default();
         work.absorb(&plan);
+        let hist = coverage_histogram(&plan, &input);
         for (p, result) in results.iter().enumerate() {
             let baseline = baselines.as_ref().map_or(result, |(_, b)| &b[p]);
             let rel = result.mean_relative_vs(baseline);
+            let (plan_airtime_ms, airtime_vs_count_ratio) = airtime_metrics(&hist, &spec.sims[p]);
             rows[p].push(MechRun {
                 rel_light_sleep: rel.light_sleep,
                 rel_connected: rel.connected,
                 transmissions: result.transmission_count as f64,
+                plan_airtime_ms,
+                airtime_vs_count_ratio,
                 mean_wait_s: result.mean_wait.as_secs_f64(),
                 mean_connected_s: result.mean_connected_ms() / 1000.0,
                 mean_energy_mj: result.mean_energy_mj(spec.power),
@@ -598,6 +670,8 @@ struct MechStats {
     rel_connected: RunningStats,
     transmissions: RunningStats,
     transmissions_ratio: RunningStats,
+    plan_airtime_ms: RunningStats,
+    airtime_vs_count_ratio: RunningStats,
     mean_wait_s: RunningStats,
     mean_connected_s: RunningStats,
     mean_energy_mj: RunningStats,
@@ -619,6 +693,8 @@ impl MechStats {
         self.transmissions.push(row.transmissions);
         self.transmissions_ratio
             .push(row.transmissions / n_devices as f64);
+        self.plan_airtime_ms.push(row.plan_airtime_ms);
+        self.airtime_vs_count_ratio.push(row.airtime_vs_count_ratio);
         self.mean_wait_s.push(row.mean_wait_s);
         self.mean_connected_s.push(row.mean_connected_s);
         self.mean_energy_mj.push(row.mean_energy_mj);
@@ -641,6 +717,8 @@ impl MechStats {
             rel_connected: self.rel_connected.summary(),
             transmissions: self.transmissions.summary(),
             transmissions_ratio: self.transmissions_ratio.summary(),
+            plan_airtime_ms: self.plan_airtime_ms.summary(),
+            airtime_vs_count_ratio: self.airtime_vs_count_ratio.summary(),
             mean_wait_s: self.mean_wait_s.summary(),
             mean_connected_s: self.mean_connected_s.summary(),
             mean_energy_mj: self.mean_energy_mj.summary(),
@@ -663,6 +741,8 @@ impl Default for MechStats {
             rel_connected: RunningStats::new(),
             transmissions: RunningStats::new(),
             transmissions_ratio: RunningStats::new(),
+            plan_airtime_ms: RunningStats::new(),
+            airtime_vs_count_ratio: RunningStats::new(),
             mean_wait_s: RunningStats::new(),
             mean_connected_s: RunningStats::new(),
             mean_energy_mj: RunningStats::new(),
@@ -701,12 +781,18 @@ pub struct SweepPoint {
 ///
 /// # Errors
 ///
-/// Propagates population, grouping and plan-validation failures.
+/// Rejects an empty size list with [`SimError::EmptySweep`] (an empty
+/// sweep used to return an empty result set, which downstream figure
+/// code silently rendered as a zero-point plot), and propagates
+/// population, grouping and plan-validation failures.
 pub fn sweep_devices(
     base: &ExperimentConfig,
     kind: MechanismKind,
     sizes: &[usize],
 ) -> Result<Vec<SweepPoint>, SimError> {
+    if sizes.is_empty() {
+        return Err(SimError::EmptySweep);
+    }
     let grid = execute_grid(&GridSpec {
         mix: &base.mix,
         devices: sizes,
@@ -809,6 +895,15 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].n_devices, 10);
         assert!(points[1].transmissions.mean >= points[0].transmissions.mean);
+    }
+
+    #[test]
+    fn empty_device_sweep_is_rejected() {
+        // An empty size list used to come back as Ok(vec![]) — a
+        // zero-point "sweep" that figure code happily rendered as an
+        // empty plot.
+        let err = sweep_devices(&small_config(), MechanismKind::DrSc, &[]).unwrap_err();
+        assert!(matches!(err, SimError::EmptySweep), "{err}");
     }
 
     #[test]

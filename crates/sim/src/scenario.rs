@@ -91,7 +91,7 @@ impl Default for Scenario {
 impl Scenario {
     /// Names of the registered built-in scenarios, resolvable by
     /// [`Scenario::builtin`] (and the `figures` binary's `--scenario`).
-    pub const REGISTRY: [&'static str; 13] = [
+    pub const REGISTRY: [&'static str; 14] = [
         "fig6a",
         "fig6b",
         "fig7",
@@ -100,6 +100,7 @@ impl Scenario {
         "bursty-alarm",
         "large-n-stress",
         "massive-n",
+        "weighted-airtime",
         "short-drx",
         "mobility-churn",
         "handover-storm",
@@ -203,6 +204,22 @@ impl Scenario {
                 ],
                 runs: 2,
                 baseline: false,
+                ..Scenario::default()
+            },
+            // Weighted airtime: a heterogeneous CE0/CE1/CE2 fleet where
+            // transmissions are not all equally expensive — a CE2 window
+            // costs ~13.6x the subframes of a CE0 window.  Pits the
+            // count-greedy DR-SC against the airtime-weighted cover so the
+            // `plan_airtime_ms` / `airtime_vs_count_ratio` summaries have a
+            // scenario that actually separates the two.
+            "weighted-airtime" => Scenario {
+                name: "weighted-airtime".into(),
+                description: "airtime-weighted cover on a heterogeneous CE0/CE1/CE2 coverage mix"
+                    .into(),
+                mix: TrafficMix::heterogeneous_coverage(),
+                devices: vec![200, 500, 1000],
+                mechanisms: vec![MechanismKind::DrSc, MechanismKind::DrScWeighted],
+                runs: 50,
                 ..Scenario::default()
             },
             "short-drx" => Scenario {

@@ -4,6 +4,7 @@ use core::fmt;
 
 use rand::Rng;
 
+use nbiot_phy::CoverageClass;
 use nbiot_time::{DrxCycle, EdrxCycle, PagingConfig, PagingCycle, SimDuration, UeId};
 
 use crate::{ClassId, DeviceId, DeviceProfile, Population, TrafficError};
@@ -21,10 +22,16 @@ pub struct ClassSpec {
     pub cycles: Vec<(PagingCycle, f64)>,
     /// Mean interval between background uplink reports.
     pub report_interval: SimDuration,
+    /// Coverage-enhancement class of this device class — a property of
+    /// where the model gets installed (basement meters sit in CE1/CE2,
+    /// street-level infrastructure in CE0), not a per-device draw, so
+    /// adding it leaves generated populations numerically unchanged.
+    pub coverage: CoverageClass,
 }
 
 impl ClassSpec {
-    /// Creates a class with a single paging cycle.
+    /// Creates a class with a single paging cycle in normal (CE0)
+    /// coverage.
     pub fn new(
         name: impl Into<String>,
         share: f64,
@@ -36,7 +43,15 @@ impl ClassSpec {
             share,
             cycles: vec![(cycle, 1.0)],
             report_interval,
+            coverage: CoverageClass::default(),
         }
+    }
+
+    /// Returns the class with its coverage-enhancement class replaced.
+    #[must_use]
+    pub fn with_coverage(mut self, coverage: CoverageClass) -> ClassSpec {
+        self.coverage = coverage;
+        self
     }
 
     fn validate(&self) -> Result<(), TrafficError> {
@@ -203,6 +218,7 @@ impl TrafficMix {
                         (PagingCycle::edrx(EdrxCycle::Hf1024), 0.15),
                     ],
                     report_interval: h * 24,
+                    coverage: CoverageClass::Normal,
                 },
                 // Cluster B: mid-cycle tracker fleet, internally split
                 // between two adjacent eDRX settings.
@@ -214,6 +230,7 @@ impl TrafficMix {
                         (PagingCycle::edrx(EdrxCycle::Hf32), 0.4),
                     ],
                     report_interval: SimDuration::from_secs(900),
+                    coverage: CoverageClass::Normal,
                 },
                 // Cluster C: reachability cohort on short regular DRX.
                 ClassSpec {
@@ -224,6 +241,7 @@ impl TrafficMix {
                         (PagingCycle::Drx(DrxCycle::Rf256), 0.5),
                     ],
                     report_interval: h * 24,
+                    coverage: CoverageClass::Normal,
                 },
                 // A thin unclustered tail keeps the instance from being
                 // perfectly coverable by three windows.
@@ -235,6 +253,7 @@ impl TrafficMix {
                         (PagingCycle::edrx(EdrxCycle::Hf256), 0.5),
                     ],
                     report_interval: h,
+                    coverage: CoverageClass::Normal,
                 },
             ],
         )
@@ -405,15 +424,67 @@ impl TrafficMix {
         .expect("built-in mix is valid")
     }
 
+    /// A metering estate spread across coverage-enhancement classes —
+    /// the regime where cover *quality* is airtime, not transmission
+    /// count (Andres-Maldonado et al. quantify the per-class repetition
+    /// cost). Street-level infrastructure sits in CE0, basement meters in
+    /// CE1 and pit/manhole sensors in CE2 (~70/20/10), all on long eDRX
+    /// cycles so the weighted and unweighted covers genuinely diverge:
+    /// windows exist that cover only cheap CE0 cohorts, and the
+    /// ratio-greedy kernel routes around the repetition-heavy ones.
+    pub fn heterogeneous_coverage() -> TrafficMix {
+        let h = SimDuration::from_secs(3600);
+        TrafficMix::new(
+            "heterogeneous-coverage",
+            vec![
+                ClassSpec {
+                    name: "street-meter".into(),
+                    share: 0.50,
+                    cycles: vec![
+                        (PagingCycle::edrx(EdrxCycle::Hf512), 0.7),
+                        (PagingCycle::edrx(EdrxCycle::Hf1024), 0.3),
+                    ],
+                    report_interval: h * 24,
+                    coverage: CoverageClass::Normal,
+                },
+                ClassSpec::new(
+                    "courtyard-sensor",
+                    0.20,
+                    PagingCycle::edrx(EdrxCycle::Hf128), // 1310.72 s
+                    h * 12,
+                ),
+                ClassSpec {
+                    name: "basement-meter".into(),
+                    share: 0.20,
+                    cycles: vec![
+                        (PagingCycle::edrx(EdrxCycle::Hf512), 0.5),
+                        (PagingCycle::edrx(EdrxCycle::Hf1024), 0.5),
+                    ],
+                    report_interval: h * 24,
+                    coverage: CoverageClass::Robust,
+                },
+                ClassSpec::new(
+                    "manhole-sensor",
+                    0.10,
+                    PagingCycle::edrx(EdrxCycle::Hf1024), // 10485.76 s
+                    h * 24,
+                )
+                .with_coverage(CoverageClass::Extreme),
+            ],
+        )
+        .expect("built-in mix is valid")
+    }
+
     /// Names of the registered built-in mixes, selectable by
     /// [`TrafficMix::by_name`] (and the figure binaries' `--mix` flag).
-    pub const REGISTRY: [&'static str; 8] = [
+    pub const REGISTRY: [&'static str; 9] = [
         "ericsson-city",
         "clustered-heterogeneous",
         "bursty-alarm",
         "mobility-churn",
         "handover-storm",
         "massive-metering",
+        "heterogeneous-coverage",
         "short-drx",
         "uniform-edrx",
     ];
@@ -430,6 +501,7 @@ impl TrafficMix {
             "mobility-churn" => Some(TrafficMix::mobility_churn()),
             "handover-storm" => Some(TrafficMix::handover_storm()),
             "massive-metering" => Some(TrafficMix::massive_metering()),
+            "heterogeneous-coverage" => Some(TrafficMix::heterogeneous_coverage()),
             "short-drx" => Some(TrafficMix::short_drx()),
             "uniform-edrx" => {
                 let mut mix = TrafficMix::uniform(PagingCycle::edrx(EdrxCycle::Hf1024));
@@ -543,6 +615,7 @@ impl TrafficMix {
             self.classes.iter().map(|c| c.name.clone()).collect(),
             n,
         );
+        pop.set_class_coverages(self.classes.iter().map(|c| c.coverage).collect());
         for i in 0..n {
             pop.push(self.sample_device(DeviceId(i as u32), rng)?);
         }
@@ -591,6 +664,7 @@ mod tests {
                 share: 1.0,
                 cycles: vec![],
                 report_interval: SimDuration::from_secs(1),
+                coverage: CoverageClass::Normal,
             }],
         )
         .unwrap_err();
@@ -650,6 +724,7 @@ mod tests {
                     (PagingCycle::edrx(EdrxCycle::Hf1024), 0.4),
                 ],
                 report_interval: SimDuration::from_secs(3600),
+                coverage: CoverageClass::Normal,
             }],
         )
         .unwrap();
@@ -750,6 +825,53 @@ mod tests {
             .filter(|d| d.paging.cycle.period_frames() == EdrxCycle::Hf1024.frames())
             .count();
         assert!((900..=1300).contains(&hf1024), "hf1024 {hf1024}/2000");
+    }
+
+    #[test]
+    fn heterogeneous_coverage_mix_spreads_classes() {
+        let mix = TrafficMix::heterogeneous_coverage();
+        let pop = mix.generate(4000, &mut StdRng::seed_from_u64(29)).unwrap();
+        // The coverage table follows the class specs, in class order.
+        assert_eq!(
+            pop.class_coverages(),
+            &[
+                CoverageClass::Normal,
+                CoverageClass::Normal,
+                CoverageClass::Robust,
+                CoverageClass::Extreme,
+            ]
+        );
+        // ~70/20/10 split over devices.
+        let mut by_cov = [0usize; 3];
+        for d in pop.iter() {
+            by_cov[pop.coverage_of(d.class) as usize] += 1;
+        }
+        assert!((2500..=3100).contains(&by_cov[0]), "CE0 {by_cov:?}");
+        assert!((600..=1000).contains(&by_cov[1]), "CE1 {by_cov:?}");
+        assert!((250..=550).contains(&by_cov[2]), "CE2 {by_cov:?}");
+        // Coverage is class-level, not drawn from the RNG: the device
+        // stream must be identical to a coverage-less twin of the mix.
+        let mut twin = mix.clone();
+        for c in &mut twin.classes {
+            c.coverage = CoverageClass::Normal;
+        }
+        let twin_pop = twin.generate(100, &mut StdRng::seed_from_u64(31)).unwrap();
+        let pop100 = mix.generate(100, &mut StdRng::seed_from_u64(31)).unwrap();
+        assert_eq!(twin_pop.profiles(), pop100.profiles());
+    }
+
+    #[test]
+    fn coverage_defaults_to_normal_for_plain_classes() {
+        let mix = TrafficMix::ericsson_city();
+        assert!(mix
+            .classes()
+            .iter()
+            .all(|c| c.coverage == CoverageClass::Normal));
+        let pop = mix.generate(10, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert!(pop
+            .class_coverages()
+            .iter()
+            .all(|&c| c == CoverageClass::Normal));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use core::fmt;
 
+use nbiot_phy::CoverageClass;
 use nbiot_time::{PagingConfig, PagingSchedule, SimDuration, TimeError, UeId};
 
 /// Index of a device within its population.
@@ -90,6 +91,12 @@ impl DeviceProfile {
 pub struct Population {
     mix_name: String,
     class_names: Vec<String>,
+    /// Coverage-enhancement class per device class, in class order —
+    /// class-level (not per-device) because a deployment's coverage is a
+    /// property of where a device model gets installed (basement meters
+    /// vs street-level trackers), and keeping it out of the per-device
+    /// columns keeps the massive-n tier's memory footprint unchanged.
+    class_coverages: Vec<CoverageClass>,
     /// Identity column; `None` while every device's id equals its row
     /// index (the generated-population common case), allocated lazily the
     /// first time an id diverges.
@@ -124,6 +131,7 @@ impl Population {
     ) -> Population {
         Population {
             mix_name,
+            class_coverages: vec![CoverageClass::default(); class_names.len()],
             class_names,
             ids: None,
             ues: Vec::with_capacity(capacity),
@@ -136,7 +144,10 @@ impl Population {
     /// An empty population sharing this one's mix and class table — the
     /// builder churn evolution fills epoch by epoch.
     pub fn empty_like(&self, capacity: usize) -> Population {
-        Population::with_capacity(self.mix_name.clone(), self.class_names.clone(), capacity)
+        let mut pop =
+            Population::with_capacity(self.mix_name.clone(), self.class_names.clone(), capacity);
+        pop.class_coverages = self.class_coverages.clone();
+        pop
     }
 
     /// Appends one device row across the columns. The identity column
@@ -294,6 +305,38 @@ impl Population {
         &self.class_names[class.0]
     }
 
+    /// Coverage-enhancement class per device class, in class order.
+    pub fn class_coverages(&self) -> &[CoverageClass] {
+        &self.class_coverages
+    }
+
+    /// Replaces the per-class coverage table (set by
+    /// [`crate::TrafficMix::generate`] from the mix's class specs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the table length does not match the class-name table.
+    pub fn set_class_coverages(&mut self, coverages: Vec<CoverageClass>) {
+        assert_eq!(
+            coverages.len(),
+            self.class_names.len(),
+            "one coverage entry per class"
+        );
+        self.class_coverages = coverages;
+    }
+
+    /// The coverage-enhancement class of devices in `class`.
+    ///
+    /// Defaults to [`CoverageClass::Normal`] for an out-of-range id, so
+    /// populations deserialized from pre-coverage archives stay usable.
+    #[inline]
+    pub fn coverage_of(&self, class: ClassId) -> CoverageClass {
+        self.class_coverages
+            .get(class.0)
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// The longest paging cycle in the population ("maxDRX" in the paper).
     ///
     /// Returns [`SimDuration::ZERO`] for an empty population.
@@ -330,6 +373,7 @@ impl Population {
             self.class_names.clone(),
             0,
         );
+        sub.class_coverages = self.class_coverages.clone();
         for i in 0..self.len() {
             if self.class_names[self.classes[i].0] == name {
                 sub.push(self.device(i));
